@@ -1,0 +1,60 @@
+"""Benchmark harness plumbing.
+
+Every bench regenerates one of the paper's tables/figures and registers the
+rendered table here; ``pytest_terminal_summary`` prints them after the
+pytest-benchmark timing table, so ``pytest benchmarks/ --benchmark-only``
+emits both the performance numbers and the paper-shaped output. Each
+registered output is also written to ``benchmarks/results/<slug>.txt`` so
+runs leave diffable artifacts behind.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+_REGISTERED: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _slug(title: str) -> str:
+    head = title.split("—")[0].split("(")[0].strip()
+    return re.sub(r"[^a-z0-9]+", "-", head.lower()).strip("-") or "output"
+
+
+_WRITTEN_THIS_RUN: set[str] = set()
+
+
+def register_output(title: str, text: str) -> None:
+    """Queue a rendered experiment table for the end-of-run summary and
+    persist it under ``benchmarks/results/`` (fresh per run)."""
+    _REGISTERED.append((title, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    slug = _slug(title)
+    path = _RESULTS_DIR / f"{slug}.txt"
+    block = f"### {title}\n{text}\n\n"
+    if slug in _WRITTEN_THIS_RUN:
+        path.write_text(path.read_text() + block)
+    else:
+        path.write_text(block)
+        _WRITTEN_THIS_RUN.add(slug)
+
+
+@pytest.fixture
+def experiment_output():
+    """Fixture benches use to publish their paper-shaped output."""
+    return register_output
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REGISTERED:
+        return
+    terminalreporter.section("paper experiment output")
+    for title, text in _REGISTERED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {title}")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _REGISTERED.clear()

@@ -1,0 +1,32 @@
+"""Shared fleet configuration for the Fig. 3a/3b and recovery benches.
+
+One scaled-down fleet (exact per-page variation sampling, analytic wear)
+shared by several benches so their curves are directly comparable. Module-
+level cache keeps the expensive runs to one per (mode) per session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.flash.geometry import FlashGeometry
+from repro.sim.fleet import FleetConfig, FleetResult, simulate_fleet
+
+FLEET_SEED = 2025
+
+FLEET_CONFIG = FleetConfig(
+    devices=48,
+    geometry=FlashGeometry(blocks=128, fpages_per_block=64),
+    pec_limit_l0=3000.0,
+    variation_sigma=0.35,
+    dwpd=2.0,
+    write_amplification=2.0,
+    afr=0.01,
+    horizon_days=3650,
+    step_days=10,
+)
+
+
+@lru_cache(maxsize=None)
+def fleet_result(mode: str) -> FleetResult:
+    return simulate_fleet(FLEET_CONFIG, mode, seed=FLEET_SEED)

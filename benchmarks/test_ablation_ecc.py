@@ -1,0 +1,68 @@
+"""ABL-ECC — fPage-size and spare-area ablation (§4.2 "other sizes").
+
+The Fig. 2 economics depend on the page layout: the spare area sets the L0
+capability, and the oPage count sets how coarse the capacity-for-ECC trade
+is. This ablation recomputes the tiredness trade-off across fPage sizes
+(8/16/32 KiB) and spare sizes (1/2/4 KiB per 16 KiB of data, scaled).
+"""
+
+import pytest
+
+from repro.flash.ecc import _max_rber_cached
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.models.lifetime import tiredness_tradeoff
+from repro.reporting.tables import format_table
+from repro.units import KIB
+
+LAYOUTS = [
+    # (opages_per_fpage, spare_bytes) — fPage data size is opages * 4 KiB.
+    (2, 1 * KIB),
+    (2, 2 * KIB),
+    (4, 1 * KIB),
+    (4, 2 * KIB),
+    (4, 4 * KIB),
+    (8, 4 * KIB),
+]
+
+
+def sweep_layouts():
+    _max_rber_cached.cache_clear()
+    out = {}
+    for opages, spare in LAYOUTS:
+        geometry = FlashGeometry(opages_per_fpage=opages, spare_bytes=spare)
+        policy = TirednessPolicy(geometry=geometry)
+        model = calibrate_power_law(policy, pec_limit_l0=3000)
+        out[(opages, spare)] = tiredness_tradeoff(policy, model)
+    return out
+
+
+@pytest.mark.benchmark(group="abl-ecc")
+def test_ablation_page_layouts(benchmark, experiment_output):
+    sweeps = benchmark.pedantic(sweep_layouts, rounds=1, iterations=1)
+    rows = []
+    for (opages, spare), points in sweeps.items():
+        l1 = points[1]
+        rows.append([
+            f"{opages * 4} KiB",
+            f"{spare // KIB} KiB",
+            f"{points[0].code_rate:.3f}",
+            f"{points[0].max_rber:.2e}",
+            f"{l1.capacity_fraction:.2f}",
+            f"{l1.pec_gain:+.0%}",
+        ])
+    experiment_output(
+        "ABL-ECC — page-layout ablation (capacity cost and L1 gain per "
+        "fPage/spare geometry; calibration holds L1 at +50 %)",
+        format_table(["fPage", "spare", "L0 code rate", "L0 max RBER",
+                      "L1 capacity", "L1 gain"], rows))
+
+    # Structural facts, independent of calibration:
+    # 1. smaller fPages pay more capacity per level step (coarser trade);
+    small = sweeps[(2, 1 * KIB)][1].capacity_fraction
+    large = sweeps[(8, 4 * KIB)][1].capacity_fraction
+    assert small < large
+    # 2. more spare -> stronger default ECC at the same data size.
+    weak = sweeps[(4, 1 * KIB)][0].max_rber
+    strong = sweeps[(4, 4 * KIB)][0].max_rber
+    assert strong > weak

@@ -1,0 +1,153 @@
+"""EXT-CORR — correlated minidisk failures (§3.2's open design question).
+
+"An open design question for future work is how to navigate the trade-off
+between flexibility in mapping mDisks onto fPages and the potential for
+correlated failures in mDisks." Because minidisks are logical and share one
+physical pool, a burst of page wear can decommission several minidisks in
+quick succession — and if a chunk's units sit on minidisks that die in the
+same burst, redundancy is defeated.
+
+Measured here: (a) the distribution of decommission-burst sizes on a worn
+RegenS device, and (b) whether wear-aware placement (prefer L0, drain tiers
+in order) reduces the recovery pressure a cluster sees versus random
+placement under identical churn.
+"""
+
+import numpy as np
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.reporting.tables import format_table
+from repro.salamander.device import SalamanderConfig, SalamanderSSD
+from repro.salamander.events import MinidiskDecommissioned
+from repro.ssd.ftl import FTLConfig
+
+GEOMETRY = FlashGeometry(blocks=32, fpages_per_block=8)
+FTL = FTLConfig(overprovision=0.25, buffer_opages=8)
+
+
+BURST_WINDOW_WRITES = 50  # a diFS re-replication window, in host writes
+
+
+def burst_sizes(variation_sigma: float, seed: int = 1) -> list[int]:
+    """Decommission-burst sizes: events closer together than a recovery
+    window. Failures inside one window defeat re-replication — that is the
+    §3.2 correlation risk. The page-to-page variation is the knob: with
+    identical pages (sigma 0) whole cohorts die together; real 3D-NAND
+    variation spreads the deaths out."""
+    policy = TirednessPolicy(geometry=GEOMETRY)
+    model = calibrate_power_law(policy, pec_limit_l0=20)
+    chip = FlashChip(GEOMETRY, rber_model=model, policy=policy,
+                     seed=seed, variation_sigma=variation_sigma)
+    device = SalamanderSSD(chip, SalamanderConfig(
+        msize_lbas=32, mode="regen", headroom_fraction=0.25, ftl=FTL))
+    arrivals: list[int] = []
+    writes = 0
+    device.add_listener(lambda event: arrivals.append(writes)
+                        if isinstance(event, MinidiskDecommissioned)
+                        else None)
+    rng = np.random.default_rng(seed)
+    try:
+        while writes < 200_000:
+            active = device.active_minidisks()
+            if len(active) <= 2:
+                break
+            mdisk = active[int(rng.integers(0, len(active)))]
+            device.write(mdisk.mdisk_id,
+                         int(rng.integers(0, max(1, mdisk.size_lbas // 2))),
+                         b"x")
+            writes += 1
+    except E.ReproError:
+        pass
+    bursts = []
+    for arrival in arrivals:
+        if bursts and arrival - bursts[-1][1] <= BURST_WINDOW_WRITES:
+            bursts[-1] = (bursts[-1][0] + 1, arrival)
+        else:
+            bursts.append((1, arrival))
+    return [size for size, _last in bursts]
+
+
+def cluster_churn(placement: str, seed: int = 5) -> dict:
+    policy = TirednessPolicy(geometry=GEOMETRY)
+    model = calibrate_power_law(policy, pec_limit_l0=12)
+    cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4,
+                                    placement=placement), seed=seed)
+    for n in range(4):
+        cluster.add_node(f"n{n}")
+        chip = FlashChip(GEOMETRY, rber_model=model, policy=policy,
+                         seed=seed + n, variation_sigma=0.3)
+        cluster.add_device(f"n{n}", SalamanderSSD(chip, SalamanderConfig(
+            msize_lbas=32, mode="regen", headroom_fraction=0.25,
+            grace_decommissions=2, ftl=FTL)))
+    rng = np.random.default_rng(1)
+    for i in range(30):
+        cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+    rounds = 0
+    while cluster.recovery.stats.volume_failures < 30 and rounds < 12_000:
+        rounds += 1
+        i = int(rng.integers(0, 30))
+        try:
+            cluster.delete_chunk(f"c{i}")
+            cluster.create_chunk(f"c{i}", f"r{rounds}-{i}".encode())
+        except E.ReproError:
+            pass
+        cluster.poll_failures()
+        cluster.run_recovery()
+    stats = cluster.recovery.stats
+    readable = 0
+    for i in range(30):
+        try:
+            cluster.read_chunk(f"c{i}")
+            readable += 1
+        except E.ReproError:
+            pass
+    return {"chunks_lost": stats.chunks_lost,
+            "bytes_moved": stats.bytes_moved,
+            "readable": readable,
+            "failures": stats.volume_failures}
+
+
+@pytest.mark.benchmark(group="ext-corr")
+def test_correlated_minidisk_failures(benchmark, experiment_output):
+    sigmas = (0.0, 0.15, 0.3)
+
+    def run_all():
+        sizes = {sigma: burst_sizes(sigma) for sigma in sigmas}
+        placements = {p: cluster_churn(p)
+                      for p in ("random", "wear-aware")}
+        return sizes, placements
+
+    sizes, placements = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for sigma, bursts in sizes.items():
+        rows.append([f"{sigma:.2f}", len(bursts),
+                     max(bursts) if bursts else 0,
+                     sum(1 for b in bursts if b >= 2)])
+    experiment_output(
+        f"EXT-CORR (bursts) — decommission bursts within one "
+        f"{BURST_WINDOW_WRITES}-write recovery window vs page variation "
+        f"(§3.2: process variation is what de-correlates mDisk failures)",
+        format_table(["variation sigma", "bursts", "largest burst",
+                      "multi-mdisk bursts"], rows))
+    rows = [[p, d["failures"], d["bytes_moved"], d["chunks_lost"],
+             f"{d['readable']}/30"] for p, d in placements.items()]
+    experiment_output(
+        "EXT-CORR (placement) — random vs wear-aware placement under "
+        "identical churn",
+        format_table(["placement", "mdisk failures", "recovery bytes",
+                      "chunks lost", "readable"], rows))
+
+    # With identical pages whole cohorts die together (worst correlation);
+    # realistic variation spreads failures into singleton events.
+    assert max(sizes[0.0]) >= 2
+    assert max(sizes[0.0]) > max(sizes[0.3])
+    # Wear-aware placement must not be worse on durability.
+    assert (placements["wear-aware"]["chunks_lost"]
+            <= placements["random"]["chunks_lost"])
+    assert placements["wear-aware"]["readable"] >= \
+        placements["random"]["readable"]

@@ -1,0 +1,73 @@
+"""FIG3C — sequential throughput vs L1 page fraction (Fig. 3c).
+
+Paper §4.2: "sequential access throughput ... degrades by a factor of
+4/(4-L) for a given L, e.g., 25 % reduction for L1". The bench produces the
+curve two ways: the analytic mix model, and a *measured* run on the
+functional flash chip (program a population with the given L1 fraction,
+sequentially read every data oPage, divide bytes by accumulated expected
+device time). Shape check: measured tracks analytic within a few percent.
+"""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.models.performance import PerformanceModel
+from repro.reporting.tables import format_table
+
+L1_FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def measured_throughput(l1_fraction: float) -> float:
+    """Bytes per expected-microsecond for a sequential scan (relative)."""
+    geometry = FlashGeometry(blocks=8, fpages_per_block=16)
+    chip = FlashChip(geometry, seed=1, variation_sigma=0.0,
+                     inject_errors=False)
+    total = geometry.total_fpages
+    l1_pages = int(round(l1_fraction * total))
+    for fpage in range(l1_pages):
+        chip.set_level(fpage, 1)
+    data_bytes = 0
+    for fpage in range(total):
+        capacity = chip.policy.data_opages(chip.level(fpage))
+        chip.program(fpage, [b"x"] * capacity)
+    busy_program = chip.stats.busy_us
+    for fpage in range(total):
+        payloads, _latency = chip.read_fpage(fpage)
+        data_bytes += len(payloads) * geometry.opage_bytes
+    read_time = chip.stats.busy_us - busy_program
+    return data_bytes / read_time
+
+
+@pytest.mark.benchmark(group="fig3c")
+def test_fig3c_sequential_throughput(benchmark, experiment_output):
+    model = PerformanceModel()
+
+    def full_sweep():
+        return {f: measured_throughput(f) for f in L1_FRACTIONS}
+
+    measured = benchmark.pedantic(full_sweep, rounds=1, iterations=1)
+    base = measured[0.0]
+    rows = []
+    analytic_points = {}
+    for fraction in L1_FRACTIONS:
+        mix = ({0: 1.0} if fraction == 0.0
+               else {1: 1.0} if fraction == 1.0
+               else {0: 1.0 - fraction, 1: fraction})
+        analytic = model.sequential_throughput_factor(mix)
+        analytic_points[fraction] = analytic
+        rows.append([
+            f"{fraction:.2f}", f"{analytic:.3f}",
+            f"{measured[fraction] / base:.3f}",
+            f"{model.sequential_throughput_mbps(mix, channels=8):.0f}",
+        ])
+    experiment_output(
+        "FIG3C — sequential throughput vs fraction of L1 pages "
+        "(paper Fig. 3c; L1-only = 0.75x; absolute column: 8 channels)",
+        format_table(["L1 fraction", "analytic factor", "measured factor",
+                      "8-ch device MB/s"], rows))
+    # Anchors: all-L1 loses 25 %, and measurement tracks the model.
+    assert analytic_points[1.0] == pytest.approx(0.75)
+    for fraction in L1_FRACTIONS:
+        assert measured[fraction] / base == pytest.approx(
+            analytic_points[fraction], rel=0.08)

@@ -1,0 +1,93 @@
+"""FIG3D — large random-access latency vs L1 fraction (Fig. 3d).
+
+Paper §4.2: large (16 KiB) accesses slow by ``4/(4-L)`` — a 16 KiB logical
+extent occupies 4/3 fPages once pages hold only 3 data oPages — while
+"small, random accesses (i.e., 4 KiB pages) will likely have the same
+latency". Measured on the functional chip: per-16 KiB latency is derived
+from whole-fPage senses over a contiguous layout (the paper's amortised
+model), and 4 KiB latency from single-oPage reads.
+"""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.models.performance import PerformanceModel
+from repro.reporting.tables import format_table
+from repro.rng import make_rng
+
+L1_FRACTIONS = [0.0, 0.5, 1.0]
+EXTENT_BYTES = 16 * 1024
+
+
+def build_population(l1_fraction: float) -> FlashChip:
+    geometry = FlashGeometry(blocks=8, fpages_per_block=16)
+    chip = FlashChip(geometry, seed=1, variation_sigma=0.0,
+                     inject_errors=False)
+    total = geometry.total_fpages
+    for fpage in range(int(round(l1_fraction * total))):
+        chip.set_level(fpage, 1)
+    for fpage in range(total):
+        capacity = chip.policy.data_opages(chip.level(fpage))
+        chip.program(fpage, [b"x"] * capacity)
+    return chip
+
+
+def extent_latency_us(chip: FlashChip) -> float:
+    """Expected latency per 16 KiB extent, amortised over a full scan."""
+    begin = chip.stats.busy_us
+    data_bytes = 0
+    for fpage in range(chip.geometry.total_fpages):
+        payloads, _latency = chip.read_fpage(fpage)
+        data_bytes += len(payloads) * chip.geometry.opage_bytes
+    elapsed = chip.stats.busy_us - begin
+    return elapsed * EXTENT_BYTES / data_bytes
+
+
+def small_latency_us(chip: FlashChip, accesses: int = 300) -> float:
+    """Expected latency of single 4 KiB oPage reads at random."""
+    rng = make_rng(7)
+    begin = chip.stats.busy_us
+    total = chip.geometry.total_fpages
+    for _ in range(accesses):
+        fpage = int(rng.integers(0, total))
+        slot = int(rng.integers(
+            0, chip.policy.data_opages(chip.level(fpage))))
+        chip.read(fpage, slot)
+    return (chip.stats.busy_us - begin) / accesses
+
+
+@pytest.mark.benchmark(group="fig3d")
+def test_fig3d_large_access_latency(benchmark, experiment_output):
+    model = PerformanceModel()
+
+    def sweep():
+        out = {}
+        for fraction in L1_FRACTIONS:
+            chip = build_population(fraction)
+            out[fraction] = (extent_latency_us(chip),
+                             small_latency_us(chip))
+        return out
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_large, base_small = measured[0.0]
+    rows = []
+    for fraction in L1_FRACTIONS:
+        mix = ({0: 1.0} if fraction == 0.0
+               else {1: 1.0} if fraction == 1.0
+               else {0: 1.0 - fraction, 1: fraction})
+        analytic = model.large_access_latency_factor(mix)
+        large, small = measured[fraction]
+        rows.append([f"{fraction:.2f}", f"{analytic:.3f}",
+                     f"{large / base_large:.3f}",
+                     f"{small / base_small:.3f}"])
+    experiment_output(
+        "FIG3D — 16 KiB access latency vs L1 fraction "
+        "(paper Fig. 3d; L1-only = 1.33x; 4 KiB unaffected)",
+        format_table(["L1 fraction", "analytic 16K factor",
+                      "measured 16K factor", "measured 4K factor"], rows))
+
+    large_all_l1 = measured[1.0][0] / base_large
+    small_all_l1 = measured[1.0][1] / base_small
+    assert large_all_l1 == pytest.approx(4 / 3, rel=0.08)
+    assert small_all_l1 == pytest.approx(1.0, rel=0.05)

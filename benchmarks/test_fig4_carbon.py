@@ -1,0 +1,48 @@
+"""FIG4 — CO2e reduction across system configurations (Fig. 4, Eq. 3).
+
+Paper §4.1: "Salamander achieves 3-8% CO2e savings in current designs ...
+if one considers the reduction ... when using only renewables, these gains
+increase to 11-20%". The bench evaluates Eq. 3 across the figure's bar set
+plus an f_op sensitivity sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.carbon import (
+    RU_REGENS,
+    RU_SHRINKS,
+    CarbonParams,
+    carbon_savings,
+    fig4_configurations,
+)
+from repro.reporting.tables import format_table, render_bars
+
+
+def compute_fig4():
+    bars = fig4_configurations()
+    sweep = []
+    for f_op in np.linspace(0.2, 0.7, 11):
+        for mode, ru in (("shrinks", RU_SHRINKS), ("regens", RU_REGENS)):
+            sweep.append((float(f_op), mode, carbon_savings(
+                CarbonParams(f_op=float(f_op), upgrade_rate=ru))))
+    return bars, sweep
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_carbon_savings(benchmark, experiment_output):
+    bars, sweep = benchmark(compute_fig4)
+    experiment_output(
+        "FIG4 — CO2e savings per configuration (paper Fig. 4; "
+        "3-8 % current, 11-20 % renewable)",
+        render_bars({k: v * 100 for k, v in bars.items()}, unit="%"))
+    rows = [[f"{f_op:.2f}", mode, f"{saving:+.1%}"]
+            for f_op, mode, saving in sweep if mode == "regens"]
+    experiment_output(
+        "FIG4 (sensitivity) — RegenS savings vs operational share f_op",
+        format_table(["f_op", "mode", "savings"], rows))
+
+    assert 0.02 <= bars["shrinks/current"] <= 0.04
+    assert 0.07 <= bars["regens/current"] <= 0.09
+    assert 0.09 <= bars["shrinks/renewable"] <= 0.12
+    assert 0.18 <= bars["regens/renewable"] <= 0.22

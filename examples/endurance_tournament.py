@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Endurance tournament: four device disciplines on identical flash.
+
+Each contender gets a chip with the *same geometry, wear model and
+per-page variation draw* (same seed) and is driven by the same random
+overwrite workload until it can no longer serve — so the lifetime
+differences are purely the firmware policy:
+
+* baseline — bricks at 2.5 % grown-bad blocks;
+* CVSS     — shrinks block-by-block, bounded by host free space;
+* ShrinkS  — retires pages individually, sheds minidisk-sized capacity;
+* RegenS   — additionally revives worn pages at lower code rates.
+
+Run:  python examples/endurance_tournament.py [utilization]
+"""
+
+import sys
+
+from repro import (
+    BaselineSSD,
+    CVSSConfig,
+    CVSSDevice,
+    FlashChip,
+    FlashGeometry,
+    FTLConfig,
+    SalamanderConfig,
+    SalamanderSSD,
+    SSDConfig,
+    TirednessPolicy,
+    calibrate_power_law,
+    run_write_lifetime,
+)
+from repro.reporting.tables import format_table
+
+GEOMETRY = FlashGeometry(blocks=32, fpages_per_block=8)
+FTL = FTLConfig(overprovision=0.25, buffer_opages=8)
+PEC_LIMIT = 30  # accelerated wear; real TLC is ~3000
+
+
+def make_chip(seed: int = 1) -> FlashChip:
+    policy = TirednessPolicy(geometry=GEOMETRY)
+    model = calibrate_power_law(policy, pec_limit_l0=PEC_LIMIT)
+    return FlashChip(GEOMETRY, rber_model=model, policy=policy,
+                     seed=seed, variation_sigma=0.3)
+
+
+def contenders():
+    salamander = dict(msize_lbas=32, headroom_fraction=0.25, ftl=FTL)
+    return {
+        "baseline": BaselineSSD(make_chip(), SSDConfig(ftl=FTL)),
+        "cvss": CVSSDevice(make_chip(), CVSSConfig(ftl=FTL)),
+        "shrinks": SalamanderSSD(make_chip(), SalamanderConfig(
+            mode="shrink", **salamander)),
+        "regens": SalamanderSSD(make_chip(), SalamanderConfig(
+            mode="regen", **salamander)),
+    }
+
+
+def main():
+    utilization = float(sys.argv[1]) if len(sys.argv) > 1 else 0.6
+    print(f"tournament at {utilization:.0%} space utilisation, "
+          f"rated endurance {PEC_LIMIT} P/E cycles\n")
+    results = {}
+    for name, device in contenders().items():
+        results[name] = run_write_lifetime(
+            device, utilization=utilization,
+            capacity_floor_fraction=0.3, seed=0)
+    base = results["baseline"].host_writes
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.host_writes,
+            f"{result.host_writes / base:.2f}x",
+            f"{result.mean_pec_at_death:.1f}",
+            f"{result.mean_pec_at_death / PEC_LIMIT:.0%}",
+            f"{result.capacity_fraction:.0%}",
+            result.death_cause,
+        ])
+    print(format_table(
+        ["device", "host writes", "vs baseline", "mean PEC at end",
+         "of rated limit", "final capacity", "end cause"],
+        rows, title="lifetime tournament"))
+    print("\nnote how the baseline dies with most of its rated endurance "
+          "unused, while RegenS wears the flash past its rated limit by "
+          "lowering the code rate — the paper's §2 premise and §3 design.")
+
+
+if __name__ == "__main__":
+    main()

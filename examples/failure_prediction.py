@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Why operators retire SSDs early — and how Salamander changes the math.
+
+Reproduces the §2.1 operational context: a population of monolithic SSDs
+emits SMART telemetry; the operator must choose between running drives to
+(unexpected) failure, retiring at a fixed age, or training a failure
+predictor. Then contrasts with a Salamander fleet, where failures arrive
+as minidisk-sized events that need no prediction at all.
+
+Run:  python examples/failure_prediction.py
+"""
+
+import numpy as np
+
+from repro.flash.geometry import FlashGeometry
+from repro.health import (
+    FailurePredictor,
+    TelemetryConfig,
+    evaluate_fixed_age,
+    evaluate_predictive,
+    evaluate_predictor,
+    evaluate_run_to_failure,
+    generate_trajectories,
+)
+from repro.reporting.tables import format_table
+from repro.sim.fleet import FleetConfig, simulate_fleet
+
+
+def main():
+    config = TelemetryConfig(
+        devices=150, geometry=FlashGeometry(blocks=128, fpages_per_block=32),
+        pec_limit_l0=3000, dwpd=1.5, sample_days=30, max_days=5000)
+    print("simulating SMART telemetry for two fleets of 150 SSDs "
+          "(train/test)...")
+    train = generate_trajectories(config, seed=1)
+    test = generate_trajectories(config, seed=2)
+    wear_deaths = sum(1 for t in test if t.death_cause == "wear")
+    print(f"  test fleet: {wear_deaths} wear deaths, "
+          f"{sum(1 for t in test if t.death_cause == 'afr')} unrelated, "
+          f"{sum(1 for t in test if t.death_cause == 'censored')} survivors\n")
+
+    predictor = FailurePredictor(horizon_days=90).fit(train)
+    report = evaluate_predictor(predictor, test)
+    print(f"failure predictor (logistic, 90-day horizon): "
+          f"precision {report.precision:.2f}, recall {report.recall:.2f} "
+          f"(base rate {report.base_rate:.1%})\n")
+
+    median_life = float(np.median(
+        [t.death_day for t in test if np.isfinite(t.death_day)]))
+    outcomes = [
+        evaluate_run_to_failure(test),
+        evaluate_fixed_age(test, median_life * 0.6),
+        evaluate_predictive(test, predictor, threshold=0.5),
+    ]
+    rows = [[o.policy, f"{o.mean_service_days:.0f}",
+             f"{o.unexpected_failure_rate:.0%}",
+             f"{o.wasted_life_fraction:.0%}"] for o in outcomes]
+    print(format_table(
+        ["policy", "mean service (days)", "unexpected failures",
+         "wasted life"],
+        rows, title="the operator's dilemma (monolithic SSDs, §2.1)"))
+
+    # The Salamander contrast: failures become minidisk-sized non-events.
+    fleet = FleetConfig(devices=64,
+                        geometry=FlashGeometry(blocks=128,
+                                               fpages_per_block=32),
+                        pec_limit_l0=3000, dwpd=1.5, afr=0.01,
+                        horizon_days=4000, step_days=10)
+    base = simulate_fleet(fleet, "baseline", seed=3)
+    shrink = simulate_fleet(fleet, "shrink", seed=3)
+    whole_device_failures = int(np.isfinite(base.death_day).sum())
+    print(f"\nSalamander contrast (same wear, ShrinkS devices):")
+    print(f"  baseline: {whole_device_failures} whole-device failures, "
+          f"each an unscheduled replacement + recovery storm")
+    print(f"  ShrinkS : capacity declines over "
+          f"{np.count_nonzero(shrink.capacity_lost_bytes)} small steps; "
+          f"largest single loss is "
+          f"{shrink.capacity_lost_bytes.max() / base.capacity_lost_bytes.max():.0%} "
+          f"of the baseline's worst burst")
+    print("  -> gradual failure removes the surprise the predictor exists "
+          "to manage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The datacenter-operator view: fleet lifetime, carbon, and cost.
+
+Simulates a batch of SSDs over ten years under each device discipline
+(baseline / CVSS / ShrinkS / RegenS) on identical hardware draws, then
+feeds the measured lifetime gains into the paper's §4.1 carbon model
+(Eq. 3) and §4.4 TCO model (Eq. 4).
+
+Run:  python examples/fleet_sustainability.py
+"""
+
+import numpy as np
+
+from repro import FlashGeometry
+from repro.models.carbon import CarbonParams, carbon_savings
+from repro.models.recovery import RecoveryModel
+from repro.models.tco import TCOParams, tco_savings
+from repro.reporting.series import Series
+from repro.reporting.tables import format_table, render_series
+from repro.sim.fleet import FleetConfig, simulate_fleet
+from repro.units import format_size
+
+CONFIG = FleetConfig(
+    devices=48,
+    geometry=FlashGeometry(blocks=128, fpages_per_block=64),
+    pec_limit_l0=3000,
+    dwpd=2.0,
+    write_amplification=2.0,
+    afr=0.01,
+    horizon_days=3650,
+    step_days=10,
+)
+
+MODES = ("baseline", "cvss", "shrink", "regen")
+
+
+def main():
+    per_device = (CONFIG.geometry.total_opage_slots
+                  * CONFIG.geometry.opage_bytes
+                  / (1 + CONFIG.headroom_fraction))
+    print(f"fleet: {CONFIG.devices} devices x {format_size(per_device)}, "
+          f"{CONFIG.dwpd} DWPD, WAF {CONFIG.write_amplification}, "
+          f"AFR {CONFIG.afr:.0%}\n")
+
+    results = {mode: simulate_fleet(CONFIG, mode, seed=2025)
+               for mode in MODES}
+
+    print(render_series(
+        [Series(mode, r.days / 365.0, r.functioning, x_label="years")
+         for mode, r in results.items()],
+        points=10, title="functioning devices over time (Fig. 3a)"))
+    print()
+    print(render_series(
+        [Series(mode, r.days / 365.0,
+                r.capacity_bytes / r.initial_capacity_bytes,
+                x_label="years")
+         for mode, r in results.items()],
+        points=10, title="fleet capacity fraction over time (Fig. 3b)"))
+
+    # Lifetime gains feed the sustainability models: an X-times lifetime
+    # means an upgrade rate of 1/X, conservatively damped 40 % as in §4.1.
+    base_life = results["baseline"].mean_lifetime_days()
+    recovery = RecoveryModel(utilization=0.5)
+    rows = []
+    for mode in MODES:
+        life = results[mode].mean_lifetime_days()
+        gain = life / base_life
+        raw_ru = 1.0 / gain
+        damped_ru = min(1.0, 1.0 - (1.0 - raw_ru) * 0.6)
+        carbon = carbon_savings(CarbonParams(upgrade_rate=damped_ru))
+        cost = tco_savings(TCOParams(upgrade_rate=raw_ru))
+        peak = recovery.peak_step_traffic(results[mode])
+        rows.append([
+            mode,
+            f"{life:.0f}",
+            f"{gain:.2f}x",
+            f"{damped_ru:.2f}",
+            f"{carbon:+.1%}",
+            f"{cost:+.1%}",
+            format_size(peak),
+        ])
+    print()
+    print(format_table(
+        ["mode", "mean life (d)", "vs baseline", "upgrade rate Ru",
+         "CO2e savings (Eq.3)", "TCO savings (Eq.4)",
+         "peak recovery burst"],
+        rows, title="sustainability summary (measured gains -> paper models)"))
+    print("\npaper anchors: ~+20 % CVSS, 'up to 1.5x' Salamander lifetime; "
+          "3-8 % CO2e and 13-25 % TCO savings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Power loss and remount: the FTL's durability contract, demonstrated.
+
+Writes through a Salamander device, yanks the power at an arbitrary point
+(only flash contents and the NVRAM snapshot survive), remounts, and checks
+every acknowledged write — then does it again with a failed NVRAM to show
+exactly what is lost (unflushed writes) and what never is (flushed data).
+
+Run:  python examples/power_loss.py
+"""
+
+import numpy as np
+
+from repro import FlashChip, FlashGeometry, FTLConfig
+from repro import SalamanderConfig, SalamanderSSD
+from repro import TirednessPolicy, calibrate_power_law
+from repro.ssd.ftl import PageMappedFTL
+
+
+def build_device(seed: int = 1) -> SalamanderSSD:
+    geometry = FlashGeometry(blocks=32, fpages_per_block=8)
+    policy = TirednessPolicy(geometry=geometry)
+    model = calibrate_power_law(policy, pec_limit_l0=50)
+    chip = FlashChip(geometry, rber_model=model, policy=policy,
+                     seed=seed, variation_sigma=0.3)
+    return SalamanderSSD(chip, SalamanderConfig(
+        msize_lbas=32, mode="regen", headroom_fraction=0.25,
+        ftl=FTLConfig(overprovision=0.25, buffer_opages=8)))
+
+
+def main():
+    device = build_device()
+    rng = np.random.default_rng(0)
+    print("writing 5000 random pages through the minidisk API...")
+    shadow = {}
+    for i in range(5000):
+        active = device.active_minidisks()
+        mdisk = active[int(rng.integers(0, len(active)))]
+        lba = int(rng.integers(0, mdisk.size_lbas))
+        payload = f"write-{i}".encode()
+        device.write(mdisk.mdisk_id, lba, payload)
+        shadow[(mdisk.mdisk_id, lba)] = payload
+    print(f"  {device.stats.host_writes} writes acknowledged, "
+          f"{len(device.buffer)} still in the NVRAM buffer, "
+          f"{device.stats.erases} GC erases so far\n")
+
+    print("POWER LOSS. Remounting from flash + NVRAM snapshot...")
+    snapshot = device.nvram_snapshot()
+    recovered = SalamanderSSD.remount(device.chip,
+                                      device.salamander_config, snapshot)
+    intact = sum(
+        1 for (mdisk_id, lba), payload in shadow.items()
+        if recovered.minidisk(mdisk_id).is_active
+        and recovered.read(mdisk_id, lba).rstrip(b"\0") == payload)
+    checkable = sum(1 for (mdisk_id, _lba) in shadow
+                    if recovered.minidisk(mdisk_id).is_active)
+    print(f"  {intact}/{checkable} acknowledged writes verified "
+          f"(including buffered ones — the buffer is non-volatile)\n")
+
+    print("Again, but the NVRAM dies with the power (worst case)...")
+    device2 = build_device(seed=2)
+    for lba in range(24):
+        device2.write(0, lba, f"flushed-{lba}".encode())
+    device2.flush()
+    for lba in range(4):
+        device2.write(1, lba, f"unflushed-{lba}".encode())
+    bare = PageMappedFTL.remount(device2.chip, device2.n_lbas,
+                                 device2.config, buffer_entries=None)
+    flushed_ok = sum(1 for lba in range(24)
+                     if bare.read(lba).rstrip(b"\0")
+                     == f"flushed-{lba}".encode())
+    unflushed_gone = sum(1 for lba in range(4)
+                         if bare.read(32 + lba) == bytes(4096))
+    print(f"  flushed data intact: {flushed_ok}/24")
+    print(f"  unflushed writes (never flushed, NVRAM lost): "
+          f"{unflushed_gone}/4 read as zeros — exactly the contract")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: a Salamander SSD's life, from fresh minidisks to regeneration.
+
+Builds a small RegenS device on a simulated flash chip with an accelerated
+wear model, writes data through the minidisk API, and narrates the device's
+host events as pages tire, minidisks decommission, and new (lower-code-rate)
+minidisks are born.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.errors as E
+from repro import FlashChip, FlashGeometry, FTLConfig
+from repro import SalamanderConfig, SalamanderSSD
+from repro import TirednessPolicy, calibrate_power_law
+from repro.salamander.events import (
+    DeviceExhausted,
+    MinidiskDecommissioned,
+    MinidiskRegenerated,
+)
+from repro.units import format_size
+
+
+def narrate(event):
+    if isinstance(event, MinidiskDecommissioned):
+        print(f"  [event {event.seq:3d}] mDisk {event.mdisk_id} "
+              f"decommissioned ({event.reason}); "
+              f"{event.remaining_active} remain active")
+    elif isinstance(event, MinidiskRegenerated):
+        print(f"  [event {event.seq:3d}] mDisk {event.mdisk_id} REGENERATED "
+              f"at tiredness L{event.level} "
+              f"({format_size(event.size_lbas * 4096)})")
+    elif isinstance(event, DeviceExhausted):
+        print(f"  [event {event.seq:3d}] device exhausted")
+
+
+def main():
+    # A small chip with a fast wear model (30 rated P/E cycles) so the whole
+    # life cycle fits in seconds. Real configurations use pec_limit_l0=3000.
+    geometry = FlashGeometry(blocks=32, fpages_per_block=8)
+    policy = TirednessPolicy(geometry=geometry)
+    model = calibrate_power_law(policy, pec_limit_l0=30)
+    chip = FlashChip(geometry, rber_model=model, policy=policy,
+                     seed=1, variation_sigma=0.3)
+
+    device = SalamanderSSD(chip, SalamanderConfig(
+        msize_lbas=32,            # 128 KiB minidisks (paper example: 1 MiB)
+        mode="regen",             # ShrinkS + regeneration
+        headroom_fraction=0.25,
+        ftl=FTLConfig(overprovision=0.25, buffer_opages=8)))
+    device.add_listener(narrate)
+
+    print(f"fresh device: {len(device.active_minidisks())} minidisks x "
+          f"{format_size(device.msize_lbas * 4096)} = "
+          f"{format_size(device.advertised_bytes)} advertised")
+
+    # Basic I/O: minidisks are independent little drives.
+    device.write(0, 0, b"hello from minidisk 0")
+    device.write(1, 0, b"hello from minidisk 1")
+    assert device.read(0, 0).rstrip(b"\0") == b"hello from minidisk 0"
+    assert device.read(1, 0).rstrip(b"\0") == b"hello from minidisk 1"
+    print("wrote and read back one page on minidisks 0 and 1\n")
+
+    # Now age the device: random overwrites at 60 % space utilisation,
+    # until it has shrunk to a quarter of its original capacity.
+    print("aging the device with random overwrites...")
+    rng = np.random.default_rng(0)
+    initial_lbas = device.advertised_lbas
+    writes = 0
+    try:
+        while device.is_alive and device.advertised_lbas > initial_lbas / 4:
+            active = device.active_minidisks()
+            if not active:
+                break
+            mdisk = active[int(rng.integers(0, len(active)))]
+            hot = max(1, int(0.6 * mdisk.size_lbas))
+            device.write(mdisk.mdisk_id, int(rng.integers(0, hot)), b"wear")
+            writes += 1
+    except E.ReproError as error:
+        print(f"  device refused further writes: {error}")
+
+    report = device.report()
+    print(f"\nafter {writes} host writes:")
+    print(f"  advertised capacity : {format_size(report['advertised_bytes'])}")
+    print(f"  active minidisks    : {report['active_minidisks']} of "
+          f"{report['total_minidisks']} ever created")
+    print(f"  decommissioned      : {report['decommissioned_minidisks']}")
+    print(f"  regenerated         : {report['regenerated_minidisks']}")
+    print(f"  mean P/E cycles     : {report['mean_pec']:.1f} "
+          f"(rated L0 limit was 30)")
+    print(f"  write amplification : {report['write_amplification']:.2f}")
+    print("\nthe device wore past its rated limit by regenerating capacity "
+          "at lower code rates — the paper's RegenS in action.")
+
+
+if __name__ == "__main__":
+    main()

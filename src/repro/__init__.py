@@ -1,0 +1,90 @@
+"""Salamander: software fault tolerance for longer flash hardware lifespan.
+
+A full reproduction of the HotOS '25 paper by Zuck, Johnson, Porter and
+Tsafrir: SSDs that expose failure-granular *minidisks* so distributed
+storage absorbs wear gradually (ShrinkS), and that regenerate worn capacity
+at lower code rates (RegenS) — plus every substrate the paper's analysis
+rests on: a NAND wear/ECC model, a functional page-mapped FTL, baseline and
+CVSS comparator devices, a replicated distributed file system, workload
+generators, fleet/lifetime simulators, and the §4 carbon/TCO/performance/
+recovery models.
+
+Quickstart::
+
+    from repro import SalamanderSSD, SalamanderConfig
+
+    device = SalamanderSSD.create(config=SalamanderConfig(mode="regen"))
+    device.write(0, 0, b"hello")          # (minidisk, lba, payload)
+    assert device.read(0, 0).rstrip(b"\\0") == b"hello"
+
+See README.md for the architecture tour and DESIGN.md for the experiment
+index mapping every paper figure/table to a benchmark.
+"""
+
+from repro.flash import (
+    EccScheme,
+    ExponentialRBER,
+    FlashChip,
+    FlashGeometry,
+    LatencyModel,
+    PowerLawRBER,
+    TirednessLevel,
+    TirednessPolicy,
+)
+from repro.flash.tiredness import calibrate_power_law
+from repro.ssd import (
+    BaselineSSD,
+    CVSSConfig,
+    CVSSDevice,
+    FTLConfig,
+    SSDConfig,
+)
+from repro.salamander import (
+    SalamanderConfig,
+    SalamanderMode,
+    SalamanderSSD,
+)
+from repro.difs import Cluster, ClusterConfig
+from repro.sim import FleetConfig, run_write_lifetime, simulate_fleet
+from repro.models import (
+    CarbonParams,
+    PerformanceModel,
+    TCOParams,
+    carbon_savings,
+    tco_savings,
+    tiredness_tradeoff,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "FlashGeometry",
+    "FlashChip",
+    "EccScheme",
+    "PowerLawRBER",
+    "ExponentialRBER",
+    "LatencyModel",
+    "TirednessLevel",
+    "TirednessPolicy",
+    "calibrate_power_law",
+    "FTLConfig",
+    "SSDConfig",
+    "BaselineSSD",
+    "CVSSConfig",
+    "CVSSDevice",
+    "SalamanderConfig",
+    "SalamanderMode",
+    "SalamanderSSD",
+    "Cluster",
+    "ClusterConfig",
+    "FleetConfig",
+    "simulate_fleet",
+    "run_write_lifetime",
+    "tiredness_tradeoff",
+    "PerformanceModel",
+    "CarbonParams",
+    "carbon_savings",
+    "TCOParams",
+    "tco_savings",
+    "__version__",
+]

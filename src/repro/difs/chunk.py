@@ -1,0 +1,83 @@
+"""Chunks: the diFS access units, stored redundantly.
+
+"When a new SSD drive is introduced into a distributed filesystem, it is
+logically partitioned into equally-sized access units (e.g., an HDFS 128 MB
+block) which are stored redundantly" (§3). A chunk spans a fixed number of
+oPages; each replica occupies a contiguous slot on one volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One stored unit of a chunk on a volume.
+
+    Under n-way replication every unit is a full copy; under erasure
+    coding each unit is one RS fragment and ``index`` identifies which.
+
+    Attributes:
+        volume_id: the failure domain holding this unit.
+        slot: chunk-slot index within the volume (its LBA base is
+            ``slot * chunk_lbas``).
+        index: the unit's position in the redundancy scheme (copy number
+            for replication, fragment index for erasure coding).
+    """
+
+    volume_id: str
+    slot: int
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ConfigError(f"slot must be >= 0, got {self.slot!r}")
+        if self.index < 0:
+            raise ConfigError(f"index must be >= 0, got {self.index!r}")
+
+
+@dataclass
+class Chunk:
+    """A replicated chunk in the namespace.
+
+    Attributes:
+        chunk_id: namespace-unique identifier.
+        size_lbas: oPages per replica.
+        replicas: current replica set (mutated by recovery).
+        version: bumped on every rewrite, so stale replicas are detectable.
+    """
+
+    chunk_id: str
+    size_lbas: int
+    replicas: list[Replica] = field(default_factory=list)
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_lbas <= 0:
+            raise ConfigError(
+                f"size_lbas must be positive, got {self.size_lbas!r}")
+
+    def replica_on(self, volume_id: str) -> Replica | None:
+        for replica in self.replicas:
+            if replica.volume_id == volume_id:
+                return replica
+        return None
+
+    def drop_replica(self, volume_id: str) -> Replica:
+        replica = self.replica_on(volume_id)
+        if replica is None:
+            raise ConfigError(
+                f"chunk {self.chunk_id} has no replica on {volume_id}")
+        self.replicas.remove(replica)
+        return replica
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def indexes_present(self) -> set[int]:
+        """Unit indexes currently stored."""
+        return {replica.index for replica in self.replicas}

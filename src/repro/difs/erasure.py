@@ -1,0 +1,219 @@
+"""Reed-Solomon erasure coding over GF(2^8), from scratch.
+
+Production distributed stores protect cold data with erasure codes rather
+than full replicas (HDFS-EC, Azure LRC, Ceph). Since the paper's thesis is
+that *existing end-to-end redundancy* absorbs minidisk failures, the diFS
+substrate supports both: n-way replication and RS(k, m).
+
+The implementation is classic systematic Reed-Solomon:
+
+* GF(2^8) arithmetic with the AES polynomial (0x11b) via log/exp tables;
+  bulk fragment math is vectorised with numpy over those tables.
+* The generator matrix is a Vandermonde matrix normalised so its top k x k
+  block is the identity (systematic: data fragments are stored verbatim;
+  parity fragments are GF linear combinations).
+* Decoding inverts the k x k submatrix of the generator corresponding to
+  any k surviving fragments (Gauss-Jordan over GF(2^8)); any m losses are
+  tolerated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, DiFSError
+
+_PRIMITIVE_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1 (the AES polynomial)
+
+# Log/exp tables, built once at import: powers of the generator element 3
+# (x + 1). Note 2 is NOT a generator under the AES polynomial (its order is
+# only 51); 3 generates the full 255-element multiplicative group.
+_EXP = np.zeros(512, dtype=np.int32)
+_LOG = np.zeros(256, dtype=np.int32)
+_value = 1
+for _power in range(255):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    doubled = ((_value << 1) ^ (_PRIMITIVE_POLY if _value & 0x80 else 0)) \
+        & 0xFF
+    _value = doubled ^ _value  # times 3 = times 2 plus times 1
+_EXP[255:510] = _EXP[0:255]  # wraparound so exp[a+b] never needs a modulo
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two GF(2^8) elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8)."""
+    if a == 0:
+        raise ConfigError("0 has no inverse in GF(2^8)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorised)."""
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_s = _LOG[scalar]
+    out = np.zeros_like(data)
+    nonzero = data != 0
+    out[nonzero] = _EXP[log_s + _LOG[data[nonzero]]]
+    return out
+
+
+def gf_matmul(matrix: np.ndarray, fragments: np.ndarray) -> np.ndarray:
+    """Matrix x fragment-stack product over GF(2^8).
+
+    Args:
+        matrix: (r, k) uint8 coefficients.
+        fragments: (k, fragment_len) uint8 rows.
+
+    Returns:
+        (r, fragment_len) uint8 result rows.
+    """
+    rows, cols = matrix.shape
+    if cols != fragments.shape[0]:
+        raise ConfigError(
+            f"matrix has {cols} columns but {fragments.shape[0]} fragments")
+    out = np.zeros((rows, fragments.shape[1]), dtype=np.uint8)
+    for r in range(rows):
+        acc = np.zeros(fragments.shape[1], dtype=np.uint8)
+        for c in range(cols):
+            coefficient = int(matrix[r, c])
+            if coefficient:
+                acc ^= gf_mul_bytes(coefficient, fragments[c])
+        out[r] = acc
+    return out
+
+
+def gf_invert_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination."""
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ConfigError(f"matrix must be square, got {matrix.shape}")
+    work = matrix.astype(np.int32).copy()
+    inverse = np.eye(size, dtype=np.int32)
+    for col in range(size):
+        pivot_row = next((r for r in range(col, size) if work[r, col]), None)
+        if pivot_row is None:
+            raise DiFSError(
+                "singular fragment matrix; fragments are not independent")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = gf_inv(int(work[col, col]))
+        for c in range(size):
+            work[col, c] = gf_mul(int(work[col, c]), pivot_inv)
+            inverse[col, c] = gf_mul(int(inverse[col, c]), pivot_inv)
+        for r in range(size):
+            if r == col or not work[r, col]:
+                continue
+            factor = int(work[r, col])
+            for c in range(size):
+                work[r, c] ^= gf_mul(factor, int(work[col, c]))
+                inverse[r, c] ^= gf_mul(factor, int(inverse[col, c]))
+    return inverse.astype(np.uint8)
+
+
+class ReedSolomon:
+    """Systematic RS(k, m): k data fragments, m parity, any k reconstruct.
+
+    Args:
+        k: data fragments per stripe.
+        m: parity fragments per stripe.
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if k < 1 or m < 1:
+            raise ConfigError(f"need k >= 1 and m >= 1, got k={k}, m={m}")
+        if k + m > 255:
+            raise ConfigError(
+                f"GF(2^8) supports at most 255 fragments, got {k + m}")
+        self.k = k
+        self.m = m
+        self.generator = self._systematic_vandermonde(k, k + m)
+
+    @staticmethod
+    def _systematic_vandermonde(k: int, n: int) -> np.ndarray:
+        """An (n, k) generator whose top k rows are the identity."""
+        vandermonde = np.zeros((n, k), dtype=np.uint8)
+        for row in range(n):
+            value = 1
+            for col in range(k):
+                vandermonde[row, col] = value
+                value = gf_mul(value, row + 1)
+        top_inverse = gf_invert_matrix(vandermonde[:k])
+        out = np.zeros_like(vandermonde)
+        for r in range(n):
+            for c in range(k):
+                acc = 0
+                for i in range(k):
+                    acc ^= gf_mul(int(vandermonde[r, i]),
+                                  int(top_inverse[i, c]))
+                out[r, c] = acc
+        return out
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    def fragment_length(self, data_length: int) -> int:
+        """Bytes per fragment for a ``data_length``-byte stripe."""
+        if data_length < 0:
+            raise ConfigError(
+                f"data_length must be non-negative, got {data_length!r}")
+        return -(-data_length // self.k)  # ceil division
+
+    def encode(self, data: bytes) -> list[bytes]:
+        """Split + encode ``data`` into n fragments (first k hold it verbatim)."""
+        frag_len = max(1, self.fragment_length(len(data)))
+        padded = np.frombuffer(
+            data.ljust(self.k * frag_len, b"\0"), dtype=np.uint8)
+        stack = padded.reshape(self.k, frag_len)
+        encoded = gf_matmul(self.generator, stack)
+        return [encoded[i].tobytes() for i in range(self.n)]
+
+    def decode(self, fragments: dict[int, bytes], data_length: int) -> bytes:
+        """Reconstruct the original stripe from any k fragments.
+
+        Args:
+            fragments: fragment index -> payload (at least k entries).
+            data_length: original stripe length (strips padding).
+        """
+        if len(fragments) < self.k:
+            raise DiFSError(
+                f"need {self.k} fragments to decode, have {len(fragments)}")
+        indexes = sorted(fragments)[:self.k]
+        if any(not 0 <= i < self.n for i in indexes):
+            raise ConfigError(f"fragment index out of range in {indexes}")
+        frag_len = len(fragments[indexes[0]])
+        if any(len(fragments[i]) != frag_len for i in indexes):
+            raise ConfigError("fragments have inconsistent lengths")
+        # Fast path: all k data fragments present (systematic layout).
+        if indexes == list(range(self.k)):
+            data = b"".join(fragments[i] for i in range(self.k))
+            return data[:data_length]
+        sub = self.generator[indexes]
+        inverse = gf_invert_matrix(sub)
+        stack = np.stack([
+            np.frombuffer(fragments[i], dtype=np.uint8) for i in indexes])
+        data_stack = gf_matmul(inverse, stack)
+        return data_stack.reshape(-1).tobytes()[:data_length]
+
+    def rebuild(self, missing: int, fragments: dict[int, bytes]) -> bytes:
+        """Recompute one lost fragment from any k survivors."""
+        if not 0 <= missing < self.n:
+            raise ConfigError(f"fragment index {missing} out of range")
+        if missing in fragments:
+            return fragments[missing]
+        frag_len = len(next(iter(fragments.values())))
+        data = self.decode(fragments, self.k * frag_len)
+        stack = np.frombuffer(data, dtype=np.uint8).reshape(self.k, frag_len)
+        row = self.generator[missing:missing + 1]
+        return gf_matmul(row, stack)[0].tobytes()

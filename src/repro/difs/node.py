@@ -1,0 +1,39 @@
+"""Storage nodes: machines grouping volumes.
+
+Placement treats nodes as the coarse fault boundary — no two replicas of a
+chunk land on the same node — exactly how rack/host-aware placement treats
+hosts in production systems.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.difs.volume import Volume
+
+
+class StorageNode:
+    """A machine hosting devices, each contributing one or more volumes."""
+
+    def __init__(self, node_id: str) -> None:
+        if not node_id:
+            raise ConfigError("node_id must be non-empty")
+        self.node_id = node_id
+        self.volumes: dict[str, Volume] = {}
+        self.devices: list[object] = []
+
+    def add_volume(self, volume: Volume) -> None:
+        if volume.volume_id in self.volumes:
+            raise ConfigError(
+                f"volume {volume.volume_id} already on node {self.node_id}")
+        if volume.node_id != self.node_id:
+            raise ConfigError(
+                f"volume {volume.volume_id} belongs to node "
+                f"{volume.node_id}, not {self.node_id}")
+        self.volumes[volume.volume_id] = volume
+
+    def live_volumes(self) -> list[Volume]:
+        return [v for v in self.volumes.values() if v.is_alive]
+
+    def capacity_lbas(self) -> int:
+        """Total capacity across live volumes."""
+        return sum(v.capacity_lbas() for v in self.live_volumes())

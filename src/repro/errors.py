@@ -1,0 +1,90 @@
+"""Exception hierarchy for the Salamander reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subsystems raise the most specific subclass available; nothing in
+the library raises bare ``Exception`` or ``ValueError`` for domain failures
+(``ValueError``/``TypeError`` are reserved for programming errors such as
+invalid configuration values).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object failed validation.
+
+    Also a ``ValueError`` so that construction-time misuse reads naturally
+    to callers that only know the standard library.
+    """
+
+
+class FlashError(ReproError):
+    """Base class for flash-chip level failures."""
+
+
+class ProgramError(FlashError):
+    """A page program operation was rejected (e.g. page already written)."""
+
+
+class EraseError(FlashError):
+    """A block erase failed (e.g. block retired or worn beyond erase)."""
+
+
+class UncorrectableError(FlashError):
+    """A read returned more bit errors than the active ECC can correct.
+
+    Carries enough context for the FTL to decide whether to retire the page.
+    """
+
+    def __init__(self, message: str, *, bit_errors: int, correctable: int):
+        super().__init__(message)
+        self.bit_errors = bit_errors
+        self.correctable = correctable
+
+
+class SSDError(ReproError):
+    """Base class for device-level failures."""
+
+
+class DeviceBrickedError(SSDError):
+    """The device has exceeded its bad-block threshold and stopped working."""
+
+
+class DeviceReadOnlyError(SSDError):
+    """The device has entered read-only end-of-life mode."""
+
+
+class OutOfSpaceError(SSDError):
+    """No writable physical space remains for the requested operation."""
+
+
+class InvalidLBAError(SSDError, IndexError):
+    """An I/O request addressed an LBA outside the device/minidisk range."""
+
+
+class MinidiskError(SSDError):
+    """Base class for minidisk-layer failures."""
+
+
+class MinidiskDecommissionedError(MinidiskError):
+    """I/O was issued to a minidisk that has been decommissioned."""
+
+
+class DiFSError(ReproError):
+    """Base class for distributed-file-system failures."""
+
+
+class ChunkLostError(DiFSError):
+    """All replicas of a chunk were lost before recovery could complete."""
+
+
+class NoPlacementError(DiFSError):
+    """The placement policy could not find enough independent targets."""
+
+
+class SimulationError(ReproError):
+    """A simulation engine entered an inconsistent state."""

@@ -1,0 +1,46 @@
+"""NAND-flash substrate: geometry, wear/error models, ECC, and a functional chip.
+
+This package is the hardware the paper assumes. It provides:
+
+* :mod:`repro.flash.geometry` — the physical layout (oPages, fPages, blocks).
+* :mod:`repro.flash.rber` — raw-bit-error-rate growth models vs. P/E cycles.
+* :mod:`repro.flash.ecc` — BCH-style ECC capability (code rate -> max RBER).
+* :mod:`repro.flash.tiredness` — the paper's L0..L4 tiredness levels.
+* :mod:`repro.flash.latency` — read/program/erase latency with read retry.
+* :mod:`repro.flash.chip` — a functional chip with bit-error injection.
+"""
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.rber import ExponentialRBER, PowerLawRBER, RBERModel
+from repro.flash.ecc import (
+    EccScheme,
+    LdpcScheme,
+    bch_correctable_bits,
+    binary_entropy,
+    inverse_binary_entropy,
+)
+from repro.flash.tiredness import (
+    TIREDNESS_LEVELS,
+    TirednessLevel,
+    TirednessPolicy,
+)
+from repro.flash.latency import LatencyModel
+from repro.flash.chip import FlashChip, PageState
+
+__all__ = [
+    "FlashGeometry",
+    "RBERModel",
+    "PowerLawRBER",
+    "ExponentialRBER",
+    "EccScheme",
+    "LdpcScheme",
+    "bch_correctable_bits",
+    "binary_entropy",
+    "inverse_binary_entropy",
+    "TirednessLevel",
+    "TirednessPolicy",
+    "TIREDNESS_LEVELS",
+    "LatencyModel",
+    "FlashChip",
+    "PageState",
+]

@@ -1,0 +1,482 @@
+"""A functional flash chip with wear tracking and bit-error injection.
+
+This is the lowest layer the FTLs (baseline and Salamander) build on. It
+implements real NAND semantics:
+
+* program happens at fPage granularity, reads at oPage granularity;
+* a written fPage cannot be reprogrammed until its whole block is erased;
+* erasing a block increments the PEC of every fPage in it;
+* each fPage has a private process-variation factor, so pages in the same
+  block wear at different *effective* rates (the property Salamander
+  exploits by retiring pages individually, §3);
+* each read samples a binomial number of bit flips from the page's current
+  RBER; if the count exceeds the active ECC's correction capability the
+  read raises :class:`~repro.errors.UncorrectableError`, otherwise ECC
+  corrects silently and pristine data is returned.
+
+The chip stores real payload bytes, so data-integrity tests can round-trip
+content through wear, garbage collection and relocation. Devices in tests
+and examples are MiB-scale, which keeps that affordable; year-scale fleet
+experiments use the vectorised models in :mod:`repro.sim.fleet` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    EraseError,
+    ProgramError,
+    UncorrectableError,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.flash.rber import RBERModel, lognormal_page_variation
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.rng import make_rng
+
+
+class PageState(Enum):
+    """Lifecycle of one fPage between erases."""
+
+    FREE = "free"          # erased, programmable
+    WRITTEN = "written"    # programmed, readable
+    RETIRED = "retired"    # permanently removed from service
+
+
+@dataclass
+class ChipStats:
+    """Operation counters and accumulated expected latency.
+
+    ``busy_us`` is total serial device time; per-channel busy time lives on
+    the chip (``channel_busy_us``) because parallel makespan depends on
+    which channels the operations landed on.
+    """
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    uncorrectable_reads: int = 0
+    read_retries: float = 0.0
+    busy_us: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "uncorrectable_reads": self.uncorrectable_reads,
+            "read_retries": self.read_retries,
+            "busy_us": self.busy_us,
+        }
+
+
+class FlashChip:
+    """Functional NAND chip: wear, tiredness levels, error injection.
+
+    Args:
+        geometry: physical layout.
+        rber_model: wear-to-RBER mapping; defaults to the calibrated power
+            law from :func:`repro.flash.tiredness.calibrate_power_law`.
+        policy: tiredness policy (per-level ECC); defaults to the geometry's.
+        latency: latency model for expected-time accounting.
+        variation_sigma: lognormal sigma of per-fPage RBER variation; 0
+            makes every page identical (useful in deterministic tests).
+        seed: RNG seed or generator for variation and error sampling.
+        inject_errors: when False, reads never fail (fast-path for logic
+            tests that do not care about reliability).
+        read_disturb_rber: additive RBER contributed by each read of a
+            page since its block's last erase (the paper's §2 "read
+            disturbances from neighboring pages"). 0 (default) disables;
+            typical modelled values are ~1e-9..1e-8 per read.
+        retention_rber_per_day: additive RBER per day a page has held data
+            (charge leak — §2's other wear-independent error source).
+            Requires ``now_fn``; 0 (default) disables.
+        now_fn: simulated-time source (seconds), e.g. a
+            :class:`repro.sim.clock.SimClock`'s ``lambda: clock.now``.
+            Only needed when retention is modelled.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry | None = None,
+        *,
+        rber_model: RBERModel | None = None,
+        policy: TirednessPolicy | None = None,
+        latency: LatencyModel | None = None,
+        variation_sigma: float = 0.35,
+        seed: int | np.random.Generator | None = None,
+        inject_errors: bool = True,
+        read_disturb_rber: float = 0.0,
+        retention_rber_per_day: float = 0.0,
+        now_fn=None,
+    ) -> None:
+        self.geometry = geometry or FlashGeometry()
+        self.policy = policy or TirednessPolicy(geometry=self.geometry)
+        if self.policy.geometry != self.geometry:
+            raise ConfigError("policy geometry does not match chip geometry")
+        self.rber_model = rber_model or calibrate_power_law(self.policy)
+        self.latency = latency or LatencyModel()
+        self.rng = make_rng(seed)
+        self.inject_errors = inject_errors
+        if read_disturb_rber < 0:
+            raise ConfigError(
+                f"read_disturb_rber must be non-negative, "
+                f"got {read_disturb_rber!r}")
+        self.read_disturb_rber = read_disturb_rber
+        if retention_rber_per_day < 0:
+            raise ConfigError(
+                f"retention_rber_per_day must be non-negative, "
+                f"got {retention_rber_per_day!r}")
+        if retention_rber_per_day > 0 and now_fn is None:
+            raise ConfigError(
+                "retention modelling needs a now_fn time source")
+        self.retention_rber_per_day = retention_rber_per_day
+        self.now_fn = now_fn
+        self.stats = ChipStats()
+
+        n = self.geometry.total_fpages
+        # Per-channel accumulated busy time: blocks are striped across
+        # channels (block % channels), the usual plane/channel layout.
+        # Independent-channel operations overlap, so a parallel device's
+        # makespan is the busiest channel, not the serial sum.
+        self.channel_busy_us = np.zeros(self.geometry.channels)
+        self._pec = np.zeros(n, dtype=np.int64)
+        self._level = np.zeros(n, dtype=np.int64)
+        self._reads_since_erase = np.zeros(n, dtype=np.int64)
+        self._programmed_at = np.zeros(n, dtype=float)
+        self._state = np.full(n, _STATE_FREE, dtype=np.int8)
+        self._variation = lognormal_page_variation(
+            self.rng, n, sigma=variation_sigma)
+        # Payloads of written pages: fpage -> tuple of oPage byte strings.
+        self._data: dict[int, tuple[bytes, ...]] = {}
+        # Out-of-band metadata per written fPage: (per-slot LBA or None,
+        # monotonically increasing write sequence). Real FTLs stash this in
+        # the spare area and replay it at mount time after power loss.
+        self._oob: dict[int, tuple[tuple[int | None, ...], int]] = {}
+
+    # -- wear and reliability introspection ---------------------------------
+
+    def pec(self, fpage: int) -> int:
+        """P/E cycles the block containing ``fpage`` has endured."""
+        self.geometry.check_fpage(fpage)
+        return int(self._pec[fpage])
+
+    def level(self, fpage: int) -> int:
+        """Current tiredness level of ``fpage``."""
+        self.geometry.check_fpage(fpage)
+        return int(self._level[fpage])
+
+    def state(self, fpage: int) -> PageState:
+        self.geometry.check_fpage(fpage)
+        return _STATE_TO_ENUM[int(self._state[fpage])]
+
+    def variation(self, fpage: int) -> float:
+        """The page's private RBER scale factor (process variation)."""
+        self.geometry.check_fpage(fpage)
+        return float(self._variation[fpage])
+
+    def rber_of(self, fpage: int) -> float:
+        """Current effective RBER of ``fpage``: wear + disturb + retention."""
+        self.geometry.check_fpage(fpage)
+        wear = float(self.rber_model.rber(self._pec[fpage])
+                     * self._variation[fpage])
+        disturb = self.read_disturb_rber * float(
+            self._reads_since_erase[fpage])
+        retention = 0.0
+        if (self.retention_rber_per_day > 0
+                and int(self._state[fpage]) == _STATE_WRITTEN):
+            age_days = max(0.0, (self.now_fn()
+                                 - float(self._programmed_at[fpage]))
+                           / 86400.0)
+            retention = self.retention_rber_per_day * age_days
+        return wear + disturb + retention
+
+    def data_age_days(self, fpage: int) -> float:
+        """Days since this page was programmed (0 without a time source)."""
+        self.geometry.check_fpage(fpage)
+        if self.now_fn is None or int(self._state[fpage]) != _STATE_WRITTEN:
+            return 0.0
+        return max(0.0, (self.now_fn()
+                         - float(self._programmed_at[fpage])) / 86400.0)
+
+    def reads_since_erase(self, fpage: int) -> int:
+        """Reads this page's block has seen since its last erase."""
+        self.geometry.check_fpage(fpage)
+        return int(self._reads_since_erase[fpage])
+
+    def required_level(self, fpage: int) -> int:
+        """Lowest tiredness level whose ECC still covers ``fpage`` now.
+
+        Uses the page's full effective RBER — wear *and* read disturb — so
+        a heavily-read page can demand attention before its next erase.
+        Returns the dead level when no usable level suffices. This is the
+        signal ShrinkS/RegenS act on: when it exceeds the page's current
+        level, the page must be retired or promoted.
+        """
+        rber = self.rber_of(fpage)
+        for level in self.policy.usable_levels:
+            if rber <= self.policy.max_rber(level):
+                return level
+        return self.policy.dead_level
+
+    def is_overworn(self, fpage: int) -> bool:
+        """Whether the page's RBER exceeds its *current* level's ECC."""
+        return self.required_level(fpage) > self.level(fpage)
+
+    # -- bulk views (vectorised; used by FTL policies) -----------------------
+
+    def pec_array(self) -> np.ndarray:
+        """Read-only copy of per-fPage PEC."""
+        return self._pec.copy()
+
+    def level_array(self) -> np.ndarray:
+        return self._level.copy()
+
+    def variation_array(self) -> np.ndarray:
+        return self._variation.copy()
+
+    def state_array(self) -> np.ndarray:
+        """Int-coded states; compare against ``PageState`` via helpers."""
+        return self._state.copy()
+
+    def free_fpages(self) -> np.ndarray:
+        """Indices of programmable fPages."""
+        return np.flatnonzero(self._state == _STATE_FREE)
+
+    def retired_count(self) -> int:
+        return int(np.count_nonzero(self._state == _STATE_RETIRED))
+
+    # -- operations ----------------------------------------------------------
+
+    def program(self, fpage: int, payloads: Sequence[bytes],
+                oob: tuple[tuple[int | None, ...], int] | None = None,
+                ) -> float:
+        """Program ``fpage`` with one payload per data oPage at its level.
+
+        ``payloads`` must have exactly ``policy.data_opages(level)`` items,
+        each at most ``opage_bytes`` long (short payloads are zero-padded).
+        ``oob`` optionally records mount-time recovery metadata (per-slot
+        LBA plus a write sequence number) in the spare area. Returns the
+        expected latency in microseconds.
+        """
+        self.geometry.check_fpage(fpage)
+        state = int(self._state[fpage])
+        if state == _STATE_RETIRED:
+            raise ProgramError(f"fPage {fpage} is retired")
+        if state == _STATE_WRITTEN:
+            raise ProgramError(
+                f"fPage {fpage} already written; erase its block first")
+        level = int(self._level[fpage])
+        expected = self.policy.data_opages(level)
+        if expected == 0:
+            raise ProgramError(f"fPage {fpage} is at the dead level")
+        if len(payloads) != expected:
+            raise ProgramError(
+                f"fPage {fpage} at L{level} needs {expected} oPage payloads, "
+                f"got {len(payloads)}")
+        opage_bytes = self.geometry.opage_bytes
+        stored = []
+        for slot, payload in enumerate(payloads):
+            if len(payload) > opage_bytes:
+                raise ProgramError(
+                    f"payload for slot {slot} is {len(payload)} bytes; "
+                    f"oPages hold {opage_bytes}")
+            stored.append(bytes(payload).ljust(opage_bytes, b"\0"))
+        self._data[fpage] = tuple(stored)
+        if self.now_fn is not None:
+            self._programmed_at[fpage] = float(self.now_fn())
+        if oob is not None:
+            lbas, sequence = oob
+            if len(lbas) != expected:
+                raise ProgramError(
+                    f"oob records {len(lbas)} slots; fPage {fpage} at "
+                    f"L{level} has {expected}")
+            self._oob[fpage] = (tuple(lbas), int(sequence))
+        self._state[fpage] = _STATE_WRITTEN
+        self.stats.programs += 1
+        latency = self.latency.program_latency_us(
+            expected * opage_bytes + self.geometry.spare_bytes)
+        self._charge(self.geometry.block_of_fpage(fpage), latency)
+        return latency
+
+    def read(self, fpage: int, slot: int) -> tuple[bytes, float]:
+        """Read one oPage; returns ``(data, expected_latency_us)``.
+
+        Raises :class:`UncorrectableError` when the sampled bit-error count
+        exceeds the page's ECC capability at its current tiredness level.
+        """
+        self.geometry.check_fpage(fpage)
+        if int(self._state[fpage]) != _STATE_WRITTEN:
+            raise ProgramError(f"fPage {fpage} is not written")
+        level = int(self._level[fpage])
+        data_slots = self.policy.data_opages(level)
+        if not 0 <= slot < data_slots:
+            raise IndexError(
+                f"slot {slot} out of range [0, {data_slots}) for L{level}")
+        ecc = self.policy.ecc_for_level(level)
+        rber = self.rber_of(fpage)
+        self._record_read_disturb(fpage)
+        retries = self.latency.expected_read_retries(rber, ecc)
+        latency = self.latency.read_latency_us(
+            rber, ecc, self.geometry.opage_bytes)
+        self.stats.reads += 1
+        self.stats.read_retries += retries
+        self._charge(self.geometry.block_of_fpage(fpage), latency)
+        if self.inject_errors and rber > 0:
+            flipped = int(self.rng.binomial(ecc.codeword_bits, min(rber, 1.0)))
+            if flipped > ecc.correctable_bits:
+                self.stats.uncorrectable_reads += 1
+                raise UncorrectableError(
+                    f"fPage {fpage} (L{level}, pec={self.pec(fpage)}): "
+                    f"{flipped} bit errors exceed t={ecc.correctable_bits}",
+                    bit_errors=flipped,
+                    correctable=ecc.correctable_bits,
+                )
+        return self._data[fpage][slot], latency
+
+    def read_fpage(self, fpage: int) -> tuple[tuple[bytes, ...], float]:
+        """Read a whole fPage in one sense: all data oPages plus latency.
+
+        Large host accesses use this path — one array sense amortised over
+        every data oPage the page holds, which is exactly why RegenS pages
+        (fewer data oPages per sense) degrade large accesses by
+        ``P / (P - L)`` (paper §4.2).
+        """
+        self.geometry.check_fpage(fpage)
+        if int(self._state[fpage]) != _STATE_WRITTEN:
+            raise ProgramError(f"fPage {fpage} is not written")
+        level = int(self._level[fpage])
+        data_slots = self.policy.data_opages(level)
+        ecc = self.policy.ecc_for_level(level)
+        rber = self.rber_of(fpage)
+        self._record_read_disturb(fpage)
+        retries = self.latency.expected_read_retries(rber, ecc)
+        latency = self.latency.read_latency_us(
+            rber, ecc, data_slots * self.geometry.opage_bytes)
+        self.stats.reads += 1
+        self.stats.read_retries += retries
+        self._charge(self.geometry.block_of_fpage(fpage), latency)
+        if self.inject_errors and rber > 0:
+            flipped = int(self.rng.binomial(ecc.codeword_bits, min(rber, 1.0)))
+            if flipped > ecc.correctable_bits:
+                self.stats.uncorrectable_reads += 1
+                raise UncorrectableError(
+                    f"fPage {fpage} (L{level}, pec={self.pec(fpage)}): "
+                    f"{flipped} bit errors exceed t={ecc.correctable_bits}",
+                    bit_errors=flipped,
+                    correctable=ecc.correctable_bits,
+                )
+        return self._data[fpage][:data_slots], latency
+
+    def erase(self, block: int) -> float:
+        """Erase ``block``: all non-retired fPages become FREE, PEC += 1.
+
+        Returns the expected latency in microseconds.
+        """
+        self.geometry.check_block(block)
+        pages = np.asarray(self.geometry.fpage_range_of_block(block))
+        live = pages[self._state[pages] != _STATE_RETIRED]
+        if live.size == 0:
+            raise EraseError(f"block {block} is fully retired")
+        self._pec[pages] += 1
+        self._reads_since_erase[pages] = 0
+        self._state[live] = _STATE_FREE
+        for fpage in pages:
+            self._data.pop(int(fpage), None)
+            self._oob.pop(int(fpage), None)
+        self.stats.erases += 1
+        latency = self.latency.erase_latency_us()
+        self._charge(block, latency)
+        return latency
+
+    def set_level(self, fpage: int, level: int) -> None:
+        """Change a FREE fPage's tiredness level (RegenS promotion).
+
+        Levels only move up: wear does not heal. Promoting to the dead
+        level retires the page.
+        """
+        self.geometry.check_fpage(fpage)
+        self.policy.check_level(level)
+        if int(self._state[fpage]) == _STATE_WRITTEN:
+            raise ProgramError(
+                f"fPage {fpage} is written; relocate its data before "
+                f"changing levels")
+        if level < int(self._level[fpage]):
+            raise ConfigError(
+                f"fPage {fpage}: cannot lower level from "
+                f"{int(self._level[fpage])} to {level}")
+        self._level[fpage] = level
+        if level == self.policy.dead_level:
+            self._state[fpage] = _STATE_RETIRED
+
+    def retire(self, fpage: int) -> None:
+        """Permanently remove ``fpage`` from service (any prior state)."""
+        self.geometry.check_fpage(fpage)
+        self._state[fpage] = _STATE_RETIRED
+        self._data.pop(fpage, None)
+        self._oob.pop(fpage, None)
+
+    def read_oob(self, fpage: int) -> tuple[tuple[int | None, ...], int] | None:
+        """Mount-time metadata for a written page, or None.
+
+        OOB reads are modelled as always succeeding: the few metadata
+        bytes carry much stronger relative protection than the data area
+        (as in real firmware).
+        """
+        self.geometry.check_fpage(fpage)
+        return self._oob.get(fpage)
+
+    def channel_of_block(self, block: int) -> int:
+        """Channel a block's operations execute on (striped layout)."""
+        self.geometry.check_block(block)
+        return block % self.geometry.channels
+
+    def makespan_us(self) -> float:
+        """Wall-clock device time with channel parallelism.
+
+        Operations on different channels overlap; the device is done when
+        its busiest channel is. With one channel this equals
+        ``stats.busy_us``.
+        """
+        return float(self.channel_busy_us.max())
+
+    def _charge(self, block: int, latency: float) -> None:
+        self.stats.busy_us += latency
+        self.channel_busy_us[block % self.geometry.channels] += latency
+
+    def _record_read_disturb(self, fpage: int) -> None:
+        """Reading a page disturbs its whole block's cells (§2)."""
+        if self.read_disturb_rber == 0:
+            return
+        pages = np.asarray(self.geometry.fpage_range_of_block(
+            self.geometry.block_of_fpage(fpage)))
+        self._reads_since_erase[pages] += 1
+
+    # -- summaries -----------------------------------------------------------
+
+    def wear_summary(self) -> dict[str, float]:
+        """Aggregate wear view used by device SMART reporting."""
+        return {
+            "mean_pec": float(self._pec.mean()),
+            "max_pec": int(self._pec.max()),
+            "retired_fpages": self.retired_count(),
+            "retired_fraction": self.retired_count() / self.geometry.total_fpages,
+            "mean_level": float(self._level.mean()),
+        }
+
+
+_STATE_FREE = 0
+_STATE_WRITTEN = 1
+_STATE_RETIRED = 2
+
+_STATE_TO_ENUM = {
+    _STATE_FREE: PageState.FREE,
+    _STATE_WRITTEN: PageState.WRITTEN,
+    _STATE_RETIRED: PageState.RETIRED,
+}

@@ -1,0 +1,117 @@
+"""Physical flash layout.
+
+Terminology follows the paper (Table 1): an *oPage* is the 4 KiB logical data
+page the host sees; an *fPage* is the physical flash page that houses several
+oPages plus a spare area for ECC; a *block* (erase unit) groups several
+hundred fPages. The default geometry is the paper's running example: 16 KiB
+fPages holding four 4 KiB oPages with a 2 KiB spare area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Immutable description of a flash chip's layout.
+
+    Attributes:
+        opage_bytes: size of one logical data page (host I/O granularity).
+        opages_per_fpage: data oPages housed in one physical flash page.
+        spare_bytes: per-fPage spare area reserved for ECC parity.
+        fpages_per_block: flash pages per erase block.
+        blocks: total erase blocks on the chip.
+        channels: independent channels; bounds internal I/O parallelism.
+    """
+
+    opage_bytes: int = 4 * KIB
+    opages_per_fpage: int = 4
+    spare_bytes: int = 2 * KIB
+    fpages_per_block: int = 256
+    blocks: int = 64
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("opage_bytes", "opages_per_fpage", "spare_bytes",
+                     "fpages_per_block", "blocks", "channels"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(f"{name} must be a positive int, got {value!r}")
+
+    # -- derived sizes -----------------------------------------------------
+
+    @property
+    def fpage_data_bytes(self) -> int:
+        """Data area of one fPage (excludes spare)."""
+        return self.opage_bytes * self.opages_per_fpage
+
+    @property
+    def fpage_total_bytes(self) -> int:
+        """Full fPage size including the spare area."""
+        return self.fpage_data_bytes + self.spare_bytes
+
+    @property
+    def block_data_bytes(self) -> int:
+        """Data capacity of one erase block."""
+        return self.fpage_data_bytes * self.fpages_per_block
+
+    @property
+    def total_fpages(self) -> int:
+        return self.blocks * self.fpages_per_block
+
+    @property
+    def total_opage_slots(self) -> int:
+        """Raw oPage slots on the chip (before any reserved for extra ECC)."""
+        return self.total_fpages * self.opages_per_fpage
+
+    @property
+    def raw_data_bytes(self) -> int:
+        """Raw data capacity of the whole chip (spare areas excluded)."""
+        return self.total_fpages * self.fpage_data_bytes
+
+    @property
+    def baseline_code_rate(self) -> float:
+        """Code rate when all oPages store data: data / (data + spare)."""
+        return self.fpage_data_bytes / self.fpage_total_bytes
+
+    # -- index arithmetic ---------------------------------------------------
+
+    def block_of_fpage(self, fpage: int) -> int:
+        """Block index that contains ``fpage``."""
+        self.check_fpage(fpage)
+        return fpage // self.fpages_per_block
+
+    def fpage_range_of_block(self, block: int) -> range:
+        """Half-open range of fPage indices inside ``block``."""
+        self.check_block(block)
+        start = block * self.fpages_per_block
+        return range(start, start + self.fpages_per_block)
+
+    def check_fpage(self, fpage: int) -> None:
+        if not 0 <= fpage < self.total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self.total_fpages})")
+
+    def check_block(self, block: int) -> None:
+        if not 0 <= block < self.blocks:
+            raise IndexError(f"block {block} out of range [0, {self.blocks})")
+
+    def check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.opages_per_fpage:
+            raise IndexError(
+                f"oPage slot {slot} out of range [0, {self.opages_per_fpage})")
+
+    def with_blocks(self, blocks: int) -> "FlashGeometry":
+        """Copy of this geometry with a different block count."""
+        return FlashGeometry(
+            opage_bytes=self.opage_bytes,
+            opages_per_fpage=self.opages_per_fpage,
+            spare_bytes=self.spare_bytes,
+            fpages_per_block=self.fpages_per_block,
+            blocks=blocks,
+            channels=self.channels,
+        )

@@ -1,0 +1,84 @@
+"""Flash operation latency, including wear-dependent read retries.
+
+Latency matters to the paper in one place: RegenS degrades large sequential
+accesses by ``P / (P - L)`` because a 16 KiB logical read that used to hit
+one fPage must touch several once pages hold fewer data oPages (§4.2,
+Fig. 3c/3d). Read retries additionally grow as a page's RBER approaches its
+ECC capability (the paper notes this is "likely mitigated [by] the lower
+code rate" — which our model reproduces, because bumping a page's level
+resets its RBER-to-capability ratio).
+
+The model is an expected-value model: deterministic given (operation, wear),
+which keeps benches smooth. Defaults are commodity 3D TLC figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.flash.ecc import EccScheme
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Expected latencies for flash operations, in microseconds.
+
+    Attributes:
+        read_us: array-to-register sense time for one fPage read attempt.
+        program_us: program time for one fPage.
+        erase_us: erase time for one block.
+        transfer_us_per_kib: bus transfer time per KiB moved to/from the host.
+        max_read_retries: cap on sequential re-reads with adjusted voltages.
+        retry_exponent: how sharply retries ramp as RBER nears ECC capability.
+    """
+
+    read_us: float = 60.0
+    program_us: float = 600.0
+    erase_us: float = 3000.0
+    transfer_us_per_kib: float = 0.25
+    max_read_retries: float = 8.0
+    retry_exponent: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("read_us", "program_us", "erase_us",
+                     "transfer_us_per_kib", "max_read_retries",
+                     "retry_exponent"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value!r}")
+
+    def expected_read_retries(self, rber: float, ecc: EccScheme) -> float:
+        """Expected extra read attempts for a page at ``rber`` under ``ecc``.
+
+        Retries are negligible while RBER is far below the ECC capability
+        and ramp polynomially as it approaches it; at or beyond capability
+        the page needs the full retry budget (and likely still fails).
+        """
+        capability = ecc.max_rber()
+        if capability <= 0:
+            return self.max_read_retries
+        ratio = min(rber / capability, 1.0)
+        return self.max_read_retries * ratio**self.retry_exponent
+
+    def read_latency_us(self, rber: float, ecc: EccScheme,
+                        payload_bytes: int) -> float:
+        """Expected latency of reading ``payload_bytes`` from one fPage."""
+        if payload_bytes < 0:
+            raise ConfigError(
+                f"payload_bytes must be non-negative, got {payload_bytes!r}")
+        attempts = 1.0 + self.expected_read_retries(rber, ecc)
+        transfer = self.transfer_us_per_kib * payload_bytes / 1024
+        return attempts * self.read_us + transfer
+
+    def program_latency_us(self, payload_bytes: int) -> float:
+        """Expected latency of programming one fPage with ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ConfigError(
+                f"payload_bytes must be non-negative, got {payload_bytes!r}")
+        transfer = self.transfer_us_per_kib * payload_bytes / 1024
+        return self.program_us + transfer
+
+    def erase_latency_us(self) -> float:
+        """Expected latency of one block erase."""
+        return self.erase_us

@@ -1,0 +1,171 @@
+"""Raw-bit-error-rate (RBER) growth models.
+
+The paper (§1, §4) uses the standard observation that RBER grows with the
+number of program/erase cycles (PEC) a page has endured, citing Kim et
+al. (FAST '19) for the model shape. We provide the two shapes used in that
+literature:
+
+* :class:`PowerLawRBER` — ``rber(pec) = scale * pec**exponent + floor``.
+  This is the library default; its exponent is typically calibrated so that
+  the L0 -> L1 ECC-capability step yields the paper's "+50 % PEC" anchor
+  (see :func:`repro.flash.tiredness.calibrate_power_law`).
+* :class:`ExponentialRBER` — ``rber(pec) = floor * exp(pec / tau)``, an
+  alternative sometimes fit to 3D TLC measurements; provided for sensitivity
+  analysis.
+
+Models are vectorised: they accept scalars or numpy arrays of PEC values and
+return the same shape. All models support inversion (``pec_at``), which the
+tiredness machinery uses to turn a per-level maximum tolerable RBER into a
+per-level PEC limit.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+ArrayLike = float | np.ndarray
+
+
+class RBERModel(ABC):
+    """Maps wear (P/E cycles) to raw bit error rate."""
+
+    @abstractmethod
+    def rber(self, pec: ArrayLike) -> ArrayLike:
+        """RBER after ``pec`` program/erase cycles."""
+
+    @abstractmethod
+    def pec_at(self, rber: ArrayLike) -> ArrayLike:
+        """Inverse: the PEC count at which the model reaches ``rber``.
+
+        Returns 0 where ``rber`` is at or below the beginning-of-life floor
+        and ``inf`` where the model can never reach it.
+        """
+
+    def pec_limit(self, max_rber: ArrayLike, scale_factor: ArrayLike = 1.0) -> ArrayLike:
+        """PEC limit for pages whose RBER curve is scaled by ``scale_factor``.
+
+        ``scale_factor`` models per-page process variation: a page with
+        factor ``s`` experiences ``s * rber(pec)``. Its PEC limit for a
+        tolerable RBER ``max_rber`` is therefore ``pec_at(max_rber / s)``.
+        """
+        return self.pec_at(np.asarray(max_rber) / np.asarray(scale_factor))
+
+
+@dataclass(frozen=True)
+class PowerLawRBER(RBERModel):
+    """``rber(pec) = scale * pec**exponent + floor``.
+
+    Attributes:
+        scale: multiplicative coefficient; set by calibration.
+        exponent: growth exponent; measured values for 3D NAND fall roughly
+            in [2, 4]. The library default is calibrated, not hand-picked.
+        floor: beginning-of-life RBER (manufacturing defects, read disturb).
+    """
+
+    scale: float
+    exponent: float
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale!r}")
+        if self.exponent <= 0:
+            raise ConfigError(f"exponent must be positive, got {self.exponent!r}")
+        if self.floor < 0:
+            raise ConfigError(f"floor must be non-negative, got {self.floor!r}")
+
+    def rber(self, pec: ArrayLike) -> ArrayLike:
+        pec = np.asarray(pec, dtype=float)
+        out = self.scale * np.power(pec, self.exponent) + self.floor
+        return float(out) if out.ndim == 0 else out
+
+    def pec_at(self, rber: ArrayLike) -> ArrayLike:
+        rber = np.asarray(rber, dtype=float)
+        excess = np.maximum(rber - self.floor, 0.0)
+        out = np.power(excess / self.scale, 1.0 / self.exponent)
+        return float(out) if out.ndim == 0 else out
+
+    @classmethod
+    def calibrated(cls, *, pec_limit: float, max_rber: float,
+                   exponent: float, floor: float = 0.0) -> "PowerLawRBER":
+        """Build a model whose RBER reaches ``max_rber`` exactly at ``pec_limit``.
+
+        This is how a drive datasheet is turned into a model: the rated
+        endurance (``pec_limit``, e.g. 3000 cycles for 3D TLC) is the point
+        where RBER meets the default ECC's correction capability
+        (``max_rber``).
+        """
+        if pec_limit <= 0:
+            raise ConfigError(f"pec_limit must be positive, got {pec_limit!r}")
+        if max_rber <= floor:
+            raise ConfigError(
+                f"max_rber ({max_rber!r}) must exceed floor ({floor!r})")
+        scale = (max_rber - floor) / pec_limit**exponent
+        return cls(scale=scale, exponent=exponent, floor=floor)
+
+
+@dataclass(frozen=True)
+class ExponentialRBER(RBERModel):
+    """``rber(pec) = floor * exp(pec / tau)``.
+
+    Attributes:
+        floor: RBER at zero cycles (must be positive for this shape).
+        tau: e-folding wear constant in cycles.
+    """
+
+    floor: float
+    tau: float
+
+    def __post_init__(self) -> None:
+        if self.floor <= 0:
+            raise ConfigError(f"floor must be positive, got {self.floor!r}")
+        if self.tau <= 0:
+            raise ConfigError(f"tau must be positive, got {self.tau!r}")
+
+    def rber(self, pec: ArrayLike) -> ArrayLike:
+        pec = np.asarray(pec, dtype=float)
+        out = self.floor * np.exp(pec / self.tau)
+        return float(out) if out.ndim == 0 else out
+
+    def pec_at(self, rber: ArrayLike) -> ArrayLike:
+        rber = np.asarray(rber, dtype=float)
+        ratio = rber / self.floor
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(ratio <= 1.0, 0.0, self.tau * np.log(ratio))
+        return float(out) if out.ndim == 0 else out
+
+    @classmethod
+    def calibrated(cls, *, pec_limit: float, max_rber: float,
+                   floor: float = 1e-6) -> "ExponentialRBER":
+        """Build a model reaching ``max_rber`` at ``pec_limit`` from ``floor``."""
+        if max_rber <= floor:
+            raise ConfigError(
+                f"max_rber ({max_rber!r}) must exceed floor ({floor!r})")
+        tau = pec_limit / math.log(max_rber / floor)
+        return cls(floor=floor, tau=tau)
+
+
+def lognormal_page_variation(
+    rng: np.random.Generator, count: int, sigma: float = 0.35,
+) -> np.ndarray:
+    """Per-page RBER scale factors modelling process variation.
+
+    Modern 3D NAND shows high layer-to-layer and page-to-page endurance
+    variance (paper §3, citing [41, 42]); Salamander exploits it by retiring
+    pages individually. We model a page's RBER curve as the chip model
+    multiplied by a lognormal factor with median 1. ``sigma`` around 0.3-0.4
+    produces the ~2-4x endurance spread reported for 3D NAND layers.
+    """
+    if count < 0:
+        raise ConfigError(f"count must be non-negative, got {count!r}")
+    if sigma < 0:
+        raise ConfigError(f"sigma must be non-negative, got {sigma!r}")
+    if sigma == 0:
+        return np.ones(count)
+    return rng.lognormal(mean=0.0, sigma=sigma, size=count)

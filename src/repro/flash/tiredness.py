@@ -1,0 +1,240 @@
+"""Page tiredness levels (paper §3.1) and their calibration.
+
+A Salamander fPage has a tiredness level ``L`` in ``{0, 1, ..., P}`` where
+``P`` is the number of oPages it houses (4 in the paper's running example):
+``L`` is the number of oPages repurposed as extra ECC parity. ``L0`` pages
+store data in all oPages using only the spare area for parity; ``L1`` pages
+sacrifice one oPage; ``L = P`` (``L4`` in the paper) means the page can no
+longer reliably store any data and is dead.
+
+:class:`TirednessPolicy` derives, for each level, the ECC scheme, code rate,
+maximum tolerable RBER and — given an RBER model — the PEC limit. The
+marginal PEC gain per level shrinks as levels rise (paper Fig. 2), which is
+why RegenS "should limit itself to L < 2".
+
+:func:`calibrate_power_law` builds the library's default RBER model: a power
+law whose exponent is solved so that moving from L0 to L1 extends the PEC
+limit by exactly the paper's +50 % anchor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import IntEnum
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.flash.ecc import EccScheme, LdpcScheme
+from repro.flash.geometry import FlashGeometry
+from repro.flash.rber import ArrayLike, PowerLawRBER, RBERModel
+
+
+class TirednessLevel(IntEnum):
+    """Named levels for the default four-oPage geometry."""
+
+    L0 = 0
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    L4 = 4
+
+
+TIREDNESS_LEVELS: tuple[TirednessLevel, ...] = tuple(TirednessLevel)
+
+DEFAULT_PEC_LIMIT_L0 = 3000  # rated endurance of commodity 3D TLC at L0
+DEFAULT_L1_GAIN = 0.5        # the paper's "+50 % lifetime benefit for L1"
+
+
+@dataclass(frozen=True)
+class TirednessPolicy:
+    """Derives per-level ECC properties from a flash geometry.
+
+    Attributes:
+        geometry: the flash layout (sets oPage count and spare size).
+        uber_target: page-read failure budget handed to every ECC scheme.
+        ecc_family: ``"bch"`` (binomial-tail bound, the default) or
+            ``"ldpc"`` (capacity-approaching waterfall model) — modern
+            drives ship LDPC; the family shifts every level's max RBER and
+            therefore the whole Fig. 2 economics (see the EXT-LDPC bench).
+        ldpc_efficiency: fraction of Shannon capacity the LDPC decoder
+            achieves (only used when ``ecc_family == "ldpc"``).
+        ecc_codewords: independent BCH codewords per fPage (BCH family
+            only). 1 models one page-wide codeword; production controllers
+            use several smaller ones, trading a little capability for
+            decoder locality.
+    """
+
+    geometry: FlashGeometry = field(default_factory=FlashGeometry)
+    uber_target: float = 1e-15
+    ecc_family: str = "bch"
+    ldpc_efficiency: float = 0.96
+    ecc_codewords: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ecc_family not in ("bch", "ldpc"):
+            raise ConfigError(
+                f"ecc_family must be 'bch' or 'ldpc', "
+                f"got {self.ecc_family!r}")
+        if self.ecc_codewords < 1:
+            raise ConfigError(
+                f"ecc_codewords must be >= 1, got {self.ecc_codewords!r}")
+
+    @property
+    def dead_level(self) -> int:
+        """The level at which a page stores no data (``P``; ``L4`` by default)."""
+        return self.geometry.opages_per_fpage
+
+    @property
+    def levels(self) -> range:
+        """All levels including dead: ``range(P + 1)``."""
+        return range(self.dead_level + 1)
+
+    @property
+    def usable_levels(self) -> range:
+        """Levels at which a page still stores data: ``range(P)``."""
+        return range(self.dead_level)
+
+    def check_level(self, level: int) -> None:
+        if not 0 <= level <= self.dead_level:
+            raise ConfigError(
+                f"tiredness level {level} out of range [0, {self.dead_level}]")
+
+    def data_opages(self, level: int) -> int:
+        """oPages still storing data at ``level`` (``P - L``)."""
+        self.check_level(level)
+        return self.dead_level - level
+
+    def parity_bytes(self, level: int) -> int:
+        """Parity budget at ``level``: spare area plus the sacrificed oPages."""
+        self.check_level(level)
+        return self.geometry.spare_bytes + level * self.geometry.opage_bytes
+
+    def code_rate(self, level: int) -> float:
+        """``data / (data + parity)`` for the whole fPage codeword."""
+        self.check_level(level)
+        data = self.data_opages(level) * self.geometry.opage_bytes
+        return data / self.geometry.fpage_total_bytes
+
+    def ecc_for_level(self, level: int):
+        """ECC scheme covering the full fPage at ``level``.
+
+        Returns an :class:`EccScheme` (BCH family) or
+        :class:`~repro.flash.ecc.LdpcScheme`; both expose the same
+        capability interface. The dead level has no data to protect;
+        asking for its scheme is a caller bug.
+        """
+        self.check_level(level)
+        if level == self.dead_level:
+            raise ConfigError(
+                f"level {level} is the dead level; it has no ECC scheme")
+        data = self.data_opages(level) * self.geometry.opage_bytes
+        if self.ecc_family == "ldpc":
+            return LdpcScheme.for_page(data, self.parity_bytes(level),
+                                       efficiency=self.ldpc_efficiency,
+                                       uber_target=self.uber_target)
+        return EccScheme.for_page(data, self.parity_bytes(level),
+                                  uber_target=self.uber_target,
+                                  codewords=self.ecc_codewords)
+
+    def max_rber(self, level: int) -> float:
+        """Largest RBER a page at ``level`` tolerates (0 for the dead level)."""
+        self.check_level(level)
+        if level == self.dead_level:
+            return 0.0
+        return self.ecc_for_level(level).max_rber()
+
+    def pec_limit(self, level: int, model: RBERModel,
+                  scale_factor: ArrayLike = 1.0) -> ArrayLike:
+        """PEC at which a page (with variation ``scale_factor``) leaves ``level``.
+
+        A page *leaves* level ``L`` when its RBER exceeds what the level-``L``
+        ECC can hide; at that point Salamander either retires it (ShrinkS) or
+        bumps it to ``L + 1`` (RegenS).
+        """
+        self.check_level(level)
+        if level == self.dead_level:
+            zeros = np.zeros_like(np.asarray(scale_factor, dtype=float))
+            return float(zeros) if zeros.ndim == 0 else zeros
+        return model.pec_limit(self.max_rber(level), scale_factor)
+
+    def pec_limits(self, model: RBERModel) -> dict[int, float]:
+        """PEC limit per usable level for a median (factor 1) page."""
+        return {level: float(self.pec_limit(level, model))
+                for level in self.usable_levels}
+
+    def lifetime_gain(self, level: int, model: RBERModel) -> float:
+        """Fractional PEC-limit gain of ``level`` over L0 (Fig. 2's y-axis)."""
+        base = float(self.pec_limit(0, model))
+        if base == 0:
+            raise ConfigError("L0 PEC limit is zero; model/ECC mismatch")
+        return float(self.pec_limit(level, model)) / base - 1.0
+
+    def capacity_fraction(self, level: int) -> float:
+        """Fraction of raw data capacity remaining at ``level`` (Fig. 2's x-axis)."""
+        self.check_level(level)
+        return self.data_opages(level) / self.dead_level
+
+    def level_for_pec(self, pec: ArrayLike, model: RBERModel,
+                      scale_factor: ArrayLike = 1.0) -> ArrayLike:
+        """Lowest level whose ECC still covers a page at ``pec`` cycles.
+
+        Vectorised over ``pec`` (and ``scale_factor``). Pages beyond every
+        usable level map to the dead level.
+        """
+        pec = np.asarray(pec, dtype=float)
+        rber = model.rber(pec) * np.asarray(scale_factor, dtype=float)
+        out = np.full_like(np.asarray(rber, dtype=float), self.dead_level,
+                           dtype=np.int64)
+        # Walk levels from strongest ECC down so the lowest adequate level wins.
+        for level in reversed(self.usable_levels):
+            out = np.where(rber <= self.max_rber(level), level, out)
+        return int(out) if out.ndim == 0 else out
+
+
+def calibrate_power_law(
+    policy: TirednessPolicy | None = None,
+    *,
+    pec_limit_l0: float = DEFAULT_PEC_LIMIT_L0,
+    l1_gain: float = DEFAULT_L1_GAIN,
+    floor: float = 0.0,
+) -> PowerLawRBER:
+    """Default RBER model: a power law anchored to the paper's Fig. 2.
+
+    Two constraints pin the two free parameters:
+
+    * the rated endurance: RBER reaches the L0 ECC capability exactly at
+      ``pec_limit_l0`` cycles;
+    * the Fig. 2 anchor: the L1 ECC capability is reached at
+      ``(1 + l1_gain) * pec_limit_l0`` cycles (+50 % by default).
+
+    Solving ``scale * pec^b = max_rber`` at both points gives
+    ``b = ln(r1/r0) / ln(1 + l1_gain)`` (with the floor subtracted first).
+    """
+    if policy is None:
+        policy = TirednessPolicy()
+    if l1_gain <= 0:
+        raise ConfigError(f"l1_gain must be positive, got {l1_gain!r}")
+    if policy.dead_level < 2:
+        raise ConfigError(
+            "calibration needs at least two usable levels (L0 and L1)")
+    r0 = policy.max_rber(0)
+    r1 = policy.max_rber(1)
+    if not floor < r0 < r1:
+        raise ConfigError(
+            f"expected floor < max_rber(L0) < max_rber(L1); "
+            f"got floor={floor!r}, r0={r0!r}, r1={r1!r}")
+    exponent = math.log((r1 - floor) / (r0 - floor)) / math.log1p(l1_gain)
+    return PowerLawRBER.calibrated(
+        pec_limit=pec_limit_l0, max_rber=r0, exponent=exponent, floor=floor)
+
+
+@lru_cache(maxsize=64)
+def default_policy_and_model(
+    pec_limit_l0: float = DEFAULT_PEC_LIMIT_L0,
+) -> tuple[TirednessPolicy, PowerLawRBER]:
+    """The library's default (policy, model) pair, cached for convenience."""
+    policy = TirednessPolicy()
+    return policy, calibrate_power_law(policy, pec_limit_l0=pec_limit_l0)

@@ -1,0 +1,51 @@
+"""Device-health telemetry and failure prediction (paper §2.1 context).
+
+The paper's §2.1 surveys field studies of SSD failures and the
+failure-prediction literature ([28-31]): operators retire drives
+preemptively because unexpected failures are costly, and prediction is the
+standard alternative to fixed-age retirement. This package reproduces that
+pipeline on the simulator:
+
+* :mod:`repro.health.telemetry` — SMART-style per-device trajectories
+  (age, writes, grown bad blocks) generated from the same wear/variation
+  models as the fleet simulator;
+* :mod:`repro.health.logistic` — logistic regression from scratch (numpy);
+* :mod:`repro.health.predictor` — builds will-fail-within-horizon datasets
+  and trains/evaluates a predictor;
+* :mod:`repro.health.policy` — compares replacement policies (run to
+  failure, fixed age, prediction-driven) on unexpected-failure rate vs
+  wasted device life — the §2.1 trade Salamander dissolves by making
+  failures gradual.
+"""
+
+from repro.health.telemetry import (
+    DeviceTrajectory,
+    TelemetryConfig,
+    generate_trajectories,
+)
+from repro.health.logistic import LogisticModel
+from repro.health.predictor import (
+    FailurePredictor,
+    build_dataset,
+    evaluate_predictor,
+)
+from repro.health.policy import (
+    PolicyOutcome,
+    evaluate_fixed_age,
+    evaluate_predictive,
+    evaluate_run_to_failure,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "DeviceTrajectory",
+    "generate_trajectories",
+    "LogisticModel",
+    "FailurePredictor",
+    "build_dataset",
+    "evaluate_predictor",
+    "PolicyOutcome",
+    "evaluate_run_to_failure",
+    "evaluate_fixed_age",
+    "evaluate_predictive",
+]

@@ -1,0 +1,97 @@
+"""Logistic regression, from scratch on numpy.
+
+A deliberately small, dependency-free classifier (the environment has no
+sklearn): standardised features, a bias term, full-batch gradient descent
+with L2 regularisation. Adequate for the low-dimensional SMART features
+the predictor uses, and fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+@dataclass
+class LogisticModel:
+    """Binary logistic classifier.
+
+    Attributes:
+        learning_rate / iterations / l2: gradient-descent hyperparameters.
+    """
+
+    learning_rate: float = 0.1
+    iterations: int = 2000
+    l2: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigError(
+                f"learning_rate must be positive, got {self.learning_rate!r}")
+        if self.iterations <= 0:
+            raise ConfigError(
+                f"iterations must be positive, got {self.iterations!r}")
+        if self.l2 < 0:
+            raise ConfigError(f"l2 must be non-negative, got {self.l2!r}")
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticModel":
+        """Train on ``(n, d)`` features and ``(n,)`` 0/1 labels."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or labels.ndim != 1:
+            raise ConfigError("features must be 2-D and labels 1-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ConfigError(
+                f"{features.shape[0]} rows vs {labels.shape[0]} labels")
+        if features.shape[0] == 0:
+            raise ConfigError("cannot fit on an empty dataset")
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise ConfigError("labels must be 0 or 1")
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        x = self._design(features)
+        weights = np.zeros(x.shape[1])
+        n = x.shape[0]
+        for _ in range(self.iterations):
+            predictions = _sigmoid(x @ weights)
+            gradient = x.T @ (predictions - labels) / n
+            gradient[1:] += self.l2 * weights[1:]  # don't shrink the bias
+            weights -= self.learning_rate * gradient
+        self._weights = weights
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1) for each row."""
+        if not self.is_fitted:
+            raise ConfigError("model is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return _sigmoid(self._design(features) @ self._weights)
+
+    def predict(self, features: np.ndarray,
+                threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        standardised = (features - self._mean) / self._std
+        bias = np.ones((standardised.shape[0], 1))
+        return np.hstack([bias, standardised])

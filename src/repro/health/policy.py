@@ -1,0 +1,132 @@
+"""Replacement policies over telemetry: the §2.1 trade, quantified.
+
+Operators retire drives early because an *unexpected* failure costs an
+unscheduled replacement plus a recovery storm; retiring early wastes
+device life (embodied carbon). Three policies are evaluated on the same
+trajectories:
+
+* **run-to-failure** — maximum life extracted, every failure unexpected;
+* **fixed-age** — the field practice the paper describes ("regularly and
+  proactively replace SSDs after several years");
+* **predictive** — replace when a trained
+  :class:`~repro.health.predictor.FailurePredictor` flags the device.
+
+Salamander's pitch in these terms: by making failure *gradual*, it gets
+run-to-failure's device life without run-to-failure's unexpected-failure
+cost — no predictor needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.health.predictor import FailurePredictor
+from repro.health.telemetry import DeviceTrajectory
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Aggregate result of running one policy over a population.
+
+    Attributes:
+        policy: name.
+        mean_service_days: average days in service per device.
+        unexpected_failures: devices that failed while still in service.
+        preemptive_retirements: devices retired by the policy.
+        devices: population size.
+        wasted_life_fraction: of the life a run-to-failure policy would
+            have extracted, the share this policy left on the table.
+    """
+
+    policy: str
+    mean_service_days: float
+    unexpected_failures: int
+    preemptive_retirements: int
+    devices: int
+    wasted_life_fraction: float
+
+    @property
+    def unexpected_failure_rate(self) -> float:
+        return self.unexpected_failures / self.devices
+
+
+def _natural_life(trajectory: DeviceTrajectory) -> float:
+    if np.isfinite(trajectory.death_day):
+        return float(trajectory.death_day)
+    return float(trajectory.days[-1]) if trajectory.days.size else 0.0
+
+
+def _summarise(policy: str, service: list[float], unexpected: int,
+               preempted: int,
+               trajectories: list[DeviceTrajectory]) -> PolicyOutcome:
+    natural = sum(_natural_life(t) for t in trajectories)
+    used = sum(service)
+    return PolicyOutcome(
+        policy=policy,
+        mean_service_days=used / len(trajectories),
+        unexpected_failures=unexpected,
+        preemptive_retirements=preempted,
+        devices=len(trajectories),
+        wasted_life_fraction=max(0.0, 1.0 - used / natural) if natural else 0.0,
+    )
+
+
+def evaluate_run_to_failure(
+        trajectories: list[DeviceTrajectory]) -> PolicyOutcome:
+    """Devices serve until they die (or the horizon censors them)."""
+    service = [_natural_life(t) for t in trajectories]
+    unexpected = sum(1 for t in trajectories
+                     if np.isfinite(t.death_day))
+    return _summarise("run-to-failure", service, unexpected, 0, trajectories)
+
+
+def evaluate_fixed_age(trajectories: list[DeviceTrajectory],
+                       age_limit_days: float) -> PolicyOutcome:
+    """Retire at ``age_limit_days`` unless the device fails first."""
+    if age_limit_days <= 0:
+        raise ConfigError(
+            f"age_limit_days must be positive, got {age_limit_days!r}")
+    service, unexpected, preempted = [], 0, 0
+    for trajectory in trajectories:
+        natural = _natural_life(trajectory)
+        failed = np.isfinite(trajectory.death_day)
+        if failed and trajectory.death_day <= age_limit_days:
+            service.append(float(trajectory.death_day))
+            unexpected += 1
+        else:
+            service.append(min(natural, age_limit_days))
+            if natural > age_limit_days:
+                preempted += 1
+    return _summarise(f"fixed-age {age_limit_days:.0f}d", service,
+                      unexpected, preempted, trajectories)
+
+
+def evaluate_predictive(trajectories: list[DeviceTrajectory],
+                        predictor: FailurePredictor,
+                        threshold: float = 0.5) -> PolicyOutcome:
+    """Retire a device at the first sample where predicted risk crosses
+    ``threshold``; failures before that alarm are unexpected."""
+    if not 0.0 < threshold < 1.0:
+        raise ConfigError(f"threshold must be in (0, 1), got {threshold!r}")
+    service, unexpected, preempted = [], 0, 0
+    for trajectory in trajectories:
+        natural = _natural_life(trajectory)
+        alarm_day = None
+        for index in range(trajectory.days.size):
+            if predictor.risk_at(trajectory, index) >= threshold:
+                alarm_day = float(trajectory.days[index])
+                break
+        failed = np.isfinite(trajectory.death_day)
+        if alarm_day is not None and (not failed
+                                      or alarm_day < trajectory.death_day):
+            service.append(alarm_day)
+            preempted += 1
+        else:
+            service.append(natural)
+            if failed:
+                unexpected += 1
+    return _summarise("predictive", service, unexpected, preempted,
+                      trajectories)

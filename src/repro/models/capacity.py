@@ -1,0 +1,128 @@
+"""Constant-capacity planning: backfilling shrinking fleets (§4.1).
+
+The paper: "system operators may add new SSDs to offset missing capacity.
+However, baseline SSDs fail more frequently ... which further requires
+additional SSDs. These two behaviors partially cancel out in terms of
+emissions." This module quantifies that cancellation: starting from a
+fleet-simulation capacity curve, it computes the stream of new (baseline)
+capacity an operator must buy to hold usable capacity constant, tracking
+each purchase cohort's own aging with the baseline curve.
+
+All quantities are in bytes of *purchased* capacity; cumulative purchases
+are the embodied-carbon proxy, and comparing disciplines at equal
+delivered capacity is the fair sustainability frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.fleet import FleetResult
+
+
+@dataclass
+class CapacityPlan:
+    """Backfill schedule holding fleet capacity at its initial level.
+
+    Attributes:
+        mode: the original fleet's discipline.
+        days: sample times (the fleet result's grid).
+        original_capacity: surviving capacity of the original batch.
+        backfill_capacity: capacity contributed by replacement cohorts.
+        purchases_bytes: new capacity bought during each step (at-purchase
+            rating; it ages afterwards).
+        cumulative_purchases_bytes: running total, excluding the original
+            batch.
+    """
+
+    mode: str
+    days: np.ndarray
+    original_capacity: np.ndarray
+    backfill_capacity: np.ndarray
+    purchases_bytes: np.ndarray
+    cumulative_purchases_bytes: np.ndarray
+
+    @property
+    def total_purchases_bytes(self) -> float:
+        return float(self.purchases_bytes.sum())
+
+    @property
+    def initial_capacity_bytes(self) -> float:
+        return float(self.original_capacity[0]) if \
+            self.original_capacity.size else 0.0
+
+    def delivered_capacity(self) -> np.ndarray:
+        return self.original_capacity + self.backfill_capacity
+
+    def lifetime_purchased_bytes(self) -> float:
+        """Original batch plus all backfill, in purchased-capacity bytes."""
+        return self.initial_capacity_bytes + self.total_purchases_bytes
+
+
+def plan_constant_capacity(result: FleetResult,
+                           replacement: FleetResult) -> CapacityPlan:
+    """Compute backfill purchases holding capacity at the initial level.
+
+    Args:
+        result: capacity curve of the discipline being evaluated.
+        replacement: capacity curve of the devices the operator buys as
+            backfill (typically a ``"baseline"`` run of the same config) —
+            replacements age and fail too, which is the whole point.
+
+    Both results must share the same time grid.
+    """
+    if result.days.shape != replacement.days.shape or \
+            not np.allclose(result.days, replacement.days):
+        raise ConfigError(
+            "result and replacement must share one time grid; rerun the "
+            "fleet simulations with identical horizon/step settings")
+    if replacement.initial_capacity_bytes <= 0:
+        raise ConfigError("replacement fleet has no initial capacity")
+    steps = result.days.size
+    # A backfill cohort's capacity fraction by age, from the replacement
+    # discipline's own aggregate curve.
+    profile = replacement.capacity_bytes / replacement.initial_capacity_bytes
+
+    target = float(result.initial_capacity_bytes)
+    purchases = np.zeros(steps)
+    backfill = np.zeros(steps)
+    cohorts: list[tuple[int, float]] = []  # (birth step, bytes bought)
+    for step in range(steps):
+        cohort_capacity = 0.0
+        for birth, bytes_bought in cohorts:
+            age = step - birth
+            fraction = float(profile[age]) if age < steps else 0.0
+            cohort_capacity += bytes_bought * fraction
+        deficit = target - float(result.capacity_bytes[step]) \
+            - cohort_capacity
+        if deficit > 0:
+            purchases[step] = deficit
+            cohorts.append((step, deficit))
+            cohort_capacity += deficit
+        backfill[step] = cohort_capacity
+    return CapacityPlan(
+        mode=result.mode,
+        days=result.days.copy(),
+        original_capacity=result.capacity_bytes.copy(),
+        backfill_capacity=backfill,
+        purchases_bytes=purchases,
+        cumulative_purchases_bytes=np.cumsum(purchases),
+    )
+
+
+def embodied_purchase_ratio(plan: CapacityPlan,
+                            baseline_plan: CapacityPlan) -> float:
+    """Purchased capacity vs the baseline at equal delivered capacity.
+
+    Both plans deliver the same constant capacity over the same horizon,
+    so the ratio of total purchased bytes (original batch + backfill) is
+    the embodied-emission ratio — the constant-capacity analogue of
+    Eq. 3's upgrade rate.
+    """
+    theirs = baseline_plan.lifetime_purchased_bytes()
+    if theirs <= 0:
+        raise ConfigError("baseline plan bought no capacity")
+    return plan.lifetime_purchased_bytes() / theirs

@@ -1,0 +1,75 @@
+"""Fig. 2: switching oPages to ECC trades capacity for diminishing PEC gains.
+
+The figure plots, per tiredness level, the remaining data capacity against
+the PEC-limit benefit of the lower code rate. The library reproduces it
+from first principles: the per-level ECC capability comes from the BCH
+bound + binomial tail (:mod:`repro.flash.ecc`), and the PEC benefit from
+inverting the RBER growth model. With the default calibration the L1 point
+lands exactly on the paper's "+50 %" anchor, and L2/L3 show the diminishing
+returns that justify "RegenS should limit itself to L < 2".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.rber import RBERModel
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+
+
+@dataclass(frozen=True)
+class TirednessTradeoff:
+    """One Fig. 2 point.
+
+    Attributes:
+        level: tiredness level.
+        capacity_fraction: data capacity remaining (x-axis).
+        code_rate: data / (data + parity) at this level.
+        max_rber: largest tolerable RBER.
+        pec_limit: cycles until this level's ECC is outgrown (median page).
+        pec_gain: fractional PEC benefit over L0 (y-axis).
+        marginal_gain: PEC benefit added by this level over the previous
+            one — the "diminishing" quantity.
+    """
+
+    level: int
+    capacity_fraction: float
+    code_rate: float
+    max_rber: float
+    pec_limit: float
+    pec_gain: float
+    marginal_gain: float
+
+
+def tiredness_tradeoff(
+    policy: TirednessPolicy | None = None,
+    model: RBERModel | None = None,
+    *,
+    pec_limit_l0: float = 3000.0,
+) -> list[TirednessTradeoff]:
+    """Compute the Fig. 2 curve for all usable tiredness levels.
+
+    Args:
+        policy: tiredness policy (defaults to the 16 KiB / 2 KiB layout).
+        model: RBER model; defaults to the calibrated power law, in which
+            case ``pec_limit_l0`` anchors it.
+    """
+    if policy is None:
+        policy = TirednessPolicy()
+    if model is None:
+        model = calibrate_power_law(policy, pec_limit_l0=pec_limit_l0)
+    points = []
+    previous_gain = 0.0
+    for level in policy.usable_levels:
+        gain = policy.lifetime_gain(level, model)
+        points.append(TirednessTradeoff(
+            level=level,
+            capacity_fraction=policy.capacity_fraction(level),
+            code_rate=policy.code_rate(level),
+            max_rber=policy.max_rber(level),
+            pec_limit=float(policy.pec_limit(level, model)),
+            pec_gain=gain,
+            marginal_gain=gain - previous_gain,
+        ))
+        previous_gain = gain
+    return points

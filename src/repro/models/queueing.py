@@ -1,0 +1,74 @@
+"""Latency under load: an M/D/c queueing view of the device.
+
+The per-operation latencies elsewhere in the library are *unloaded*
+service times. Under a sustained request rate the device also queues; this
+module provides the standard M/D/c approximation so experiments can ask
+"what does the 4 KiB read latency look like at 80 % of saturation on a
+worn device?" — the load axis §4.2's latency-sensitivity worry lives on.
+
+Model: Poisson arrivals, deterministic service (expected-value latencies
+are deterministic here), ``c`` parallel channels. Waiting time uses the
+M/M/c Erlang-C result halved — the classic M/D/c approximation, exact for
+c = 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+def _erlang_c(c: int, offered: float) -> float:
+    """Erlang-C probability of queueing with ``c`` servers, load ``offered``."""
+    if offered >= c:
+        return 1.0
+    total = sum(offered**k / math.factorial(k) for k in range(c))
+    tail = offered**c / (math.factorial(c) * (1 - offered / c))
+    return tail / (total + tail)
+
+
+def md1_wait_us(service_us: float, arrival_per_us: float) -> float:
+    """Mean queueing delay of an M/D/1 server (Pollaczek-Khinchine)."""
+    if service_us <= 0:
+        raise ConfigError(f"service_us must be positive, got {service_us!r}")
+    if arrival_per_us < 0:
+        raise ConfigError(
+            f"arrival_per_us must be non-negative, got {arrival_per_us!r}")
+    rho = arrival_per_us * service_us
+    if rho >= 1.0:
+        return math.inf
+    return rho * service_us / (2 * (1 - rho))
+
+
+def mdc_latency_us(service_us: float, iops: float, channels: int = 1) -> float:
+    """Mean request latency (wait + service) at ``iops`` on ``channels``.
+
+    Returns ``inf`` at or beyond saturation — the experiment's signal that
+    the operating point is infeasible.
+    """
+    if channels < 1:
+        raise ConfigError(f"channels must be >= 1, got {channels!r}")
+    if iops < 0:
+        raise ConfigError(f"iops must be non-negative, got {iops!r}")
+    if service_us <= 0:
+        raise ConfigError(f"service_us must be positive, got {service_us!r}")
+    arrival_per_us = iops / 1e6
+    offered = arrival_per_us * service_us
+    if offered >= channels:
+        return math.inf
+    if channels == 1:
+        return md1_wait_us(service_us, arrival_per_us) + service_us
+    # M/D/c ~= half the M/M/c wait.
+    wait_mmc = (_erlang_c(channels, offered) * service_us
+                / (channels - offered))
+    return wait_mmc / 2 + service_us
+
+
+def saturation_iops(service_us: float, channels: int = 1) -> float:
+    """The request rate at which the device saturates."""
+    if service_us <= 0:
+        raise ConfigError(f"service_us must be positive, got {service_us!r}")
+    if channels < 1:
+        raise ConfigError(f"channels must be >= 1, got {channels!r}")
+    return channels * 1e6 / service_us

@@ -1,0 +1,94 @@
+"""Eq. 4: total cost of ownership of a Salamander deployment (§4.4).
+
+    TCO(S) = f_opex * TCO(B) + (1 - f_opex) * CRu_{S|B} * TCO(B)      (Eq. 4)
+    CRu_{S|B} = Ru_{S|B} + (1 - Ru_{S|B}) * CE_new * Cap_new
+
+``CRu`` is the *cost* upgrade rate: keeping drives longer (``Ru``) plus the
+cost of new baseline SSDs bought to backfill the capacity Salamander drives
+lose while shrunk (``Cap_new`` of the fleet, at future cost-effectiveness
+``CE_new`` — $/TB improves ~4x per five years, so 0.25). Defaults are the
+paper's constants, which yield its 13 % (ShrinkS) and 25 % (RegenS)
+savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+# Paper constants (§4.4).
+F_OPEX_SEAGATE = 0.14        # acquisition is ~86 % of device TCO [49]
+CE_NEW_FIVE_YEARS = 0.25     # $/TB of new drives after five years [47, 48]
+CAP_NEW_SHRUNK = 0.4         # backfill for the average 60 % shrunk capacity
+RU_SHRINKS = 1 / 1.2         # lifetime-derived upgrade rates (§4.1)
+RU_REGENS = 1 / 1.5
+
+
+@dataclass(frozen=True)
+class TCOParams:
+    """Inputs to Eq. 4.
+
+    Attributes:
+        f_opex: operational share of TCO (electricity, cooling,
+            maintenance); the paper uses 0.14 following Seagate.
+        upgrade_rate: Ru_{S|B} from the lifetime gains.
+        ce_new: cost effectiveness of replacement baseline SSDs ($/TB
+            relative to today; 0.25 = 4x cheaper after five years).
+        cap_new: fraction of fleet capacity backfilled with new SSDs while
+            Salamander drives are shrunk.
+    """
+
+    f_opex: float = F_OPEX_SEAGATE
+    upgrade_rate: float = RU_SHRINKS
+    ce_new: float = CE_NEW_FIVE_YEARS
+    cap_new: float = CAP_NEW_SHRUNK
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f_opex < 1.0:
+            raise ConfigError(
+                f"f_opex must be in [0, 1), got {self.f_opex!r}")
+        if not 0.0 < self.upgrade_rate <= 1.5:
+            raise ConfigError(
+                f"upgrade_rate must be in (0, 1.5], got {self.upgrade_rate!r}")
+        if not 0.0 <= self.ce_new <= 1.0:
+            raise ConfigError(
+                f"ce_new must be in [0, 1], got {self.ce_new!r}")
+        if not 0.0 <= self.cap_new <= 1.0:
+            raise ConfigError(
+                f"cap_new must be in [0, 1], got {self.cap_new!r}")
+
+
+def cost_upgrade_rate(params: TCOParams) -> float:
+    """CRu_{S|B}: acquisition spend relative to the baseline deployment."""
+    return (params.upgrade_rate
+            + (1.0 - params.upgrade_rate) * params.ce_new * params.cap_new)
+
+
+def tco_relative(params: TCOParams) -> float:
+    """TCO(S) / TCO(B) per Eq. 4."""
+    return (params.f_opex
+            + (1.0 - params.f_opex) * cost_upgrade_rate(params))
+
+
+def tco_savings(params: TCOParams) -> float:
+    """Fractional TCO reduction: ``1 - tco_relative``."""
+    return 1.0 - tco_relative(params)
+
+
+def opex_sensitivity(upgrade_rate: float,
+                     f_opex_values: np.ndarray | list[float],
+                     ce_new: float = CE_NEW_FIVE_YEARS,
+                     cap_new: float = CAP_NEW_SHRUNK) -> list[tuple[float, float]]:
+    """Savings across operational-cost shares (the paper's "even at 50 %").
+
+    Returns ``(f_opex, savings)`` pairs.
+    """
+    rows = []
+    for f_opex in f_opex_values:
+        params = TCOParams(f_opex=float(f_opex), upgrade_rate=upgrade_rate,
+                           ce_new=ce_new, cap_new=cap_new)
+        rows.append((float(f_opex), tco_savings(params)))
+    return rows

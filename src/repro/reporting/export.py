@@ -1,0 +1,108 @@
+"""Machine-readable experiment artifacts.
+
+Benches print human tables; downstream users (plotting scripts, regression
+dashboards) want structure. :class:`ExperimentWriter` collects named tables
+and series and writes one JSON document per experiment, with a stable
+schema::
+
+    {
+      "experiment": "fig3a",
+      "meta": {...},                      # free-form provenance
+      "tables": {"name": {"headers": [...], "rows": [[...], ...]}},
+      "series": {"name": {"x": [...], "y": [...],
+                           "x_label": "...", "y_label": "..."}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.reporting.series import Series
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class ExperimentWriter:
+    """Collects one experiment's tables/series and writes them as JSON.
+
+    Args:
+        experiment: identifier (becomes the file stem).
+        meta: free-form provenance (config values, seeds, versions).
+    """
+
+    def __init__(self, experiment: str, meta: dict | None = None) -> None:
+        if not experiment or "/" in experiment:
+            raise ConfigError(
+                f"experiment must be a non-empty name without '/', "
+                f"got {experiment!r}")
+        self.experiment = experiment
+        self.meta = dict(meta or {})
+        self._tables: dict[str, dict] = {}
+        self._series: dict[str, dict] = {}
+
+    def add_table(self, name: str, headers: list[str],
+                  rows: list[list]) -> None:
+        if not headers:
+            raise ConfigError("headers must be non-empty")
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigError(
+                    f"table {name!r}: row width {len(row)} != "
+                    f"{len(headers)} headers")
+        self._tables[name] = {
+            "headers": list(headers),
+            "rows": [_jsonable(list(row)) for row in rows],
+        }
+
+    def add_series(self, series: Series) -> None:
+        self._series[series.name] = {
+            "x": _jsonable(series.x),
+            "y": _jsonable(series.y),
+            "x_label": series.x_label,
+            "y_label": series.y_label,
+        }
+
+    def document(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "meta": _jsonable(self.meta),
+            "tables": self._tables,
+            "series": self._series,
+        }
+
+    def write(self, directory: str | Path) -> Path:
+        """Write ``<directory>/<experiment>.json``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment}.json"
+        path.write_text(json.dumps(self.document(), indent=2,
+                                   sort_keys=True))
+        return path
+
+
+def load_experiment(path: str | Path) -> dict:
+    """Read back an artifact; validates the schema's top-level shape."""
+    document = json.loads(Path(path).read_text())
+    for key in ("experiment", "meta", "tables", "series"):
+        if key not in document:
+            raise ConfigError(f"artifact {path} missing key {key!r}")
+    return document

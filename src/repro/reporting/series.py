@@ -1,0 +1,53 @@
+"""Named (x, y) series — the unit every figure bench emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Series:
+    """One labelled curve.
+
+    Attributes:
+        name: legend label.
+        x / y: sample arrays (equal length).
+        x_label / y_label: axis annotations for rendering.
+    """
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ConfigError(
+                f"series {self.name!r}: x has shape {self.x.shape} but y "
+                f"has {self.y.shape}")
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+    def at(self, x_value: float) -> float:
+        """Linear interpolation of y at ``x_value`` (clamped to the range)."""
+        if len(self) == 0:
+            raise ConfigError(f"series {self.name!r} is empty")
+        return float(np.interp(x_value, self.x, self.y))
+
+    def downsample(self, points: int) -> "Series":
+        """Evenly subsample to at most ``points`` samples (for printing)."""
+        if points <= 0:
+            raise ConfigError(f"points must be positive, got {points!r}")
+        if len(self) <= points:
+            return self
+        idx = np.linspace(0, len(self) - 1, points).round().astype(int)
+        return Series(self.name, self.x[idx], self.y[idx],
+                      self.x_label, self.y_label)

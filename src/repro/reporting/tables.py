@@ -1,0 +1,78 @@
+"""Fixed-width table and bar rendering for benchmark output.
+
+Benches print the same rows/series the paper reports; these helpers keep
+that output aligned and diff-friendly without pulling in a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.reporting.series import Series
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows into an aligned, pipe-separated table."""
+    if not headers:
+        raise ConfigError("headers must be non-empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}")
+    cells = [[_fmt(value, 0).strip() for value in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(values: dict[str, float], *, width: int = 40,
+                title: str | None = None, unit: str = "") -> str:
+    """ASCII horizontal bars (Fig. 4-style)."""
+    if width <= 0:
+        raise ConfigError(f"width must be positive, got {width!r}")
+    if not values:
+        raise ConfigError("values must be non-empty")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    for key, value in values.items():
+        bar = "#" * max(1, int(round(abs(value) / peak * width)))
+        lines.append(f"{key.ljust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(series_list: Sequence[Series], *, points: int = 12,
+                  title: str | None = None) -> str:
+    """Print several series as one aligned x/y table (downsampled)."""
+    if not series_list:
+        raise ConfigError("series_list must be non-empty")
+    sampled = [s.downsample(points) for s in series_list]
+    reference = sampled[0]
+    headers = [reference.x_label] + [s.name for s in sampled]
+    rows = []
+    for i, x in enumerate(reference.x):
+        row = [float(x)]
+        for s in sampled:
+            row.append(s.at(float(x)))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,42 @@
+"""Salamander: minidisk SSDs with ShrinkS and RegenS modes (paper §3).
+
+The paper's contribution. A Salamander SSD exposes its LBA space as many
+small *minidisks* (mDisks) that the distributed file system treats as
+independent failure domains:
+
+* **ShrinkS** — worn pages are retired individually; when the surviving
+  physical space can no longer back the advertised capacity (Eq. 2), a
+  victim mDisk is decommissioned and the diFS re-replicates it elsewhere.
+* **RegenS** — worn pages instead enter *limbo* at a higher tiredness level
+  (some oPages repurposed as extra ECC); once an mDisk-worth of limbo
+  capacity accumulates, the pages are revived and a brand-new mDisk is
+  announced to the host.
+"""
+
+from repro.salamander.minidisk import Minidisk, MinidiskStatus
+from repro.salamander.events import (
+    DeviceExhausted,
+    HostEvent,
+    MinidiskDecommissioned,
+    MinidiskRegenerated,
+)
+from repro.salamander.limbo import LimboLedger
+from repro.salamander.shrink import VICTIM_POLICIES, choose_victim
+from repro.salamander.regen import plan_revival
+from repro.salamander.device import SalamanderConfig, SalamanderMode, SalamanderSSD
+
+__all__ = [
+    "Minidisk",
+    "MinidiskStatus",
+    "HostEvent",
+    "MinidiskDecommissioned",
+    "MinidiskRegenerated",
+    "DeviceExhausted",
+    "LimboLedger",
+    "choose_victim",
+    "VICTIM_POLICIES",
+    "plan_revival",
+    "SalamanderConfig",
+    "SalamanderMode",
+    "SalamanderSSD",
+]

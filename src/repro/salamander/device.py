@@ -1,0 +1,535 @@
+"""The Salamander SSD (paper §3).
+
+One device class implements both modes:
+
+* ``SHRINK`` (ShrinkS): worn pages are retired individually; the advertised
+  capacity shrinks one mDisk at a time when Eq. 2 fires.
+* ``REGEN`` (RegenS): worn pages enter limbo at a higher tiredness level
+  (their RBER still fits a lower code rate); once an mDisk-worth of limbo
+  capacity accumulates at one level, the pages are revived and a new mDisk
+  is announced to the host.
+
+Differences from the paper's firmware sketch, recorded here and in
+DESIGN.md:
+
+* Wear transitions are detected lazily — at block erase (when PEC actually
+  increments) and at allocation — instead of by a background scrubber. The
+  set of transitions is identical; only their discovery time shifts to the
+  next erase of the page's block.
+* Decommissioning invalidates the victim's LBAs and lets normal GC reclaim
+  the space, rather than eagerly relocating the most-worn pages' data. The
+  paper's eager relocation is an optimisation of the same state change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Callable
+
+import math
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    DeviceBrickedError,
+    MinidiskDecommissionedError,
+    OutOfSpaceError,
+)
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.salamander.events import (
+    DeviceExhausted,
+    HostEvent,
+    MinidiskDecommissioned,
+    MinidiskRegenerated,
+)
+from repro.salamander.limbo import LimboLedger
+from repro.salamander.minidisk import Minidisk, MinidiskStatus
+from repro.salamander.regen import plan_revival, plan_revival_mixed
+from repro.salamander.shrink import VICTIM_POLICIES, choose_victim
+from repro.ssd.ftl import LOST, UNMAPPED, FTLConfig, PageMappedFTL
+
+
+class SalamanderMode(Enum):
+    SHRINK = "shrink"
+    REGEN = "regen"
+
+
+@dataclass(frozen=True)
+class SalamanderConfig:
+    """Salamander device configuration.
+
+    Attributes:
+        msize_lbas: mDisk size in oPages (256 = the paper's 1 MiB example).
+        mode: ``SHRINK`` or ``REGEN`` (strings accepted).
+        regen_max_level: highest tiredness level RegenS will reuse; the
+            paper recommends stopping below L2 ("RegenS should limit itself
+            to L < 2"), i.e. 1.
+        headroom_fraction: over-provisioning kept per advertised LBA; Eq. 2
+            fires when physical space dips below
+            ``advertised * (1 + headroom_fraction)`` plus the GC reserve.
+        victim_policy: see :data:`repro.salamander.shrink.VICTIM_POLICIES`.
+        regen_slack_fraction: extra limbo capacity (as a fraction of mSize)
+            required before minting a new mDisk, kept in service as slack.
+            Without it a regenerated mDisk is born with zero margin and the
+            very next wear event decommissions it — pure event churn.
+        grace_decommissions: §4.3's proposed grace period (future work in
+            the paper, implemented here): a decommissioned mDisk enters a
+            DRAINING state — writes rejected, data still readable — until
+            the host calls :meth:`SalamanderSSD.release_minidisk` (the diFS
+            does so once re-replication completes) or until more than this
+            many mDisks are draining / physical pressure forces a release.
+            0 disables the grace period (the paper's base design).
+        regen_mixed_levels: allow one regenerated mDisk to combine pages
+            of different tiredness levels (the paper assumes uniform
+            tiredness and defers mixing to future work). Mixing revives
+            capacity sooner; the mDisk is labelled with its worst level.
+        ftl: FTL tunables (its ``max_level``/``overprovision`` are derived
+            here and ignored if set).
+    """
+
+    msize_lbas: int = 256
+    mode: SalamanderMode | str = SalamanderMode.SHRINK
+    regen_max_level: int = 1
+    headroom_fraction: float = 0.07
+    victim_policy: str = "youngest"
+    regen_slack_fraction: float = 0.5
+    grace_decommissions: int = 0
+    regen_mixed_levels: bool = False
+    ftl: FTLConfig = field(default_factory=FTLConfig)
+
+    def __post_init__(self) -> None:
+        if self.msize_lbas <= 0:
+            raise ConfigError(
+                f"msize_lbas must be positive, got {self.msize_lbas!r}")
+        if not isinstance(self.mode, SalamanderMode):
+            object.__setattr__(self, "mode", SalamanderMode(self.mode))
+        if self.regen_max_level < 1:
+            raise ConfigError(
+                f"regen_max_level must be >= 1, got {self.regen_max_level!r}")
+        if not 0.0 <= self.headroom_fraction < 1.0:
+            raise ConfigError(
+                f"headroom_fraction must be in [0, 1), "
+                f"got {self.headroom_fraction!r}")
+        if self.victim_policy not in VICTIM_POLICIES:
+            raise ConfigError(
+                f"unknown victim policy {self.victim_policy!r}")
+        if self.regen_slack_fraction < 0:
+            raise ConfigError(
+                f"regen_slack_fraction must be non-negative, "
+                f"got {self.regen_slack_fraction!r}")
+        if self.grace_decommissions < 0:
+            raise ConfigError(
+                f"grace_decommissions must be non-negative, "
+                f"got {self.grace_decommissions!r}")
+
+
+class SalamanderSSD(PageMappedFTL):
+    """SSD exposing N minidisks with ShrinkS/RegenS wear handling.
+
+    The host-facing API addresses oPages as ``(mdisk_id, lba)``; flat LBAs
+    (``mdisk_id * msize + lba``) are an internal detail shared with the FTL
+    base class.
+    """
+
+    def __init__(self, chip: FlashChip,
+                 config: SalamanderConfig | None = None) -> None:
+        self.salamander_config = config or SalamanderConfig()
+        cfg = self.salamander_config
+        geometry = chip.geometry
+        slots_per_block = (geometry.fpages_per_block
+                           * geometry.opages_per_fpage)
+        self._reserve_slots = (cfg.ftl.gc_reserve_blocks + 1) * slots_per_block
+        available = geometry.total_opage_slots - self._reserve_slots
+        initial_count = int(available
+                            // (cfg.msize_lbas * (1.0 + cfg.headroom_fraction)))
+        if initial_count < 1:
+            raise ConfigError(
+                "device too small for even one minidisk at this msize; "
+                "shrink msize_lbas or grow the chip")
+        max_level = (cfg.regen_max_level
+                     if cfg.mode is SalamanderMode.REGEN else 0)
+        ftl_config = replace(cfg.ftl, max_level=max_level)
+        super().__init__(chip, initial_count * cfg.msize_lbas, ftl_config)
+
+        self.limbo = LimboLedger(self.policy.dead_level)
+        self._event_seq = 0
+        self.events: list[HostEvent] = []
+        self._listeners: list[Callable[[HostEvent], None]] = []
+        self.minidisks: list[Minidisk] = [
+            Minidisk(mdisk_id=i, size_lbas=cfg.msize_lbas, level=0,
+                     created_seq=0)
+            for i in range(initial_count)
+        ]
+        self._draining: list[int] = []  # FIFO of DRAINING mdisk ids
+        self._exhausted = False
+
+    @classmethod
+    def create(cls, geometry: FlashGeometry | None = None,
+               config: SalamanderConfig | None = None,
+               seed: int | np.random.Generator | None = None,
+               **chip_kwargs) -> "SalamanderSSD":
+        chip = FlashChip(geometry, seed=seed, **chip_kwargs)
+        return cls(chip, config)
+
+    # -- power-loss recovery -------------------------------------------------
+
+    def nvram_snapshot(self) -> dict:
+        """Device metadata persisted in NVRAM alongside the write buffer.
+
+        The minidisk table, limbo ledger and event state are tiny (a few
+        bytes per minidisk) and live in the same non-volatile memory the
+        paper's write buffer uses; this snapshot is what survives power
+        loss.
+        """
+        return {
+            "minidisks": [
+                (m.mdisk_id, m.size_lbas, m.level, m.created_seq,
+                 m.status.value, m.decommissioned_seq)
+                for m in self.minidisks],
+            "limbo": dict(self.limbo._level_of),
+            "draining": list(self._draining),
+            "event_seq": self._event_seq,
+            "exhausted": self._exhausted,
+            "buffer": [(lba, self.buffer.get(lba))
+                       for lba in self.buffer.keys()],
+        }
+
+    @classmethod
+    def remount(cls, chip: FlashChip, config: SalamanderConfig,
+                snapshot: dict) -> "SalamanderSSD":
+        """Mount over existing flash after power loss.
+
+        Restores the NVRAM metadata (minidisk table, limbo, buffer) and
+        replays the flash OOB log to rebuild the mapping; stale entries
+        addressed to decommissioned minidisks are dropped.
+        """
+        device = cls(chip, config)
+        device.minidisks = [
+            Minidisk(mdisk_id=mdisk_id, size_lbas=size, level=level,
+                     created_seq=created,
+                     status=MinidiskStatus(status),
+                     decommissioned_seq=decommissioned)
+            for (mdisk_id, size, level, created, status, decommissioned)
+            in snapshot["minidisks"]]
+        flat = sum(m.size_lbas for m in device.minidisks)
+        if flat > device.n_lbas:
+            device._grow_flat_space(flat - device.n_lbas)
+        device.n_lbas = flat
+        device.limbo = LimboLedger(device.policy.dead_level)
+        for fpage, level in snapshot["limbo"].items():
+            device.limbo.add(int(fpage), int(level))
+        device._draining = list(snapshot["draining"])
+        device._event_seq = int(snapshot["event_seq"])
+        device._exhausted = bool(snapshot["exhausted"])
+        device._rebuild_from_flash()
+        # Drop resurrected mappings inside decommissioned minidisks.
+        for mdisk in device.minidisks:
+            if mdisk.status is MinidiskStatus.DECOMMISSIONED:
+                device._invalidate(mdisk)
+        for lba, payload in snapshot["buffer"]:
+            device.buffer.put(lba, payload)
+        return device
+
+    # -- host-facing geometry ----------------------------------------------------
+
+    @property
+    def mode(self) -> SalamanderMode:
+        return self.salamander_config.mode
+
+    @property
+    def msize_lbas(self) -> int:
+        return self.salamander_config.msize_lbas
+
+    def active_minidisks(self) -> list[Minidisk]:
+        return [m for m in self.minidisks if m.is_active]
+
+    def minidisk(self, mdisk_id: int) -> Minidisk:
+        if not 0 <= mdisk_id < len(self.minidisks):
+            raise ConfigError(
+                f"mDisk {mdisk_id} does not exist "
+                f"(device has {len(self.minidisks)})")
+        return self.minidisks[mdisk_id]
+
+    @property
+    def advertised_lbas(self) -> int:
+        """oPages across all active minidisks (the host-visible capacity)."""
+        return sum(m.size_lbas for m in self.active_minidisks())
+
+    @property
+    def advertised_bytes(self) -> int:
+        return self.advertised_lbas * self.geometry.opage_bytes
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._exhausted
+
+    def add_listener(self, listener: Callable[[HostEvent], None]) -> None:
+        """Subscribe to host events (decommission/regeneration/exhaustion)."""
+        self._listeners.append(listener)
+
+    # -- host I/O ------------------------------------------------------------------
+
+    def write(self, mdisk_id: int, lba: int, data: bytes) -> None:  # type: ignore[override]
+        """Write one oPage to ``(mdisk_id, lba)``."""
+        mdisk = self._active_mdisk(mdisk_id)
+        try:
+            super().write(mdisk.flat_lba(lba), data)
+        except OutOfSpaceError:
+            self._exhaust()
+            raise
+
+    def read(self, mdisk_id: int, lba: int) -> bytes:  # type: ignore[override]
+        """Read one oPage from ``(mdisk_id, lba)``.
+
+        Reads are also served from DRAINING minidisks — the §4.3 grace
+        period exists precisely so the diFS can still pull data out.
+        """
+        if self._exhausted:
+            raise DeviceBrickedError("all minidisks decommissioned")
+        mdisk = self.minidisk(mdisk_id)
+        if not mdisk.is_readable:
+            raise MinidiskDecommissionedError(
+                f"mDisk {mdisk_id} was decommissioned")
+        return super().read(mdisk.flat_lba(lba))
+
+    def read_range(self, mdisk_id: int, lba: int,  # type: ignore[override]
+                   count: int) -> list[bytes]:
+        """Scatter-gather read of ``count`` LBAs within one minidisk."""
+        if self._exhausted:
+            raise DeviceBrickedError("all minidisks decommissioned")
+        mdisk = self.minidisk(mdisk_id)
+        if not mdisk.is_readable:
+            raise MinidiskDecommissionedError(
+                f"mDisk {mdisk_id} was decommissioned")
+        if count <= 0 or lba + count > mdisk.size_lbas:
+            raise ConfigError(
+                f"range [{lba}, {lba + count}) exceeds mDisk size "
+                f"{mdisk.size_lbas}")
+        return super().read_range(mdisk.flat_lba(lba), count)
+
+    def trim(self, mdisk_id: int, lba: int) -> None:  # type: ignore[override]
+        mdisk = self._active_mdisk(mdisk_id)
+        super().trim(mdisk.flat_lba(lba))
+
+    def _active_mdisk(self, mdisk_id: int) -> Minidisk:
+        if self._exhausted:
+            raise DeviceBrickedError("all minidisks decommissioned")
+        mdisk = self.minidisk(mdisk_id)
+        if not mdisk.is_active:
+            raise MinidiskDecommissionedError(
+                f"mDisk {mdisk_id} was decommissioned")
+        return mdisk
+
+    # -- capacity accounting (Eq. 1 / Eq. 2) -----------------------------------------
+
+    def in_service_opage_slots(self) -> int:
+        """Physical slots backing the advertised capacity (excludes limbo)."""
+        return self.usable_opage_slots() - self.limbo.capacity_opages()
+
+    def needed_opage_slots(self) -> int:
+        """Right-hand side of Eq. 2: what the advertised capacity requires.
+
+        Draining minidisks no longer count toward advertised capacity, but
+        their not-yet-released data still occupies physical slots, so it is
+        added here — otherwise the grace period would mask real pressure.
+        """
+        cfg = self.salamander_config
+        draining_live = 0
+        if self._draining:
+            counts = self._live_counts()
+            draining_live = sum(counts.get(m, 0) for m in self._draining)
+        return (math.ceil(self.advertised_lbas
+                          * (1.0 + cfg.headroom_fraction))
+                + self._reserve_slots + draining_live)
+
+    def capacity_deficit(self) -> int:
+        """Positive when Eq. 2 says the device must shed capacity."""
+        return self.needed_opage_slots() - self.in_service_opage_slots()
+
+    # -- wear policy --------------------------------------------------------------------
+
+    def _page_allocatable(self, fpage: int) -> bool:
+        return fpage not in self.limbo
+
+    def _handle_worn_page(self, fpage: int, required_level: int) -> bool:
+        cfg = self.salamander_config
+        dead = self.policy.dead_level
+        regen = cfg.mode is SalamanderMode.REGEN
+        if fpage in self.limbo:
+            # A parked page aged further (its block was erased around it).
+            if required_level >= dead or required_level > cfg.regen_max_level:
+                self.limbo.remove(fpage)
+                self.chip.retire(fpage)
+                self.stats.retired_fpages += 1
+            else:
+                self.chip.set_level(fpage, required_level)
+                self.limbo.bump(fpage, required_level)
+            return False
+        if not regen or required_level > cfg.regen_max_level:
+            # ShrinkS, or beyond what RegenS will reuse: page leaves service.
+            self.chip.retire(fpage)
+            self.stats.retired_fpages += 1
+            return False
+        # RegenS: park at the lower code rate until an mDisk-worth exists.
+        self.chip.set_level(fpage, required_level)
+        self.limbo.add(fpage, required_level)
+        return False
+
+    def _after_wear_event(self, block: int, worn_fpages: list[int]) -> None:
+        self._rebalance_capacity()
+
+    def _rebalance_capacity(self) -> None:
+        """Apply Eq. 2 (decommission) then drain limbo (regenerate).
+
+        Under physical pressure, draining minidisks are force-released
+        (their grace ends early) before any further active mDisk is
+        sacrificed — freed garbage is cheaper than lost capacity.
+        """
+        while self.capacity_deficit() > 0:
+            if self._draining:
+                self.release_minidisk(self._draining[0])
+                continue
+            active = self.active_minidisks()
+            if not active:
+                break
+            victim = choose_victim(self.salamander_config.victim_policy,
+                                   active, self._live_counts())
+            self._decommission(victim, reason="wear")
+        if not self.active_minidisks():
+            self._exhaust()
+            raise DeviceBrickedError(
+                "device exhausted: all minidisks decommissioned")
+        if self.salamander_config.mode is SalamanderMode.REGEN:
+            self._regenerate()
+
+    def _decommission(self, mdisk: Minidisk, reason: str) -> None:
+        grace = self.salamander_config.grace_decommissions
+        self._event_seq += 1
+        if grace > 0:
+            # §4.3 grace period: keep the data readable while the diFS
+            # re-replicates; only the logical capacity leaves service now.
+            mdisk.decommission(self._event_seq, draining=True)
+            self._draining.append(mdisk.mdisk_id)
+        else:
+            self._invalidate(mdisk)
+            mdisk.decommission(self._event_seq)
+        self.stats.decommissioned_minidisks += 1
+        self._emit(MinidiskDecommissioned(
+            seq=self._event_seq, mdisk_id=mdisk.mdisk_id, reason=reason,
+            remaining_active=len(self.active_minidisks())))
+        while len(self._draining) > grace:
+            self.release_minidisk(self._draining[0])
+
+    def release_minidisk(self, mdisk_id: int) -> None:
+        """End a DRAINING minidisk's grace period and drop its data.
+
+        Called by the host once re-replication completes, or internally
+        when grace capacity runs out. Idempotent for already-released
+        disks is a caller error (they no longer drain).
+        """
+        mdisk = self.minidisk(mdisk_id)
+        if mdisk.status is not MinidiskStatus.DRAINING:
+            raise ConfigError(
+                f"mDisk {mdisk_id} is not draining "
+                f"(status: {mdisk.status.value})")
+        self._invalidate(mdisk)
+        mdisk.status = MinidiskStatus.DECOMMISSIONED
+        self._draining.remove(mdisk_id)
+
+    def _invalidate(self, mdisk: Minidisk) -> None:
+        for lba in range(mdisk.size_lbas):
+            flat = mdisk.flat_base + lba
+            self.buffer.discard(flat)
+            if self._l2p[flat] >= 0:
+                self._unmap(flat)
+            self._l2p[flat] = UNMAPPED
+
+    def _regenerate(self) -> None:
+        """Mint new mDisks while a single limbo level can back one (§3.4).
+
+        Revival demands ``regen_slack_fraction`` of extra capacity beyond
+        the mDisk's own needs; the surplus stays in service as margin so
+        the newborn mDisk survives the next few wear events.
+        """
+        cfg = self.salamander_config
+        needed = math.ceil(cfg.msize_lbas
+                           * (1.0 + cfg.headroom_fraction
+                              + cfg.regen_slack_fraction))
+        planner = (plan_revival_mixed if cfg.regen_mixed_levels
+                   else plan_revival)
+        while True:
+            plan = planner(self.limbo, needed)
+            if plan is None:
+                return
+            for fpage in plan.fpages:
+                self.limbo.remove(fpage)
+            self._event_seq += 1
+            mdisk = Minidisk(
+                mdisk_id=len(self.minidisks), size_lbas=cfg.msize_lbas,
+                level=plan.level, created_seq=self._event_seq)
+            self.minidisks.append(mdisk)
+            self._grow_flat_space(cfg.msize_lbas)
+            self.stats.regenerated_minidisks += 1
+            self._emit(MinidiskRegenerated(
+                seq=self._event_seq, mdisk_id=mdisk.mdisk_id,
+                level=plan.level, size_lbas=mdisk.size_lbas))
+
+    def _grow_flat_space(self, extra_lbas: int) -> None:
+        self._l2p = np.concatenate([
+            self._l2p, np.full(extra_lbas, UNMAPPED, dtype=np.int64)])
+        self.n_lbas += extra_lbas
+
+    def _exhaust(self) -> None:
+        if not self._exhausted:
+            self._exhausted = True
+            self._event_seq += 1
+            self._emit(DeviceExhausted(seq=self._event_seq))
+
+    def _emit(self, event: HostEvent) -> None:
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def _live_counts(self) -> dict[int, int]:
+        """Live LBAs per active mDisk (mapped plus buffered-unmapped)."""
+        counts: dict[int, int] = {}
+        msize = self.msize_lbas
+        mapped = np.flatnonzero(self._l2p >= 0)
+        for flat in mapped:
+            counts[int(flat) // msize] = counts.get(int(flat) // msize, 0) + 1
+        for key in self.buffer.keys():
+            if self._l2p[key] < 0:
+                counts[int(key) // msize] = counts.get(int(key) // msize, 0) + 1
+        return counts
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def minidisk_report(self) -> list[dict]:
+        """Per-minidisk status rows (id, level, status, live data)."""
+        counts = self._live_counts()
+        return [{
+            "mdisk_id": m.mdisk_id,
+            "level": m.level,
+            "status": m.status.value,
+            "size_lbas": m.size_lbas,
+            "live_lbas": counts.get(m.mdisk_id, 0),
+            "created_seq": m.created_seq,
+            "decommissioned_seq": m.decommissioned_seq,
+        } for m in self.minidisks]
+
+    def report(self) -> dict[str, float]:
+        """Health/state summary used by examples and the fleet harness."""
+        summary = dict(self.chip.wear_summary())
+        summary.update(self.stats.snapshot())
+        summary["mode"] = self.mode.value
+        summary["active_minidisks"] = len(self.active_minidisks())
+        summary["total_minidisks"] = len(self.minidisks)
+        summary["advertised_bytes"] = self.advertised_bytes
+        summary["limbo_fpages"] = len(self.limbo)
+        summary["limbo_capacity_opages"] = self.limbo.capacity_opages()
+        summary["in_service_opage_slots"] = self.in_service_opage_slots()
+        summary["alive"] = float(self.is_alive)
+        return summary

@@ -1,0 +1,61 @@
+"""Host notification events (paper §3.3-§3.4).
+
+Salamander "minimizes changes to storage systems by exposing the same SSD
+abstraction, but with finer-grain failure units". The only new interface is
+this event stream: the device tells the host when an mDisk dies (so the
+diFS can re-replicate) or is born (so the diFS can start placing data on
+it). Events carry plain data; consumers subscribe via
+``SalamanderSSD.add_listener``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HostEvent:
+    """Base class for device-to-host notifications.
+
+    Attributes:
+        seq: device-local sequence number; totally orders the stream.
+    """
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class MinidiskDecommissioned(HostEvent):
+    """An mDisk failed; the diFS should recover its data from replicas.
+
+    Attributes:
+        mdisk_id: which mDisk.
+        reason: short machine-readable cause (``"wear"`` for Eq. 2
+            decommissions).
+        remaining_active: active mDisks left after this decommission.
+    """
+
+    mdisk_id: int
+    reason: str
+    remaining_active: int
+
+
+@dataclass(frozen=True)
+class MinidiskRegenerated(HostEvent):
+    """A new mDisk was created from revived limbo pages (RegenS).
+
+    Attributes:
+        mdisk_id: identifier of the new mDisk.
+        level: tiredness level of its backing pages (data oPages per fPage
+            is ``P - level``; affects large-access performance, §4.2).
+        size_lbas: its capacity in oPages.
+    """
+
+    mdisk_id: int
+    level: int
+    size_lbas: int
+
+
+@dataclass(frozen=True)
+class DeviceExhausted(HostEvent):
+    """No active mDisks remain; the device has reached true end of life."""

@@ -1,0 +1,87 @@
+"""Minidisk objects: the failure-granular logical units (paper §3.2).
+
+An mDisk is "only a logical abstraction": an independent LBA range that the
+distributed file system treats as a tiny drive. Physically its LBAs may map
+to any oPage on the device; what makes it a *failure domain* is that the
+device decommissions capacity in whole-mDisk units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class MinidiskStatus(Enum):
+    ACTIVE = "active"
+    DRAINING = "draining"          # decommissioned but data kept readable
+    DECOMMISSIONED = "decommissioned"
+
+
+@dataclass
+class Minidisk:
+    """One logical minidisk.
+
+    Attributes:
+        mdisk_id: stable identifier; also fixes the flat LBA base
+            (``mdisk_id * size_lbas``) inside the device's mapping array.
+        size_lbas: LBAs (oPages) in this mDisk (``mSize / 4 KiB``).
+        level: tiredness level of the pages this mDisk was created from —
+            0 for the original population, ``j`` for an mDisk regenerated
+            out of limbo pages at level ``j`` (the paper assumes uniform
+            tiredness per mDisk).
+        created_seq: device event sequence at creation (for lifetime stats).
+        status / decommissioned_seq: lifecycle bookkeeping.
+    """
+
+    mdisk_id: int
+    size_lbas: int
+    level: int = 0
+    created_seq: int = 0
+    status: MinidiskStatus = MinidiskStatus.ACTIVE
+    decommissioned_seq: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mdisk_id < 0:
+            raise ConfigError(f"mdisk_id must be >= 0, got {self.mdisk_id!r}")
+        if self.size_lbas <= 0:
+            raise ConfigError(
+                f"size_lbas must be positive, got {self.size_lbas!r}")
+        if self.level < 0:
+            raise ConfigError(f"level must be >= 0, got {self.level!r}")
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is MinidiskStatus.ACTIVE
+
+    @property
+    def is_readable(self) -> bool:
+        """Whether reads are still served (active, or draining under the
+        §4.3 grace period while the diFS re-replicates)."""
+        return self.status in (MinidiskStatus.ACTIVE,
+                               MinidiskStatus.DRAINING)
+
+    @property
+    def flat_base(self) -> int:
+        """First flat LBA of this mDisk in the device's mapping array."""
+        return self.mdisk_id * self.size_lbas
+
+    def flat_lba(self, lba: int) -> int:
+        """Translate an mDisk-relative LBA to the device's flat index."""
+        if not 0 <= lba < self.size_lbas:
+            raise ConfigError(
+                f"LBA {lba} out of mDisk range [0, {self.size_lbas})")
+        return self.flat_base + lba
+
+    def decommission(self, seq: int, *, draining: bool = False) -> None:
+        """Leave service — immediately, or via the DRAINING grace state."""
+        if self.status is MinidiskStatus.DECOMMISSIONED:
+            raise ConfigError(f"mDisk {self.mdisk_id} already decommissioned")
+        if draining and self.status is MinidiskStatus.DRAINING:
+            raise ConfigError(f"mDisk {self.mdisk_id} already draining")
+        self.status = (MinidiskStatus.DRAINING if draining
+                       else MinidiskStatus.DECOMMISSIONED)
+        if self.decommissioned_seq is None:
+            self.decommissioned_seq = seq

@@ -1,0 +1,216 @@
+"""Declarative experiments: JSON scenario files -> JSON artifacts.
+
+A *scenario* is a small JSON document describing one experiment —
+which simulator to run and with what parameters — so that studies are
+shareable and re-runnable without writing Python:
+
+.. code-block:: json
+
+    {
+      "name": "heavy-write-fleet",
+      "kind": "fleet",
+      "seed": 42,
+      "params": {"devices": 32, "dwpd": 3.0, "horizon_days": 2000},
+      "modes": ["baseline", "regen"]
+    }
+
+``run_scenario`` dispatches on ``kind`` (``fleet``, ``tournament``,
+``carbon``, ``tco``, ``replacement``, ``fig2``) and returns an
+:class:`~repro.reporting.export.ExperimentWriter` holding structured
+tables/series, ready to ``write()`` as a JSON artifact. The CLI exposes
+this as ``python -m repro run <scenario.json> [--out results/]``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, replace
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.reporting.export import ExperimentWriter
+from repro.reporting.series import Series
+
+SCENARIO_KINDS = ("fleet", "tournament", "carbon", "tco", "replacement",
+                  "fig2")
+
+
+def load_scenario(path: str | Path) -> dict:
+    """Read and validate a scenario document."""
+    document = json.loads(Path(path).read_text())
+    return validate_scenario(document)
+
+
+def validate_scenario(document: dict) -> dict:
+    if not isinstance(document, dict):
+        raise ConfigError("scenario must be a JSON object")
+    name = document.get("name")
+    if not name or not isinstance(name, str):
+        raise ConfigError("scenario needs a non-empty string 'name'")
+    kind = document.get("kind")
+    if kind not in SCENARIO_KINDS:
+        raise ConfigError(
+            f"scenario 'kind' must be one of {SCENARIO_KINDS}, got {kind!r}")
+    params = document.get("params", {})
+    if not isinstance(params, dict):
+        raise ConfigError("scenario 'params' must be an object")
+    return document
+
+
+def _fleet_config(params: dict):
+    from repro.flash.geometry import FlashGeometry
+    from repro.sim.fleet import FleetConfig
+
+    params = dict(params)
+    geometry_params = params.pop("geometry", None)
+    allowed = {f.name for f in fields(FleetConfig)} - {"geometry"}
+    unknown = set(params) - allowed
+    if unknown:
+        raise ConfigError(f"unknown fleet params: {sorted(unknown)}")
+    config = FleetConfig(**params)
+    if geometry_params:
+        config = replace(config, geometry=FlashGeometry(**geometry_params))
+    return config
+
+
+def _run_fleet(document: dict, writer: ExperimentWriter) -> None:
+    from repro.sim.fleet import MODES, simulate_fleet
+
+    config = _fleet_config(document.get("params", {}))
+    modes = document.get("modes", list(MODES))
+    seed = document.get("seed", 0)
+    rows = []
+    for mode in modes:
+        result = simulate_fleet(config, mode, seed=seed)
+        writer.add_series(Series(
+            f"{mode}/functioning", result.days, result.functioning,
+            x_label="days", y_label="functioning devices"))
+        writer.add_series(Series(
+            f"{mode}/capacity", result.days, result.capacity_bytes,
+            x_label="days", y_label="capacity bytes"))
+        rows.append([mode, result.mean_lifetime_days(),
+                     result.total_recovery_bytes()])
+    writer.add_table("summary",
+                     ["mode", "mean_lifetime_days", "recovery_bytes"], rows)
+
+
+def _run_tournament(document: dict, writer: ExperimentWriter) -> None:
+    from repro.flash.chip import FlashChip
+    from repro.flash.geometry import FlashGeometry
+    from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+    from repro.salamander.device import SalamanderConfig, SalamanderSSD
+    from repro.sim.lifetime import run_write_lifetime
+    from repro.ssd.cvss import CVSSConfig, CVSSDevice
+    from repro.ssd.device import BaselineSSD, SSDConfig
+    from repro.ssd.ftl import FTLConfig
+
+    params = document.get("params", {})
+    seed = document.get("seed", 1)
+    geometry = FlashGeometry(blocks=params.get("blocks", 32),
+                             fpages_per_block=8)
+    policy = TirednessPolicy(geometry=geometry)
+    model = calibrate_power_law(
+        policy, pec_limit_l0=params.get("pec_limit", 30))
+    ftl = FTLConfig(overprovision=0.25, buffer_opages=8)
+
+    def chip():
+        return FlashChip(geometry, rber_model=model, policy=policy,
+                         seed=seed, variation_sigma=0.3)
+
+    salamander = dict(msize_lbas=32, headroom_fraction=0.25, ftl=ftl)
+    devices = {
+        "baseline": BaselineSSD(chip(), SSDConfig(ftl=ftl)),
+        "cvss": CVSSDevice(chip(), CVSSConfig(ftl=ftl)),
+        "shrinks": SalamanderSSD(chip(), SalamanderConfig(
+            mode="shrink", **salamander)),
+        "regens": SalamanderSSD(chip(), SalamanderConfig(
+            mode="regen", **salamander)),
+    }
+    rows = []
+    for name, device in devices.items():
+        result = run_write_lifetime(
+            device, utilization=params.get("utilization", 0.6),
+            capacity_floor_fraction=0.3, seed=0)
+        rows.append([name, result.host_writes, result.mean_pec_at_death,
+                     result.death_cause])
+    writer.add_table("lifetimes",
+                     ["device", "host_writes", "mean_pec", "end_cause"],
+                     rows)
+
+
+def _run_carbon(document: dict, writer: ExperimentWriter) -> None:
+    from repro.models.carbon import fig4_configurations
+
+    params = document.get("params", {})
+    bars = fig4_configurations(**params)
+    writer.add_table("fig4", ["configuration", "savings"],
+                     [[k, v] for k, v in bars.items()])
+
+
+def _run_tco(document: dict, writer: ExperimentWriter) -> None:
+    from repro.models.tco import (RU_REGENS, RU_SHRINKS, TCOParams,
+                                  tco_savings)
+
+    params = document.get("params", {})
+    f_opex = params.get("f_opex", 0.14)
+    rows = [[mode, tco_savings(TCOParams(f_opex=f_opex, upgrade_rate=ru))]
+            for mode, ru in (("shrinks", RU_SHRINKS),
+                             ("regens", RU_REGENS))]
+    writer.add_table("tco", ["mode", "savings"], rows)
+
+
+def _run_replacement(document: dict, writer: ExperimentWriter) -> None:
+    from repro.sim.replacement import (ReplacementConfig,
+                                       measured_upgrade_rates)
+
+    params = dict(document.get("params", {}))
+    fleet_params = params.pop("fleet", {})
+    config = ReplacementConfig(fleet=_fleet_config(fleet_params), **params)
+    results = measured_upgrade_rates(config, seed=document.get("seed", 9))
+    base = results["baseline"].purchases
+    writer.add_table(
+        "upgrade_rates",
+        ["mode", "purchases", "measured_ru", "mean_service_days",
+         "preempted_fraction"],
+        [[mode, r.purchases, r.purchases / base, r.mean_service_life_days,
+          r.preempted_fraction] for mode, r in results.items()])
+
+
+def _run_fig2(document: dict, writer: ExperimentWriter) -> None:
+    from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+    from repro.models.lifetime import tiredness_tradeoff
+
+    params = document.get("params", {})
+    policy = TirednessPolicy(
+        ecc_family=params.get("ecc_family", "bch"))
+    model = calibrate_power_law(
+        policy, pec_limit_l0=params.get("pec_limit", 3000))
+    points = tiredness_tradeoff(policy, model)
+    writer.add_table(
+        "fig2",
+        ["level", "capacity_fraction", "code_rate", "max_rber",
+         "pec_limit", "pec_gain"],
+        [[p.level, p.capacity_fraction, p.code_rate, p.max_rber,
+          p.pec_limit, p.pec_gain] for p in points])
+
+
+_RUNNERS = {
+    "fleet": _run_fleet,
+    "tournament": _run_tournament,
+    "carbon": _run_carbon,
+    "tco": _run_tco,
+    "replacement": _run_replacement,
+    "fig2": _run_fig2,
+}
+
+
+def run_scenario(document: dict) -> ExperimentWriter:
+    """Execute a validated scenario; returns the artifact writer."""
+    document = validate_scenario(document)
+    writer = ExperimentWriter(document["name"], meta={
+        "kind": document["kind"],
+        "seed": document.get("seed"),
+        "params": document.get("params", {}),
+    })
+    _RUNNERS[document["kind"]](document, writer)
+    return writer

@@ -1,0 +1,32 @@
+"""Simulated time."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated clock (seconds, starting at 0)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds; returns the new time."""
+        if delta < 0:
+            raise SimulationError(
+                f"cannot advance the clock by negative {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to absolute time ``when`` (never backwards)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards from {self._now} to {when}")
+        self._now = float(when)
+        return self._now

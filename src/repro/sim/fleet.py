@@ -1,0 +1,319 @@
+"""Vectorised fleet lifecycle simulation (paper Fig. 3a/3b).
+
+Simulates a batch of SSDs deployed together and worn by a DWPD write
+schedule over years, for each device discipline:
+
+* ``"baseline"`` — full capacity until grown-bad blocks (first worn page
+  per block) exceed the brick threshold, then instant total failure;
+* ``"cvss"`` — block-granular shrinking keyed on block-*average* wear,
+  bounded by host free space (``host_utilization``);
+* ``"shrink"`` — ShrinkS: page-granular retirement, graceful shrinking;
+* ``"regen"`` — RegenS: worn pages re-qualify at higher tiredness levels up
+  to ``regen_max_level`` before retiring.
+
+The trick that makes year-scale fleets cheap: per-page process variation is
+a multiplicative factor ``s`` on the RBER curve, so at device wear ``w`` a
+page is usable at tiredness level ``k`` iff ``s * rber(w) <= max_rber(k)``.
+Sorting each device's page factors once turns every per-step census into a
+``searchsorted``. Block-level rules (baseline min / CVSS mean) reduce the
+same way over per-block max/mean factors. The *same variation draws* are
+shared across disciplines, so curves differ only by policy.
+
+Wear advances under perfect wear leveling: writing ``bytes`` of host data
+with write amplification ``waf`` onto ``live_raw_bytes`` of in-service
+flash adds ``bytes * waf / live_raw_bytes`` P/E cycles — so shrunken
+devices wear *faster* per host byte, a feedback the curves include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.rber import RBERModel, lognormal_page_variation
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.rng import fork_rng, make_rng
+
+MODES = ("baseline", "cvss", "shrink", "regen")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet experiment parameters.
+
+    Attributes:
+        devices: batch size.
+        geometry: per-device flash layout (sets the variance structure; the
+            default is a scaled-down device so draws stay cheap).
+        pec_limit_l0: rated endurance of a median page at the default ECC.
+        variation_sigma: lognormal sigma of page-to-page RBER variation.
+        dwpd: mean drive writes per day against the *original* capacity.
+        dwpd_cv: device-to-device load spread (coefficient of variation of
+            a lognormal per-device multiplier). Real fleets never load
+            every drive identically; 0 gives the paper's idealised
+            homogeneous batch with cliff-shaped curves.
+        write_amplification: assumed FTL WAF (measured ~1.2-4 in the
+            functional simulator depending on utilisation).
+        afr: annual rate of wear-unrelated failures (controller death etc.),
+            applied to every discipline alike.
+        horizon_days / step_days: simulated span and resolution.
+        headroom_fraction: over-provisioning kept out of advertised space.
+        brick_threshold: baseline bad-block fraction at end of life.
+        host_utilization: fraction of capacity holding live data; the CVSS
+            death bound (it cannot shrink below its live data).
+        min_capacity_fraction: Salamander replacement floor.
+        regen_max_level: RegenS page-reuse ceiling (paper recommends 1).
+        cvss_rule: when a CVSS block retires — ``"first-page"`` (as soon as
+            its weakest page outgrows the ECC; reliability-preserving, the
+            conservative reading behind the paper's "ShrinkS is at least as
+            good as CVSS") or ``"avg-rber"`` (the literal block-average
+            trigger, which silently keeps already-unreliable weak pages in
+            service; the functional simulator shows the data-loss cost).
+    """
+
+    devices: int = 64
+    geometry: FlashGeometry = field(
+        default_factory=lambda: FlashGeometry(blocks=256,
+                                              fpages_per_block=64))
+    pec_limit_l0: float = 3000.0
+    variation_sigma: float = 0.35
+    dwpd: float = 1.0
+    dwpd_cv: float = 0.25
+    write_amplification: float = 2.0
+    afr: float = 0.01
+    horizon_days: int = 3650
+    step_days: int = 5
+    headroom_fraction: float = 0.07
+    brick_threshold: float = 0.025
+    host_utilization: float = 0.5
+    min_capacity_fraction: float = 0.2
+    regen_max_level: int = 1
+    cvss_rule: str = "first-page"
+
+    def __post_init__(self) -> None:
+        if self.cvss_rule not in ("first-page", "avg-rber"):
+            raise ConfigError(
+                f"cvss_rule must be 'first-page' or 'avg-rber', "
+                f"got {self.cvss_rule!r}")
+        if self.devices <= 0:
+            raise ConfigError(f"devices must be positive, got {self.devices!r}")
+        if self.pec_limit_l0 <= 0:
+            raise ConfigError(
+                f"pec_limit_l0 must be positive, got {self.pec_limit_l0!r}")
+        if self.dwpd <= 0:
+            raise ConfigError(f"dwpd must be positive, got {self.dwpd!r}")
+        if self.dwpd_cv < 0:
+            raise ConfigError(
+                f"dwpd_cv must be non-negative, got {self.dwpd_cv!r}")
+        if self.write_amplification < 1:
+            raise ConfigError(
+                f"write_amplification must be >= 1, "
+                f"got {self.write_amplification!r}")
+        if not 0 <= self.afr < 1:
+            raise ConfigError(f"afr must be in [0, 1), got {self.afr!r}")
+        if self.horizon_days <= 0 or self.step_days <= 0:
+            raise ConfigError("horizon_days and step_days must be positive")
+        if not 0 < self.host_utilization <= 1:
+            raise ConfigError(
+                f"host_utilization must be in (0, 1], "
+                f"got {self.host_utilization!r}")
+        if self.regen_max_level < 1:
+            raise ConfigError(
+                f"regen_max_level must be >= 1, got {self.regen_max_level!r}")
+
+
+@dataclass
+class FleetResult:
+    """Time series and per-device outcomes for one (config, mode) run.
+
+    Attributes:
+        mode: device discipline simulated.
+        days: sample times (after each step).
+        functioning: devices still in service at each sample (Fig. 3a).
+        capacity_bytes: total advertised capacity at each sample (Fig. 3b).
+        capacity_lost_bytes: advertised capacity lost during each step —
+            the data volume the diFS must re-replicate (§4.3).
+        death_day: per-device day of leaving service (inf = survived).
+        initial_capacity_bytes: fleet capacity at day 0.
+    """
+
+    mode: str
+    days: np.ndarray
+    functioning: np.ndarray
+    capacity_bytes: np.ndarray
+    capacity_lost_bytes: np.ndarray
+    death_day: np.ndarray
+    initial_capacity_bytes: float
+
+    def mean_lifetime_days(self) -> float:
+        """Mean days in service (censored at the horizon)."""
+        horizon = float(self.days[-1]) if self.days.size else 0.0
+        return float(np.minimum(self.death_day, horizon).mean())
+
+    def survivors_at(self, day: float) -> int:
+        index = int(np.searchsorted(self.days, day, side="right")) - 1
+        if index < 0:
+            return int(self.functioning[0]) if self.functioning.size else 0
+        return int(self.functioning[index])
+
+    def capacity_fraction_at(self, day: float) -> float:
+        index = int(np.searchsorted(self.days, day, side="right")) - 1
+        index = max(index, 0)
+        if self.initial_capacity_bytes == 0:
+            return 0.0
+        return float(self.capacity_bytes[index] / self.initial_capacity_bytes)
+
+    def total_recovery_bytes(self) -> float:
+        return float(self.capacity_lost_bytes.sum())
+
+
+class _DeviceState:
+    """Sorted variation factors + wear for one simulated device."""
+
+    def __init__(self, rng: np.random.Generator, geometry: FlashGeometry,
+                 sigma: float) -> None:
+        pages = lognormal_page_variation(rng, geometry.total_fpages, sigma)
+        per_block = pages.reshape(geometry.blocks, geometry.fpages_per_block)
+        self.sorted_pages = np.sort(pages)
+        self.sorted_block_max = np.sort(per_block.max(axis=1))
+        self.sorted_block_mean = np.sort(per_block.mean(axis=1))
+        self.wear = 0.0
+        self.alive = True
+        self.death_day = np.inf
+
+
+def _count_below(sorted_values: np.ndarray, threshold: float) -> int:
+    return int(np.searchsorted(sorted_values, threshold, side="right"))
+
+
+def simulate_fleet(config: FleetConfig, mode: str,
+                   seed: int | np.random.Generator | None = None,
+                   rber_model: RBERModel | None = None) -> FleetResult:
+    """Run one fleet under one device discipline.
+
+    Pass the same ``seed`` for every mode to compare disciplines on
+    identical hardware draws (the AFR stream is forked per mode from the
+    same root, so background failures are statistically — not samplewise —
+    identical).
+    """
+    if mode not in MODES:
+        raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+    rng = make_rng(seed)
+    geometry = config.geometry
+    policy = TirednessPolicy(geometry=geometry)
+    model = rber_model or calibrate_power_law(
+        policy, pec_limit_l0=config.pec_limit_l0)
+    level_rber = [policy.max_rber(k) for k in policy.usable_levels]
+
+    hardware_rng = fork_rng(rng, "hardware")
+    afr_rng = fork_rng(rng, "afr", mode)
+    load_rng = fork_rng(rng, "load")
+    devices = [_DeviceState(fork_rng(hardware_rng, i), geometry,
+                            config.variation_sigma)
+               for i in range(config.devices)]
+    if config.dwpd_cv > 0:
+        sigma = np.sqrt(np.log1p(config.dwpd_cv**2))
+        load_factors = load_rng.lognormal(-sigma**2 / 2, sigma,
+                                          size=config.devices)
+    else:
+        load_factors = np.ones(config.devices)
+
+    slots_per_device = geometry.total_opage_slots
+    opage_bytes = geometry.opage_bytes
+    adv0_bytes = (slots_per_device * opage_bytes
+                  / (1.0 + config.headroom_fraction))
+    original_daily_bytes = config.dwpd * adv0_bytes
+    step_failure_prob = 1.0 - (1.0 - config.afr)**(config.step_days / 365.0)
+
+    def advertised_bytes(dev: _DeviceState) -> float:
+        """Current advertised capacity under ``mode`` at the device's wear."""
+        rber = float(model.rber(dev.wear))
+        if rber <= 0:
+            return adv0_bytes
+        per_fpage = geometry.opages_per_fpage
+        if mode == "baseline":
+            weak = geometry.blocks - _count_below(
+                dev.sorted_block_max, level_rber[0] / rber)
+            if weak / geometry.blocks > config.brick_threshold:
+                return 0.0
+            return adv0_bytes
+        if mode == "cvss":
+            block_factors = (dev.sorted_block_max
+                             if config.cvss_rule == "first-page"
+                             else dev.sorted_block_mean)
+            live_blocks = _count_below(block_factors, level_rber[0] / rber)
+            slots = live_blocks * geometry.fpages_per_block * per_fpage
+            return slots * opage_bytes / (1.0 + config.headroom_fraction)
+        if mode == "shrink":
+            live_pages = _count_below(dev.sorted_pages, level_rber[0] / rber)
+            return (live_pages * per_fpage * opage_bytes
+                    / (1.0 + config.headroom_fraction))
+        # regen: pages at level k contribute (P - k) oPage slots.
+        slots = 0
+        alive_below = 0
+        for k in range(min(config.regen_max_level,
+                           policy.dead_level - 1) + 1):
+            alive_k = _count_below(dev.sorted_pages, level_rber[k] / rber)
+            slots += (per_fpage - k) * (alive_k - alive_below)
+            alive_below = alive_k
+        return slots * opage_bytes / (1.0 + config.headroom_fraction)
+
+    def in_service_raw_bytes(adv: float) -> float:
+        return adv * (1.0 + config.headroom_fraction)
+
+    def floor_bytes() -> float:
+        if mode == "baseline":
+            return 0.0  # baseline fails by bricking, not by the floor
+        if mode == "cvss":
+            return config.host_utilization * adv0_bytes
+        return config.min_capacity_fraction * adv0_bytes
+
+    steps = int(np.ceil(config.horizon_days / config.step_days))
+    days = np.zeros(steps)
+    functioning = np.zeros(steps, dtype=np.int64)
+    capacity = np.zeros(steps)
+    lost = np.zeros(steps)
+    previous_capacity = adv0_bytes * config.devices
+
+    for step in range(steps):
+        day = (step + 1) * config.step_days
+        afr_draws = afr_rng.random(config.devices)
+        total_capacity = 0.0
+        alive_count = 0
+        for index, dev in enumerate(devices):
+            if not dev.alive:
+                continue
+            if afr_draws[index] < step_failure_prob:
+                dev.alive = False
+                dev.death_day = day
+                continue
+            adv = advertised_bytes(dev)
+            if adv <= floor_bytes() or adv <= 0.0:
+                dev.alive = False
+                dev.death_day = day
+                continue
+            # Advance wear through this step at the current live capacity.
+            raw = in_service_raw_bytes(adv)
+            written = (config.step_days * original_daily_bytes
+                       * load_factors[index])
+            dev.wear += written * config.write_amplification / raw
+            alive_count += 1
+            total_capacity += adv
+        days[step] = day
+        functioning[step] = alive_count
+        capacity[step] = total_capacity
+        lost[step] = max(0.0, previous_capacity - total_capacity)
+        previous_capacity = total_capacity
+
+    return FleetResult(
+        mode=mode,
+        days=days,
+        functioning=functioning,
+        capacity_bytes=capacity,
+        capacity_lost_bytes=lost,
+        death_day=np.array([d.death_day for d in devices]),
+        initial_capacity_bytes=adv0_bytes * config.devices,
+    )

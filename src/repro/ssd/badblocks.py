@@ -1,0 +1,63 @@
+"""Bad-block ledger and the brick threshold.
+
+Real SSD firmware maps out blocks that fail program/erase or show
+near-capability error rates, replaces them from over-provisioned space, and
+stops functioning once grown-bad blocks exceed a small threshold — the
+paper quotes 2.5 % (citing the NetApp field study [14]). This module keeps
+that ledger and answers the "is this device still alive?" question for the
+baseline SSD.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+DEFAULT_BRICK_THRESHOLD = 0.025  # fraction of blocks; paper §1/§2
+
+
+class BadBlockLedger:
+    """Tracks grown bad blocks and the device end-of-life rule.
+
+    Args:
+        total_blocks: blocks on the device.
+        brick_threshold: fraction of bad blocks at which the device stops
+            functioning (bricks or turns read-only).
+    """
+
+    def __init__(self, total_blocks: int,
+                 brick_threshold: float = DEFAULT_BRICK_THRESHOLD) -> None:
+        if total_blocks <= 0:
+            raise ConfigError(
+                f"total_blocks must be positive, got {total_blocks!r}")
+        if not 0.0 < brick_threshold <= 1.0:
+            raise ConfigError(
+                f"brick_threshold must be in (0, 1], got {brick_threshold!r}")
+        self.total_blocks = total_blocks
+        self.brick_threshold = brick_threshold
+        self._bad: set[int] = set()
+
+    def mark_bad(self, block: int) -> None:
+        """Record ``block`` as grown-bad (idempotent)."""
+        if not 0 <= block < self.total_blocks:
+            raise IndexError(
+                f"block {block} out of range [0, {self.total_blocks})")
+        self._bad.add(block)
+
+    def is_bad(self, block: int) -> bool:
+        return block in self._bad
+
+    @property
+    def bad_count(self) -> int:
+        return len(self._bad)
+
+    @property
+    def bad_fraction(self) -> float:
+        return len(self._bad) / self.total_blocks
+
+    @property
+    def exceeded(self) -> bool:
+        """Whether the device has crossed its end-of-life threshold."""
+        return self.bad_fraction > self.brick_threshold
+
+    def bad_blocks(self) -> frozenset[int]:
+        return frozenset(self._bad)

@@ -1,0 +1,823 @@
+"""Page-mapped flash translation layer (FTL).
+
+This is the mechanism layer shared by :class:`repro.ssd.device.BaselineSSD`
+and :class:`repro.salamander.device.SalamanderSSD`: logical-to-physical
+mapping at oPage granularity, NVRAM write buffering, block allocation with
+wear leveling, garbage collection, and wear-transition detection.
+
+Policy differences between device types are expressed through two template
+hooks:
+
+* :meth:`PageMappedFTL._handle_worn_page` — called when a *free* page's RBER
+  has outgrown the ECC of its current tiredness level (detected right after
+  the erase that bumped its PEC). The default retires the single page —
+  Salamander's behaviour. The baseline device overrides this to retire the
+  whole block, reproducing commodity firmware.
+* :meth:`PageMappedFTL._after_wear_event` — called once per erase that
+  produced worn pages, so devices can run capacity checks (Salamander's
+  Eq. 2) or end-of-life rules (the baseline's 2.5 % brick threshold).
+
+Physical addressing: an oPage *slot* is ``fpage * P + slot`` with ``P`` the
+geometry's oPages-per-fPage; pages at tiredness level ``L`` only use slots
+``0 .. P-L-1``. The logical map ``l2p`` holds a slot index, ``UNMAPPED``
+(never written / trimmed) or ``LOST`` (data destroyed by an uncorrectable
+error — the distributed layer re-replicates around this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    InvalidLBAError,
+    OutOfSpaceError,
+    UncorrectableError,
+)
+from repro.flash.chip import FlashChip, PageState
+from repro.ssd.gc import CostBenefitGC, GCPolicy, GreedyGC
+from repro.ssd.stats import SSDStats
+from repro.ssd.wear import select_min_wear_block
+from repro.ssd.write_buffer import WriteBuffer
+
+UNMAPPED = -1
+LOST = -2
+
+_GC_POLICIES = {"greedy": GreedyGC, "cost-benefit": CostBenefitGC}
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """Tunables of the FTL mechanism.
+
+    Attributes:
+        overprovision: fraction of raw oPage slots hidden from the host.
+        gc_reserve_blocks: free blocks host writes may not consume; GC dips
+            into them while compacting.
+        buffer_opages: NVRAM write-buffer capacity.
+        gc_policy: ``"greedy"`` or ``"cost-benefit"``.
+        max_level: highest tiredness level at which pages may still store
+            data. 0 reproduces a fixed-code-rate device; RegenS raises it.
+        stream_separation: keep separate open blocks for host writes and
+            GC/scrub relocations. Relocated data is colder than fresh host
+            data; mixing them in one block raises write amplification
+            under skewed traffic (see the ablation bench).
+        host_streams: open blocks available to host stream hints (the
+            multi-stream SSD directive): ``write(lba, data, stream=s)``
+            groups data of like lifetime into like blocks, so hot and cold
+            data stop sharing erase units. 1 disables hints.
+        scrub_interval_writes: host operations (writes *and* reads — read
+            disturb also drives pages past their ECC) between automatic
+            scrub sweeps; 0 disables. Each sweep examines
+            ``scrub_batch_fpages`` pages from a rolling cursor and
+            relocates data off pages whose RBER has outgrown their ECC —
+            catching wear *before* a read fails rather than lazily at the
+            next erase.
+        scrub_batch_fpages: pages examined per automatic sweep.
+    """
+
+    overprovision: float = 0.07
+    gc_reserve_blocks: int = 2
+    buffer_opages: int = 64
+    gc_policy: str = "greedy"
+    max_level: int = 0
+    stream_separation: bool = True
+    host_streams: int = 1
+    scrub_interval_writes: int = 0
+    scrub_batch_fpages: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overprovision < 1.0:
+            raise ConfigError(
+                f"overprovision must be in [0, 1), got {self.overprovision!r}")
+        if self.gc_reserve_blocks < 1:
+            raise ConfigError(
+                f"gc_reserve_blocks must be >= 1, got {self.gc_reserve_blocks!r}")
+        if self.buffer_opages <= 0:
+            raise ConfigError(
+                f"buffer_opages must be positive, got {self.buffer_opages!r}")
+        if self.gc_policy not in _GC_POLICIES:
+            raise ConfigError(
+                f"gc_policy must be one of {sorted(_GC_POLICIES)}, "
+                f"got {self.gc_policy!r}")
+        if self.max_level < 0:
+            raise ConfigError(
+                f"max_level must be non-negative, got {self.max_level!r}")
+        if self.host_streams < 1:
+            raise ConfigError(
+                f"host_streams must be >= 1, got {self.host_streams!r}")
+        if self.scrub_interval_writes < 0:
+            raise ConfigError(
+                f"scrub_interval_writes must be non-negative, "
+                f"got {self.scrub_interval_writes!r}")
+        if self.scrub_batch_fpages <= 0:
+            raise ConfigError(
+                f"scrub_batch_fpages must be positive, "
+                f"got {self.scrub_batch_fpages!r}")
+
+
+class PageMappedFTL:
+    """Logical block device over a :class:`FlashChip`.
+
+    Args:
+        chip: the flash chip to manage.
+        n_lbas: logical oPage count exposed to the host.
+        config: FTL tunables; ``None`` means defaults.
+    """
+
+    def __init__(self, chip: FlashChip, n_lbas: int,
+                 config: FTLConfig | None = None) -> None:
+        self.chip = chip
+        self.geometry = chip.geometry
+        self.policy = chip.policy
+        self.config = config or FTLConfig()
+        if self.config.max_level >= self.policy.dead_level:
+            raise ConfigError(
+                f"max_level {self.config.max_level} must be below the dead "
+                f"level {self.policy.dead_level}")
+        if n_lbas <= 0:
+            raise ConfigError(f"n_lbas must be positive, got {n_lbas!r}")
+        slots_per_block = (self.geometry.fpages_per_block
+                           * self.geometry.opages_per_fpage)
+        headroom = (self.config.gc_reserve_blocks + 1) * slots_per_block
+        if n_lbas > self.geometry.total_opage_slots - headroom:
+            raise ConfigError(
+                f"n_lbas {n_lbas} leaves less than {headroom} oPage slots of "
+                f"headroom; shrink the logical size or grow the chip")
+
+        self.n_lbas = n_lbas
+        self.stats = SSDStats()
+        self.buffer = WriteBuffer(self.config.buffer_opages)
+        self._gc: GCPolicy = _GC_POLICIES[self.config.gc_policy]()
+
+        p = self.geometry.opages_per_fpage
+        self._slots_per_fpage_max = p
+        self._l2p = np.full(n_lbas, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(self.geometry.total_opage_slots, UNMAPPED,
+                            dtype=np.int64)
+        self._valid_per_block = np.zeros(self.geometry.blocks, dtype=np.int64)
+        self._erase_counts = np.zeros(self.geometry.blocks, dtype=np.int64)
+        self._close_seq = np.zeros(self.geometry.blocks, dtype=np.int64)
+        self._seq = 0
+
+        self._write_seq = 0  # monotone program counter, stored in OOB
+        self._free_blocks: set[int] = set(range(self.geometry.blocks))
+        self._closed_blocks: set[int] = set()
+        self._dead_blocks: set[int] = set()
+        # One open (block, cursor) per write stream: host stream hints get
+        # their own blocks, and relocations get one when stream_separation
+        # is on.
+        self._open: dict[str, tuple[int, int] | None] = {
+            **{f"host{i}": None for i in range(self.config.host_streams)},
+            "gc": None}
+        self._buffer_stream: dict[int, int] = {}
+        self._scrub_cursor = 0
+        self._writes_since_scrub = 0
+
+    # -- host interface ------------------------------------------------------
+
+    @classmethod
+    def for_chip(cls, chip: FlashChip,
+                 config: FTLConfig | None = None) -> "PageMappedFTL":
+        """Build an FTL exposing ``(1 - overprovision)`` of the chip's slots."""
+        config = config or FTLConfig()
+        n_lbas = int(chip.geometry.total_opage_slots
+                     * (1.0 - config.overprovision))
+        return cls(chip, n_lbas, config)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Logical device size in bytes."""
+        return self.n_lbas * self.geometry.opage_bytes
+
+    def write(self, lba: int, data: bytes, stream: int = 0) -> None:
+        """Buffer a 4 KiB (or shorter) write to ``lba``.
+
+        ``stream`` is the multi-stream lifetime hint: writes sharing a
+        stream land in the same open blocks, so callers that tag hot and
+        cold data separately stop co-locating them in erase units.
+        """
+        self._check_lba(lba)
+        if not 0 <= stream < self.config.host_streams:
+            raise ConfigError(
+                f"stream must be in [0, {self.config.host_streams}), "
+                f"got {stream!r}")
+        if len(data) > self.geometry.opage_bytes:
+            raise ConfigError(
+                f"write of {len(data)} bytes exceeds the {self.geometry.opage_bytes}"
+                f"-byte oPage size; split at the device layer")
+        busy_before = self.chip.stats.busy_us
+        if lba not in self.buffer and self.buffer.is_full:
+            self._drain_one_fpage()
+        self.buffer.put(lba, bytes(data))
+        self._buffer_stream[lba] = stream
+        self.stats.host_writes += 1  # counted only once accepted
+        # The write's visible cost is whatever device work it had to wait
+        # for: usually nothing (NVRAM hit), sometimes a drain, occasionally
+        # a full GC pass — that is where the write tail comes from.
+        self.stats.write_latency.add(self.chip.stats.busy_us - busy_before)
+
+    def read(self, lba: int) -> bytes:
+        """Read the 4 KiB oPage at ``lba``.
+
+        Unwritten LBAs read as zeros (block-device semantics). LBAs whose
+        backing page suffered an uncorrectable error raise
+        :class:`UncorrectableError` until rewritten.
+        """
+        self._check_lba(lba)
+        self.stats.host_reads += 1
+        self._maybe_autoscrub()
+        buffered = self.buffer.get(lba)
+        if buffered is not None:
+            return buffered.ljust(self.geometry.opage_bytes, b"\0")
+        slot = int(self._l2p[lba])
+        if slot == UNMAPPED:
+            return bytes(self.geometry.opage_bytes)
+        if slot == LOST:
+            raise UncorrectableError(
+                f"LBA {lba}: data lost to an earlier media error",
+                bit_errors=-1, correctable=-1)
+        fpage, offset = divmod(slot, self._slots_per_fpage_max)
+        try:
+            data, latency = self.chip.read(fpage, offset)
+        except UncorrectableError:
+            self._lose_lba(lba, slot)
+            raise
+        self.stats.read_latency.add(latency)
+        return data
+
+    def read_range(self, lba: int, count: int) -> list[bytes]:
+        """Scatter-gather read of ``count`` consecutive LBAs.
+
+        Groups the physical locations by fPage and senses each touched
+        fPage once (via :meth:`FlashChip.read_fpage`), which is what makes
+        large accesses pay the paper's ``P / (P - L)`` factor: the same
+        logical bytes spread over more fPages once pages run at higher
+        tiredness levels.
+
+        Raises :class:`UncorrectableError` if any page in the range is
+        unreadable (partial large reads are not useful to the diFS).
+        """
+        if count <= 0:
+            raise ConfigError(f"count must be positive, got {count!r}")
+        self._check_lba(lba)
+        self._check_lba(lba + count - 1)
+        self.stats.host_reads += count
+        # Resolve every LBA first; group flash-resident ones by fPage.
+        results: list[bytes | None] = [None] * count
+        by_fpage: dict[int, list[tuple[int, int]]] = {}
+        for offset in range(count):
+            target = lba + offset
+            buffered = self.buffer.get(target)
+            if buffered is not None:
+                results[offset] = buffered.ljust(
+                    self.geometry.opage_bytes, b"\0")
+                continue
+            slot = int(self._l2p[target])
+            if slot == UNMAPPED:
+                results[offset] = bytes(self.geometry.opage_bytes)
+                continue
+            if slot == LOST:
+                raise UncorrectableError(
+                    f"LBA {target}: data lost to an earlier media error",
+                    bit_errors=-1, correctable=-1)
+            fpage, page_slot = divmod(slot, self._slots_per_fpage_max)
+            by_fpage.setdefault(fpage, []).append((offset, page_slot))
+        total_latency = 0.0
+        for fpage, wanted in by_fpage.items():
+            try:
+                payloads, latency = self.chip.read_fpage(fpage)
+            except UncorrectableError:
+                for offset, page_slot in wanted:
+                    self._lose_lba(lba + offset,
+                                   fpage * self._slots_per_fpage_max
+                                   + page_slot)
+                raise
+            total_latency += latency
+            for offset, page_slot in wanted:
+                results[offset] = payloads[page_slot]
+        if by_fpage:
+            self.stats.read_latency.add(total_latency)
+        return [r for r in results if r is not None]
+
+    def trim(self, lba: int) -> None:
+        """Discard ``lba``'s data; subsequent reads return zeros."""
+        self._check_lba(lba)
+        self.stats.trims += 1
+        self.buffer.discard(lba)
+        self._buffer_stream.pop(lba, None)
+        self._unmap(lba)
+
+    def trim_range(self, lba: int, count: int) -> None:
+        """Discard ``count`` consecutive LBAs (one DSM/deallocate command).
+
+        Hosts issue trims in ranges (a deleted file's extents), and doing
+        it in one call keeps the invalidation bookkeeping O(range).
+        """
+        if count <= 0:
+            raise ConfigError(f"count must be positive, got {count!r}")
+        self._check_lba(lba)
+        self._check_lba(lba + count - 1)
+        for target in range(lba, lba + count):
+            self.stats.trims += 1
+            self.buffer.discard(target)
+            self._buffer_stream.pop(target, None)
+            self._unmap(target)
+
+    def write_range(self, lba: int, payloads: list[bytes]) -> None:
+        """Write consecutive LBAs in one call.
+
+        Semantically identical to per-LBA :meth:`write`; large sequential
+        transfers land as densely packed fPages because the batch drains
+        through the buffer in arrival order.
+        """
+        if not payloads:
+            raise ConfigError("payloads must be non-empty")
+        self._check_lba(lba)
+        self._check_lba(lba + len(payloads) - 1)
+        for offset, payload in enumerate(payloads):
+            self.write(lba + offset, payload)
+
+    def flush(self) -> None:
+        """Drain the write buffer completely (fPages may be padded)."""
+        while len(self.buffer) > 0:
+            self._drain_one_fpage()
+
+    def background_tick(self, max_collections: int = 1,
+                        watermark_blocks: int | None = None) -> int:
+        """Idle-time garbage collection: pre-free blocks off the host path.
+
+        Foreground GC runs inside a host write and is exactly where write
+        p99 comes from (see ABL-OP). Hosts with idle windows call this to
+        do the same work ahead of time. Collects up to ``max_collections``
+        victim blocks while the free pool sits below ``watermark_blocks``
+        (default: reserve + 2).
+
+        Returns the number of collections performed.
+        """
+        if max_collections < 0:
+            raise ConfigError(
+                f"max_collections must be >= 0, got {max_collections!r}")
+        if watermark_blocks is None:
+            watermark_blocks = self.config.gc_reserve_blocks + 2
+        performed = 0
+        while (performed < max_collections
+               and len(self._usable_free_blocks()) < watermark_blocks):
+            try:
+                self._gc_once()
+            except OutOfSpaceError:
+                break  # nothing collectible right now
+            performed += 1
+        return performed
+
+    def scrub(self, max_fpages: int | None = None) -> int:
+        """Proactive wear sweep: relocate data off pages past their ECC.
+
+        Walks written pages from a rolling cursor; any page whose current
+        RBER exceeds its tiredness level's capability has its valid oPages
+        read (while they are still likely correctable) and rewritten
+        elsewhere. The drained page is then reclaimed by normal GC, where
+        the usual wear handling retires or promotes it.
+
+        Args:
+            max_fpages: pages to examine this sweep (None = whole device).
+
+        Returns:
+            Number of oPages relocated.
+        """
+        total = self.geometry.total_fpages
+        budget = total if max_fpages is None else min(max_fpages, total)
+        relocated = 0
+        for _ in range(budget):
+            fpage = self._scrub_cursor
+            self._scrub_cursor = (self._scrub_cursor + 1) % total
+            if self.chip.state(fpage) is not PageState.WRITTEN:
+                continue
+            if not self.chip.is_overworn(fpage):
+                continue
+            relocated += self._evacuate_fpage(fpage)
+        return relocated
+
+    def _evacuate_fpage(self, fpage: int) -> int:
+        """Move a written page's valid oPages to fresh flash."""
+        self._ensure_free_space()
+        base = fpage * self._slots_per_fpage_max
+        level = self.chip.level(fpage)
+        moved: list[tuple[int, bytes]] = []
+        for offset in range(self.policy.data_opages(level)):
+            lba = int(self._p2l[base + offset])
+            if lba < 0:
+                continue
+            try:
+                data, _latency = self.chip.read(fpage, offset)
+            except UncorrectableError:
+                self._lose_lba(lba, base + offset)
+                continue
+            moved.append((lba, data))
+        cursor = 0
+        while cursor < len(moved):
+            target = self._allocate_open_fpage(stream="gc")
+            capacity = self.policy.data_opages(self.chip.level(target))
+            chunk = moved[cursor:cursor + capacity]
+            self._program_fpage(target, chunk, relocation=False)
+            cursor += capacity
+        self.stats.wear_relocations += len(moved)
+        return len(moved)
+
+    def _maybe_autoscrub(self) -> None:
+        interval = self.config.scrub_interval_writes
+        if interval == 0:
+            return
+        self._writes_since_scrub += 1
+        if self._writes_since_scrub >= interval:
+            self._writes_since_scrub = 0
+            try:
+                self.scrub(max_fpages=self.config.scrub_batch_fpages)
+            except OutOfSpaceError:
+                # Scrubbing is best-effort housekeeping; a full device
+                # must not fail the host operation that tickled it.
+                pass
+
+    # -- power-loss recovery -----------------------------------------------------
+
+    @classmethod
+    def remount(cls, chip: FlashChip, n_lbas: int,
+                config: FTLConfig | None = None,
+                buffer_entries: list[tuple[int, bytes]] | None = None,
+                ) -> "PageMappedFTL":
+        """Reconstruct an FTL from flash contents after power loss.
+
+        Replays the OOB metadata every program stamped into the spare
+        area: for each LBA the highest write sequence wins (older copies
+        are stale garbage for GC to reclaim). ``buffer_entries`` restores
+        the NVRAM write buffer — the paper's buffer is non-volatile, so a
+        plain power cycle loses nothing; pass ``None`` to model an NVRAM
+        failure, in which case unflushed writes are (correctly) gone.
+
+        Known and accepted semantics: trims are not journaled, so data
+        trimmed after its last program *resurrects* on remount — the
+        standard behaviour for FTLs without a trim journal.
+        """
+        ftl = cls(chip, n_lbas, config)
+        ftl._rebuild_from_flash()
+        if buffer_entries:
+            for lba, payload in buffer_entries:
+                ftl.buffer.put(lba, payload)
+        return ftl
+
+    def _rebuild_from_flash(self) -> None:
+        """Mount-time scan: rebuild mapping, counts, and block states."""
+        states = self.chip.state_array()
+        best_seq: dict[int, int] = {}
+        for fpage in range(self.geometry.total_fpages):
+            if states[fpage] != 1:  # not WRITTEN
+                continue
+            oob = self.chip.read_oob(fpage)
+            if oob is None:
+                continue  # pre-OOB or foreign data; unreadable by this FTL
+            lbas, sequence = oob
+            self._write_seq = max(self._write_seq, sequence)
+            base = fpage * self._slots_per_fpage_max
+            for slot, lba in enumerate(lbas):
+                if lba is None or not 0 <= lba < self.n_lbas:
+                    continue
+                if sequence > best_seq.get(lba, -1):
+                    best_seq[lba] = sequence
+                    self._map(lba, base + slot)
+        # Block states: any written page -> closed; all retired -> dead;
+        # otherwise free. Partially-written blocks count as closed — their
+        # free tail is reclaimed when GC erases them (cheap, and avoids
+        # resuming a half-open block with an unknown history).
+        self._free_blocks.clear()
+        self._open = {
+            **{f"host{i}": None for i in range(self.config.host_streams)},
+            "gc": None}
+        for block in range(self.geometry.blocks):
+            pages = np.asarray(self.geometry.fpage_range_of_block(block))
+            block_states = states[pages]
+            self._erase_counts[block] = int(self.chip.pec(int(pages[0])))
+            if (block_states == 2).all():
+                self._dead_blocks.add(block)
+            elif (block_states == 1).any():
+                self._closed_blocks.add(block)
+                self._seq += 1
+                self._close_seq[block] = self._seq
+            elif self._block_usable(block):
+                self._free_blocks.add(block)
+            else:
+                self._dead_blocks.add(block)
+
+    # -- capacity accounting ---------------------------------------------------
+
+    def usable_opage_slots(self) -> int:
+        """Physical oPage slots usable at current tiredness levels.
+
+        This is the left-hand side of the paper's Eq. 2 (summed over limbo
+        levels): each non-retired fPage at level ``L`` contributes ``P - L``
+        slots.
+        """
+        states = self.chip.state_array()
+        levels = self.chip.level_array()
+        alive = states != 2  # PageState.RETIRED code
+        contributions = self.policy.dead_level - levels
+        return int(contributions[alive].sum())
+
+    def live_lbas(self) -> int:
+        """LBAs currently holding data (mapped or buffered)."""
+        mapped = int(np.count_nonzero(self._l2p >= 0))
+        buffered_unmapped = sum(
+            1 for key in self.buffer.keys() if self._l2p[key] < 0)
+        return mapped + buffered_unmapped
+
+    def free_block_count(self) -> int:
+        return len(self._free_blocks)
+
+    # -- internals: mapping ----------------------------------------------------
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.n_lbas:
+            raise InvalidLBAError(
+                f"LBA {lba} out of range [0, {self.n_lbas})")
+
+    def _unmap(self, lba: int) -> None:
+        slot = int(self._l2p[lba])
+        if slot >= 0:
+            self._p2l[slot] = UNMAPPED
+            block = self.geometry.block_of_fpage(
+                slot // self._slots_per_fpage_max)
+            self._valid_per_block[block] -= 1
+        self._l2p[lba] = UNMAPPED
+
+    def _map(self, lba: int, slot: int) -> None:
+        self._unmap(lba)
+        self._l2p[lba] = slot
+        self._p2l[slot] = lba
+        block = self.geometry.block_of_fpage(slot // self._slots_per_fpage_max)
+        self._valid_per_block[block] += 1
+
+    def _lose_lba(self, lba: int, slot: int) -> None:
+        """Mark an LBA destroyed by a media error."""
+        self._unmap(lba)
+        self._l2p[lba] = LOST
+        self.stats.uncorrectable_reads += 1
+        self.stats.lost_opages += 1
+
+    # -- internals: allocation and programming ---------------------------------
+
+    def _drain_one_fpage(self) -> None:
+        """Move one fPage worth of buffered oPages onto flash.
+
+        Drains the stream with the most buffered pages, into that stream's
+        own open block.
+        """
+        self._ensure_free_space()
+        stream = self._busiest_stream()
+        fpage = self._allocate_open_fpage(stream=f"host{stream}")
+        level = self.chip.level(fpage)
+        capacity = self.policy.data_opages(level)
+        keys = None
+        if self.config.host_streams > 1:
+            keys = {lba for lba in self.buffer.keys()
+                    if self._buffer_stream.get(lba, 0) == stream}
+        batch = self.buffer.pop_batch(capacity, keys=keys)
+        for lba, _payload in batch:
+            self._buffer_stream.pop(lba, None)
+        self._program_fpage(fpage, batch, relocation=False)
+        self._maybe_autoscrub()
+
+    def _busiest_stream(self) -> int:
+        if self.config.host_streams == 1:
+            return 0
+        counts = [0] * self.config.host_streams
+        for lba in self.buffer.keys():
+            counts[self._buffer_stream.get(lba, 0)] += 1
+        return int(max(range(len(counts)), key=counts.__getitem__))
+
+    def _program_fpage(self, fpage: int,
+                       items: list[tuple[int, bytes]],
+                       relocation: bool) -> None:
+        """Program ``fpage`` with ``items``; pads short batches with zeros."""
+        level = self.chip.level(fpage)
+        capacity = self.policy.data_opages(level)
+        if len(items) > capacity:
+            raise ConfigError(
+                f"{len(items)} payloads exceed fPage capacity {capacity}")
+        payloads = [payload for _lba, payload in items]
+        payloads += [b""] * (capacity - len(items))
+        self._write_seq += 1
+        oob_lbas = tuple(lba for lba, _payload in items) \
+            + (None,) * (capacity - len(items))
+        self.chip.program(fpage, payloads, oob=(oob_lbas, self._write_seq))
+        base = fpage * self._slots_per_fpage_max
+        for offset, (lba, _payload) in enumerate(items):
+            self._map(lba, base + offset)
+        self.stats.flash_writes += len(items)
+        if relocation:
+            self.stats.gc_relocations += len(items)
+
+    def _stream_key(self, stream: str) -> str:
+        if stream == "gc" and not self.config.stream_separation:
+            return "host0"
+        return stream
+
+    def _allocate_open_fpage(self, stream: str) -> int:
+        """Next programmable fPage in the stream's open block."""
+        key = self._stream_key(stream)
+        while True:
+            if self._open[key] is None:
+                self._open_new_block(key)
+            block, cursor = self._open[key]
+            fpages = self.geometry.fpage_range_of_block(block)
+            while cursor < len(fpages):
+                fpage = fpages[cursor]
+                cursor += 1
+                self._open[key] = (block, cursor)
+                if self.chip.state(fpage) is not PageState.FREE:
+                    continue
+                if not self._page_allocatable(fpage):
+                    continue
+                if self.chip.is_overworn(fpage):
+                    # Detected lazily at allocation; hand to policy. The page
+                    # may come back usable (promoted, or tolerated by CVSS).
+                    still_usable = self._handle_worn_page(
+                        fpage, self.chip.required_level(fpage))
+                    if not still_usable or (self.chip.state(fpage)
+                                            is not PageState.FREE):
+                        continue
+                return fpage
+            self._close_open_block(key)
+
+    def _open_new_block(self, key: str) -> None:
+        usable = self._usable_free_blocks()
+        host = key.startswith("host")
+        if host and len(usable) <= self.config.gc_reserve_blocks:
+            # Host writes must leave the GC reserve intact.
+            usable = usable[:max(0, len(usable)
+                                 - self.config.gc_reserve_blocks)]
+        if usable.size == 0:
+            raise OutOfSpaceError(
+                "no free blocks available"
+                + (" outside the GC reserve" if host else ""))
+        block = select_min_wear_block(usable, self._erase_counts)
+        self._free_blocks.discard(block)
+        self._open[key] = (block, 0)
+
+    def _usable_free_blocks(self) -> np.ndarray:
+        blocks = [b for b in sorted(self._free_blocks) if self._block_usable(b)]
+        return np.array(blocks, dtype=np.int64)
+
+    def _close_open_block(self, key: str) -> None:
+        state = self._open[key]
+        if state is None:
+            return
+        block, _cursor = state
+        self._seq += 1
+        self._close_seq[block] = self._seq
+        self._closed_blocks.add(block)
+        self._open[key] = None
+
+    # -- internals: garbage collection ------------------------------------------
+
+    def _ensure_free_space(self) -> None:
+        """Run GC until host writes have a block outside the reserve."""
+        guard = 2 * self.geometry.blocks
+        while (len(self._usable_free_blocks())
+               <= self.config.gc_reserve_blocks):
+            if guard == 0:
+                raise OutOfSpaceError(
+                    "garbage collection cannot reclaim space; device is "
+                    "effectively full")
+            guard -= 1
+            self._gc_once()
+
+    def _gc_once(self) -> None:
+        """Relocate one victim block's valid data and erase it."""
+        # Sweep out blocks with nothing left to reclaim: condemned (or fully
+        # retired) blocks that hold no valid data are dead, not candidates.
+        for block in sorted(self._closed_blocks):
+            if self._valid_per_block[block] == 0 and (
+                    not self._block_usable(block) or self._block_is_dead(block)):
+                self._closed_blocks.discard(block)
+                self._dead_blocks.add(block)
+        candidates = np.array(sorted(self._closed_blocks), dtype=np.int64)
+        if candidates.size == 0:
+            raise OutOfSpaceError("no closed blocks to garbage-collect")
+        valid = self._valid_per_block[candidates]
+        capacities = self._block_capacities(candidates)
+        ages = self._seq - self._close_seq[candidates]
+        victim = self._gc.choose_victim(candidates, valid, capacities, ages)
+        self._relocate_block(victim)
+        self._erase_block(victim)
+
+    def _block_capacities(self, blocks: np.ndarray) -> np.ndarray:
+        levels = self.chip.level_array()
+        states = self.chip.state_array()
+        per_fpage = np.where(states == 2, 0,
+                             self.policy.dead_level - levels)
+        per_block = per_fpage.reshape(self.geometry.blocks,
+                                      self.geometry.fpages_per_block).sum(axis=1)
+        return per_block[blocks]
+
+    def _relocate_block(self, block: int) -> None:
+        """Move every valid oPage out of ``block`` (into open fPages)."""
+        survivors: list[tuple[int, bytes]] = []
+        for fpage in self.geometry.fpage_range_of_block(block):
+            if self.chip.state(fpage) is not PageState.WRITTEN:
+                continue
+            base = fpage * self._slots_per_fpage_max
+            level = self.chip.level(fpage)
+            for offset in range(self.policy.data_opages(level)):
+                lba = int(self._p2l[base + offset])
+                if lba < 0:
+                    continue
+                try:
+                    data, _latency = self.chip.read(fpage, offset)
+                except UncorrectableError:
+                    self._lose_lba(lba, base + offset)
+                    continue
+                survivors.append((lba, data))
+        # Pack survivors densely: fill each target fPage to its capacity.
+        cursor = 0
+        while cursor < len(survivors):
+            target = self._allocate_open_fpage(stream="gc")
+            capacity = self.policy.data_opages(self.chip.level(target))
+            chunk = survivors[cursor:cursor + capacity]
+            self._program_fpage(target, chunk, relocation=True)
+            cursor += capacity
+
+    def _erase_block(self, block: int) -> None:
+        """Erase ``block`` and run wear-transition detection on its pages."""
+        self._closed_blocks.discard(block)
+        if self._block_is_dead(block):
+            # Every page retired while the block was closed; nothing to erase.
+            self._dead_blocks.add(block)
+            return
+        self.chip.erase(block)
+        self._erase_counts[block] += 1
+        self.stats.erases += 1
+        worn = []
+        for fpage in self.geometry.fpage_range_of_block(block):
+            if self.chip.state(fpage) is not PageState.FREE:
+                continue
+            required = self.chip.required_level(fpage)
+            if required > self.chip.level(fpage):
+                worn.append((fpage, required))
+        for fpage, required in worn:
+            self._handle_worn_page(fpage, required)
+        if not self._block_usable(block):
+            # Condemned by policy (e.g. baseline bad-block rule): nothing in
+            # it may be reused, so its free pages leave service too.
+            for fpage in self.geometry.fpage_range_of_block(block):
+                if self.chip.state(fpage) is PageState.FREE:
+                    self.chip.retire(fpage)
+            self._dead_blocks.add(block)
+        elif self._block_is_dead(block):
+            self._dead_blocks.add(block)
+        else:
+            self._free_blocks.add(block)
+        if worn:
+            self._after_wear_event(block, [f for f, _ in worn])
+
+    def _block_is_dead(self, block: int) -> bool:
+        states = self.chip.state_array()
+        pages = np.asarray(self.geometry.fpage_range_of_block(block))
+        return bool((states[pages] == 2).all())
+
+    # -- policy hooks ------------------------------------------------------------
+
+    def _handle_worn_page(self, fpage: int, required_level: int) -> bool:
+        """A free page's RBER outgrew its level's ECC; decide its fate.
+
+        Default (Salamander-style mechanism): promote the page up to
+        ``config.max_level`` if that suffices, otherwise retire it.
+        Subclasses override for block-granular policies.
+
+        Returns:
+            Whether the page remains usable for new writes.
+        """
+        if required_level <= self.config.max_level:
+            self.chip.set_level(fpage, required_level)
+            return self.chip.state(fpage) is PageState.FREE
+        self.chip.retire(fpage)
+        self.stats.retired_fpages += 1
+        return False
+
+    def _after_wear_event(self, block: int, worn_fpages: list[int]) -> None:
+        """Called after wear transitions in ``block``; default: nothing."""
+
+    def _block_usable(self, block: int) -> bool:
+        """Whether policy still allows allocating from ``block``.
+
+        Default: always. The baseline device vetoes blocks on its bad-block
+        ledger, reproducing block-granular retirement.
+        """
+        return True
+
+    def _page_allocatable(self, fpage: int) -> bool:
+        """Whether policy allows programming this free page right now.
+
+        Default: always. Salamander vetoes pages parked in limbo.
+        """
+        return True

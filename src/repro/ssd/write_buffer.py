@@ -1,0 +1,90 @@
+"""NVRAM write-coalescing buffer.
+
+The paper's write path (§3.2): oPage writes are buffered "in a small
+non-volatile buffer until enough data is cached to fill all oPages in the
+next available fPage". The buffer therefore holds (key, payload) pairs and
+releases them in groups sized to the open fPage's tiredness level.
+
+Keys are opaque to the buffer (the FTL uses flat oPage indices; the
+Salamander device uses (mdisk, lba) flattened the same way). A later write
+to a buffered key overwrites in place — the classic buffer-hit fast path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.errors import ConfigError
+
+
+class WriteBuffer:
+    """FIFO buffer of dirty oPages with in-place overwrite on re-write.
+
+    Args:
+        capacity_opages: maximum buffered oPages; the FTL must drain before
+            exceeding it. Sized like a real device's NVRAM (a few fPages).
+    """
+
+    def __init__(self, capacity_opages: int = 64) -> None:
+        if capacity_opages <= 0:
+            raise ConfigError(
+                f"capacity_opages must be positive, got {capacity_opages!r}")
+        self.capacity_opages = capacity_opages
+        self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity_opages
+
+    def put(self, key: Hashable, payload: bytes) -> None:
+        """Buffer ``payload`` for ``key``; overwrites an existing entry.
+
+        Overwrites do not change the entry's drain order: the page was
+        already dirty, it just has newer content.
+        """
+        if key not in self._entries and self.is_full:
+            raise ConfigError(
+                "write buffer full; drain before inserting new keys")
+        self._entries[key] = payload
+
+    def get(self, key: Hashable) -> bytes | None:
+        """Buffered payload for ``key``, or None (the read fast path)."""
+        return self._entries.get(key)
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop a buffered entry (trim of a not-yet-flushed write)."""
+        return self._entries.pop(key, None) is not None
+
+    def pop_batch(self, count: int,
+                  keys: set[Hashable] | None = None,
+                  ) -> list[tuple[Hashable, bytes]]:
+        """Remove and return up to ``count`` oldest entries, FIFO order.
+
+        With ``keys`` given, only entries whose key is in the set are
+        taken (used for per-stream draining); others stay in place.
+        """
+        if count < 0:
+            raise ConfigError(f"count must be non-negative, got {count!r}")
+        if keys is None:
+            batch = []
+            while self._entries and len(batch) < count:
+                batch.append(self._entries.popitem(last=False))
+            return batch
+        batch = []
+        for key in list(self._entries):
+            if len(batch) >= count:
+                break
+            if key in keys:
+                batch.append((key, self._entries.pop(key)))
+        return batch
+
+    def keys(self) -> list[Hashable]:
+        """Buffered keys, oldest first."""
+        return list(self._entries)

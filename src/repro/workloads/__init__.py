@@ -1,0 +1,38 @@
+"""Synthetic workloads: access-pattern generators, DWPD schedules, traces.
+
+The paper's analysis is wear-driven, so workloads here are primarily write
+streams: who writes, where, how much per day. Generators yield oPage-level
+operations; :mod:`repro.workloads.dwpd` converts datasheet-style
+drive-writes-per-day intensities into daily volumes; :mod:`traces` records
+streams for replay.
+"""
+
+from repro.workloads.generators import (
+    MixedGenerator,
+    Operation,
+    OpType,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.dwpd import DWPDSchedule
+from repro.workloads.traces import (
+    Trace,
+    parse_msr_trace,
+    replay_on_device,
+    synthesize_trace,
+)
+
+__all__ = [
+    "Operation",
+    "OpType",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "SequentialGenerator",
+    "MixedGenerator",
+    "DWPDSchedule",
+    "Trace",
+    "synthesize_trace",
+    "parse_msr_trace",
+    "replay_on_device",
+]

@@ -1,0 +1,42 @@
+"""Unit tests for chunks and replicas."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.difs.chunk import Chunk, Replica
+
+
+class TestReplica:
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ConfigError):
+            Replica(volume_id="v", slot=-1)
+
+    def test_frozen(self):
+        replica = Replica(volume_id="v", slot=0)
+        with pytest.raises(AttributeError):
+            replica.slot = 2
+
+
+class TestChunk:
+    def test_replica_on(self):
+        chunk = Chunk(chunk_id="c", size_lbas=4)
+        r1 = Replica("v1", 0)
+        chunk.replicas.append(r1)
+        assert chunk.replica_on("v1") is r1
+        assert chunk.replica_on("v2") is None
+
+    def test_drop_replica(self):
+        chunk = Chunk(chunk_id="c", size_lbas=4)
+        chunk.replicas.append(Replica("v1", 0))
+        dropped = chunk.drop_replica("v1")
+        assert dropped.volume_id == "v1"
+        assert chunk.replica_count == 0
+
+    def test_drop_missing_rejected(self):
+        chunk = Chunk(chunk_id="c", size_lbas=4)
+        with pytest.raises(ConfigError):
+            chunk.drop_replica("v1")
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigError):
+            Chunk(chunk_id="c", size_lbas=0)

@@ -1,0 +1,67 @@
+"""Property tests: the cluster under random kill/repair sequences.
+
+Hypothesis chooses which volumes to kill (never more than redundancy
+tolerates between recovery runs); data must always decode and recovery
+must always restore full redundancy while eligible volumes remain.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.salamander.device import SalamanderConfig, SalamanderSSD
+from repro.ssd.ftl import FTLConfig
+
+
+def build_cluster(redundancy: str, seed: int) -> Cluster:
+    geometry = FlashGeometry(blocks=24, fpages_per_block=8)
+    ftl = FTLConfig(overprovision=0.25, buffer_opages=8)
+    if redundancy == "rs":
+        config = ClusterConfig(redundancy="rs", rs_k=3, rs_m=2,
+                               chunk_lbas=6)
+        nodes = 7
+    else:
+        config = ClusterConfig(replication=2, chunk_lbas=4)
+        nodes = 4
+    cluster = Cluster(config, seed=seed)
+    for n in range(nodes):
+        cluster.add_node(f"n{n}")
+        chip = FlashChip(geometry, seed=seed + n, variation_sigma=0.0,
+                         inject_errors=False)
+        cluster.add_device(f"n{n}", SalamanderSSD(chip, SalamanderConfig(
+            msize_lbas=32, mode="shrink", headroom_fraction=0.25,
+            ftl=ftl)))
+    return cluster
+
+
+@pytest.mark.parametrize("redundancy", ["replication", "rs"])
+class TestKillRepairSequences:
+    @given(seed=st.integers(0, 100),
+           kill_rounds=st.lists(st.integers(0, 10**6), min_size=1,
+                                max_size=6))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tolerable_failures_never_lose_data(self, redundancy, seed,
+                                                kill_rounds):
+        cluster = build_cluster(redundancy, seed=seed % 5)
+        tolerable = cluster.scheme.total_units - cluster.scheme.min_units
+        for i in range(10):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        for round_seed in kill_rounds:
+            live = [v for v in cluster.volumes.values() if v.is_alive]
+            if len(live) <= cluster.scheme.total_units:
+                break
+            # Kill at most `tolerable` volumes before recovery runs.
+            count = 1 + round_seed % max(1, tolerable)
+            for offset in range(count):
+                victim = live[(round_seed + offset * 7) % len(live)]
+                cluster.recovery.volume_failed(victim.volume_id)
+            cluster.run_recovery()
+            for i in range(10):
+                assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                    f"data-{i}".encode()
+            assert cluster.recovery.stats.chunks_lost == 0

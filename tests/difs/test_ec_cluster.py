@@ -1,0 +1,99 @@
+"""Integration: the diFS running RS(k, m) erasure coding over minidisks."""
+
+import numpy as np
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+
+
+@pytest.fixture
+def ec_cluster(make_salamander):
+    """RS(3, 2) over six nodes (RS needs total_units independent nodes)."""
+    cluster = Cluster(ClusterConfig(
+        redundancy="rs", rs_k=3, rs_m=2, chunk_lbas=6), seed=11)
+    for n in range(6):
+        cluster.add_node(f"n{n}")
+        cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+    return cluster
+
+
+class TestECBasics:
+    def test_create_places_k_plus_m_units(self, ec_cluster):
+        chunk = ec_cluster.create_chunk("c0", b"erasure-coded payload")
+        assert chunk.replica_count == 5
+        assert chunk.indexes_present() == set(range(5))
+        nodes = {ec_cluster.volumes[r.volume_id].node_id
+                 for r in chunk.replicas}
+        assert len(nodes) == 5
+
+    def test_unit_smaller_than_chunk(self, ec_cluster):
+        # 6-page chunks split into 2-page fragments: EC's space advantage.
+        assert ec_cluster.unit_lbas == 2
+        assert ec_cluster.scheme.storage_overhead == pytest.approx(5 / 3)
+
+    def test_read_roundtrip(self, ec_cluster):
+        data = b"some bytes that span multiple fragments" * 10
+        ec_cluster.create_chunk("c0", data)
+        assert ec_cluster.read_chunk("c0").rstrip(b"\0") == data
+
+    def test_read_survives_m_failures(self, ec_cluster):
+        data = b"still-there"
+        chunk = ec_cluster.create_chunk("c0", data)
+        for replica in list(chunk.replicas)[:2]:  # kill m = 2 units
+            ec_cluster.volumes[replica.volume_id].mark_failed()
+        assert ec_cluster.read_chunk("c0").rstrip(b"\0") == data
+
+    def test_read_fails_beyond_m_failures(self, ec_cluster):
+        chunk = ec_cluster.create_chunk("c0", b"gone")
+        for replica in list(chunk.replicas)[:3]:  # kill k of 5: too many
+            ec_cluster.volumes[replica.volume_id].mark_failed()
+        with pytest.raises(E.ChunkLostError):
+            ec_cluster.read_chunk("c0")
+
+
+class TestECRecovery:
+    def test_lost_fragment_is_rebuilt(self, ec_cluster):
+        data = b"rebuild me"
+        chunk = ec_cluster.create_chunk("c0", data)
+        victim = chunk.replicas[0]
+        ec_cluster.recovery.volume_failed(victim.volume_id)
+        ec_cluster.run_recovery()
+        assert chunk.indexes_present() == set(range(5))
+        assert ec_cluster.read_chunk("c0").rstrip(b"\0") == data
+
+    def test_repair_amplification_reads_k_units(self, ec_cluster):
+        chunk = ec_cluster.create_chunk("c0", b"data")
+        unit_bytes = ec_cluster.unit_lbas * 4096
+        victim = chunk.replicas[0]
+        ec_cluster.recovery.volume_failed(victim.volume_id)
+        ec_cluster.run_recovery()
+        stats = ec_cluster.recovery.stats
+        # One lost fragment costs k fragment-reads and one fragment-write.
+        assert stats.bytes_read == 3 * unit_bytes
+        assert stats.bytes_written == unit_bytes
+
+    def test_wear_churn_under_ec(self, ec_cluster):
+        rng = np.random.default_rng(2)
+        for i in range(20):
+            ec_cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        generation = {i: 0 for i in range(20)}
+        for round_index in range(12_000):
+            if ec_cluster.recovery.stats.volume_failures >= 10:
+                break
+            i = int(rng.integers(0, 20))
+            try:
+                ec_cluster.delete_chunk(f"c{i}")
+                ec_cluster.create_chunk(f"c{i}",
+                                        f"r{round_index}-{i}".encode())
+                generation[i] = round_index
+            except E.ReproError:
+                pass
+            ec_cluster.poll_failures()
+            ec_cluster.run_recovery()
+        assert ec_cluster.recovery.stats.volume_failures >= 1
+        assert ec_cluster.recovery.stats.chunks_lost == 0
+        for i in range(20):
+            expected = (f"r{generation[i]}-{i}".encode()
+                        if generation[i] else f"data-{i}".encode())
+            assert ec_cluster.read_chunk(f"c{i}").rstrip(b"\0") == expected

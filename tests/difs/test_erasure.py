@@ -1,0 +1,132 @@
+"""Unit + property tests for the GF(2^8) Reed-Solomon codec."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, DiFSError
+from repro.difs.erasure import (
+    ReedSolomon,
+    gf_inv,
+    gf_invert_matrix,
+    gf_mul,
+    gf_mul_bytes,
+)
+
+import numpy as np
+
+
+class TestFieldArithmetic:
+    def test_identity_and_zero(self):
+        assert gf_mul(1, 173) == 173
+        assert gf_mul(0, 173) == 0
+        assert gf_mul(173, 0) == 0
+
+    def test_every_nonzero_element_has_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ConfigError):
+            gf_inv(0)
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255),
+           c=st.integers(0, 255))
+    def test_field_axioms(self, a, b, c):
+        assert gf_mul(a, b) == gf_mul(b, a)
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    def test_vectorised_matches_scalar(self):
+        data = np.arange(256, dtype=np.uint8)
+        out = gf_mul_bytes(77, data)
+        for i in range(256):
+            assert int(out[i]) == gf_mul(77, i)
+
+    def test_matrix_inverse_roundtrip(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        matrix[np.diag_indices(4)] |= 1  # nudge away from singularity
+        try:
+            inverse = gf_invert_matrix(matrix)
+        except DiFSError:
+            pytest.skip("random matrix happened to be singular")
+        product = np.zeros((4, 4), dtype=np.uint8)
+        for r in range(4):
+            for c in range(4):
+                acc = 0
+                for i in range(4):
+                    acc ^= gf_mul(int(matrix[r, i]), int(inverse[i, c]))
+                product[r, c] = acc
+        assert np.array_equal(product, np.eye(4, dtype=np.uint8))
+
+    def test_singular_matrix_rejected(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(DiFSError):
+            gf_invert_matrix(singular)
+
+
+class TestReedSolomon:
+    def test_systematic_layout(self):
+        rs = ReedSolomon(3, 2)
+        data = b"0123456789" * 30
+        fragments = rs.encode(data)
+        assert b"".join(fragments[:3]).startswith(data)
+
+    def test_all_k_subsets_decode(self):
+        rs = ReedSolomon(4, 2)
+        data = bytes(range(256)) * 2 + b"odd-tail"
+        fragments = rs.encode(data)
+        for combo in itertools.combinations(range(6), 4):
+            got = rs.decode({i: fragments[i] for i in combo}, len(data))
+            assert got == data, combo
+
+    def test_rebuild_every_fragment(self):
+        rs = ReedSolomon(5, 3)
+        fragments = rs.encode(b"some important bytes" * 17)
+        for missing in range(8):
+            survivors = {i: fragments[i] for i in range(8) if i != missing}
+            assert rs.rebuild(missing, survivors) == fragments[missing]
+
+    def test_too_few_fragments_rejected(self):
+        rs = ReedSolomon(4, 2)
+        fragments = rs.encode(b"data")
+        with pytest.raises(DiFSError):
+            rs.decode({0: fragments[0], 1: fragments[1]}, 4)
+
+    def test_empty_data(self):
+        rs = ReedSolomon(2, 1)
+        fragments = rs.encode(b"")
+        assert rs.decode({1: fragments[1], 2: fragments[2]}, 0) == b""
+
+    def test_fragment_length_ceil(self):
+        rs = ReedSolomon(4, 2)
+        assert rs.fragment_length(17) == 5
+        assert rs.fragment_length(16) == 4
+        with pytest.raises(ConfigError):
+            rs.fragment_length(-1)
+
+    @pytest.mark.parametrize("k,m", [(0, 1), (1, 0), (200, 100)])
+    def test_shape_validation(self, k, m):
+        with pytest.raises(ConfigError):
+            ReedSolomon(k, m)
+
+    @given(data=st.binary(min_size=0, max_size=500),
+           k=st.integers(1, 6), m=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data, k, m):
+        rs = ReedSolomon(k, m)
+        fragments = rs.encode(data)
+        # Drop the m "hardest" fragments: the data ones.
+        survivors = {i: fragments[i] for i in range(min(m, k), k + m)}
+        assert rs.decode(survivors, len(data)) == data
+
+    @given(data=st.binary(min_size=1, max_size=300), missing=st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_rebuild_property(self, data, missing):
+        rs = ReedSolomon(4, 2)
+        fragments = rs.encode(data)
+        survivors = {i: fragments[i] for i in range(6) if i != missing}
+        assert rs.rebuild(missing, survivors) == fragments[missing]

@@ -1,0 +1,91 @@
+"""The diFS uses the grace period: drain-source recovery, then release."""
+
+import numpy as np
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.salamander.device import SalamanderConfig, SalamanderSSD
+from repro.salamander.minidisk import MinidiskStatus
+
+
+@pytest.fixture
+def grace_cluster(make_chip, ftl_config):
+    cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4), seed=11)
+    devices = []
+    for n in range(3):
+        cluster.add_node(f"n{n}")
+        device = SalamanderSSD(make_chip(seed=n + 1), SalamanderConfig(
+            msize_lbas=32, mode="regen", headroom_fraction=0.25,
+            grace_decommissions=3, ftl=ftl_config))
+        cluster.add_device(f"n{n}", device)
+        devices.append(device)
+    return cluster, devices
+
+
+class TestGraceRecovery:
+    def test_recovery_sources_from_draining_volume(self, grace_cluster):
+        cluster, devices = grace_cluster
+        cluster.create_chunk("c0", b"important")
+        chunk = cluster.namespace["c0"]
+        # Decommission (with grace) a minidisk holding a replica.
+        replica = chunk.replicas[0]
+        volume = cluster.volumes[replica.volume_id]
+        device = volume.device
+        device._decommission(device.minidisk(volume.mdisk_id), reason="wear")
+        cluster.run_recovery()
+        # Chunk fully replicated again; the drained disk was released.
+        assert chunk.replica_count == 2
+        assert (device.minidisk(volume.mdisk_id).status
+                is MinidiskStatus.DECOMMISSIONED)
+        assert cluster.read_chunk("c0").rstrip(b"\0") == b"important"
+
+    def test_grace_rescues_last_copy(self, grace_cluster):
+        cluster, devices = grace_cluster
+        cluster.create_chunk("c0", b"only-copy-matters")
+        chunk = cluster.namespace["c0"]
+        # Kill one replica outright (no grace: administrative failure),
+        # and decommission-with-grace the other. Without the grace period
+        # the chunk would be lost; with it, recovery drains the survivor.
+        admin_dead = chunk.replicas[0]
+        cluster.volumes[admin_dead.volume_id].mark_failed()
+        cluster.recovery.volume_failed(admin_dead.volume_id)
+        graced = chunk.replicas[1]
+        volume = cluster.volumes[graced.volume_id]
+        device = volume.device
+        device._decommission(device.minidisk(volume.mdisk_id), reason="wear")
+        cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost == 0
+        assert cluster.read_chunk("c0").rstrip(b"\0") == b"only-copy-matters"
+
+    def test_release_happens_even_with_no_chunks(self, grace_cluster):
+        cluster, devices = grace_cluster
+        device = devices[0]
+        device._decommission(device.minidisk(0), reason="wear")
+        cluster.run_recovery()
+        assert device.minidisk(0).status is MinidiskStatus.DECOMMISSIONED
+
+    def test_wear_churn_with_grace_loses_nothing(self, grace_cluster):
+        cluster, devices = grace_cluster
+        rng = np.random.default_rng(2)
+        for i in range(24):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        generation = {i: 0 for i in range(24)}
+        for round_index in range(4000):
+            if cluster.recovery.stats.volume_failures >= 15:
+                break
+            i = int(rng.integers(0, 24))
+            try:
+                cluster.delete_chunk(f"c{i}")
+                cluster.create_chunk(f"c{i}",
+                                     f"r{round_index}-{i}".encode())
+                generation[i] = round_index
+            except E.ReproError:
+                pass
+            cluster.poll_failures()
+            cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost == 0
+        for i in range(24):
+            expected = (f"r{generation[i]}-{i}".encode()
+                        if generation[i] else f"data-{i}".encode())
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == expected

@@ -1,0 +1,99 @@
+"""Tests for coordinator-metadata snapshot/restore."""
+
+import json
+
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+
+
+def build(make_salamander, seed=11, **config_kwargs):
+    defaults = dict(replication=2, chunk_lbas=4)
+    defaults.update(config_kwargs)
+    cluster = Cluster(ClusterConfig(**defaults), seed=seed)
+    devices = []
+    for n in range(3):
+        cluster.add_node(f"n{n}")
+        device = make_salamander(seed=n + 1)
+        cluster.add_device(f"n{n}", device)
+        devices.append(device)
+    return cluster, devices
+
+
+class TestNamespacePersistence:
+    def test_snapshot_roundtrip_over_same_devices(self, make_salamander):
+        cluster, devices = build(make_salamander)
+        for i in range(10):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        for device in devices:
+            device.flush()
+        snapshot = cluster.namespace_snapshot()
+        # A fresh coordinator process attaches to the same devices.
+        reborn = Cluster(ClusterConfig(replication=2, chunk_lbas=4),
+                         seed=11)
+        for n, device in enumerate(devices):
+            reborn.add_node(f"n{n}")
+            reborn.add_device(f"n{n}", device)
+        assert reborn.restore_namespace(snapshot) == 10
+        for i in range(10):
+            assert reborn.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+
+    def test_snapshot_is_json_serialisable(self, make_salamander):
+        cluster, _ = build(make_salamander)
+        cluster.create_chunk("c0", b"x")
+        text = json.dumps(cluster.namespace_snapshot())
+        assert "c0" in text
+
+    def test_restored_slots_not_reallocated(self, make_salamander):
+        cluster, devices = build(make_salamander)
+        chunk = cluster.create_chunk("c0", b"keep")
+        for device in devices:
+            device.flush()
+        snapshot = cluster.namespace_snapshot()
+        reborn = Cluster(ClusterConfig(replication=2, chunk_lbas=4),
+                         seed=12)
+        for n, device in enumerate(devices):
+            reborn.add_node(f"n{n}")
+            reborn.add_device(f"n{n}", device)
+        reborn.restore_namespace(snapshot)
+        # New chunks must not be placed over restored data.
+        for i in range(12):
+            reborn.create_chunk(f"new{i}", f"fresh-{i}".encode())
+        assert reborn.read_chunk("c0").rstrip(b"\0") == b"keep"
+
+    def test_missing_volume_queues_repair(self, make_salamander):
+        cluster, devices = build(make_salamander)
+        for i in range(6):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        for device in devices:
+            device.flush()
+        snapshot = cluster.namespace_snapshot()
+        # The new coordinator only sees two of the three original devices.
+        reborn = Cluster(ClusterConfig(replication=2, chunk_lbas=4),
+                         seed=13)
+        for n, device in enumerate(devices[:2]):
+            reborn.add_node(f"n{n}")
+            reborn.add_device(f"n{n}", device)
+        reborn.add_node("n-new")
+        reborn.add_device("n-new", make_salamander(seed=9))
+        reborn.restore_namespace(snapshot)
+        reborn.run_recovery()
+        for i in range(6):
+            assert reborn.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+            assert reborn.namespace[f"c{i}"].replica_count == 2
+
+    def test_restore_requires_empty_namespace(self, make_salamander):
+        cluster, _ = build(make_salamander)
+        cluster.create_chunk("c0", b"x")
+        with pytest.raises(E.ConfigError):
+            cluster.restore_namespace(cluster.namespace_snapshot())
+
+    def test_restore_checks_config_compatibility(self, make_salamander):
+        cluster, devices = build(make_salamander)
+        snapshot = cluster.namespace_snapshot()
+        other = Cluster(ClusterConfig(replication=3, chunk_lbas=4), seed=1)
+        with pytest.raises(E.ConfigError):
+            other.restore_namespace(snapshot)

@@ -1,0 +1,41 @@
+"""Unit tests for storage nodes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.difs.node import StorageNode
+from repro.difs.volume import MonolithicVolume
+
+
+class TestNode:
+    def test_add_and_list_volumes(self, make_baseline):
+        node = StorageNode("n0")
+        volume = MonolithicVolume("n0/dev0", "n0", 4, make_baseline())
+        node.add_volume(volume)
+        assert node.live_volumes() == [volume]
+        assert node.capacity_lbas() == volume.capacity_lbas()
+
+    def test_duplicate_volume_rejected(self, make_baseline):
+        node = StorageNode("n0")
+        volume = MonolithicVolume("n0/dev0", "n0", 4, make_baseline())
+        node.add_volume(volume)
+        with pytest.raises(ConfigError):
+            node.add_volume(volume)
+
+    def test_foreign_volume_rejected(self, make_baseline):
+        node = StorageNode("n0")
+        volume = MonolithicVolume("n1/dev0", "n1", 4, make_baseline())
+        with pytest.raises(ConfigError):
+            node.add_volume(volume)
+
+    def test_dead_volumes_excluded(self, make_baseline):
+        node = StorageNode("n0")
+        volume = MonolithicVolume("n0/dev0", "n0", 4, make_baseline())
+        node.add_volume(volume)
+        volume.mark_failed()
+        assert node.live_volumes() == []
+        assert node.capacity_lbas() == 0
+
+    def test_empty_node_id_rejected(self):
+        with pytest.raises(ConfigError):
+            StorageNode("")

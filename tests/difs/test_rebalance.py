@@ -1,0 +1,80 @@
+"""Tests for the data balancer."""
+
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.difs.rebalance import rebalance
+
+
+@pytest.fixture
+def lopsided_cluster(make_salamander):
+    """Three nodes loaded unevenly: everything lands before node n2's
+    device joins."""
+    cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4), seed=11)
+    for n in range(2):
+        cluster.add_node(f"n{n}")
+        cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+    for i in range(24):
+        cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+    cluster.add_node("n2")
+    cluster.add_device("n2", make_salamander(seed=9))
+    return cluster
+
+
+class TestRebalance:
+    def test_moves_units_onto_the_new_node(self, lopsided_cluster):
+        cluster = lopsided_cluster
+        n2_used_before = sum(v.used_slots
+                             for v in cluster.nodes["n2"].volumes.values())
+        assert n2_used_before == 0
+        report = rebalance(cluster, max_moves=60, tolerance=0.05)
+        assert report.moves > 0
+        assert report.bytes_moved > 0
+        assert report.load_spread_after <= report.load_spread_before
+        n2_used_after = sum(v.used_slots
+                            for v in cluster.nodes["n2"].volumes.values())
+        assert n2_used_after > 0
+
+    def test_data_intact_after_rebalance(self, lopsided_cluster):
+        cluster = lopsided_cluster
+        rebalance(cluster, max_moves=80, tolerance=0.05)
+        for i in range(24):
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+
+    def test_replica_independence_preserved(self, lopsided_cluster):
+        cluster = lopsided_cluster
+        rebalance(cluster, max_moves=80, tolerance=0.05)
+        for chunk in cluster.namespace.values():
+            nodes = [cluster.volumes[r.volume_id].node_id
+                     for r in chunk.replicas]
+            assert len(nodes) == len(set(nodes))
+
+    def test_no_slot_leaks(self, lopsided_cluster):
+        cluster = lopsided_cluster
+        used_before = sum(v.used_slots for v in cluster.volumes.values())
+        rebalance(cluster, max_moves=80, tolerance=0.05)
+        used_after = sum(v.used_slots for v in cluster.volumes.values())
+        assert used_after == used_before
+
+    def test_balanced_cluster_is_a_noop(self, make_salamander):
+        cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4),
+                          seed=3)
+        for n in range(3):
+            cluster.add_node(f"n{n}")
+            cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+        for i in range(9):
+            cluster.create_chunk(f"c{i}", b"x")
+        report = rebalance(cluster, tolerance=0.2)
+        assert report.moves <= 2  # already near-even
+
+    def test_max_moves_respected(self, lopsided_cluster):
+        report = rebalance(lopsided_cluster, max_moves=3)
+        assert report.moves <= 3
+
+    def test_validation(self, lopsided_cluster):
+        with pytest.raises(E.ConfigError):
+            rebalance(lopsided_cluster, max_moves=-1)
+        with pytest.raises(E.ConfigError):
+            rebalance(lopsided_cluster, tolerance=0)

@@ -1,0 +1,150 @@
+"""Unit tests for the recovery manager."""
+
+import pytest
+
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.salamander.events import MinidiskDecommissioned
+
+
+@pytest.fixture
+def cluster(make_salamander):
+    cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4), seed=11)
+    for n in range(4):
+        cluster.add_node(f"n{n}")
+        cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+    return cluster
+
+
+def fail_first_replica_volume(cluster, chunk_id):
+    chunk = cluster.namespace[chunk_id]
+    volume_id = chunk.replicas[0].volume_id
+    cluster.recovery.volume_failed(volume_id)
+    return volume_id
+
+
+class TestVolumeRecovery:
+    def test_chunks_re_replicated_after_volume_failure(self, cluster):
+        for i in range(8):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        volume_id = fail_first_replica_volume(cluster, "c0")
+        cluster.run_recovery()
+        for i in range(8):
+            chunk = cluster.namespace[f"c{i}"]
+            assert chunk.replica_count == 2
+            assert chunk.replica_on(volume_id) is None
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+
+    def test_traffic_accounted(self, cluster):
+        cluster.create_chunk("c0", b"data")
+        fail_first_replica_volume(cluster, "c0")
+        cluster.run_recovery()
+        stats = cluster.recovery.stats
+        chunk_bytes = cluster.config.chunk_bytes
+        assert stats.bytes_read == chunk_bytes
+        assert stats.bytes_written == chunk_bytes
+        assert stats.chunks_recovered == 1
+        assert stats.volume_failures == 1
+
+    def test_recovery_event_recorded_with_time(self, cluster):
+        cluster.create_chunk("c0", b"data")
+        cluster.time = 42.0
+        fail_first_replica_volume(cluster, "c0")
+        cluster.run_recovery()
+        events = cluster.recovery.stats.events
+        assert len(events) == 1
+        assert events[0].time == 42.0
+        assert events[0].chunks_recovered == 1
+        assert events[0].bytes_moved > 0
+
+    def test_volume_failure_idempotent(self, cluster):
+        cluster.create_chunk("c0", b"data")
+        volume_id = fail_first_replica_volume(cluster, "c0")
+        cluster.recovery.volume_failed(volume_id)
+        cluster.run_recovery()
+        assert cluster.recovery.stats.volume_failures == 1
+
+    def test_chunk_lost_when_all_replicas_gone(self, cluster):
+        chunk = cluster.create_chunk("c0", b"data")
+        for replica in list(chunk.replicas):
+            cluster.recovery.volume_failed(replica.volume_id)
+        cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost >= 1
+
+    def test_replication_one_cannot_recover(self, make_salamander):
+        cluster = Cluster(ClusterConfig(replication=1, chunk_lbas=4), seed=1)
+        for n in range(2):
+            cluster.add_node(f"n{n}")
+            cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+        chunk = cluster.create_chunk("c0", b"data")
+        cluster.recovery.volume_failed(chunk.replicas[0].volume_id)
+        cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost == 1
+        assert cluster.recovery.stats.chunks_recovered == 0
+
+
+class TestDeviceEventWiring:
+    def test_decommission_event_fails_exactly_one_volume(self, cluster):
+        device = cluster.nodes["n0"].devices[0]
+        before = cluster.live_volume_count()
+        device._decommission(device.minidisks[0], reason="wear")
+        cluster.run_recovery()
+        assert cluster.live_volume_count() == before - 1
+
+    def test_decommission_recovers_chunks_elsewhere(self, cluster):
+        for i in range(12):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        device = cluster.nodes["n0"].devices[0]
+        # Find a minidisk that actually holds a replica.
+        target = None
+        for chunk in cluster.namespace.values():
+            for replica in chunk.replicas:
+                volume = cluster.volumes[replica.volume_id]
+                if getattr(volume, "device", None) is device:
+                    target = volume.mdisk_id
+                    break
+            if target is not None:
+                break
+        assert target is not None
+        device._decommission(device.minidisk(target), reason="wear")
+        cluster.run_recovery()
+        for i in range(12):
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+
+    def test_regenerated_minidisk_becomes_a_volume(self, cluster,
+                                                   make_salamander):
+        cluster.add_node("n9")
+        device = make_salamander(mode="regen", seed=9)
+        cluster.add_device("n9", device)
+        before = len(cluster.volumes)
+        # Force a regeneration by parking enough pages in limbo.
+        import numpy as np
+        rng = np.random.default_rng(0)
+        while device.stats.regenerated_minidisks == 0:
+            active = device.active_minidisks()
+            mdisk = active[int(rng.integers(0, len(active)))]
+            device.write(mdisk.mdisk_id,
+                         int(rng.integers(0, mdisk.size_lbas)), b"x")
+        assert len(cluster.volumes) > before
+
+    def test_cvss_shrink_evacuates_chunks(self, make_cvss, make_salamander):
+        cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4), seed=3)
+        cluster.add_node("n0")
+        cvss = make_cvss(seed=1)
+        cluster.add_device("n0", cvss)
+        cluster.add_node("n1")
+        cluster.add_device("n1", make_salamander(seed=2))
+        cluster.add_node("n2")
+        cluster.add_device("n2", make_salamander(seed=3))
+        for i in range(6):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        # Shrink the CVSS volume hard enough to evict occupied slots.
+        volume = next(v for v in cluster.volumes.values()
+                      if getattr(v, "device", None) is cvss)
+        if volume.used_slots:
+            cluster._on_shrink(volume, 0)
+            cluster.run_recovery()
+        for i in range(6):
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()

@@ -1,0 +1,106 @@
+"""Unit tests for the redundancy-scheme abstraction."""
+
+import pytest
+
+from repro.errors import ConfigError, DiFSError
+from repro.difs.redundancy import (
+    ErasureCoding,
+    Replication,
+    make_scheme,
+)
+
+OPAGE = 64  # small pages keep the tests readable
+
+
+class TestReplication:
+    def test_shape(self):
+        scheme = Replication(3)
+        assert scheme.total_units == 3
+        assert scheme.min_units == 1
+        assert scheme.unit_lbas(16) == 16
+        assert scheme.storage_overhead == 3.0
+
+    def test_encode_identical_units(self):
+        scheme = Replication(2)
+        units = scheme.encode(b"hello", 4, OPAGE)
+        assert len(units) == 2
+        assert units[0] == units[1]
+        assert len(units[0]) == 4
+        assert units[0][0].startswith(b"hello")
+
+    def test_decode_any_unit(self):
+        scheme = Replication(3)
+        units = scheme.encode(b"payload", 2, OPAGE)
+        out = scheme.decode({2: units[2]}, 2, OPAGE)
+        assert out.rstrip(b"\0") == b"payload"
+
+    def test_rebuild_is_copy(self):
+        scheme = Replication(3)
+        units = scheme.encode(b"x", 2, OPAGE)
+        assert scheme.rebuild(1, {0: units[0]}, 2, OPAGE) == units[0]
+
+    def test_errors(self):
+        scheme = Replication(2)
+        with pytest.raises(DiFSError):
+            scheme.decode({}, 2, OPAGE)
+        with pytest.raises(ConfigError):
+            scheme.rebuild(5, {0: [b""]}, 2, OPAGE)
+        with pytest.raises(ConfigError):
+            Replication(0)
+
+
+class TestErasureCoding:
+    def test_shape(self):
+        scheme = ErasureCoding(4, 2)
+        assert scheme.total_units == 6
+        assert scheme.min_units == 4
+        assert scheme.unit_lbas(16) == 4
+        assert scheme.unit_lbas(17) == 5  # ceil
+        assert scheme.storage_overhead == pytest.approx(1.5)
+
+    def test_roundtrip_via_any_k_units(self):
+        scheme = ErasureCoding(4, 2)
+        data = b"the quick brown fox" * 11
+        units = scheme.encode(data, 16, OPAGE)
+        assert len(units) == 6
+        picked = {i: units[i] for i in (0, 2, 4, 5)}
+        out = scheme.decode(picked, 16, OPAGE)
+        assert out.rstrip(b"\0") == data
+
+    def test_systematic_data_units_hold_data(self):
+        scheme = ErasureCoding(2, 1)
+        data = b"A" * OPAGE + b"B" * OPAGE
+        units = scheme.encode(data, 2, OPAGE)
+        assert units[0][0] == b"A" * OPAGE
+        assert units[1][0] == b"B" * OPAGE
+
+    def test_rebuild_matches_original_unit(self):
+        scheme = ErasureCoding(3, 2)
+        units = scheme.encode(b"payload" * 40, 9, OPAGE)
+        for missing in range(5):
+            survivors = {i: units[i] for i in range(5) if i != missing}
+            rebuilt = scheme.rebuild(missing, survivors, 9, OPAGE)
+            assert rebuilt == units[missing]
+
+    def test_page_granular_units(self):
+        scheme = ErasureCoding(4, 2)
+        units = scheme.encode(b"z" * 100, 16, OPAGE)
+        for unit in units:
+            assert len(unit) == 4
+            assert all(len(page) == OPAGE for page in unit)
+
+
+class TestFactory:
+    def test_replication(self):
+        scheme = make_scheme("replication", replication=2)
+        assert isinstance(scheme, Replication)
+        assert scheme.total_units == 2
+
+    def test_rs(self):
+        scheme = make_scheme("rs", rs_k=6, rs_m=3)
+        assert isinstance(scheme, ErasureCoding)
+        assert scheme.total_units == 9
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheme("raid5")

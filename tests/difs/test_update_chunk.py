@@ -1,0 +1,84 @@
+"""Tests for in-place chunk updates with versioning."""
+
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+
+
+@pytest.fixture
+def cluster(make_salamander):
+    cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4), seed=11)
+    for n in range(3):
+        cluster.add_node(f"n{n}")
+        cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+    return cluster
+
+
+class TestUpdateChunk:
+    def test_updates_content_and_version(self, cluster):
+        chunk = cluster.create_chunk("c0", b"generation-1")
+        assert chunk.version == 0
+        cluster.update_chunk("c0", b"generation-2")
+        assert chunk.version == 1
+        assert cluster.read_chunk("c0").rstrip(b"\0") == b"generation-2"
+
+    def test_replication_preserved(self, cluster):
+        chunk = cluster.create_chunk("c0", b"v1")
+        cluster.update_chunk("c0", b"v2")
+        assert chunk.replica_count == 2
+        nodes = {cluster.volumes[r.volume_id].node_id
+                 for r in chunk.replicas}
+        assert len(nodes) == 2
+
+    def test_old_slots_released(self, cluster):
+        chunk = cluster.create_chunk("c0", b"v1")
+        used_before = sum(v.used_slots for v in cluster.volumes.values())
+        for _ in range(5):
+            cluster.update_chunk("c0", b"vN")
+        used_after = sum(v.used_slots for v in cluster.volumes.values())
+        assert used_after == used_before  # no slot leak across updates
+
+    def test_unknown_chunk_rejected(self, cluster):
+        with pytest.raises(E.ConfigError):
+            cluster.update_chunk("ghost", b"x")
+
+    def test_oversized_update_rejected(self, cluster):
+        cluster.create_chunk("c0", b"v1")
+        with pytest.raises(E.ConfigError):
+            cluster.update_chunk(
+                "c0", b"x" * (cluster.config.chunk_bytes + 1))
+
+    def test_namespace_index_follows_the_move(self, cluster):
+        chunk = cluster.create_chunk("c0", b"v1")
+        old_volumes = {r.volume_id for r in chunk.replicas}
+        cluster.update_chunk("c0", b"v2")
+        new_volumes = {r.volume_id for r in chunk.replicas}
+        for volume_id in old_volumes - new_volumes:
+            assert "c0" not in cluster.chunks_on_volume(volume_id)
+        for volume_id in new_volumes:
+            assert "c0" in cluster.chunks_on_volume(volume_id)
+
+    def test_update_works_under_erasure_coding(self, make_salamander):
+        cluster = Cluster(ClusterConfig(
+            redundancy="rs", rs_k=3, rs_m=2, chunk_lbas=6), seed=3)
+        for n in range(6):
+            cluster.add_node(f"n{n}")
+            cluster.add_device(f"n{n}", make_salamander(seed=n + 1))
+        chunk = cluster.create_chunk("c0", b"ec-v1")
+        cluster.update_chunk("c0", b"ec-v2")
+        assert chunk.version == 1
+        assert chunk.indexes_present() == set(range(5))
+        assert cluster.read_chunk("c0").rstrip(b"\0") == b"ec-v2"
+
+    def test_failed_update_leaves_old_generation(self, cluster):
+        chunk = cluster.create_chunk("c0", b"stable")
+        # Kill enough volumes that placement of a full new generation
+        # fails; the old data must remain readable.
+        for node_id in ("n1", "n2"):
+            for volume in cluster.nodes[node_id].volumes.values():
+                volume.mark_failed()
+        with pytest.raises(E.ReproError):
+            cluster.update_chunk("c0", b"never-lands")
+        assert chunk.version == 0
+        assert cluster.read_chunk("c0").rstrip(b"\0") == b"stable"

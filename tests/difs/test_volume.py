@@ -1,0 +1,117 @@
+"""Unit tests for volume adapters and slot management."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.difs.volume import MinidiskVolume, MonolithicVolume
+
+
+@pytest.fixture
+def mono(make_baseline):
+    return MonolithicVolume("n0/dev0", "n0", chunk_lbas=4,
+                            device=make_baseline())
+
+
+@pytest.fixture
+def mini(make_salamander):
+    device = make_salamander()
+    return MinidiskVolume("n0/dev0/md0", "n0", chunk_lbas=4,
+                          device=device, mdisk_id=0)
+
+
+class TestSlotManagement:
+    def test_total_slots_from_capacity(self, mono):
+        assert mono.total_slots == mono.capacity_lbas() // 4
+        assert mono.used_slots == 0
+        assert mono.load == 0.0
+
+    def test_allocate_release(self, mono):
+        slot = mono.allocate_slot()
+        assert slot == 0
+        assert mono.used_slots == 1
+        mono.release_slot(slot)
+        assert mono.used_slots == 0
+
+    def test_allocation_exhausts(self, mini):
+        slots = [mini.allocate_slot() for _ in range(mini.total_slots)]
+        assert None not in slots
+        assert mini.allocate_slot() is None
+        assert mini.load == 1.0
+
+    def test_failed_volume_refuses_allocation(self, mono):
+        mono.mark_failed()
+        assert not mono.is_alive
+        assert mono.allocate_slot() is None
+
+    def test_slot_bounds(self, mono):
+        with pytest.raises(ConfigError):
+            mono.release_slot(mono.total_slots)
+
+
+class TestChunkIO:
+    def test_roundtrip(self, mono):
+        slot = mono.allocate_slot()
+        payloads = [f"p{i}".encode() for i in range(4)]
+        mono.write_chunk(slot, payloads)
+        read = mono.read_chunk(slot)
+        assert [p.rstrip(b"\0") for p in read] == payloads
+
+    def test_wrong_payload_count_rejected(self, mono):
+        with pytest.raises(ConfigError):
+            mono.write_chunk(0, [b"only-one"])
+
+    def test_minidisk_volume_roundtrip(self, mini):
+        slot = mini.allocate_slot()
+        mini.write_chunk(slot, [b"a", b"b", b"c", b"d"])
+        assert mini.read_chunk(slot)[2].rstrip(b"\0") == b"c"
+
+    def test_minidisk_volumes_isolated(self, make_salamander):
+        device = make_salamander()
+        v0 = MinidiskVolume("v0", "n0", 4, device, 0)
+        v1 = MinidiskVolume("v1", "n0", 4, device, 1)
+        v0.write_chunk(0, [b"zero"] * 4)
+        assert v1.read_chunk(0)[0] == bytes(4096)
+
+
+class TestLiveness:
+    def test_minidisk_volume_dies_with_its_minidisk(self, make_salamander):
+        device = make_salamander()
+        volume = MinidiskVolume("v0", "n0", 4, device, 0)
+        assert volume.is_alive
+        device._decommission(device.minidisks[0], reason="test")
+        assert not volume.is_alive
+
+    def test_minidisk_volume_level_property(self, make_salamander):
+        device = make_salamander()
+        assert MinidiskVolume("v0", "n0", 4, device, 0).level == 0
+
+    def test_mono_volume_dies_with_device(self, make_cvss):
+        device = make_cvss()
+        volume = MonolithicVolume("v0", "n0", 4, device)
+        assert volume.is_alive
+        device._failed = True
+        assert not volume.is_alive
+
+
+class TestShrinkTo:
+    def test_evicts_occupied_slots_beyond_new_capacity(self, make_cvss):
+        volume = MonolithicVolume("v0", "n0", 4, make_cvss())
+        last = volume.total_slots - 1
+        # Occupy the last slot specifically.
+        for _ in range(volume.total_slots):
+            volume.allocate_slot()
+        for slot in range(volume.total_slots - 1):
+            volume.release_slot(slot)
+        evicted = volume.shrink_to((volume.total_slots - 1) * 4)
+        assert evicted == [last]
+        assert volume.total_slots == last
+
+    def test_shrink_with_free_tail_evicts_nothing(self, mono):
+        mono.allocate_slot()  # slot 0 only
+        evicted = mono.shrink_to((mono.total_slots - 2) * 4)
+        assert evicted == []
+
+    def test_growing_is_ignored(self, mono):
+        before = mono.total_slots
+        assert mono.shrink_to((before + 5) * 4) == []
+        assert mono.total_slots == before

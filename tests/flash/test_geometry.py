@@ -1,0 +1,88 @@
+"""Unit tests for the flash geometry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.units import KIB
+
+
+class TestDerivedSizes:
+    def test_default_matches_paper_running_example(self):
+        geo = FlashGeometry()
+        assert geo.fpage_data_bytes == 16 * KIB
+        assert geo.fpage_total_bytes == 18 * KIB
+        assert geo.opages_per_fpage == 4
+
+    def test_baseline_code_rate_is_about_88_percent(self):
+        # The paper: "a typical flash page spare code rate is 88%".
+        assert FlashGeometry().baseline_code_rate == pytest.approx(16 / 18)
+
+    def test_total_counts(self):
+        geo = FlashGeometry(blocks=10, fpages_per_block=8)
+        assert geo.total_fpages == 80
+        assert geo.total_opage_slots == 320
+        assert geo.raw_data_bytes == 80 * 16 * KIB
+
+    def test_block_data_bytes(self):
+        geo = FlashGeometry(fpages_per_block=8)
+        assert geo.block_data_bytes == 8 * 16 * KIB
+
+    def test_non_default_opage_layout(self):
+        geo = FlashGeometry(opage_bytes=4 * KIB, opages_per_fpage=2,
+                            spare_bytes=1 * KIB)
+        assert geo.fpage_data_bytes == 8 * KIB
+        assert geo.fpage_total_bytes == 9 * KIB
+
+
+class TestIndexArithmetic:
+    def test_block_of_fpage(self):
+        geo = FlashGeometry(blocks=4, fpages_per_block=8)
+        assert geo.block_of_fpage(0) == 0
+        assert geo.block_of_fpage(7) == 0
+        assert geo.block_of_fpage(8) == 1
+        assert geo.block_of_fpage(31) == 3
+
+    def test_fpage_range_of_block(self):
+        geo = FlashGeometry(blocks=4, fpages_per_block=8)
+        assert list(geo.fpage_range_of_block(2)) == list(range(16, 24))
+
+    def test_fpage_out_of_range_raises(self):
+        geo = FlashGeometry(blocks=2, fpages_per_block=4)
+        with pytest.raises(IndexError):
+            geo.check_fpage(8)
+        with pytest.raises(IndexError):
+            geo.check_fpage(-1)
+
+    def test_block_out_of_range_raises(self):
+        geo = FlashGeometry(blocks=2)
+        with pytest.raises(IndexError):
+            geo.fpage_range_of_block(2)
+
+    def test_slot_out_of_range_raises(self):
+        geo = FlashGeometry()
+        with pytest.raises(IndexError):
+            geo.check_slot(4)
+        geo.check_slot(3)  # largest valid slot
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "opage_bytes", "opages_per_fpage", "spare_bytes",
+        "fpages_per_block", "blocks", "channels",
+    ])
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ConfigError):
+            FlashGeometry(**{field: 0})
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigError):
+            FlashGeometry(blocks=2.5)
+
+    def test_with_blocks_copies_other_fields(self):
+        geo = FlashGeometry(blocks=8, fpages_per_block=16, channels=2)
+        bigger = geo.with_blocks(64)
+        assert bigger.blocks == 64
+        assert bigger.fpages_per_block == 16
+        assert bigger.channels == 2
+        assert geo.blocks == 8  # original untouched

@@ -1,0 +1,62 @@
+"""Tests for multi-codeword (interleaved) page ECC."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.ecc import EccScheme
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.units import KIB
+
+
+class TestInterleavedScheme:
+    def test_even_split_required(self):
+        with pytest.raises(ConfigError):
+            EccScheme(codeword_bits=1000, parity_bits=100, codewords=3)
+        with pytest.raises(ConfigError):
+            EccScheme.for_page(16 * KIB, 2 * KIB, codewords=0)
+
+    def test_correctable_bits_are_per_codeword(self):
+        single = EccScheme.for_page(16 * KIB, 2 * KIB, codewords=1)
+        split = EccScheme.for_page(16 * KIB, 2 * KIB, codewords=4)
+        assert split.correctable_bits < single.correctable_bits
+        # The parity is shared out, so each codeword corrects roughly a
+        # quarter as many bits (slightly more: smaller field degree m).
+        assert split.correctable_bits >= single.correctable_bits // 4
+
+    def test_page_failure_accounts_for_all_codewords(self):
+        split = EccScheme.for_page(16 * KIB, 2 * KIB, codewords=4)
+        rber = split.max_rber() * 1.2
+        assert split.page_failure_probability(rber) > \
+            split.codeword_failure_probability(rber)
+
+    def test_interleaving_costs_some_capability(self):
+        # One page-wide codeword pools all parity against the worst burst;
+        # independent small codewords each face the UBER target alone.
+        single = EccScheme.for_page(16 * KIB, 2 * KIB, codewords=1)
+        split = EccScheme.for_page(16 * KIB, 2 * KIB, codewords=8)
+        assert split.max_rber() < single.max_rber()
+        # But the penalty is modest — well under 2x.
+        assert split.max_rber() > single.max_rber() / 2
+
+    def test_max_rber_still_meets_target(self):
+        split = EccScheme.for_page(16 * KIB, 2 * KIB, codewords=4)
+        limit = split.max_rber()
+        assert split.page_failure_probability(limit) <= split.uber_target
+        assert split.page_failure_probability(limit * 1.05) > \
+            split.uber_target
+
+
+class TestInterleavedPolicy:
+    def test_policy_passes_codewords_through(self):
+        policy = TirednessPolicy(ecc_codewords=4)
+        assert policy.ecc_for_level(0).codewords == 4
+
+    def test_calibration_still_anchors_l1(self):
+        policy = TirednessPolicy(ecc_codewords=4)
+        model = calibrate_power_law(policy, pec_limit_l0=1000)
+        assert policy.lifetime_gain(1, model) == pytest.approx(0.5,
+                                                               abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TirednessPolicy(ecc_codewords=0)

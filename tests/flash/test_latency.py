@@ -1,0 +1,76 @@
+"""Unit tests for the latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.ecc import EccScheme
+from repro.flash.latency import LatencyModel
+from repro.units import KIB
+
+
+@pytest.fixture
+def ecc():
+    return EccScheme.for_page(16 * KIB, 2 * KIB)
+
+
+class TestReadRetries:
+    def test_fresh_page_has_negligible_retries(self, ecc):
+        model = LatencyModel()
+        assert model.expected_read_retries(0.0, ecc) == 0.0
+        assert model.expected_read_retries(ecc.max_rber() * 0.1, ecc) < 0.01
+
+    def test_retries_ramp_toward_capability(self, ecc):
+        model = LatencyModel()
+        low = model.expected_read_retries(ecc.max_rber() * 0.5, ecc)
+        high = model.expected_read_retries(ecc.max_rber() * 0.95, ecc)
+        assert high > low
+
+    def test_retries_capped_at_budget(self, ecc):
+        model = LatencyModel(max_read_retries=8)
+        assert model.expected_read_retries(ecc.max_rber() * 10, ecc) == 8.0
+
+    def test_zero_capability_uses_full_budget(self):
+        model = LatencyModel(max_read_retries=8)
+        no_ecc = EccScheme(codeword_bits=4096, parity_bits=0)
+        assert model.expected_read_retries(1e-4, no_ecc) == 8.0
+
+    def test_lower_code_rate_reduces_retries_at_same_rber(self, ecc):
+        # §4.2: L1's higher RBER is "mitigated [by] the lower code rate".
+        model = LatencyModel()
+        strong = EccScheme.for_page(12 * KIB, 6 * KIB)
+        rber = ecc.max_rber() * 0.9
+        assert (model.expected_read_retries(rber, strong)
+                < model.expected_read_retries(rber, ecc))
+
+
+class TestLatencies:
+    def test_read_latency_includes_transfer(self, ecc):
+        model = LatencyModel(read_us=60, transfer_us_per_kib=1.0)
+        lat = model.read_latency_us(0.0, ecc, 4 * KIB)
+        assert lat == pytest.approx(60 + 4.0)
+
+    def test_read_latency_grows_with_wear(self, ecc):
+        model = LatencyModel()
+        fresh = model.read_latency_us(0.0, ecc, 4 * KIB)
+        worn = model.read_latency_us(ecc.max_rber() * 0.98, ecc, 4 * KIB)
+        assert worn > fresh
+
+    def test_program_latency(self):
+        model = LatencyModel(program_us=600, transfer_us_per_kib=0.5)
+        assert model.program_latency_us(16 * KIB) == pytest.approx(600 + 8.0)
+
+    def test_erase_latency(self):
+        assert LatencyModel(erase_us=2500).erase_latency_us() == 2500
+
+    def test_negative_payload_rejected(self, ecc):
+        model = LatencyModel()
+        with pytest.raises(ConfigError):
+            model.read_latency_us(0.0, ecc, -1)
+        with pytest.raises(ConfigError):
+            model.program_latency_us(-1)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(read_us=-1)
+        with pytest.raises(ConfigError):
+            LatencyModel(retry_exponent=-2)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the flash models.
+
+These pin down the invariants the rest of the system leans on: monotone
+ECC capability, invertible RBER curves, and consistent level assignment.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.ecc import EccScheme, bch_correctable_bits
+from repro.flash.geometry import FlashGeometry
+from repro.flash.rber import ExponentialRBER, PowerLawRBER
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+
+power_laws = st.builds(
+    PowerLawRBER,
+    scale=st.floats(1e-15, 1e-6),
+    exponent=st.floats(0.5, 5.0),
+    floor=st.floats(0.0, 1e-6),
+)
+
+exponentials = st.builds(
+    ExponentialRBER,
+    floor=st.floats(1e-9, 1e-4),
+    tau=st.floats(10.0, 1e5),
+)
+
+
+class TestRBERProperties:
+    @given(model=power_laws, pec_a=st.floats(0, 1e5), pec_b=st.floats(0, 1e5))
+    def test_power_law_monotone(self, model, pec_a, pec_b):
+        lo, hi = sorted((pec_a, pec_b))
+        assert model.rber(lo) <= model.rber(hi)
+
+    @given(model=power_laws, pec=st.floats(1.0, 1e5))
+    def test_power_law_inversion(self, model, pec):
+        assert model.pec_at(model.rber(pec)) == pytest.approx(pec, rel=1e-6)
+
+    @given(model=exponentials, ratio=st.floats(0.01, 50.0))
+    def test_exponential_inversion(self, model, ratio):
+        # Stay within ~50 e-foldings: beyond that exp() overflows a double,
+        # which no physical calibration approaches.
+        pec = ratio * model.tau
+        assert model.pec_at(model.rber(pec)) == pytest.approx(pec, rel=1e-6)
+
+    @given(model=power_laws, rber=st.floats(1e-12, 0.1),
+           weak=st.floats(1.0, 10.0))
+    def test_weaker_page_never_outlives_median(self, model, rber, weak):
+        if rber <= model.floor:
+            return
+        median_limit = model.pec_limit(rber, 1.0)
+        weak_limit = model.pec_limit(rber, weak)
+        assert weak_limit <= median_limit + 1e-9
+
+
+class TestEccProperties:
+    @given(data_kib=st.integers(1, 64), parity_kib=st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_max_rber_always_meets_target(self, data_kib, parity_kib):
+        scheme = EccScheme.for_page(data_kib * 1024, parity_kib * 1024)
+        limit = scheme.max_rber()
+        assert scheme.page_failure_probability(limit) <= scheme.uber_target
+
+    @given(n=st.integers(256, 1 << 20),
+           r1=st.integers(0, 1 << 14), r2=st.integers(0, 1 << 14))
+    def test_bch_monotone_in_parity(self, n, r1, r2):
+        lo, hi = sorted((r1, r2))
+        if hi >= n:
+            return
+        assert (bch_correctable_bits(n, lo)
+                <= bch_correctable_bits(n, hi))
+
+    @given(n=st.integers(256, 1 << 20), r=st.integers(1, 1 << 14))
+    def test_bch_never_exceeds_one_bit_per_parity_bit(self, n, r):
+        if r >= n:
+            return
+        assert bch_correctable_bits(n, r) <= r
+
+
+class TestTirednessProperties:
+    @given(opages=st.integers(2, 8), spare_kib=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_max_rber_strictly_increases_with_level(self, opages, spare_kib):
+        policy = TirednessPolicy(geometry=FlashGeometry(
+            opages_per_fpage=opages, spare_bytes=spare_kib * 1024))
+        rbers = [policy.max_rber(l) for l in policy.usable_levels]
+        assert all(a < b for a, b in zip(rbers, rbers[1:]))
+
+    @given(pec=st.floats(0, 1e4), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_level_for_pec_is_sufficient(self, pec, scale):
+        policy = TirednessPolicy()
+        model = calibrate_power_law(policy, pec_limit_l0=1000)
+        level = int(policy.level_for_pec(pec, model, scale))
+        rber = float(model.rber(pec)) * scale
+        if level < policy.dead_level:
+            # The assigned level's ECC must actually cover the page.
+            assert rber <= policy.max_rber(level) * (1 + 1e-9)
+        if level > 0:
+            # And the next-lower level must NOT (minimality).
+            assert rber > policy.max_rber(level - 1)
+
+    @given(l1_gain=st.floats(0.05, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_calibration_hits_any_anchor(self, l1_gain):
+        policy = TirednessPolicy()
+        model = calibrate_power_law(policy, pec_limit_l0=500, l1_gain=l1_gain)
+        assert policy.lifetime_gain(1, model) == pytest.approx(
+            l1_gain, rel=1e-6)

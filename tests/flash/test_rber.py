@@ -1,0 +1,123 @@
+"""Unit tests for RBER growth models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.rber import (
+    ExponentialRBER,
+    PowerLawRBER,
+    lognormal_page_variation,
+)
+from repro.rng import make_rng
+
+
+class TestPowerLaw:
+    def test_monotone_increasing(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0)
+        pecs = np.array([0, 10, 100, 1000, 5000])
+        rbers = model.rber(pecs)
+        assert np.all(np.diff(rbers) > 0)
+
+    def test_floor_at_zero_cycles(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0, floor=1e-6)
+        assert model.rber(0) == pytest.approx(1e-6)
+
+    def test_inversion_roundtrip(self):
+        model = PowerLawRBER(scale=2e-11, exponent=2.7, floor=1e-7)
+        for pec in (10.0, 500.0, 3000.0):
+            assert model.pec_at(model.rber(pec)) == pytest.approx(pec)
+
+    def test_pec_at_below_floor_is_zero(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0, floor=1e-5)
+        assert model.pec_at(1e-6) == 0.0
+
+    def test_calibrated_hits_anchor(self):
+        model = PowerLawRBER.calibrated(pec_limit=3000, max_rber=5e-3,
+                                        exponent=3.0)
+        assert model.rber(3000) == pytest.approx(5e-3)
+
+    def test_calibrated_rejects_max_rber_below_floor(self):
+        with pytest.raises(ConfigError):
+            PowerLawRBER.calibrated(pec_limit=100, max_rber=1e-7,
+                                    exponent=3.0, floor=1e-6)
+
+    def test_scalar_in_scalar_out(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0)
+        assert isinstance(model.rber(100.0), float)
+        assert isinstance(model.pec_at(1e-5), float)
+
+    def test_array_in_array_out(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0)
+        out = model.rber(np.array([1.0, 2.0]))
+        assert isinstance(out, np.ndarray) and out.shape == (2,)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"scale": 0, "exponent": 3.0},
+        {"scale": 1e-10, "exponent": 0},
+        {"scale": 1e-10, "exponent": 3.0, "floor": -1e-9},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            PowerLawRBER(**kwargs)
+
+
+class TestPecLimitWithVariation:
+    def test_weak_pages_have_lower_limits(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0)
+        strong = model.pec_limit(1e-3, scale_factor=0.5)
+        median = model.pec_limit(1e-3, scale_factor=1.0)
+        weak = model.pec_limit(1e-3, scale_factor=2.0)
+        assert weak < median < strong
+
+    def test_vectorised_over_scale_factors(self):
+        model = PowerLawRBER(scale=1e-10, exponent=3.0)
+        limits = model.pec_limit(1e-3, np.array([0.5, 1.0, 2.0]))
+        assert limits.shape == (3,)
+        assert np.all(np.diff(limits) < 0)
+
+
+class TestExponential:
+    def test_monotone_and_inversion(self):
+        model = ExponentialRBER(floor=1e-6, tau=500.0)
+        assert model.rber(1000) > model.rber(100)
+        assert model.pec_at(model.rber(700.0)) == pytest.approx(700.0)
+
+    def test_pec_at_at_or_below_floor(self):
+        model = ExponentialRBER(floor=1e-6, tau=500.0)
+        assert model.pec_at(1e-6) == 0.0
+        assert model.pec_at(1e-9) == 0.0
+
+    def test_calibrated_hits_anchor(self):
+        model = ExponentialRBER.calibrated(pec_limit=3000, max_rber=5e-3,
+                                           floor=1e-6)
+        assert model.rber(3000) == pytest.approx(5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExponentialRBER(floor=0, tau=100)
+        with pytest.raises(ConfigError):
+            ExponentialRBER(floor=1e-6, tau=0)
+
+
+class TestPageVariation:
+    def test_median_near_one(self):
+        rng = make_rng(3)
+        factors = lognormal_page_variation(rng, 20000, sigma=0.35)
+        assert np.median(factors) == pytest.approx(1.0, rel=0.05)
+
+    def test_sigma_zero_gives_identical_pages(self):
+        rng = make_rng(3)
+        factors = lognormal_page_variation(rng, 100, sigma=0.0)
+        assert np.all(factors == 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = lognormal_page_variation(make_rng(7), 64)
+        b = lognormal_page_variation(make_rng(7), 64)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            lognormal_page_variation(make_rng(0), -1)
+        with pytest.raises(ConfigError):
+            lognormal_page_variation(make_rng(0), 10, sigma=-0.1)

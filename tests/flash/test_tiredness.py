@@ -1,0 +1,120 @@
+"""Unit tests for tiredness levels and the Fig. 2 calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import (
+    TirednessLevel,
+    TirednessPolicy,
+    calibrate_power_law,
+    default_policy_and_model,
+)
+
+
+@pytest.fixture
+def default_policy():
+    return TirednessPolicy()
+
+
+class TestLevelGeometry:
+    def test_dead_level_equals_opages(self, default_policy):
+        assert default_policy.dead_level == 4
+        assert default_policy.dead_level == TirednessLevel.L4
+
+    def test_data_opages_declines_one_per_level(self, default_policy):
+        assert [default_policy.data_opages(l) for l in range(5)] == [4, 3, 2, 1, 0]
+
+    def test_code_rates_match_paper_layout(self, default_policy):
+        # 16 KiB data + 2 KiB spare: L0 = 16/18, L1 = 12/18, ...
+        assert default_policy.code_rate(0) == pytest.approx(16 / 18)
+        assert default_policy.code_rate(1) == pytest.approx(12 / 18)
+        assert default_policy.code_rate(2) == pytest.approx(8 / 18)
+        assert default_policy.code_rate(3) == pytest.approx(4 / 18)
+
+    def test_parity_bytes_grow_by_one_opage(self, default_policy):
+        deltas = np.diff([default_policy.parity_bytes(l) for l in range(4)])
+        assert np.all(deltas == default_policy.geometry.opage_bytes)
+
+    def test_capacity_fraction(self, default_policy):
+        assert default_policy.capacity_fraction(1) == 0.75
+
+    def test_level_out_of_range(self, default_policy):
+        with pytest.raises(ConfigError):
+            default_policy.check_level(5)
+        with pytest.raises(ConfigError):
+            default_policy.check_level(-1)
+
+    def test_dead_level_has_no_ecc(self, default_policy):
+        with pytest.raises(ConfigError):
+            default_policy.ecc_for_level(4)
+        assert default_policy.max_rber(4) == 0.0
+
+    def test_two_opage_geometry(self):
+        policy = TirednessPolicy(
+            geometry=FlashGeometry(opages_per_fpage=2, spare_bytes=1024))
+        assert policy.dead_level == 2
+        assert list(policy.usable_levels) == [0, 1]
+
+
+class TestCalibration:
+    def test_l1_gain_hits_anchor(self):
+        policy = TirednessPolicy()
+        model = calibrate_power_law(policy, pec_limit_l0=3000, l1_gain=0.5)
+        assert policy.lifetime_gain(1, model) == pytest.approx(0.5, abs=1e-6)
+        assert float(policy.pec_limit(0, model)) == pytest.approx(3000)
+
+    def test_custom_anchor(self):
+        policy = TirednessPolicy()
+        model = calibrate_power_law(policy, pec_limit_l0=1000, l1_gain=0.3)
+        assert policy.lifetime_gain(1, model) == pytest.approx(0.3, abs=1e-6)
+
+    def test_diminishing_marginal_gains(self):
+        policy = TirednessPolicy()
+        model = calibrate_power_law(policy)
+        gains = [policy.lifetime_gain(l, model) for l in range(4)]
+        marginals = np.diff(gains)
+        assert np.all(marginals > 0)
+        assert np.all(np.diff(marginals) < 0)  # Fig. 2: diminishing returns
+
+    def test_rejects_non_positive_gain(self):
+        with pytest.raises(ConfigError):
+            calibrate_power_law(TirednessPolicy(), l1_gain=0.0)
+
+    def test_default_pair_cached(self):
+        a = default_policy_and_model()
+        b = default_policy_and_model()
+        assert a is b
+
+
+class TestLevelForPec:
+    def test_fresh_page_is_l0(self, default_policy):
+        model = calibrate_power_law(default_policy, pec_limit_l0=100)
+        assert default_policy.level_for_pec(0, model) == 0
+
+    def test_progression_through_levels(self, default_policy):
+        model = calibrate_power_law(default_policy, pec_limit_l0=100)
+        limits = default_policy.pec_limits(model)
+        assert default_policy.level_for_pec(limits[0] * 0.99, model) == 0
+        assert default_policy.level_for_pec(limits[0] * 1.01, model) == 1
+        assert default_policy.level_for_pec(limits[1] * 1.01, model) == 2
+        assert default_policy.level_for_pec(limits[3] * 1.01, model) == 4
+
+    def test_weak_page_transitions_earlier(self, default_policy):
+        model = calibrate_power_law(default_policy, pec_limit_l0=100)
+        pec = default_policy.pec_limits(model)[0] * 0.9
+        median = default_policy.level_for_pec(pec, model, scale_factor=1.0)
+        weak = default_policy.level_for_pec(pec, model, scale_factor=3.0)
+        assert median == 0
+        assert weak >= 1
+
+    def test_vectorised(self, default_policy):
+        model = calibrate_power_law(default_policy, pec_limit_l0=100)
+        pecs = np.array([0.0, 120.0, 1e6])
+        levels = default_policy.level_for_pec(pecs, model)
+        assert levels.tolist() == [0, 1, 4]
+
+    def test_pec_limit_zero_at_dead_level(self, default_policy):
+        model = calibrate_power_law(default_policy, pec_limit_l0=100)
+        assert float(default_policy.pec_limit(4, model)) == 0.0

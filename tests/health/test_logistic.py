@@ -1,0 +1,66 @@
+"""Unit tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.health.logistic import LogisticModel
+
+
+def linearly_separable(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + 2 * x[:, 1] > 0).astype(float)
+    return x, y
+
+
+class TestLogistic:
+    def test_learns_separable_data(self):
+        x, y = linearly_separable()
+        model = LogisticModel().fit(x, y)
+        accuracy = (model.predict(x) == y).mean()
+        assert accuracy > 0.97
+
+    def test_probabilities_ordered_along_margin(self):
+        x, y = linearly_separable()
+        model = LogisticModel().fit(x, y)
+        low = model.predict_proba(np.array([[-3.0, -3.0]]))[0]
+        high = model.predict_proba(np.array([[3.0, 3.0]]))[0]
+        assert low < 0.05 < 0.95 < high
+
+    def test_handles_constant_feature(self):
+        x, y = linearly_separable()
+        x = np.hstack([x, np.ones((x.shape[0], 1))])  # zero-variance column
+        model = LogisticModel().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ConfigError):
+            LogisticModel().predict_proba(np.zeros((1, 2)))
+
+    def test_imbalanced_base_rate_respected(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 2))
+        y = np.zeros(500)
+        y[:25] = 1  # 5 % positives, no signal
+        model = LogisticModel().fit(x, y)
+        mean_probability = model.predict_proba(x).mean()
+        assert mean_probability == pytest.approx(0.05, abs=0.03)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"learning_rate": 0},
+        {"iterations": 0},
+        {"l2": -1},
+    ])
+    def test_hyperparameter_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            LogisticModel(**kwargs)
+
+    def test_data_validation(self):
+        model = LogisticModel()
+        with pytest.raises(ConfigError):
+            model.fit(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ConfigError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ConfigError):
+            model.fit(np.zeros((2, 2)), np.array([0.0, 2.0]))

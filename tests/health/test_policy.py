@@ -1,0 +1,69 @@
+"""Unit tests for replacement-policy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.health.policy import (
+    evaluate_fixed_age,
+    evaluate_predictive,
+    evaluate_run_to_failure,
+)
+from repro.health.predictor import FailurePredictor
+from repro.health.telemetry import TelemetryConfig, generate_trajectories
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = TelemetryConfig(
+        devices=100, geometry=FlashGeometry(blocks=96, fpages_per_block=32),
+        pec_limit_l0=600, dwpd=1.0, sample_days=15, max_days=2500)
+    train = generate_trajectories(config, seed=1)
+    test = generate_trajectories(config, seed=2)
+    predictor = FailurePredictor(horizon_days=90).fit(train)
+    return test, predictor
+
+
+class TestPolicies:
+    def test_run_to_failure_wastes_nothing(self, world):
+        test, _ = world
+        outcome = evaluate_run_to_failure(test)
+        assert outcome.wasted_life_fraction == 0.0
+        assert outcome.unexpected_failure_rate > 0.9
+
+    def test_fixed_age_trades_life_for_safety(self, world):
+        test, _ = world
+        median_life = float(np.median(
+            [t.death_day for t in test if np.isfinite(t.death_day)]))
+        outcome = evaluate_fixed_age(test, median_life * 0.6)
+        baseline = evaluate_run_to_failure(test)
+        assert outcome.unexpected_failures < baseline.unexpected_failures
+        assert outcome.wasted_life_fraction > 0.1
+        assert outcome.preemptive_retirements > 0
+
+    def test_predictive_dominates_fixed_age(self, world):
+        test, predictor = world
+        median_life = float(np.median(
+            [t.death_day for t in test if np.isfinite(t.death_day)]))
+        fixed = evaluate_fixed_age(test, median_life * 0.6)
+        predictive = evaluate_predictive(test, predictor, threshold=0.5)
+        # Better on both axes: fewer surprises AND less wasted life.
+        assert (predictive.unexpected_failure_rate
+                <= fixed.unexpected_failure_rate)
+        assert (predictive.wasted_life_fraction
+                < fixed.wasted_life_fraction)
+
+    def test_threshold_moves_the_tradeoff(self, world):
+        test, predictor = world
+        eager = evaluate_predictive(test, predictor, threshold=0.2)
+        lazy = evaluate_predictive(test, predictor, threshold=0.9)
+        assert eager.unexpected_failures <= lazy.unexpected_failures
+        assert eager.mean_service_days <= lazy.mean_service_days
+
+    def test_validation(self, world):
+        test, predictor = world
+        with pytest.raises(ConfigError):
+            evaluate_fixed_age(test, 0)
+        with pytest.raises(ConfigError):
+            evaluate_predictive(test, predictor, threshold=0.0)

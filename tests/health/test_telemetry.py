@@ -1,0 +1,72 @@
+"""Unit tests for SMART-style telemetry generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.health.telemetry import TelemetryConfig, generate_trajectories
+
+
+@pytest.fixture(scope="module")
+def population():
+    config = TelemetryConfig(
+        devices=60, geometry=FlashGeometry(blocks=64, fpages_per_block=32),
+        pec_limit_l0=300, dwpd=1.0, sample_days=10, max_days=1500)
+    return generate_trajectories(config, seed=4)
+
+
+class TestTrajectories:
+    def test_population_size(self, population):
+        assert len(population) == 60
+
+    def test_monotone_counters(self, population):
+        for trajectory in population:
+            assert np.all(np.diff(trajectory.days) > 0)
+            assert np.all(np.diff(trajectory.writes_bytes) > 0)
+            assert np.all(np.diff(trajectory.bad_blocks) >= 0)
+
+    def test_wear_deaths_cross_threshold(self, population):
+        for trajectory in population:
+            if trajectory.death_cause == "wear":
+                assert trajectory.bad_fraction[-1] > 0.025
+
+    def test_death_day_matches_last_sample(self, population):
+        for trajectory in population:
+            if np.isfinite(trajectory.death_day):
+                assert trajectory.death_day == trajectory.days[-1]
+
+    def test_most_devices_die_of_wear_under_heavy_load(self, population):
+        causes = [t.death_cause for t in population]
+        assert causes.count("wear") > len(causes) * 0.5
+
+    def test_load_spread_varies_death_times(self, population):
+        deaths = [t.death_day for t in population
+                  if t.death_cause == "wear"]
+        assert len(set(deaths)) > 5
+
+    def test_deterministic(self):
+        config = TelemetryConfig(
+            devices=10, geometry=FlashGeometry(blocks=32,
+                                               fpages_per_block=16),
+            pec_limit_l0=300, max_days=1000)
+        a = generate_trajectories(config, seed=7)
+        b = generate_trajectories(config, seed=7)
+        assert all(x.death_day == y.death_day for x, y in zip(a, b))
+
+    def test_censoring(self):
+        config = TelemetryConfig(
+            devices=10, geometry=FlashGeometry(blocks=32,
+                                               fpages_per_block=16),
+            pec_limit_l0=100_000, afr=0.0, max_days=400)
+        for trajectory in generate_trajectories(config, seed=1):
+            assert trajectory.death_cause == "censored"
+            assert not np.isfinite(trajectory.death_day)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TelemetryConfig(devices=0)
+        with pytest.raises(ConfigError):
+            TelemetryConfig(sample_days=0)
+        with pytest.raises(ConfigError):
+            TelemetryConfig(afr=1.0)

@@ -1,0 +1,78 @@
+"""Cross-validation: the functional simulator and the fleet model agree.
+
+Two independent implementations answer the same question — how much longer
+do ShrinkS/RegenS devices live than the baseline? The functional simulator
+runs real FTL/GC/ECC machinery at MiB scale; the fleet model runs the
+analytic wear process at population scale. Their *relative* answers must
+agree: same ordering, same rough magnitudes. A divergence means one of the
+two models drifted from the shared physics.
+"""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.salamander.device import SalamanderConfig, SalamanderSSD
+from repro.sim.fleet import FleetConfig, simulate_fleet
+from repro.sim.lifetime import run_write_lifetime
+from repro.ssd.device import BaselineSSD, SSDConfig
+from repro.ssd.ftl import FTLConfig
+
+
+@pytest.fixture(scope="module")
+def functional_gains():
+    geometry = FlashGeometry(blocks=32, fpages_per_block=8)
+    policy = TirednessPolicy(geometry=geometry)
+    model = calibrate_power_law(policy, pec_limit_l0=30)
+    ftl = FTLConfig(overprovision=0.25, buffer_opages=8)
+
+    def chip(seed):
+        return FlashChip(geometry, rber_model=model, policy=policy,
+                         seed=seed, variation_sigma=0.35)
+
+    gains = {}
+    for seed in (1, 2):
+        base = run_write_lifetime(
+            BaselineSSD(chip(seed), SSDConfig(ftl=ftl)),
+            utilization=0.6, capacity_floor_fraction=0.3, seed=0)
+        for mode in ("shrink", "regen"):
+            device = SalamanderSSD(chip(seed), SalamanderConfig(
+                msize_lbas=32, mode=mode, headroom_fraction=0.25, ftl=ftl))
+            result = run_write_lifetime(device, utilization=0.6,
+                                        capacity_floor_fraction=0.3, seed=0)
+            gains.setdefault(mode, []).append(
+                result.host_writes / base.host_writes)
+    return {mode: sum(vals) / len(vals) for mode, vals in gains.items()}
+
+
+@pytest.fixture(scope="module")
+def fleet_gains():
+    config = FleetConfig(
+        devices=24, geometry=FlashGeometry(blocks=64, fpages_per_block=32),
+        pec_limit_l0=300, variation_sigma=0.35, afr=0.0,
+        min_capacity_fraction=0.3, horizon_days=3000, step_days=10)
+    base = simulate_fleet(config, "baseline", seed=3).mean_lifetime_days()
+    return {mode: simulate_fleet(config, mode, seed=3).mean_lifetime_days()
+            / base for mode in ("shrink", "regen")}
+
+
+class TestCrossModelAgreement:
+    def test_both_models_rank_the_modes_identically(self, functional_gains,
+                                                    fleet_gains):
+        assert 1.0 < functional_gains["shrink"] < functional_gains["regen"]
+        assert 1.0 < fleet_gains["shrink"] < fleet_gains["regen"]
+
+    def test_magnitudes_agree_loosely(self, functional_gains, fleet_gains):
+        # Different abstractions (real GC/WAF vs analytic wear, different
+        # stop conditions) — agreement within ~40 % relative is the
+        # meaningful bar, and catches order-of-magnitude drift.
+        for mode in ("shrink", "regen"):
+            ratio = functional_gains[mode] / fleet_gains[mode]
+            assert 0.6 < ratio < 1.67, (mode, functional_gains, fleet_gains)
+
+    def test_regen_advantage_over_shrink_agrees(self, functional_gains,
+                                                fleet_gains):
+        functional_edge = functional_gains["regen"] / functional_gains["shrink"]
+        fleet_edge = fleet_gains["regen"] / fleet_gains["shrink"]
+        assert 0.7 < functional_edge / fleet_edge < 1.4

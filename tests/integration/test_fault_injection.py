@@ -1,0 +1,133 @@
+"""Fault-injection campaign: adversarial media events against the stack.
+
+Each scenario injects a specific fault class (latent decay under data,
+device death mid-recovery, simultaneous multi-domain loss at the tolerance
+boundary) and asserts the stack's contract: detect, repair, never lie.
+"""
+
+import numpy as np
+import pytest
+
+import repro.errors as E
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.salamander.device import SalamanderConfig, SalamanderSSD
+from repro.ssd.ftl import FTLConfig
+from tests.ssd.test_scrub import _age_written_blocks
+
+
+def build_cluster(nodes: int = 4, replication: int = 2, seed: int = 7,
+                  pec_limit: int = 200):
+    geometry = FlashGeometry(blocks=32, fpages_per_block=8)
+    policy = TirednessPolicy(geometry=geometry)
+    model = calibrate_power_law(policy, pec_limit_l0=pec_limit)
+    cluster = Cluster(ClusterConfig(replication=replication, chunk_lbas=4),
+                      seed=seed)
+    devices = []
+    for n in range(nodes):
+        cluster.add_node(f"n{n}")
+        chip = FlashChip(geometry, rber_model=model, policy=policy,
+                         seed=seed + n, variation_sigma=0.3)
+        device = SalamanderSSD(chip, SalamanderConfig(
+            msize_lbas=32, mode="regen", headroom_fraction=0.25,
+            ftl=FTLConfig(overprovision=0.25, buffer_opages=8)))
+        cluster.add_device(f"n{n}", device)
+        devices.append(device)
+    return cluster, devices, policy, model
+
+
+class TestLatentDecay:
+    def test_decay_under_one_replica_is_survivable(self):
+        cluster, devices, policy, model = build_cluster()
+        for i in range(12):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        for device in devices:
+            device.flush()
+        limit = int(policy.pec_limits(model)[0])
+        _age_written_blocks(devices[0].chip, 5 * limit)
+        # Client reads route around the decayed copies and queue repairs.
+        for i in range(12):
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+        cluster.run_recovery()
+        for i in range(12):
+            assert cluster.namespace[f"c{i}"].replica_count == 2
+
+    def test_decay_under_all_replicas_is_reported_not_hidden(self):
+        cluster, devices, policy, model = build_cluster(replication=2)
+        cluster.create_chunk("doomed", b"gone")
+        for device in devices:
+            device.flush()
+        limit = int(policy.pec_limits(model)[0])
+        for device in devices:
+            _age_written_blocks(device.chip, 5 * limit)
+        with pytest.raises(E.ChunkLostError):
+            for _ in range(20):  # error injection is probabilistic
+                cluster.read_chunk("doomed")
+        cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost >= 1
+
+
+class TestDeathDuringRecovery:
+    def test_second_failure_while_recovering_first(self):
+        cluster, devices, _, _ = build_cluster(nodes=5, replication=3)
+        for i in range(10):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        chunk = cluster.namespace["c0"]
+        first, second = chunk.replicas[0], chunk.replicas[1]
+        # First domain dies; mid-recovery (before run), a second one dies.
+        cluster.recovery.volume_failed(first.volume_id)
+        cluster.recovery.volume_failed(second.volume_id)
+        cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost == 0
+        for i in range(10):
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+            assert cluster.namespace[f"c{i}"].replica_count == 3
+
+    def test_replacement_target_dies_too(self):
+        cluster, devices, _, _ = build_cluster(nodes=5, replication=2)
+        for i in range(10):
+            cluster.create_chunk(f"c{i}", f"data-{i}".encode())
+        rng = np.random.default_rng(0)
+        # Kill volumes one at a time with recovery between — a rolling
+        # failure wave; every wave must re-establish full replication.
+        for wave in range(6):
+            live = [v for v in cluster.volumes.values() if v.is_alive]
+            if len(live) <= 6:
+                break
+            victim = live[int(rng.integers(0, len(live)))]
+            cluster.recovery.volume_failed(victim.volume_id)
+            cluster.run_recovery()
+            assert cluster.recovery.stats.chunks_lost == 0
+        for i in range(10):
+            assert cluster.read_chunk(f"c{i}").rstrip(b"\0") == \
+                f"data-{i}".encode()
+
+
+class TestToleranceBoundary:
+    def test_exactly_tolerable_simultaneous_failures(self):
+        cluster, devices, _, _ = build_cluster(nodes=5, replication=3)
+        cluster.create_chunk("edge", b"still-here")
+        chunk = cluster.namespace["edge"]
+        # Kill replication - 1 = 2 domains simultaneously: survivable.
+        for replica in list(chunk.replicas)[:2]:
+            cluster.recovery.volume_failed(replica.volume_id)
+        cluster.run_recovery()
+        assert cluster.read_chunk("edge").rstrip(b"\0") == b"still-here"
+        assert chunk.replica_count == 3
+
+    def test_one_beyond_tolerance_loses_exactly_that_chunk(self):
+        cluster, devices, _, _ = build_cluster(nodes=5, replication=2)
+        cluster.create_chunk("edge", b"gone")
+        cluster.create_chunk("bystander", b"safe")
+        chunk = cluster.namespace["edge"]
+        for replica in list(chunk.replicas):
+            cluster.recovery.volume_failed(replica.volume_id)
+        cluster.run_recovery()
+        assert cluster.recovery.stats.chunks_lost == 1
+        with pytest.raises(E.ChunkLostError):
+            cluster.read_chunk("edge")
+        assert cluster.read_chunk("bystander").rstrip(b"\0") == b"safe"

@@ -1,0 +1,72 @@
+"""Unit tests for the constant-capacity planner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.models.capacity import (
+    embodied_purchase_ratio,
+    plan_constant_capacity,
+)
+from repro.sim.fleet import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def fleets():
+    config = FleetConfig(
+        devices=16, geometry=FlashGeometry(blocks=64, fpages_per_block=32),
+        pec_limit_l0=300, dwpd=1.0, afr=0.0,
+        horizon_days=1500, step_days=20)
+    return {mode: simulate_fleet(config, mode, seed=5)
+            for mode in ("baseline", "shrink", "regen")}
+
+
+class TestPlanner:
+    def test_capacity_held_constant(self, fleets):
+        for mode, result in fleets.items():
+            plan = plan_constant_capacity(result, fleets["baseline"])
+            delivered = plan.delivered_capacity()
+            assert np.all(delivered >= result.initial_capacity_bytes
+                          * 0.999), mode
+
+    def test_purchases_nonnegative_and_cumulative(self, fleets):
+        plan = plan_constant_capacity(fleets["shrink"], fleets["baseline"])
+        assert np.all(plan.purchases_bytes >= 0)
+        assert np.all(np.diff(plan.cumulative_purchases_bytes) >= 0)
+        assert plan.cumulative_purchases_bytes[-1] == pytest.approx(
+            plan.total_purchases_bytes)
+
+    def test_no_purchases_while_fleet_healthy(self, fleets):
+        plan = plan_constant_capacity(fleets["regen"], fleets["baseline"])
+        # Early steps: original batch still covers the target.
+        assert plan.purchases_bytes[0] == 0.0
+
+    def test_longer_lived_fleets_buy_less(self, fleets):
+        purchases = {
+            mode: plan_constant_capacity(result,
+                                         fleets["baseline"]).total_purchases_bytes
+            for mode, result in fleets.items()}
+        assert purchases["regen"] < purchases["shrink"] \
+            < purchases["baseline"]
+
+    def test_embodied_ratio_ordering(self, fleets):
+        base_plan = plan_constant_capacity(fleets["baseline"],
+                                           fleets["baseline"])
+        ratios = {
+            mode: embodied_purchase_ratio(
+                plan_constant_capacity(result, fleets["baseline"]),
+                base_plan)
+            for mode, result in fleets.items()}
+        assert ratios["baseline"] == pytest.approx(1.0)
+        assert ratios["regen"] < ratios["shrink"] < 1.0
+
+    def test_mismatched_grids_rejected(self, fleets):
+        from dataclasses import replace
+        config = FleetConfig(
+            devices=8, geometry=FlashGeometry(blocks=32,
+                                              fpages_per_block=16),
+            pec_limit_l0=300, horizon_days=800, step_days=40)
+        other = simulate_fleet(config, "baseline", seed=1)
+        with pytest.raises(ConfigError):
+            plan_constant_capacity(fleets["shrink"], other)

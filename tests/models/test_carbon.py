@@ -1,0 +1,72 @@
+"""Unit tests for the Eq. 3 carbon model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.carbon import (
+    RU_REGENS,
+    RU_SHRINKS,
+    CarbonParams,
+    carbon_savings,
+    fig4_configurations,
+    relative_footprint,
+)
+
+
+class TestEq3:
+    def test_paper_regens_savings_about_8_percent(self):
+        params = CarbonParams(upgrade_rate=RU_REGENS)
+        assert carbon_savings(params) == pytest.approx(0.08, abs=0.005)
+
+    def test_paper_shrinks_savings_about_3_percent(self):
+        params = CarbonParams(upgrade_rate=RU_SHRINKS)
+        assert carbon_savings(params) == pytest.approx(0.03, abs=0.005)
+
+    def test_eq3_algebra(self):
+        params = CarbonParams(f_op=0.5, power_effectiveness=1.1,
+                              upgrade_rate=0.8)
+        assert relative_footprint(params) == pytest.approx(
+            0.5 * 1.1 + 0.5 * 0.8)
+
+    def test_renewable_reduces_to_embodied_term(self):
+        params = CarbonParams(upgrade_rate=0.8, renewable_operational=True)
+        assert relative_footprint(params) == pytest.approx(0.8)
+        assert carbon_savings(params) == pytest.approx(0.2)
+
+    def test_no_upgrade_benefit_means_net_cost(self):
+        # Keeping old drives with no lifetime gain only burns more power.
+        params = CarbonParams(upgrade_rate=1.0)
+        assert carbon_savings(params) < 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"f_op": 1.0},
+        {"f_op": -0.1},
+        {"power_effectiveness": 0},
+        {"upgrade_rate": 0},
+        {"upgrade_rate": 2.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            CarbonParams(**kwargs)
+
+
+class TestFig4:
+    def test_bar_set_shape(self):
+        bars = fig4_configurations()
+        assert set(bars) == {"shrinks/current", "shrinks/renewable",
+                             "regens/current", "regens/renewable"}
+
+    def test_paper_ranges(self):
+        bars = fig4_configurations()
+        # "3-8 % CO2e savings in current designs"
+        assert 0.02 <= bars["shrinks/current"] <= 0.04
+        assert 0.07 <= bars["regens/current"] <= 0.09
+        # "these gains increase to 11-20 %" with renewables
+        assert 0.09 <= bars["shrinks/renewable"] <= 0.12
+        assert 0.18 <= bars["regens/renewable"] <= 0.22
+
+    def test_ordering_within_figure(self):
+        bars = fig4_configurations()
+        assert bars["regens/current"] > bars["shrinks/current"]
+        assert bars["shrinks/renewable"] > bars["shrinks/current"]
+        assert bars["regens/renewable"] == max(bars.values())

@@ -1,0 +1,52 @@
+"""Unit tests for the Fig. 2 trade-off model."""
+
+import pytest
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.models.lifetime import tiredness_tradeoff
+
+
+class TestFig2Curve:
+    def test_default_reproduces_paper_anchors(self):
+        points = tiredness_tradeoff()
+        by_level = {p.level: p for p in points}
+        assert by_level[0].pec_gain == pytest.approx(0.0)
+        assert by_level[0].capacity_fraction == 1.0
+        assert by_level[0].code_rate == pytest.approx(16 / 18)
+        # The paper's Fig. 2 anchor: +50 % lifetime at L1.
+        assert by_level[1].pec_gain == pytest.approx(0.5, abs=1e-6)
+        assert by_level[1].capacity_fraction == 0.75
+
+    def test_diminishing_marginal_gains(self):
+        points = tiredness_tradeoff()
+        marginals = [p.marginal_gain for p in points[1:]]
+        assert all(m > 0 for m in marginals)
+        assert all(a > b for a, b in zip(marginals, marginals[1:]))
+
+    def test_l2_marginal_smaller_than_l1(self):
+        # "realistically, RegenS should limit itself to L < 2": the L2 step
+        # buys less extra lifetime than L1 while costing the same capacity.
+        points = {p.level: p for p in tiredness_tradeoff()}
+        assert points[2].marginal_gain < points[1].marginal_gain
+
+    def test_respects_custom_anchor(self):
+        policy = TirednessPolicy()
+        model = calibrate_power_law(policy, pec_limit_l0=1000, l1_gain=0.25)
+        points = tiredness_tradeoff(policy, model)
+        assert points[1].pec_gain == pytest.approx(0.25, abs=1e-6)
+        assert points[0].pec_limit == pytest.approx(1000)
+
+    def test_other_fpage_sizes(self):
+        # §4.2 mentions fPage < 16 KiB; an 8 KiB fPage has two oPages.
+        geometry = FlashGeometry(opages_per_fpage=2, spare_bytes=1024)
+        policy = TirednessPolicy(geometry=geometry)
+        points = tiredness_tradeoff(policy)
+        assert len(points) == 2
+        assert points[1].capacity_fraction == 0.5
+
+    def test_pec_limit_column_consistent_with_gain(self):
+        points = tiredness_tradeoff(pec_limit_l0=2000)
+        for point in points:
+            assert point.pec_limit == pytest.approx(
+                2000 * (1 + point.pec_gain), rel=1e-6)

@@ -1,0 +1,70 @@
+"""Unit tests for the M/D/c load model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.queueing import (
+    md1_wait_us,
+    mdc_latency_us,
+    saturation_iops,
+)
+
+
+class TestMD1:
+    def test_no_load_no_wait(self):
+        assert md1_wait_us(60.0, 0.0) == 0.0
+        assert mdc_latency_us(60.0, 0.0) == pytest.approx(60.0)
+
+    def test_half_load_known_value(self):
+        # P-K at rho = 0.5: wait = 0.5 * S / (2 * 0.5) = S / 2.
+        assert md1_wait_us(60.0, 0.5 / 60.0) == pytest.approx(30.0)
+
+    def test_latency_monotone_in_load(self):
+        latencies = [mdc_latency_us(60.0, iops)
+                     for iops in (0, 4000, 8000, 12000, 16000)]
+        assert all(a < b for a, b in zip(latencies, latencies[1:]))
+
+    def test_diverges_at_saturation(self):
+        sat = saturation_iops(60.0)
+        assert sat == pytest.approx(1e6 / 60.0)
+        assert mdc_latency_us(60.0, sat) == math.inf
+        assert mdc_latency_us(60.0, sat * 0.99) < math.inf
+
+
+class TestMDC:
+    def test_channels_raise_saturation_linearly(self):
+        assert saturation_iops(60.0, channels=8) == pytest.approx(
+            8 * saturation_iops(60.0, channels=1))
+
+    def test_more_channels_less_wait_at_same_iops(self):
+        iops = 10_000
+        assert (mdc_latency_us(60.0, iops, channels=8)
+                < mdc_latency_us(60.0, iops, channels=1))
+
+    def test_mdc_never_below_service_time(self):
+        assert mdc_latency_us(60.0, 1000, channels=8) >= 60.0
+
+    def test_worn_device_saturates_earlier(self):
+        # A worn page's retries raise the service time; the same IOPS that
+        # a fresh device absorbs can saturate a worn one.
+        from repro.models.performance import PerformanceModel
+        model = PerformanceModel()
+        fresh_service = model.small_read_latency_us(0, rber=0.0)
+        worn_service = model.small_read_latency_us(
+            0, rber=model.policy.max_rber(0) * 0.98)
+        assert saturation_iops(worn_service) < saturation_iops(fresh_service)
+        iops = saturation_iops(worn_service) * 1.01
+        assert mdc_latency_us(worn_service, iops) == math.inf
+        assert mdc_latency_us(fresh_service, iops) < math.inf
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            mdc_latency_us(0.0, 100)
+        with pytest.raises(ConfigError):
+            mdc_latency_us(60.0, -1)
+        with pytest.raises(ConfigError):
+            mdc_latency_us(60.0, 100, channels=0)
+        with pytest.raises(ConfigError):
+            saturation_iops(-1)

@@ -1,0 +1,60 @@
+"""Unit tests for the sensitivity-analysis sweeps."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.models.sensitivity import (
+    SWEEPABLE,
+    gains_are_robust,
+    sweep_parameter,
+)
+from repro.sim.fleet import FleetConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return FleetConfig(
+        devices=12, geometry=FlashGeometry(blocks=64, fpages_per_block=32),
+        pec_limit_l0=300, dwpd=1.0, afr=0.0,
+        horizon_days=2000, step_days=25)
+
+
+class TestSweep:
+    def test_points_carry_all_fields(self, quick_config):
+        points = sweep_parameter(quick_config, "variation_sigma",
+                                 [0.2, 0.4])
+        assert [p.value for p in points] == [0.2, 0.4]
+        for point in points:
+            assert point.baseline_days > 0
+            assert point.regen_gain > 1.0
+
+    def test_ordering_robust_across_sigma(self, quick_config):
+        points = sweep_parameter(quick_config, "variation_sigma",
+                                 [0.2, 0.35, 0.5])
+        assert gains_are_robust(points)
+
+    def test_more_variation_hurts_baseline_more(self, quick_config):
+        points = sweep_parameter(quick_config, "variation_sigma",
+                                 [0.15, 0.5])
+        # The weak-page tail bricks the baseline earlier, so the gain grows.
+        assert points[1].regen_gain > points[0].regen_gain
+
+    def test_looser_brick_threshold_narrows_the_gap(self, quick_config):
+        points = sweep_parameter(quick_config, "brick_threshold",
+                                 [0.01, 0.10])
+        assert points[1].baseline_days > points[0].baseline_days
+        assert points[1].regen_gain < points[0].regen_gain
+
+    def test_validation(self, quick_config):
+        with pytest.raises(ConfigError):
+            sweep_parameter(quick_config, "nonsense", [1])
+        with pytest.raises(ConfigError):
+            sweep_parameter(quick_config, "dwpd", [])
+        with pytest.raises(ConfigError):
+            gains_are_robust([])
+
+    def test_sweepable_list_matches_fleet_config(self, quick_config):
+        from dataclasses import fields
+        names = {f.name for f in fields(FleetConfig)}
+        assert set(SWEEPABLE) <= names

@@ -1,0 +1,70 @@
+"""Unit tests for the Eq. 4 cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.tco import (
+    RU_REGENS,
+    RU_SHRINKS,
+    TCOParams,
+    cost_upgrade_rate,
+    opex_sensitivity,
+    tco_relative,
+    tco_savings,
+)
+
+
+class TestEq4:
+    def test_paper_shrinks_savings_about_13_percent(self):
+        assert tco_savings(TCOParams(upgrade_rate=RU_SHRINKS)) == \
+            pytest.approx(0.13, abs=0.01)
+
+    def test_paper_regens_savings_about_25_percent(self):
+        assert tco_savings(TCOParams(upgrade_rate=RU_REGENS)) == \
+            pytest.approx(0.25, abs=0.015)
+
+    def test_cru_decomposition(self):
+        params = TCOParams(upgrade_rate=0.83, ce_new=0.25, cap_new=0.4)
+        assert cost_upgrade_rate(params) == pytest.approx(
+            0.83 + 0.17 * 0.25 * 0.4)
+
+    def test_eq4_algebra(self):
+        params = TCOParams(f_opex=0.14, upgrade_rate=0.83)
+        cru = cost_upgrade_rate(params)
+        assert tco_relative(params) == pytest.approx(0.14 + 0.86 * cru)
+
+    def test_half_opex_still_saves(self):
+        # §4.4: "if we assume half the cost is operational costs,
+        # Salamander lowers costs by 6-14 %".
+        shrink = tco_savings(TCOParams(f_opex=0.5, upgrade_rate=RU_SHRINKS))
+        regen = tco_savings(TCOParams(f_opex=0.5, upgrade_rate=RU_REGENS))
+        assert 0.05 <= shrink <= 0.09
+        assert 0.12 <= regen <= 0.16
+
+    def test_free_replacements_remove_backfill_penalty(self):
+        with_backfill = TCOParams(upgrade_rate=0.8, ce_new=0.25, cap_new=0.4)
+        no_backfill = TCOParams(upgrade_rate=0.8, ce_new=0.0, cap_new=0.4)
+        assert tco_savings(no_backfill) > tco_savings(with_backfill)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"f_opex": 1.0},
+        {"upgrade_rate": 0},
+        {"ce_new": 1.5},
+        {"cap_new": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            TCOParams(**kwargs)
+
+
+class TestSensitivity:
+    def test_savings_shrink_as_opex_share_grows(self):
+        rows = opex_sensitivity(RU_REGENS, np.linspace(0.0, 0.9, 10))
+        savings = [s for _, s in rows]
+        assert all(a > b for a, b in zip(savings, savings[1:]))
+
+    def test_rows_carry_inputs(self):
+        rows = opex_sensitivity(RU_SHRINKS, [0.14])
+        assert rows[0][0] == pytest.approx(0.14)
+        assert rows[0][1] == pytest.approx(0.13, abs=0.01)

@@ -1,0 +1,57 @@
+"""Tests for JSON experiment artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.export import ExperimentWriter, load_experiment
+from repro.reporting.series import Series
+
+
+class TestExperimentWriter:
+    def test_roundtrip(self, tmp_path):
+        writer = ExperimentWriter("fig-test", meta={"seed": 7})
+        writer.add_table("gains", ["level", "gain"],
+                         [["L1", 0.5], ["L2", np.float64(0.8)]])
+        writer.add_series(Series("survivors", np.array([0.0, 1.0]),
+                                 np.array([48, 40]), x_label="years"))
+        path = writer.write(tmp_path)
+        assert path.name == "fig-test.json"
+        document = load_experiment(path)
+        assert document["meta"]["seed"] == 7
+        assert document["tables"]["gains"]["rows"][1] == ["L2", 0.8]
+        assert document["series"]["survivors"]["x"] == [0.0, 1.0]
+        assert document["series"]["survivors"]["x_label"] == "years"
+
+    def test_numpy_types_coerced_to_plain_json(self, tmp_path):
+        writer = ExperimentWriter("types")
+        writer.add_table("t", ["v"], [[np.int64(3)], [np.float32(1.5)]])
+        path = writer.write(tmp_path)
+        raw = json.loads(path.read_text())
+        assert raw["tables"]["t"]["rows"] == [[3], [1.5]]
+
+    def test_table_width_validated(self):
+        writer = ExperimentWriter("x")
+        with pytest.raises(ConfigError):
+            writer.add_table("bad", ["a", "b"], [[1]])
+        with pytest.raises(ConfigError):
+            writer.add_table("bad", [], [])
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(ConfigError):
+            ExperimentWriter("")
+        with pytest.raises(ConfigError):
+            ExperimentWriter("a/b")
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"experiment": "x"}')
+        with pytest.raises(ConfigError):
+            load_experiment(path)
+
+    def test_directory_created(self, tmp_path):
+        writer = ExperimentWriter("nested")
+        path = writer.write(tmp_path / "a" / "b")
+        assert path.exists()

@@ -1,0 +1,44 @@
+"""Unit tests for series containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.series import Series
+
+
+class TestSeries:
+    def test_length_and_coercion(self):
+        series = Series("s", [1, 2, 3], [10, 20, 30])
+        assert len(series) == 3
+        assert series.x.dtype == float
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            Series("s", [1, 2], [1, 2, 3])
+
+    def test_interpolation(self):
+        series = Series("s", [0, 10], [0, 100])
+        assert series.at(5) == pytest.approx(50.0)
+        assert series.at(-5) == 0.0  # clamped
+        assert series.at(50) == 100.0
+
+    def test_at_on_empty_rejected(self):
+        series = Series("s", [], [])
+        with pytest.raises(ConfigError):
+            series.at(1.0)
+
+    def test_downsample(self):
+        series = Series("s", np.arange(100), np.arange(100))
+        small = series.downsample(10)
+        assert len(small) == 10
+        assert small.x[0] == 0
+        assert small.x[-1] == 99
+
+    def test_downsample_noop_when_small(self):
+        series = Series("s", [1, 2], [3, 4])
+        assert series.downsample(10) is series
+
+    def test_downsample_validation(self):
+        with pytest.raises(ConfigError):
+            Series("s", [1], [1]).downsample(0)

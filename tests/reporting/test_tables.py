@@ -1,0 +1,69 @@
+"""Unit tests for table/bar rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.series import Series
+from repro.reporting.tables import format_table, render_bars, render_series
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        text = render_bars({"x": 1.0, "y": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_unit_suffix(self):
+        text = render_bars({"x": 0.2}, unit="%")
+        assert "0.2%" in text
+
+    def test_all_zero_values(self):
+        text = render_bars({"x": 0.0})
+        assert "x" in text  # must not divide by zero
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            render_bars({}, width=10)
+        with pytest.raises(ConfigError):
+            render_bars({"x": 1.0}, width=0)
+
+
+class TestRenderSeries:
+    def test_multiple_series_one_table(self):
+        a = Series("a", [0, 1, 2], [0, 10, 20], x_label="t")
+        b = Series("b", [0, 1, 2], [5, 5, 5])
+        text = render_series([a, b], points=3, title="curves")
+        assert "curves" in text
+        assert "a" in text and "b" in text
+        assert "t" in text
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigError):
+            render_series([])

@@ -1,0 +1,165 @@
+"""Unit tests for the SalamanderSSD host interface and configuration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeviceBrickedError,
+    MinidiskDecommissionedError,
+    ReproError,
+)
+from repro.salamander.device import (
+    SalamanderConfig,
+    SalamanderMode,
+    SalamanderSSD,
+)
+from repro.salamander.events import (
+    DeviceExhausted,
+    MinidiskDecommissioned,
+    MinidiskRegenerated,
+)
+
+
+def wear_out(device, utilization=0.6, seed=0, max_writes=500_000):
+    """Random overwrites over active minidisks until the device gives up."""
+    rng = np.random.default_rng(seed)
+    writes = 0
+    try:
+        while writes < max_writes:
+            active = device.active_minidisks()
+            if not active:
+                break
+            mdisk = active[int(rng.integers(0, len(active)))]
+            hot = max(1, int(utilization * mdisk.size_lbas))
+            device.write(mdisk.mdisk_id, int(rng.integers(0, hot)), b"x")
+            writes += 1
+    except ReproError as error:
+        return writes, error
+    return writes, None
+
+
+class TestConfig:
+    def test_mode_accepts_strings(self):
+        config = SalamanderConfig(mode="regen")
+        assert config.mode is SalamanderMode.REGEN
+
+    @pytest.mark.parametrize("kwargs", [
+        {"msize_lbas": 0},
+        {"regen_max_level": 0},
+        {"headroom_fraction": 1.0},
+        {"victim_policy": "nope"},
+        {"mode": "invalid"},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises((ConfigError, ValueError)):
+            SalamanderConfig(**kwargs)
+
+    def test_device_too_small_rejected(self, make_chip, ftl_config):
+        config = SalamanderConfig(msize_lbas=100_000, ftl=ftl_config)
+        with pytest.raises(ConfigError):
+            SalamanderSSD(make_chip(), config)
+
+
+class TestTopology:
+    def test_initial_minidisk_count_fits_headroom(self, make_salamander):
+        device = make_salamander()
+        total = device.geometry.total_opage_slots
+        needed = device.needed_opage_slots()
+        assert needed <= total
+        # Adding one more mDisk would not fit.
+        one_more = needed + int(device.msize_lbas * 1.25)
+        assert one_more > total
+
+    def test_advertised_matches_active_disks(self, make_salamander):
+        device = make_salamander()
+        n = len(device.active_minidisks())
+        assert device.advertised_lbas == n * device.msize_lbas
+        assert device.advertised_bytes == device.advertised_lbas * 4096
+
+    def test_minidisk_lookup(self, make_salamander):
+        device = make_salamander()
+        assert device.minidisk(0).mdisk_id == 0
+        with pytest.raises(ConfigError):
+            device.minidisk(len(device.minidisks))
+
+
+class TestHostIO:
+    def test_roundtrip_per_minidisk(self, make_salamander):
+        device = make_salamander()
+        device.write(0, 0, b"zero")
+        device.write(1, 0, b"one")
+        assert device.read(0, 0).rstrip(b"\0") == b"zero"
+        assert device.read(1, 0).rstrip(b"\0") == b"one"
+
+    def test_minidisks_are_isolated_address_spaces(self, make_salamander):
+        device = make_salamander()
+        device.write(0, 5, b"md0")
+        assert device.read(1, 5) == bytes(4096)
+
+    def test_lba_bounds_per_minidisk(self, make_salamander):
+        device = make_salamander()
+        with pytest.raises(ConfigError):
+            device.write(0, device.msize_lbas, b"x")
+
+    def test_trim(self, make_salamander):
+        device = make_salamander()
+        device.write(0, 1, b"data")
+        device.trim(0, 1)
+        assert device.read(0, 1) == bytes(4096)
+
+    def test_io_to_decommissioned_minidisk_rejected(self, make_salamander):
+        device = make_salamander()
+        victim = device.minidisks[0]
+        device._decommission(victim, reason="test")
+        with pytest.raises(MinidiskDecommissionedError):
+            device.write(0, 0, b"x")
+        with pytest.raises(MinidiskDecommissionedError):
+            device.read(0, 0)
+
+
+class TestEvents:
+    def test_listener_receives_decommission(self, make_salamander):
+        device = make_salamander()
+        events = []
+        device.add_listener(events.append)
+        device._decommission(device.minidisks[0], reason="test")
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, MinidiskDecommissioned)
+        assert event.mdisk_id == 0
+        assert event.reason == "test"
+        assert event.remaining_active == len(device.active_minidisks())
+
+    def test_event_log_kept_on_device(self, make_salamander):
+        device = make_salamander()
+        device._decommission(device.minidisks[0], reason="test")
+        assert len(device.events) == 1
+
+    def test_exhaustion_event_and_refusal(self, make_salamander):
+        device = make_salamander()
+        for mdisk in list(device.active_minidisks()):
+            device._decommission(mdisk, reason="test")
+        device._exhaust()
+        assert isinstance(device.events[-1], DeviceExhausted)
+        assert not device.is_alive
+        with pytest.raises(DeviceBrickedError):
+            device.read(0, 0)
+
+    def test_event_seq_totally_ordered(self, make_salamander):
+        device = make_salamander()
+        device._decommission(device.minidisks[0], reason="a")
+        device._decommission(device.minidisks[1], reason="b")
+        seqs = [e.seq for e in device.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestReport:
+    def test_report_fields(self, make_salamander):
+        device = make_salamander(mode="regen")
+        report = device.report()
+        assert report["mode"] == "regen"
+        assert report["active_minidisks"] == len(device.active_minidisks())
+        assert report["alive"] == 1.0
+        assert report["in_service_opage_slots"] > 0

@@ -1,0 +1,164 @@
+"""Wear-driven behaviour of Salamander devices (ShrinkS + RegenS end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.salamander.events import (
+    MinidiskDecommissioned,
+    MinidiskRegenerated,
+)
+from tests.salamander.test_device import wear_out
+
+
+class TestShrinkS:
+    def test_device_shrinks_gradually(self, make_salamander):
+        device = make_salamander(mode="shrink", seed=1)
+        initial = device.advertised_lbas
+        wear_out(device)
+        assert device.stats.decommissioned_minidisks > 0
+        assert device.advertised_lbas < initial
+        # Decommissions happen one mDisk at a time.
+        assert device.advertised_lbas % device.msize_lbas == 0
+
+    def test_shrink_mode_never_regenerates(self, make_salamander):
+        device = make_salamander(mode="shrink", seed=1)
+        wear_out(device)
+        assert device.stats.regenerated_minidisks == 0
+        assert len(device.limbo) == 0
+        assert all(not isinstance(e, MinidiskRegenerated)
+                   for e in device.events)
+
+    def test_shrink_retires_pages_individually(self, make_salamander):
+        device = make_salamander(mode="shrink", seed=1)
+        wear_out(device)
+        assert device.stats.retired_fpages > 0
+        # Some blocks must be partially retired (page granularity): find a
+        # block with both retired and non-retired pages.
+        states = device.chip.state_array().reshape(
+            device.geometry.blocks, device.geometry.fpages_per_block)
+        partial = ((states == 2).any(axis=1) & (states != 2).any(axis=1))
+        assert partial.any()
+
+    def test_eq2_never_violated(self, make_salamander):
+        device = make_salamander(mode="shrink", seed=1)
+        rng = np.random.default_rng(0)
+        for step in range(30_000):
+            active = device.active_minidisks()
+            if not active:
+                break
+            mdisk = active[int(rng.integers(0, len(active)))]
+            try:
+                device.write(mdisk.mdisk_id,
+                             int(rng.integers(0, mdisk.size_lbas)), b"x")
+            except ReproError:
+                break
+            if step % 500 == 0:
+                assert device.capacity_deficit() <= 0
+
+    def test_surviving_minidisks_keep_data(self, make_salamander):
+        device = make_salamander(mode="shrink", seed=1)
+        # Tag lba 0 of every mDisk, then wear until a few decommissions.
+        for mdisk in device.active_minidisks():
+            device.write(mdisk.mdisk_id, 0, f"tag-{mdisk.mdisk_id}".encode())
+        rng = np.random.default_rng(3)
+        while device.stats.decommissioned_minidisks < 3:
+            active = device.active_minidisks()
+            mdisk = active[int(rng.integers(0, len(active)))]
+            hot = max(1, mdisk.size_lbas // 2)
+            try:
+                device.write(mdisk.mdisk_id,
+                             1 + int(rng.integers(0, hot - 1)), b"x")
+            except ReproError:
+                break
+        survivors = device.active_minidisks()
+        assert survivors, "some minidisks should survive this workload"
+        intact = 0
+        for mdisk in survivors:
+            data = device.read(mdisk.mdisk_id, 0).rstrip(b"\0")
+            if data == f"tag-{mdisk.mdisk_id}".encode():
+                intact += 1
+        # The workload overwrote lba 0 of some disks; the rest must be intact.
+        assert intact > 0
+
+
+class TestRegenS:
+    def test_regenerates_minidisks(self, make_salamander):
+        device = make_salamander(mode="regen", seed=1)
+        wear_out(device)
+        assert device.stats.regenerated_minidisks > 0
+        regen_events = [e for e in device.events
+                        if isinstance(e, MinidiskRegenerated)]
+        assert regen_events
+        assert all(1 <= e.level <= 1 for e in regen_events)
+
+    def test_regenerated_minidisk_is_usable(self, make_salamander):
+        device = make_salamander(mode="regen", seed=1)
+        rng = np.random.default_rng(0)
+        # Wear until the first regeneration.
+        while device.stats.regenerated_minidisks == 0:
+            active = device.active_minidisks()
+            mdisk = active[int(rng.integers(0, len(active)))]
+            device.write(mdisk.mdisk_id,
+                         int(rng.integers(0, mdisk.size_lbas // 2)), b"x")
+        new_id = next(e.mdisk_id for e in device.events
+                      if isinstance(e, MinidiskRegenerated))
+        device.write(new_id, 0, b"reborn")
+        assert device.read(new_id, 0).rstrip(b"\0") == b"reborn"
+        assert device.minidisk(new_id).level >= 1
+
+    def test_regen_outlives_shrink(self, make_salamander):
+        shrink_writes, _ = wear_out(make_salamander(mode="shrink", seed=1),
+                                    utilization=0.6)
+        regen_writes, _ = wear_out(make_salamander(mode="regen", seed=1),
+                                   utilization=0.6)
+        assert regen_writes > shrink_writes
+
+    def test_pages_beyond_max_level_retire(self, make_salamander):
+        device = make_salamander(mode="regen", seed=1, regen_max_level=1)
+        wear_out(device, max_writes=200_000)
+        levels = device.chip.level_array()
+        states = device.chip.state_array()
+        # No in-service page sits above the allowed level.
+        in_service = states != 2
+        assert (levels[in_service] <= 1).all()
+
+    def test_higher_max_level_extends_life_further(self, make_salamander):
+        l1_writes, _ = wear_out(
+            make_salamander(mode="regen", seed=1, regen_max_level=1))
+        l2_writes, _ = wear_out(
+            make_salamander(mode="regen", seed=1, regen_max_level=2))
+        assert l2_writes >= l1_writes
+
+    def test_limbo_pages_not_allocated(self, make_salamander):
+        device = make_salamander(mode="regen", seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(50_000):
+            active = device.active_minidisks()
+            if not active:
+                break
+            mdisk = active[int(rng.integers(0, len(active)))]
+            try:
+                device.write(mdisk.mdisk_id,
+                             int(rng.integers(0, mdisk.size_lbas)), b"x")
+            except ReproError:
+                break
+            if device.limbo:
+                # No limbo page may be WRITTEN.
+                states = device.chip.state_array()
+                for fpage in list(device.limbo._level_of):
+                    assert states[fpage] != 1
+
+
+class TestLifetimeOrdering:
+    def test_full_tournament_ordering(self, make_baseline, make_cvss,
+                                      make_salamander):
+        """The paper's headline: baseline < CVSS <= ShrinkS < RegenS."""
+        from tests.ssd.test_cvss import churn
+        base, _ = churn(make_baseline(seed=1), utilization=0.6)
+        cvss, _ = churn(make_cvss(seed=1), utilization=0.6)
+        shrink, _ = wear_out(make_salamander(mode="shrink", seed=1),
+                             utilization=0.6)
+        regen, _ = wear_out(make_salamander(mode="regen", seed=1),
+                            utilization=0.6)
+        assert base < cvss <= shrink < regen

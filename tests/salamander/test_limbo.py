@@ -1,0 +1,78 @@
+"""Unit tests for the limbo ledger (Eq. 1 accounting)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.salamander.limbo import LimboLedger
+
+
+@pytest.fixture
+def limbo():
+    return LimboLedger(dead_level=4)
+
+
+class TestMembership:
+    def test_add_and_query(self, limbo):
+        limbo.add(10, 1)
+        assert 10 in limbo
+        assert limbo.level_of(10) == 1
+        assert len(limbo) == 1
+
+    def test_double_add_rejected(self, limbo):
+        limbo.add(10, 1)
+        with pytest.raises(ConfigError):
+            limbo.add(10, 2)
+
+    def test_remove_returns_level(self, limbo):
+        limbo.add(10, 2)
+        assert limbo.remove(10) == 2
+        assert 10 not in limbo
+
+    def test_remove_missing_rejected(self, limbo):
+        with pytest.raises(ConfigError):
+            limbo.remove(99)
+
+    def test_dead_level_not_parkable(self, limbo):
+        with pytest.raises(ConfigError):
+            limbo.add(1, 4)
+
+
+class TestBump:
+    def test_bump_raises_level(self, limbo):
+        limbo.add(10, 1)
+        limbo.bump(10, 3)
+        assert limbo.level_of(10) == 3
+
+    def test_bump_cannot_lower(self, limbo):
+        limbo.add(10, 2)
+        with pytest.raises(ConfigError):
+            limbo.bump(10, 1)
+
+    def test_bump_missing_rejected(self, limbo):
+        with pytest.raises(ConfigError):
+            limbo.bump(99, 2)
+
+
+class TestEq1Accounting:
+    def test_counts_histogram(self, limbo):
+        for fpage, level in [(1, 1), (2, 1), (3, 2)]:
+            limbo.add(fpage, level)
+        assert limbo.counts() == {1: 2, 2: 1}
+
+    def test_capacity_matches_eq1(self, limbo):
+        # valid[limbo[Lj]] = (4 - j) * limbo[Lj]
+        for fpage, level in [(1, 1), (2, 1), (3, 2), (4, 3)]:
+            limbo.add(fpage, level)
+        assert limbo.capacity_opages(1) == 3 * 2
+        assert limbo.capacity_opages(2) == 2 * 1
+        assert limbo.capacity_opages(3) == 1 * 1
+        assert limbo.capacity_opages() == 6 + 2 + 1
+
+    def test_pages_at_sorted(self, limbo):
+        limbo.add(9, 1)
+        limbo.add(3, 1)
+        assert limbo.pages_at(1) == [3, 9]
+
+    def test_empty_ledger(self, limbo):
+        assert limbo.counts() == {}
+        assert limbo.capacity_opages() == 0

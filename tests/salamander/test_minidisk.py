@@ -1,0 +1,49 @@
+"""Unit tests for minidisk objects."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.salamander.minidisk import Minidisk, MinidiskStatus
+
+
+class TestMinidisk:
+    def test_flat_addressing(self):
+        mdisk = Minidisk(mdisk_id=3, size_lbas=256)
+        assert mdisk.flat_base == 768
+        assert mdisk.flat_lba(0) == 768
+        assert mdisk.flat_lba(255) == 1023
+
+    def test_lba_bounds(self):
+        mdisk = Minidisk(mdisk_id=0, size_lbas=16)
+        with pytest.raises(ConfigError):
+            mdisk.flat_lba(16)
+        with pytest.raises(ConfigError):
+            mdisk.flat_lba(-1)
+
+    def test_decommission_lifecycle(self):
+        mdisk = Minidisk(mdisk_id=1, size_lbas=16)
+        assert mdisk.is_active
+        mdisk.decommission(seq=9)
+        assert not mdisk.is_active
+        assert mdisk.status is MinidiskStatus.DECOMMISSIONED
+        assert mdisk.decommissioned_seq == 9
+
+    def test_double_decommission_rejected(self):
+        mdisk = Minidisk(mdisk_id=1, size_lbas=16)
+        mdisk.decommission(seq=1)
+        with pytest.raises(ConfigError):
+            mdisk.decommission(seq=2)
+
+    def test_regenerated_disk_carries_level(self):
+        mdisk = Minidisk(mdisk_id=5, size_lbas=16, level=1, created_seq=12)
+        assert mdisk.level == 1
+        assert mdisk.created_seq == 12
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mdisk_id": -1, "size_lbas": 16},
+        {"mdisk_id": 0, "size_lbas": 0},
+        {"mdisk_id": 0, "size_lbas": 16, "level": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            Minidisk(**kwargs)

@@ -1,0 +1,63 @@
+"""Unit tests for revival planning (§3.4)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.salamander.limbo import LimboLedger
+from repro.salamander.regen import plan_revival
+
+
+@pytest.fixture
+def limbo():
+    return LimboLedger(dead_level=4)
+
+
+class TestPlanRevival:
+    def test_none_when_empty(self, limbo):
+        assert plan_revival(limbo, 10) is None
+
+    def test_none_when_insufficient(self, limbo):
+        limbo.add(1, 1)  # 3 oPages
+        assert plan_revival(limbo, 10) is None
+
+    def test_minimal_sufficient_pages(self, limbo):
+        for fpage in range(10):
+            limbo.add(fpage, 1)  # 3 oPages each
+        plan = plan_revival(limbo, 10)
+        assert plan is not None
+        assert plan.level == 1
+        assert len(plan.fpages) == 4  # ceil(10 / 3)
+        assert plan.capacity_opages == 12
+
+    def test_prefers_lowest_populated_level(self, limbo):
+        for fpage in range(4):
+            limbo.add(fpage, 2)       # level 2: 2 oPages each (8 total)
+        for fpage in range(10, 14):
+            limbo.add(fpage, 1)       # level 1: 3 oPages each (12 total)
+        plan = plan_revival(limbo, 8)
+        assert plan.level == 1
+
+    def test_uniform_tiredness_no_level_mixing(self, limbo):
+        # 2 pages at L1 (6 oPages) + 2 at L2 (4 oPages) = 10 combined, but
+        # no single level covers 8 -> no plan (paper's uniformity rule).
+        limbo.add(1, 1)
+        limbo.add(2, 1)
+        limbo.add(3, 2)
+        limbo.add(4, 2)
+        assert plan_revival(limbo, 8) is None
+
+    def test_takes_pages_in_order(self, limbo):
+        for fpage in (7, 3, 11):
+            limbo.add(fpage, 1)
+        plan = plan_revival(limbo, 4)
+        assert plan.fpages == (3, 7)
+
+    def test_does_not_mutate_ledger(self, limbo):
+        for fpage in range(5):
+            limbo.add(fpage, 1)
+        plan_revival(limbo, 6)
+        assert len(limbo) == 5
+
+    def test_validation(self, limbo):
+        with pytest.raises(ConfigError):
+            plan_revival(limbo, 0)

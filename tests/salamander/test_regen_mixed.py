@@ -1,0 +1,75 @@
+"""Tests for mixed-tiredness regeneration (paper future work, §3.4)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.salamander.device import SalamanderConfig
+from repro.salamander.limbo import LimboLedger
+from repro.salamander.regen import plan_revival, plan_revival_mixed
+
+
+@pytest.fixture
+def limbo():
+    return LimboLedger(dead_level=4)
+
+
+class TestMixedPlanner:
+    def test_combines_levels_when_no_single_level_suffices(self, limbo):
+        # 2 pages at L1 (6 oPages) + 2 at L2 (4 oPages): uniform planning
+        # fails for 8 oPages, mixed succeeds.
+        for fpage, level in [(1, 1), (2, 1), (3, 2), (4, 2)]:
+            limbo.add(fpage, level)
+        assert plan_revival(limbo, 8) is None
+        plan = plan_revival_mixed(limbo, 8)
+        assert plan is not None
+        assert plan.mixed
+        assert plan.capacity_opages >= 8
+        assert plan.level == 2  # labelled with the worst included level
+
+    def test_prefers_least_worn_pages_first(self, limbo):
+        for fpage in range(4):
+            limbo.add(fpage, 1)
+        limbo.add(9, 3)
+        plan = plan_revival_mixed(limbo, 6)
+        assert plan is not None
+        assert 9 not in plan.fpages  # L1 capacity sufficed
+        assert plan.level == 1
+        assert not plan.mixed or plan.level == 1
+
+    def test_single_level_plan_not_marked_mixed(self, limbo):
+        for fpage in range(4):
+            limbo.add(fpage, 1)
+        plan = plan_revival_mixed(limbo, 6)
+        assert plan is not None
+        assert not plan.mixed
+
+    def test_none_when_total_capacity_insufficient(self, limbo):
+        limbo.add(1, 3)  # 1 oPage
+        assert plan_revival_mixed(limbo, 8) is None
+
+    def test_validation(self, limbo):
+        with pytest.raises(ConfigError):
+            plan_revival_mixed(limbo, 0)
+
+
+class TestMixedDevice:
+    def test_mixed_regenerates_at_least_as_many_minidisks(
+            self, make_chip, ftl_config):
+        from repro.salamander.device import SalamanderSSD
+        from tests.salamander.test_device import wear_out
+
+        def run(mixed: bool):
+            config = SalamanderConfig(
+                msize_lbas=32, mode="regen", headroom_fraction=0.25,
+                regen_max_level=2, regen_mixed_levels=mixed, ftl=ftl_config)
+            device = SalamanderSSD(make_chip(seed=1), config)
+            wear_out(device, utilization=0.6)
+            return device
+
+        uniform = run(False)
+        mixed = run(True)
+        assert (mixed.stats.regenerated_minidisks
+                >= uniform.stats.regenerated_minidisks)
+        # Mixed plans leave less capacity stranded in limbo at death.
+        assert (mixed.limbo.capacity_opages()
+                <= uniform.limbo.capacity_opages() + 32)

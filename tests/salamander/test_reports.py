@@ -1,0 +1,47 @@
+"""Tests for Salamander reporting surfaces."""
+
+import pytest
+
+from repro.salamander.minidisk import MinidiskStatus
+
+
+class TestMinidiskReport:
+    def test_one_row_per_minidisk(self, make_salamander):
+        device = make_salamander()
+        rows = device.minidisk_report()
+        assert len(rows) == len(device.minidisks)
+        assert {row["mdisk_id"] for row in rows} == \
+            {m.mdisk_id for m in device.minidisks}
+
+    def test_live_counts_track_writes(self, make_salamander):
+        device = make_salamander()
+        device.write(2, 0, b"a")
+        device.write(2, 1, b"b")
+        rows = {row["mdisk_id"]: row for row in device.minidisk_report()}
+        assert rows[2]["live_lbas"] == 2
+        assert rows[0]["live_lbas"] == 0
+
+    def test_status_and_level_reported(self, make_salamander):
+        device = make_salamander(mode="regen")
+        device._decommission(device.minidisks[0], reason="test")
+        rows = {row["mdisk_id"]: row for row in device.minidisk_report()}
+        assert rows[0]["status"] == MinidiskStatus.DECOMMISSIONED.value
+        assert rows[1]["status"] == MinidiskStatus.ACTIVE.value
+        assert all("level" in row for row in rows.values())
+
+    def test_report_has_headline_fields(self, make_salamander):
+        device = make_salamander(mode="regen")
+        report = device.report()
+        for key in ("mode", "active_minidisks", "advertised_bytes",
+                    "limbo_capacity_opages", "alive",
+                    "write_amplification"):
+            assert key in report
+
+    def test_reports_survive_device_death(self, make_salamander):
+        device = make_salamander()
+        for mdisk in list(device.active_minidisks()):
+            device._decommission(mdisk, reason="test")
+        device._exhaust()
+        assert device.report()["alive"] == 0.0
+        assert all(row["status"] == "decommissioned"
+                   for row in device.minidisk_report())

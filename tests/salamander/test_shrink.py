@@ -1,0 +1,50 @@
+"""Unit tests for decommission victim policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.salamander.minidisk import Minidisk
+from repro.salamander.shrink import VICTIM_POLICIES, choose_victim
+
+
+@pytest.fixture
+def disks():
+    return [
+        Minidisk(mdisk_id=0, size_lbas=16, created_seq=0),
+        Minidisk(mdisk_id=1, size_lbas=16, created_seq=5),
+        Minidisk(mdisk_id=2, size_lbas=16, created_seq=2),
+    ]
+
+
+class TestPolicies:
+    def test_youngest(self, disks):
+        victim = choose_victim("youngest", disks, {})
+        assert victim.mdisk_id == 1  # created_seq 5 is newest
+
+    def test_oldest(self, disks):
+        victim = choose_victim("oldest", disks, {})
+        assert victim.mdisk_id == 0
+
+    def test_emptiest(self, disks):
+        victim = choose_victim("emptiest", disks, {0: 10, 1: 3, 2: 7})
+        assert victim.mdisk_id == 1
+
+    def test_emptiest_defaults_missing_counts_to_zero(self, disks):
+        victim = choose_victim("emptiest", disks, {0: 10, 1: 3})
+        assert victim.mdisk_id == 2
+
+    def test_youngest_prefers_regenerated_disks(self, disks):
+        regen = Minidisk(mdisk_id=9, size_lbas=16, level=1, created_seq=99)
+        victim = choose_victim("youngest", disks + [regen], {})
+        assert victim is regen
+
+    def test_all_policies_registered(self):
+        assert set(VICTIM_POLICIES) == {"youngest", "oldest", "emptiest"}
+
+    def test_unknown_policy_rejected(self, disks):
+        with pytest.raises(ConfigError):
+            choose_victim("fifo", disks, {})
+
+    def test_empty_active_set_rejected(self):
+        with pytest.raises(ConfigError):
+            choose_victim("youngest", [], {})

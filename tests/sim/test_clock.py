@@ -1,0 +1,34 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+        clock.advance_to(10.0)  # same time is fine
+
+    def test_no_negative_advance(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_no_backwards_jump(self):
+        clock = SimClock(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)

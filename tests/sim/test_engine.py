@@ -1,0 +1,108 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule_at(3.0, lambda: log.append("c"))
+        engine.schedule_at(1.0, lambda: log.append("a"))
+        engine.schedule_at(2.0, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.clock.now == 3.0
+
+    def test_equal_times_fire_in_schedule_order(self):
+        engine = Engine()
+        log = []
+        for name in "xyz":
+            engine.schedule_at(1.0, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["x", "y", "z"]
+
+    def test_schedule_in_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.schedule_in(2.0, lambda: times.append(engine.clock.now))
+        engine.run()
+        assert times == [2.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = Engine()
+        engine.clock.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_cancel(self):
+        engine = Engine()
+        log = []
+        event = engine.schedule_at(1.0, lambda: log.append("dead"))
+        engine.schedule_at(2.0, lambda: log.append("alive"))
+        engine.cancel(event)
+        engine.run()
+        assert log == ["alive"]
+
+    def test_len_counts_pending(self):
+        engine = Engine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert len(engine) == 2
+        engine.cancel(event)
+        assert len(engine) == 1
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        engine = Engine()
+        log = []
+        engine.schedule_at(1.0, lambda: log.append(1))
+        engine.schedule_at(5.0, lambda: log.append(5))
+        engine.run_until(3.0)
+        assert log == [1]
+        assert engine.clock.now == 3.0
+        engine.run()
+        assert log == [1, 5]
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = Engine()
+        log = []
+
+        def first():
+            log.append("first")
+            engine.schedule_in(1.0, lambda: log.append("second"))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert log == ["first", "second"]
+        assert engine.clock.now == 2.0
+
+
+class TestPeriodic:
+    def test_schedule_every_with_bound(self):
+        engine = Engine()
+        ticks = []
+        engine.schedule_every(1.0, lambda: ticks.append(engine.clock.now),
+                              until=3.5)
+        engine.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_interval_validated(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_every(0.0, lambda: None)
+
+    def test_runaway_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule_in(1.0, forever)
+
+        engine.schedule_in(1.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)

@@ -1,0 +1,54 @@
+"""Unit tests for the single-device lifetime harness."""
+
+import pytest
+
+from repro.sim.lifetime import LifetimeResult, run_write_lifetime
+
+
+class TestHarness:
+    def test_baseline_runs_to_death(self, make_baseline):
+        result = run_write_lifetime(make_baseline(seed=1), seed=0)
+        assert result.host_writes > 0
+        assert result.death_cause in ("DeviceBrickedError", "OutOfSpaceError")
+        assert result.stats["host_writes"] == result.host_writes
+        assert result.mean_pec_at_death > 0
+
+    def test_salamander_stops_at_capacity_floor(self, make_salamander):
+        result = run_write_lifetime(make_salamander(mode="shrink", seed=1),
+                                    capacity_floor_fraction=0.5, seed=0)
+        assert result.death_cause in ("capacity-floor", "DeviceBrickedError")
+        if result.death_cause == "capacity-floor":
+            assert result.capacity_fraction < 0.5
+
+    def test_capacity_curve_is_monotone_for_shrink(self, make_salamander):
+        result = run_write_lifetime(make_salamander(mode="shrink", seed=1),
+                                    sample_every=200, seed=0)
+        capacities = [c for _, c in result.capacity_curve]
+        assert capacities[0] == result.initial_capacity_lbas
+        assert all(a >= b for a, b in zip(capacities, capacities[1:]))
+
+    def test_max_writes_cap(self, make_baseline):
+        result = run_write_lifetime(make_baseline(seed=1), max_writes=100,
+                                    seed=0)
+        assert result.host_writes == 100
+        assert result.death_cause == "max-writes"
+
+    def test_deterministic_given_seed(self, make_baseline):
+        a = run_write_lifetime(make_baseline(seed=1), seed=7)
+        b = run_write_lifetime(make_baseline(seed=1), seed=7)
+        assert a.host_writes == b.host_writes
+        assert a.death_cause == b.death_cause
+
+    def test_capacity_fraction_property(self):
+        result = LifetimeResult(
+            host_writes=10, death_cause="x",
+            initial_capacity_lbas=100, final_capacity_lbas=40)
+        assert result.capacity_fraction == pytest.approx(0.4)
+
+    def test_lower_utilization_extends_all_devices(self, make_baseline,
+                                                   make_salamander):
+        for factory in (lambda: make_baseline(seed=1),
+                        lambda: make_salamander(mode="shrink", seed=1)):
+            high = run_write_lifetime(factory(), utilization=0.75, seed=0)
+            low = run_write_lifetime(factory(), utilization=0.45, seed=0)
+            assert low.host_writes > high.host_writes

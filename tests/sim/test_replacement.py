@@ -1,0 +1,80 @@
+"""Unit tests for the replacement-policy simulator."""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.sim.fleet import FleetConfig
+from repro.sim.replacement import (
+    ReplacementConfig,
+    measured_upgrade_rates,
+    simulate_replacement,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    fleet = FleetConfig(
+        devices=16, geometry=FlashGeometry(blocks=64, fpages_per_block=32),
+        pec_limit_l0=300, dwpd=0.15, afr=0.01, step_days=20)
+    # Wear life under this config is ~700-1000 days, so a 1.5-year age
+    # limit actually binds (mirrors 5 y vs multi-year lives at full scale).
+    return ReplacementConfig(fleet=fleet, slots=40, horizon_years=12,
+                             age_limit_years=1.5)
+
+
+@pytest.fixture(scope="module")
+def results(quick_config):
+    return measured_upgrade_rates(quick_config, seed=9)
+
+
+class TestReplacement:
+    def test_all_modes_present(self, results):
+        assert set(results) == {"baseline", "cvss", "shrink", "regen"}
+
+    def test_salamander_buys_fewer_devices(self, results):
+        assert results["shrink"].purchases < results["baseline"].purchases
+        assert results["regen"].purchases <= results["shrink"].purchases
+
+    def test_preemption_applies_to_monolithic_fleets_only(self, results):
+        assert results["baseline"].preempted_fraction > 0
+        assert results["shrink"].preempted_fraction == 0
+        assert results["regen"].preempted_fraction == 0
+
+    def test_age_limit_caps_monolithic_service_life(self, results,
+                                                    quick_config):
+        limit_days = quick_config.age_limit_years * 365
+        assert results["baseline"].mean_service_life_days <= limit_days + 1
+
+    def test_capacity_fraction_below_one_for_shrinking_modes(self, results):
+        assert results["baseline"].mean_capacity_fraction == \
+            pytest.approx(1.0, abs=0.01)
+        assert results["shrink"].mean_capacity_fraction < 1.0
+        assert results["regen"].mean_capacity_fraction < 1.0
+
+    def test_no_age_limit_removes_preemption(self, quick_config):
+        config = replace(quick_config, age_limit_years=None)
+        result = simulate_replacement(config, "baseline", seed=9)
+        assert result.preempted_fraction == 0
+
+    def test_deterministic(self, quick_config):
+        a = simulate_replacement(quick_config, "shrink", seed=3)
+        b = simulate_replacement(quick_config, "shrink", seed=3)
+        assert a.purchases == b.purchases
+
+    def test_longer_horizon_more_purchases(self, quick_config):
+        short = simulate_replacement(quick_config, "baseline", seed=3)
+        long = simulate_replacement(
+            replace(quick_config, horizon_years=24), "baseline", seed=3)
+        assert long.purchases > short.purchases
+
+    def test_validation(self, quick_config):
+        with pytest.raises(ConfigError):
+            ReplacementConfig(slots=0)
+        with pytest.raises(ConfigError):
+            ReplacementConfig(horizon_years=0)
+        with pytest.raises(ConfigError):
+            ReplacementConfig(age_limit_years=-1)
+        with pytest.raises(ConfigError):
+            simulate_replacement(quick_config, "nonsense", seed=0)

@@ -1,0 +1,54 @@
+"""Unit tests for the bad-block ledger."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ssd.badblocks import DEFAULT_BRICK_THRESHOLD, BadBlockLedger
+
+
+class TestLedger:
+    def test_default_threshold_matches_paper(self):
+        assert DEFAULT_BRICK_THRESHOLD == 0.025
+
+    def test_mark_and_query(self):
+        ledger = BadBlockLedger(100)
+        ledger.mark_bad(7)
+        assert ledger.is_bad(7)
+        assert not ledger.is_bad(8)
+        assert ledger.bad_count == 1
+        assert ledger.bad_fraction == pytest.approx(0.01)
+
+    def test_mark_idempotent(self):
+        ledger = BadBlockLedger(10)
+        ledger.mark_bad(3)
+        ledger.mark_bad(3)
+        assert ledger.bad_count == 1
+
+    def test_exceeded_is_strict(self):
+        # 2.5 % of 200 blocks = 5 blocks: at exactly 5 the device survives.
+        ledger = BadBlockLedger(200, brick_threshold=0.025)
+        for block in range(5):
+            ledger.mark_bad(block)
+        assert not ledger.exceeded
+        ledger.mark_bad(5)
+        assert ledger.exceeded
+
+    def test_out_of_range_block(self):
+        ledger = BadBlockLedger(10)
+        with pytest.raises(IndexError):
+            ledger.mark_bad(10)
+
+    def test_bad_blocks_snapshot(self):
+        ledger = BadBlockLedger(10)
+        ledger.mark_bad(2)
+        ledger.mark_bad(4)
+        assert ledger.bad_blocks() == frozenset({2, 4})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"total_blocks": 0},
+        {"total_blocks": 10, "brick_threshold": 0.0},
+        {"total_blocks": 10, "brick_threshold": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            BadBlockLedger(**kwargs)

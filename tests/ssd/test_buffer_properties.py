@@ -1,0 +1,49 @@
+"""Property tests for the write buffer's FIFO and filtering semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ssd.write_buffer import WriteBuffer
+
+ops = st.lists(
+    st.tuples(st.integers(0, 15), st.binary(min_size=0, max_size=4)),
+    min_size=0, max_size=40)
+
+
+class TestBufferProperties:
+    @given(writes=ops)
+    def test_fifo_of_first_insertions(self, writes):
+        buffer = WriteBuffer(64)
+        order = []
+        for key, payload in writes:
+            if key not in buffer:
+                order.append(key)
+            buffer.put(key, payload)
+        drained = [k for k, _ in buffer.pop_batch(100)]
+        assert drained == order
+
+    @given(writes=ops, keep=st.sets(st.integers(0, 15)))
+    def test_filtered_pop_leaves_others_untouched(self, writes, keep):
+        buffer = WriteBuffer(64)
+        latest = {}
+        for key, payload in writes:
+            buffer.put(key, payload)
+            latest[key] = payload
+        taken = buffer.pop_batch(100, keys=keep)
+        assert all(key in keep for key, _ in taken)
+        for key, payload in taken:
+            assert payload == latest[key]
+        # Everything not taken is still present with its latest payload.
+        for key, payload in latest.items():
+            if key not in keep:
+                assert buffer.get(key) == payload
+
+    @given(writes=ops, count=st.integers(0, 10))
+    def test_pop_respects_count(self, writes, count):
+        buffer = WriteBuffer(64)
+        for key, payload in writes:
+            buffer.put(key, payload)
+        size_before = len(buffer)
+        taken = buffer.pop_batch(count)
+        assert len(taken) == min(count, size_before)
+        assert len(buffer) == size_before - len(taken)

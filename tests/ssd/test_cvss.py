@@ -1,0 +1,101 @@
+"""Unit tests for the CVSS capacity-variant comparator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeviceBrickedError,
+    OutOfSpaceError,
+    ReproError,
+)
+from repro.ssd.cvss import CVSSConfig, CVSSDevice
+from repro.ssd.ftl import FTLConfig
+
+
+def churn(device, utilization=0.6, seed=0, max_writes=500_000):
+    """Overwrite within the shrinking capacity until the device dies."""
+    rng = np.random.default_rng(seed)
+    writes = 0
+    try:
+        while writes < max_writes:
+            capacity = getattr(device, "capacity_lbas", device.n_lbas)
+            hot = max(1, int(utilization * capacity))
+            device.write(int(rng.integers(0, hot)), b"x")
+            writes += 1
+    except ReproError as error:
+        return writes, error
+    return writes, None
+
+
+class TestConfig:
+    def test_max_level_must_be_zero(self, ftl_config):
+        from dataclasses import replace
+        with pytest.raises(ConfigError):
+            CVSSConfig(ftl=replace(ftl_config, max_level=1))
+
+    def test_retire_rule_validated(self, ftl_config):
+        with pytest.raises(ConfigError):
+            CVSSConfig(ftl=ftl_config, retire_rule="whatever")
+
+
+class TestShrinking:
+    def test_device_shrinks_instead_of_bricking(self, make_cvss):
+        device = make_cvss(seed=1)
+        initial = device.capacity_lbas
+        churn(device)
+        assert device.capacity_lbas < initial
+        assert device.stats.retired_blocks > 0
+
+    def test_shrink_listener_called_monotonically(self, make_cvss):
+        device = make_cvss(seed=1)
+        capacities = []
+        device.shrink_listener = capacities.append
+        churn(device)
+        assert capacities, "expected at least one shrink event"
+        assert all(a > b for a, b in zip(capacities, capacities[1:]))
+
+    def test_writes_beyond_capacity_rejected(self, make_cvss):
+        device = make_cvss(seed=1)
+        with pytest.raises(OutOfSpaceError):
+            device.write(device.capacity_lbas, b"x")
+
+    def test_dead_device_rejects_io(self, make_cvss):
+        device = make_cvss(seed=1)
+        churn(device, utilization=0.7)
+        if not device.is_alive:
+            with pytest.raises(DeviceBrickedError):
+                device.read(0)
+
+    def test_outlives_baseline_on_same_chip(self, make_cvss, make_baseline):
+        base_writes, _ = churn(make_baseline(seed=1), utilization=0.6)
+        cvss_writes, _ = churn(make_cvss(seed=1), utilization=0.6)
+        assert cvss_writes > base_writes
+
+    def test_lower_utilization_extends_life(self, make_cvss):
+        # CVSS's defining dependence on host free space (paper §1, §4).
+        high, _ = churn(make_cvss(seed=1), utilization=0.72)
+        low, _ = churn(make_cvss(seed=1), utilization=0.45)
+        assert low > high
+
+
+class TestRetireRules:
+    def test_avg_rule_retires_later_than_first_page(self, make_cvss):
+        first = make_cvss(seed=1, retire_rule="first-page")
+        churn(first)
+        avg = make_cvss(seed=1, retire_rule="avg-rber")
+        churn(avg)
+        # The average rule tolerates weak pages, so it retires fewer blocks
+        # by the time the device dies — and wears the flash further.
+        assert (avg.chip.wear_summary()["mean_pec"]
+                >= first.chip.wear_summary()["mean_pec"])
+
+    def test_avg_rule_risks_data_loss(self, make_cvss):
+        # Keeping overworn pages in service has a price: uncorrectable
+        # reads. The conservative rule should see none.
+        device = make_cvss(seed=3, retire_rule="avg-rber")
+        churn(device, utilization=0.7)
+        conservative = make_cvss(seed=3, retire_rule="first-page")
+        churn(conservative, utilization=0.7)
+        assert (device.stats.lost_opages
+                >= conservative.stats.lost_opages)

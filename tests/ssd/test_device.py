@@ -1,0 +1,123 @@
+"""Unit tests for the baseline SSD's failure semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeviceBrickedError,
+    DeviceReadOnlyError,
+    OutOfSpaceError,
+    ReproError,
+)
+from repro.ssd.device import BaselineSSD, SSDConfig
+from repro.ssd.ftl import FTLConfig
+
+
+def wear_to_death(device, seed=0, max_writes=500_000):
+    """Random overwrites until the device refuses service."""
+    rng = np.random.default_rng(seed)
+    hot = int(device.n_lbas * 0.75)
+    writes = 0
+    with pytest.raises(ReproError) as excinfo:
+        while writes < max_writes:
+            device.write(int(rng.integers(0, hot)), b"x")
+            writes += 1
+    return writes, excinfo.value
+
+
+class TestConfig:
+    def test_max_level_must_be_zero(self, ftl_config):
+        from dataclasses import replace
+        with pytest.raises(ConfigError):
+            SSDConfig(ftl=replace(ftl_config, max_level=1))
+
+    def test_create_convenience(self, tiny_geometry, ftl_config):
+        device = BaselineSSD.create(tiny_geometry,
+                                    SSDConfig(ftl=ftl_config), seed=3)
+        assert device.is_alive
+        assert device.n_lbas > 0
+
+
+class TestBasicIO:
+    def test_roundtrip(self, make_baseline):
+        device = make_baseline()
+        device.write(0, b"hello")
+        assert device.read(0).rstrip(b"\0") == b"hello"
+
+    def test_smart_report(self, make_baseline):
+        device = make_baseline()
+        device.write(0, b"x")
+        report = device.smart()
+        assert report["alive"] == 1.0
+        assert report["host_writes"] == 1
+        assert report["bad_blocks"] == 0
+
+
+class TestEndOfLife:
+    def test_device_eventually_bricks(self, make_baseline):
+        device = make_baseline(seed=1)
+        writes, error = wear_to_death(device)
+        assert isinstance(error, (DeviceBrickedError, OutOfSpaceError))
+        assert not device.is_alive
+        assert device.is_failed
+
+    def test_bricked_device_rejects_everything(self, make_baseline):
+        device = make_baseline(seed=1)
+        wear_to_death(device)
+        with pytest.raises(DeviceBrickedError):
+            device.write(0, b"x")
+        with pytest.raises(DeviceBrickedError):
+            device.read(0)
+        with pytest.raises(DeviceBrickedError):
+            device.trim(0)
+
+    def test_bricks_well_before_median_wear(self, make_baseline,
+                                            fast_model, policy):
+        # The paper's premise: devices die with "considerable lifetime
+        # potential left" — mean PEC at death is below the rated limit.
+        device = make_baseline(seed=1)
+        wear_to_death(device)
+        rated = policy.pec_limits(fast_model)[0]
+        assert device.chip.wear_summary()["mean_pec"] < rated
+
+    def test_bad_block_threshold_respected(self, make_baseline):
+        device = make_baseline(seed=1)
+        wear_to_death(device)
+        # At death the ledger is just past the threshold, not far past:
+        # retirement is block-granular, so one block's fraction is the step.
+        step = 1 / device.geometry.blocks
+        assert device.ledger.bad_fraction <= (
+            device.device_config.brick_threshold + 2 * step)
+
+    def test_read_only_mode(self, make_chip, ftl_config):
+        device = BaselineSSD(
+            make_chip(seed=1),
+            SSDConfig(ftl=ftl_config, read_only_at_eol=True))
+        rng = np.random.default_rng(0)
+        hot = int(device.n_lbas * 0.75)
+        payload_lba = 1
+        device.write(payload_lba, b"keep-me")
+        with pytest.raises(ReproError):
+            while True:
+                device.write(int(rng.integers(0, hot)), b"x")
+        if device.is_read_only:
+            # Reads still work in read-only end-of-life.
+            device.read(payload_lba)
+            with pytest.raises(DeviceReadOnlyError):
+                device.write(0, b"x")
+
+    def test_death_is_variation_dependent(self, make_baseline):
+        # Different chips (seeds) die at different times — no magic constant.
+        w1, _ = wear_to_death(make_baseline(seed=1))
+        w2, _ = wear_to_death(make_baseline(seed=2))
+        assert w1 != w2
+
+    def test_no_variation_no_early_brick(self, make_baseline, fast_model,
+                                         policy):
+        # With sigma=0 every page has the same limit, so the device survives
+        # until close to the rated PEC.
+        device = make_baseline(seed=1, variation_sigma=0.0)
+        wear_to_death(device)
+        rated = policy.pec_limits(fast_model)[0]
+        assert device.chip.wear_summary()["mean_pec"] >= 0.8 * rated

@@ -1,0 +1,72 @@
+"""Unit tests for GC victim selection policies."""
+
+import numpy as np
+
+from repro.ssd.gc import CostBenefitGC, GreedyGC
+
+
+class TestGreedy:
+    def test_picks_fewest_valid(self):
+        policy = GreedyGC()
+        victim = policy.choose_victim(
+            np.array([3, 5, 9]),
+            valid_counts=np.array([10, 2, 7]),
+            capacities=np.array([32, 32, 32]),
+            ages=np.array([1, 1, 1]))
+        assert victim == 5
+
+    def test_tie_breaks_deterministically(self):
+        policy = GreedyGC()
+        victim = policy.choose_victim(
+            np.array([4, 8]),
+            valid_counts=np.array([3, 3]),
+            capacities=np.array([32, 32]),
+            ages=np.array([0, 0]))
+        assert victim == 4  # argmin takes the first
+
+    def test_ignores_age(self):
+        policy = GreedyGC()
+        victim = policy.choose_victim(
+            np.array([1, 2]),
+            valid_counts=np.array([5, 6]),
+            capacities=np.array([32, 32]),
+            ages=np.array([0, 1000]))
+        assert victim == 1
+
+
+class TestCostBenefit:
+    def test_prefers_empty_over_full(self):
+        policy = CostBenefitGC()
+        victim = policy.choose_victim(
+            np.array([1, 2]),
+            valid_counts=np.array([30, 2]),
+            capacities=np.array([32, 32]),
+            ages=np.array([1, 1]))
+        assert victim == 2
+
+    def test_age_can_outweigh_slightly_higher_utilisation(self):
+        policy = CostBenefitGC()
+        victim = policy.choose_victim(
+            np.array([1, 2]),
+            valid_counts=np.array([16, 14]),
+            capacities=np.array([32, 32]),
+            ages=np.array([100, 1]))
+        assert victim == 1
+
+    def test_fully_valid_block_scores_zero(self):
+        policy = CostBenefitGC()
+        victim = policy.choose_victim(
+            np.array([1, 2]),
+            valid_counts=np.array([32, 31]),
+            capacities=np.array([32, 32]),
+            ages=np.array([1000, 1]))
+        assert victim == 2
+
+    def test_handles_zero_capacity_blocks(self):
+        policy = CostBenefitGC()
+        victim = policy.choose_victim(
+            np.array([1, 2]),
+            valid_counts=np.array([0, 0]),
+            capacities=np.array([0, 32]),
+            ages=np.array([1, 1]))
+        assert victim in (1, 2)  # must not divide by zero

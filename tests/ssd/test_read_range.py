@@ -1,0 +1,111 @@
+"""Tests for the scatter-gather read path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, UncorrectableError
+from repro.ssd.ftl import FTLConfig, PageMappedFTL
+from repro.workloads.generators import stamp_payload
+
+
+@pytest.fixture
+def ftl(make_chip, ftl_config):
+    return PageMappedFTL.for_chip(make_chip(seed=2, variation_sigma=0.0),
+                                  ftl_config)
+
+
+class TestReadRange:
+    def test_matches_single_reads(self, ftl):
+        for lba in range(40):
+            ftl.write(lba, stamp_payload(lba, 1))
+        ftl.flush()
+        batch = ftl.read_range(0, 40)
+        assert len(batch) == 40
+        for lba in range(40):
+            assert batch[lba] == ftl.read(lba)
+
+    def test_mixes_buffer_flash_and_zeros(self, ftl):
+        ftl.write(0, b"flashed")
+        ftl.flush()
+        ftl.write(1, b"buffered")
+        # LBA 2 never written.
+        batch = ftl.read_range(0, 3)
+        assert batch[0].rstrip(b"\0") == b"flashed"
+        assert batch[1].rstrip(b"\0") == b"buffered"
+        assert batch[2] == bytes(4096)
+
+    def test_sequential_layout_senses_fpages_once(self, ftl):
+        # Freshly written sequential data: 40 LBAs on 10 fPages -> exactly
+        # 10 chip reads for the whole range.
+        for lba in range(40):
+            ftl.write(lba, b"x")
+        ftl.flush()
+        before = ftl.chip.stats.reads
+        ftl.read_range(0, 40)
+        assert ftl.chip.stats.reads - before == 10
+
+    def test_fragmented_layout_costs_more_senses(self, ftl):
+        rng = np.random.default_rng(0)
+        for lba in range(40):
+            ftl.write(lba, b"x")
+        # Fragment the mapping with scattered overwrites.
+        for _ in range(400):
+            ftl.write(int(rng.integers(0, 40)), b"y")
+        ftl.flush()
+        before = ftl.chip.stats.reads
+        ftl.read_range(0, 40)
+        senses = ftl.chip.stats.reads - before
+        assert senses > 10  # no longer densely packed
+
+    def test_counts_host_reads(self, ftl):
+        ftl.write(0, b"a")
+        ftl.flush()
+        ftl.read_range(0, 8)
+        assert ftl.stats.host_reads == 8
+
+    def test_lost_lba_raises(self, ftl):
+        ftl.write(5, b"doomed")
+        ftl.flush()
+        ftl._lose_lba(5, int(ftl._l2p[5]))
+        with pytest.raises(UncorrectableError):
+            ftl.read_range(0, 8)
+
+    def test_bounds_checked(self, ftl):
+        with pytest.raises(ConfigError):
+            ftl.read_range(0, 0)
+        with pytest.raises(Exception):
+            ftl.read_range(ftl.n_lbas - 2, 5)
+
+
+class TestDeviceReadRange:
+    def test_salamander_minidisk_range(self, make_salamander):
+        device = make_salamander()
+        for lba in range(8):
+            device.write(1, lba, stamp_payload(lba, 7))
+        device.flush()
+        batch = device.read_range(1, 0, 8)
+        for lba in range(8):
+            assert batch[lba] == device.read(1, lba)
+
+    def test_salamander_range_bounds(self, make_salamander):
+        device = make_salamander()
+        with pytest.raises(ConfigError):
+            device.read_range(0, device.msize_lbas - 2, 4)
+
+    def test_baseline_gated_when_bricked(self, make_baseline):
+        from repro.errors import DeviceBrickedError
+        device = make_baseline()
+        device._failed = True
+        with pytest.raises(DeviceBrickedError):
+            device.read_range(0, 4)
+
+    def test_volume_read_chunk_uses_scatter_gather(self, make_salamander):
+        from repro.difs.volume import MinidiskVolume
+        device = make_salamander()
+        volume = MinidiskVolume("v", "n", 4, device, 0)
+        volume.write_chunk(0, [b"a", b"b", b"c", b"d"])
+        device.flush()
+        before = device.chip.stats.reads
+        payloads = volume.read_chunk(0)
+        assert payloads[3].rstrip(b"\0") == b"d"
+        assert device.chip.stats.reads - before == 1  # one fPage sense

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    @pytest.mark.parametrize("argv", [
+        ["fig2"],
+        ["fig2", "--ecc-family", "ldpc", "--pec-limit", "500"],
+        ["carbon"],
+        ["carbon", "--ru", "0.8", "--renewable"],
+        ["tco", "--f-opex", "0.5"],
+    ])
+    def test_fast_commands_run(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_fig2_output_contains_levels(self, capsys):
+        main(["fig2"])
+        out = capsys.readouterr().out
+        for level in ("L0", "L1", "L2", "L3"):
+            assert level in out
+        assert "+50%" in out  # the paper's anchor
+
+    def test_carbon_single_rate(self, capsys):
+        main(["carbon", "--ru", "0.8", "--renewable"])
+        out = capsys.readouterr().out
+        assert "+20.0%" in out
+
+    def test_tco_headline(self, capsys):
+        main(["tco"])
+        out = capsys.readouterr().out
+        assert "+12.9%" in out
+        assert "+25.8%" in out
+
+    def test_fleet_small_run(self, capsys):
+        assert main(["fleet", "--devices", "8", "--blocks", "32",
+                     "--years", "4", "--step-days", "20",
+                     "--mode", "baseline", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3a" in out
+        assert "baseline" in out
+
+    def test_tournament_small_run(self, capsys):
+        assert main(["tournament", "--blocks", "24",
+                     "--pec-limit", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "regens" in out
+
+    def test_replacement_small_run(self, capsys):
+        assert main(["replacement", "--slots", "10", "--years", "6",
+                     "--dwpd", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "measured Ru" in out
+
+    def test_run_scenario_command(self, capsys, tmp_path):
+        import json
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps(
+            {"name": "cli-fig2", "kind": "fig2",
+             "params": {"pec_limit": 500}}))
+        assert main(["run", str(scenario), "--out",
+                     str(tmp_path / "artifacts")]) == 0
+        out = capsys.readouterr().out
+        assert "cli-fig2" in out
+        assert (tmp_path / "artifacts" / "cli-fig2.json").exists()
+
+    def test_health_small_run(self, capsys):
+        assert main(["health", "--devices", "40", "--dwpd", "3.0",
+                     "--max-days", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "predictor" in out
+        assert "run-to-failure" in out

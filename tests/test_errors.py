@@ -1,0 +1,32 @@
+"""The exception hierarchy behaves as a hierarchy."""
+
+import pytest
+
+import repro.errors as E
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        E.ConfigError, E.FlashError, E.ProgramError, E.EraseError,
+        E.UncorrectableError, E.SSDError, E.DeviceBrickedError,
+        E.DeviceReadOnlyError, E.OutOfSpaceError, E.InvalidLBAError,
+        E.MinidiskError, E.MinidiskDecommissionedError, E.DiFSError,
+        E.ChunkLostError, E.NoPlacementError, E.SimulationError,
+    ])
+    def test_everything_is_repro_error(self, exc):
+        assert issubclass(exc, E.ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(E.ConfigError, ValueError)
+
+    def test_invalid_lba_is_index_error(self):
+        assert issubclass(E.InvalidLBAError, IndexError)
+
+    def test_uncorrectable_carries_context(self):
+        error = E.UncorrectableError("boom", bit_errors=12, correctable=10)
+        assert error.bit_errors == 12
+        assert error.correctable == 10
+        assert issubclass(E.UncorrectableError, E.FlashError)
+
+    def test_minidisk_errors_are_ssd_errors(self):
+        assert issubclass(E.MinidiskDecommissionedError, E.SSDError)

@@ -1,0 +1,36 @@
+"""The package's public API surface is importable and coherent."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "0.1.0"
+
+    def test_quickstart_from_docstring(self):
+        # The module docstring's example must actually work.
+        from repro import SalamanderConfig, SalamanderSSD
+        from repro import FlashGeometry, FTLConfig
+
+        geometry = FlashGeometry(blocks=16, fpages_per_block=8)
+        config = SalamanderConfig(
+            mode="regen", msize_lbas=32, headroom_fraction=0.25,
+            ftl=FTLConfig(overprovision=0.25, buffer_opages=8))
+        device = SalamanderSSD.create(geometry, config, seed=0)
+        device.write(0, 0, b"hello")
+        assert device.read(0, 0).rstrip(b"\0") == b"hello"
+
+    def test_paper_constants_exposed(self):
+        from repro import CarbonParams, TCOParams, carbon_savings, tco_savings
+        assert 0.0 < carbon_savings(CarbonParams()) < 0.1
+        assert 0.1 < tco_savings(TCOParams()) < 0.2
+
+    def test_fig2_helper_exposed(self):
+        points = repro.tiredness_tradeoff()
+        assert points[1].pec_gain == pytest.approx(0.5, abs=1e-6)

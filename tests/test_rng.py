@@ -1,0 +1,45 @@
+"""Unit tests for seeded RNG plumbing."""
+
+import numpy as np
+
+from repro.rng import DEFAULT_SEED, fork_rng, make_rng
+
+
+class TestMakeRng:
+    def test_int_seed_reproducible(self):
+        assert make_rng(5).integers(0, 1000) == make_rng(5).integers(0, 1000)
+
+    def test_none_uses_default_seed(self):
+        assert (make_rng(None).integers(0, 1 << 30)
+                == make_rng(DEFAULT_SEED).integers(0, 1 << 30))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+
+class TestForkRng:
+    def test_same_keys_same_child(self):
+        a = fork_rng(make_rng(1), "flash", 3)
+        b = fork_rng(make_rng(1), "flash", 3)
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_different_keys_different_children(self):
+        parent = make_rng(1)
+        a = fork_rng(parent, "alpha")
+        parent = make_rng(1)
+        b = fork_rng(parent, "beta")
+        assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)
+
+    def test_fork_advances_parent(self):
+        parent = make_rng(1)
+        first = fork_rng(parent, "x")
+        second = fork_rng(parent, "x")
+        assert (first.integers(0, 1 << 30)
+                != second.integers(0, 1 << 30))
+
+    def test_string_hash_is_stable(self):
+        # Not `hash()` (salted per process); must be stable across runs.
+        child = fork_rng(make_rng(42), "stable-key")
+        assert child.integers(0, 1 << 30) == fork_rng(
+            make_rng(42), "stable-key").integers(0, 1 << 30)

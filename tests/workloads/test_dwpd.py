@@ -1,0 +1,77 @@
+"""Unit tests for DWPD schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import GIB
+from repro.workloads.dwpd import DWPDSchedule
+
+
+class TestDailyBytes:
+    def test_steady_schedule(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=128 * GIB)
+        days = schedule.daily_bytes(10)
+        assert days.shape == (10,)
+        assert np.all(days == 128 * GIB)
+
+    def test_fractional_dwpd(self):
+        schedule = DWPDSchedule(dwpd=0.3, capacity_bytes=100)
+        assert schedule.mean_daily_bytes == pytest.approx(30.0)
+
+    def test_bursty_mean_preserved(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=1000,
+                                burstiness=0.5)
+        days = schedule.daily_bytes(20_000, seed=1)
+        assert days.mean() == pytest.approx(1000, rel=0.05)
+        assert days.std() == pytest.approx(500, rel=0.1)
+        assert np.all(days > 0)
+
+    def test_bursty_deterministic_with_seed(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=1000,
+                                burstiness=0.3)
+        assert np.array_equal(schedule.daily_bytes(50, seed=9),
+                              schedule.daily_bytes(50, seed=9))
+
+    def test_zero_days(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=1000)
+        assert schedule.daily_bytes(0).shape == (0,)
+
+    def test_negative_days_rejected(self):
+        with pytest.raises(ConfigError):
+            DWPDSchedule(dwpd=1.0, capacity_bytes=1000).daily_bytes(-1)
+
+
+class TestRatedLife:
+    def test_one_dwpd_unity_waf(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=1000)
+        assert schedule.days_to_rated_life(3000) == pytest.approx(3000)
+
+    def test_waf_shortens_life(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=1000)
+        assert schedule.days_to_rated_life(3000, write_amplification=2.0) \
+            == pytest.approx(1500)
+
+    def test_heavier_writes_shorten_life(self):
+        light = DWPDSchedule(dwpd=0.5, capacity_bytes=1000)
+        heavy = DWPDSchedule(dwpd=3.0, capacity_bytes=1000)
+        assert (heavy.days_to_rated_life(3000)
+                < light.days_to_rated_life(3000))
+
+    def test_validation(self):
+        schedule = DWPDSchedule(dwpd=1.0, capacity_bytes=1000)
+        with pytest.raises(ConfigError):
+            schedule.days_to_rated_life(0)
+        with pytest.raises(ConfigError):
+            schedule.days_to_rated_life(100, write_amplification=0.5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"dwpd": 0, "capacity_bytes": 100},
+        {"dwpd": 1, "capacity_bytes": 0},
+        {"dwpd": 1, "capacity_bytes": 100, "burstiness": -1},
+    ])
+    def test_constructor(self, kwargs):
+        with pytest.raises(ConfigError):
+            DWPDSchedule(**kwargs)

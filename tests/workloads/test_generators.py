@@ -1,0 +1,129 @@
+"""Unit tests for workload generators."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.generators import (
+    MixedGenerator,
+    Operation,
+    OpType,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    stamp_payload,
+)
+
+
+class TestStampPayload:
+    def test_identifies_lba_and_sequence(self):
+        assert stamp_payload(42, 7) == b"lba=42 seq=7"
+
+    def test_distinct_for_distinct_writes(self):
+        assert stamp_payload(1, 1) != stamp_payload(1, 2)
+        assert stamp_payload(1, 1) != stamp_payload(2, 1)
+
+
+class TestUniform:
+    def test_in_range_and_writes_only(self):
+        gen = UniformGenerator(100, seed=1)
+        ops = list(gen.ops(500))
+        assert len(ops) == 500
+        assert all(op.op is OpType.WRITE for op in ops)
+        assert all(0 <= op.lba < 100 for op in ops)
+
+    def test_roughly_uniform(self):
+        gen = UniformGenerator(10, seed=1)
+        counts = collections.Counter(op.lba for op in gen.ops(10_000))
+        assert min(counts.values()) > 700
+
+    def test_deterministic(self):
+        a = [op.lba for op in UniformGenerator(50, seed=3).ops(100)]
+        b = [op.lba for op in UniformGenerator(50, seed=3).ops(100)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UniformGenerator(0)
+
+
+class TestZipfian:
+    def test_skew_concentrates_traffic(self):
+        gen = ZipfianGenerator(1000, theta=0.99, seed=1)
+        counts = collections.Counter(op.lba for op in gen.ops(5000))
+        top_share = sum(c for _, c in counts.most_common(100)) / 5000
+        assert top_share > 0.4  # top 10 % of LBAs take >40 % of writes
+
+    def test_theta_zero_is_uniform_like(self):
+        gen = ZipfianGenerator(10, theta=0.0, seed=1)
+        counts = collections.Counter(op.lba for op in gen.ops(10_000))
+        assert min(counts.values()) > 700
+
+    def test_hot_lbas_scattered_not_prefix(self):
+        gen = ZipfianGenerator(1000, theta=0.99, seed=1)
+        counts = collections.Counter(op.lba for op in gen.ops(5000))
+        hottest = [lba for lba, _ in counts.most_common(10)]
+        assert max(hottest) > 100  # not all at the front of the range
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(100, theta=2.5)
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(0)
+
+
+class TestSequential:
+    def test_wraps_around(self):
+        gen = SequentialGenerator(5, start=3)
+        lbas = [op.lba for op in gen.ops(7)]
+        assert lbas == [3, 4, 0, 1, 2, 3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SequentialGenerator(5, start=5)
+        with pytest.raises(ConfigError):
+            SequentialGenerator(0)
+
+
+class TestMixed:
+    def test_respects_fractions_roughly(self):
+        base = UniformGenerator(100, seed=1)
+        gen = MixedGenerator(base, read_fraction=0.5, trim_fraction=0.1,
+                             seed=2)
+        ops = list(gen.ops(4000))
+        counts = collections.Counter(op.op for op in ops)
+        assert counts[OpType.READ] / len(ops) == pytest.approx(0.5, abs=0.07)
+        assert counts[OpType.TRIM] / len(ops) == pytest.approx(0.1, abs=0.05)
+
+    def test_reads_target_written_lbas_only(self):
+        base = UniformGenerator(1000, seed=1)
+        gen = MixedGenerator(base, read_fraction=0.4, seed=2)
+        written = set()
+        for op in gen.ops(2000):
+            if op.op is OpType.WRITE:
+                written.add(op.lba)
+            elif op.op is OpType.READ:
+                assert op.lba in written
+
+    def test_trimmed_lbas_leave_the_read_set(self):
+        base = UniformGenerator(50, seed=1)
+        gen = MixedGenerator(base, read_fraction=0.3, trim_fraction=0.3,
+                             seed=2)
+        live = set()
+        for op in gen.ops(3000):
+            if op.op is OpType.WRITE:
+                live.add(op.lba)
+            elif op.op is OpType.TRIM:
+                assert op.lba in live
+                live.discard(op.lba)
+            else:
+                assert op.lba in live
+
+    def test_validation(self):
+        base = UniformGenerator(10, seed=1)
+        with pytest.raises(ConfigError):
+            MixedGenerator(base, read_fraction=1.5)
+        with pytest.raises(ConfigError):
+            MixedGenerator(base, read_fraction=0.7, trim_fraction=0.5)

@@ -1,0 +1,68 @@
+"""Unit tests for the MSR-Cambridge trace parser."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.generators import OpType
+from repro.workloads.traces import parse_msr_trace, replay_on_device
+
+SAMPLE = """\
+# timestamp,hostname,disk,type,offset,size,latency
+128166372003061629,usr,0,Write,0,8192,1329
+128166372016382155,usr,0,Read,4096,4096,541
+128166372026382245,usr,0,Write,20480,4096,613
+"""
+
+
+class TestParseMSR:
+    def test_requests_split_into_opages(self):
+        trace = parse_msr_trace(SAMPLE)
+        kinds = [op.op for op in trace.operations]
+        lbas = [op.lba for op in trace.operations]
+        # 8 KiB write -> lbas 0,1; 4 KiB read -> lba 1; 4 KiB write -> lba 5.
+        assert kinds == [OpType.WRITE, OpType.WRITE, OpType.READ,
+                         OpType.WRITE]
+        assert lbas == [0, 1, 1, 5]
+
+    def test_address_space_covers_trace(self):
+        trace = parse_msr_trace(SAMPLE)
+        assert trace.n_lbas == 6
+
+    def test_explicit_space_wraps_lbas(self):
+        trace = parse_msr_trace(SAMPLE, n_lbas=4)
+        assert all(op.lba < 4 for op in trace.operations)
+
+    def test_unaligned_request_spans_pages(self):
+        text = "1,h,0,Read,6144,4096,1\n"  # 1.5 pages in, 1 page long
+        trace = parse_msr_trace(text)
+        assert [op.lba for op in trace.operations] == [1, 2]
+
+    def test_write_payloads_are_stamped(self):
+        trace = parse_msr_trace(SAMPLE)
+        writes = [op for op in trace.operations if op.op is OpType.WRITE]
+        assert all(op.payload.startswith(b"msr lba=") for op in writes)
+        assert len({op.payload for op in writes}) == len(writes)
+
+    def test_comments_and_blanks_skipped(self):
+        trace = parse_msr_trace("# hi\n\n1,h,0,Write,0,4096,2\n")
+        assert len(trace) == 1
+
+    @pytest.mark.parametrize("bad", [
+        "1,h,0,Write,0\n",                 # too few fields
+        "1,h,0,Trim,0,4096,1\n",           # unknown op
+        "1,h,0,Write,abc,4096,1\n",        # bad offset
+        "1,h,0,Write,0,0,1\n",             # zero size
+        "1,h,0,Write,-1,4096,1\n",         # negative offset
+        "",                                # empty trace
+    ])
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_msr_trace(bad)
+
+    def test_replays_on_device(self, make_baseline):
+        trace = parse_msr_trace(SAMPLE, n_lbas=64)
+        device = make_baseline()
+        applied = replay_on_device(trace, device)
+        assert applied["writes"] == 3
+        assert applied["reads"] == 1
+        assert applied["errors"] == 0
