@@ -6,6 +6,11 @@ pytest-benchmark timing table, so ``pytest benchmarks/ --benchmark-only``
 emits both the performance numbers and the paper-shaped output. Each
 registered output is also written to ``benchmarks/results/<slug>.txt`` so
 runs leave diffable artifacts behind.
+
+An autouse fixture additionally enables ``repro.obs`` metrics around each
+bench and snapshots the registry into ``benchmarks/results/metrics/`` —
+one ``repro.obs.metrics/v1`` JSON per bench. Benches that measure the
+*disabled* instrumentation cost opt out with ``@pytest.mark.no_obs``.
 """
 
 from __future__ import annotations
@@ -15,8 +20,34 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
+
 _REGISTERED: list[tuple[str, str]] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
+_METRICS_DIR = _RESULTS_DIR / "metrics"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_obs: run this bench without the autouse metrics registry "
+        "(used by instrumentation-overhead measurements)")
+
+
+@pytest.fixture(autouse=True)
+def _obs_snapshot(request):
+    """Per-bench metrics registry, snapshotted to results/metrics/."""
+    if request.node.get_closest_marker("no_obs") is not None:
+        yield None
+        return
+    with obs.enabled() as (registry, _tracer):
+        yield registry
+        document = registry.to_dict()
+        if document["metrics"]:
+            _METRICS_DIR.mkdir(parents=True, exist_ok=True)
+            slug = re.sub(r"[^a-z0-9]+", "-",
+                          request.node.name.lower()).strip("-")
+            registry.write_json(_METRICS_DIR / f"{slug}.json")
 
 
 def _slug(title: str) -> str:

@@ -1,0 +1,41 @@
+"""Instrumentation overhead: disabled observability must cost ~nothing.
+
+The acceptance bar for ``repro.obs`` is that a fleet simulation step with
+observability *disabled* stays within a few percent of the pre-
+instrumentation cost. Hot loops guard with ``obs.metrics_enabled()`` (one
+boolean) and everything else goes through the no-op singletons, so the two
+benches below should differ only by the real cost of *enabled* metrics.
+
+``no_obs`` opts the disabled bench out of the harness's autouse registry
+fixture — otherwise the harness itself would enable metrics around it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.flash.geometry import FlashGeometry
+from repro.sim.fleet import FleetConfig, simulate_fleet
+
+CONFIG = FleetConfig(
+    devices=16,
+    geometry=FlashGeometry(blocks=64, fpages_per_block=32),
+    dwpd=2.0,
+    afr=0.01,
+    horizon_days=730,
+    step_days=10,
+)
+
+
+@pytest.mark.no_obs
+def test_fleet_sim_observability_disabled(benchmark):
+    assert not obs.metrics_enabled()
+    result = benchmark(simulate_fleet, CONFIG, "regen", 7)
+    assert result.days.size > 0
+
+
+def test_fleet_sim_observability_enabled(benchmark, _obs_snapshot):
+    assert obs.metrics_enabled()
+    result = benchmark(simulate_fleet, CONFIG, "regen", 7)
+    assert result.days.size > 0

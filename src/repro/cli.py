@@ -19,6 +19,8 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
+from repro.errors import ConfigError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
 from repro.models.carbon import (
@@ -34,6 +36,49 @@ from repro.models.tco import RU_REGENS as TCO_RU_REGENS
 from repro.models.tco import RU_SHRINKS as TCO_RU_SHRINKS
 from repro.reporting.series import Series
 from repro.reporting.tables import format_table, render_bars, render_series
+
+
+def _version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+        return repro.__version__
+
+
+def _setup_observability(args: argparse.Namespace):
+    """Enable metrics/tracing when the output flags ask for them.
+
+    Returns the ``(registry, tracer)`` pair (either may be ``None``).
+    Must run *before* the experiment objects are constructed —
+    instrumentation binds at construction time.
+    """
+    registry = tracer = None
+    if getattr(args, "metrics_out", None):
+        registry = obs.enable_metrics()
+    if getattr(args, "trace_out", None):
+        tracer = obs.enable_tracing()
+    return registry, tracer
+
+
+def _write_observability(args: argparse.Namespace, registry, tracer) -> None:
+    if registry is not None:
+        registry.write_json(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    if tracer is not None:
+        tracer.export_jsonl(args.trace_out)
+        print(f"trace -> {args.trace_out}")
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a repro.obs.metrics/v1 JSON document here")
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a sim-time JSONL trace here")
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -54,6 +99,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.sim.fleet import MODES, FleetConfig, simulate_fleet
 
+    registry, tracer = _setup_observability(args)
     config = FleetConfig(
         devices=args.devices,
         geometry=FlashGeometry(blocks=args.blocks, fpages_per_block=64),
@@ -76,6 +122,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     rows = [[mode, f"{r.mean_lifetime_days():.0f}"]
             for mode, r in results.items()]
     print(format_table(["mode", "mean lifetime (days)"], rows))
+    _write_observability(args, registry, tracer)
     return 0
 
 
@@ -213,9 +260,13 @@ def _cmd_health(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.scenarios import load_scenario, run_scenario
 
+    registry, tracer = _setup_observability(args)
     document = load_scenario(args.scenario)
     writer = run_scenario(document)
+    if registry is not None:
+        writer.attach_metrics(registry)
     path = writer.write(args.out)
+    _write_observability(args, registry, tracer)
     print(f"scenario {document['name']!r} ({document['kind']}) -> {path}")
     for name, table in writer.document()["tables"].items():
         print(format_table(table["headers"], table["rows"], title=name))
@@ -226,6 +277,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Salamander (HotOS '25) reproduction experiments")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig2 = sub.add_parser("fig2", help="tiredness-level trade-off (Fig. 2)")
@@ -244,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--mode", default="all",
                        choices=("all", "baseline", "cvss", "shrink", "regen"))
     fleet.add_argument("--seed", type=int, default=2025)
+    _add_observability_flags(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
     tournament = sub.add_parser(
@@ -288,16 +342,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("scenario", help="path to a scenario .json")
     run.add_argument("--out", default="results",
                      help="artifact output directory")
+    _add_observability_flags(run)
     run.set_defaults(func=_cmd_run)
 
     return parser
 
 
+#: Exit code for configuration/usage errors (bad flag values, broken
+#: scenario files) — distinguishable from crashes in scripts and CI.
+EXIT_CONFIG_ERROR = 2
+#: Exit code for unexpected failures (bugs, environmental problems).
+EXIT_UNEXPECTED_ERROR = 3
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    0 on success, :data:`EXIT_CONFIG_ERROR` for configuration errors,
+    :data:`EXIT_UNEXPECTED_ERROR` for anything else. ``argparse`` usage
+    errors keep argparse's own exit code (2, via SystemExit).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    uses_obs = bool(getattr(args, "metrics_out", None)
+                    or getattr(args, "trace_out", None))
+    try:
+        return args.func(args)
+    except ConfigError as error:
+        print(f"repro: configuration error: {error}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    except Exception as error:  # noqa: BLE001 - the CLI boundary
+        print(f"repro: unexpected error: "
+              f"{type(error).__name__}: {error}", file=sys.stderr)
+        return EXIT_UNEXPECTED_ERROR
+    finally:
+        if uses_obs:
+            # Restore the no-op singletons so library callers of main()
+            # (and the test suite) see no global state change.
+            obs.disable()
 
 
 if __name__ == "__main__":

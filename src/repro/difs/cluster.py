@@ -23,11 +23,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import (
     ChunkLostError,
     ConfigError,
     ReproError,
 )
+from repro.obs.instruments import difs_instruments
 from repro.difs.chunk import Chunk, Replica
 from repro.difs.node import StorageNode
 from repro.difs.placement import place_replicas
@@ -106,6 +108,13 @@ class Cluster:
         self._chunks_by_volume: dict[str, set[str]] = {}
         self._device_count = 0
         self._audit_cursor = 0
+        self._instr = difs_instruments()
+        if obs.metrics_enabled():
+            # Gauge sampled at collection time, so it is correct even when
+            # volumes die asynchronously (device events, bricked devices).
+            obs.metrics().add_collect_hook(
+                lambda: self._instr.live_volumes.set(
+                    self.live_volume_count()))
 
     # -- topology -------------------------------------------------------------------
 
@@ -208,11 +217,13 @@ class Cluster:
                                    self.config.opage_bytes)
         for index, payloads in enumerate(units):
             self.add_unit(chunk, index, payloads)
+        self._instr.chunks_created.inc()
         return chunk
 
     def read_chunk(self, chunk_id: str) -> bytes:
         """Read and decode from surviving units; repairs around bad copies."""
         chunk = self._chunk(chunk_id)
+        self._instr.chunk_reads.inc()
         units = self.collect_units(chunk)
         if units is None:
             # Record the loss so recovery accounting sees it too.

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import NoPlacementError, ReproError
+from repro.obs.instruments import difs_instruments
 
 
 @dataclass
@@ -64,6 +66,17 @@ class RecoveryManager:
         self._pending_volumes: list[str] = []
         self._pending_chunks: list[str] = []
         self._failed_volumes: set[str] = set()
+        self._instr = difs_instruments()
+        # Enqueue timestamps (cluster time), parallel to the pending lists;
+        # their difference at dequeue is the degraded dwell time.
+        self._pending_volume_times: list[float] = []
+        self._pending_chunk_times: list[float] = []
+
+    def _set_queue_gauges(self) -> None:
+        self._instr.queue_depth.labels(kind="volume").set(
+            len(self._pending_volumes))
+        self._instr.queue_depth.labels(kind="chunk").set(
+            len(self._pending_chunks))
 
     # -- enqueue (safe to call from device event listeners) ------------------------
 
@@ -76,11 +89,16 @@ class RecoveryManager:
         if volume is not None:
             volume.mark_failed()
         self._pending_volumes.append(volume_id)
+        self._pending_volume_times.append(self._cluster.time)
         self.stats.volume_failures += 1
+        self._instr.volume_failures.inc()
+        self._set_queue_gauges()
 
     def chunk_degraded(self, chunk_id: str) -> None:
         """Enqueue a single under-replicated chunk."""
         self._pending_chunks.append(chunk_id)
+        self._pending_chunk_times.append(self._cluster.time)
+        self._set_queue_gauges()
 
     @property
     def has_pending(self) -> bool:
@@ -97,9 +115,22 @@ class RecoveryManager:
                     "recovery did not converge; failure feedback loop")
             guard -= 1
             if self._pending_volumes:
-                self._recover_volume(self._pending_volumes.pop(0))
+                volume_id = self._pending_volumes.pop(0)
+                enqueued = self._pending_volume_times.pop(0)
+                self._instr.degraded_dwell.labels(kind="volume").observe(
+                    self._cluster.time - enqueued)
+                self._set_queue_gauges()
+                with obs.tracer().span("difs.recover_volume",
+                                       volume=volume_id):
+                    self._recover_volume(volume_id)
             elif self._pending_chunks:
-                self._repair_chunk(self._pending_chunks.pop(0), record=None)
+                chunk_id = self._pending_chunks.pop(0)
+                enqueued = self._pending_chunk_times.pop(0)
+                self._instr.degraded_dwell.labels(kind="chunk").observe(
+                    self._cluster.time - enqueued)
+                self._set_queue_gauges()
+                with obs.tracer().span("difs.repair_chunk", chunk=chunk_id):
+                    self._repair_chunk(chunk_id, record=None)
 
     def _recover_volume(self, volume_id: str) -> None:
         cluster = self._cluster
@@ -154,6 +185,7 @@ class RecoveryManager:
         units = cluster.collect_units(chunk, preloaded=source)
         if units is None:
             self.stats.chunks_lost += 1
+            self._instr.chunks_lost.inc()
             if record is not None:
                 record.chunks_lost += 1
             return False
@@ -164,8 +196,10 @@ class RecoveryManager:
                    if index not in chunk.indexes_present()]
         if not missing:
             return True
-        self.stats.bytes_read += sum(
+        read_bytes = sum(
             sum(len(page) for page in pages) for pages in units.values())
+        self.stats.bytes_read += read_bytes
+        self._instr.recovery_bytes.labels(direction="read").inc(read_bytes)
         recovered = False
         for index in missing:
             payloads = scheme.rebuild(index, units,
@@ -177,8 +211,12 @@ class RecoveryManager:
                 # Cluster too degraded/full for full redundancy; leave the
                 # chunk degraded rather than spinning.
                 break
-            self.stats.bytes_written += sum(len(p) for p in payloads)
+            written = sum(len(p) for p in payloads)
+            self.stats.bytes_written += written
+            self._instr.recovery_bytes.labels(
+                direction="write").inc(written)
             recovered = True
         if recovered:
             self.stats.chunks_recovered += 1
+            self._instr.chunks_recovered.inc()
         return True

@@ -1,0 +1,152 @@
+"""Cross-layer observability: metrics registry + sim-time tracing.
+
+``repro.obs`` is the one place every layer of the stack — flash/FTL/GC,
+Salamander shrink/regen, the diFS recovery path, and the fleet/event
+simulators — reports what it is doing, so a single run can be watched
+(and regressed against) end to end. See docs/OBSERVABILITY.md for the
+full metric catalog and usage examples.
+
+Two guarded module-level singletons hold the state:
+
+* :func:`metrics` — the active :class:`MetricsRegistry`, or a shared
+  no-op registry when disabled (the default). Instrumented code calls
+  ``obs.metrics().counter(...)`` at construction time and keeps the
+  returned child; with observability off those children are the no-op
+  singletons from :mod:`repro.obs.noop` and cost ~nothing.
+* :func:`tracer` — the active :class:`SimTimeTracer` (or no-op).
+
+Enable explicitly (typically once, at harness start)::
+
+    from repro import obs
+
+    registry = obs.enable_metrics()
+    tracer = obs.enable_tracing(clock=engine.clock)
+    ...  # build devices / clusters / fleets, run the experiment
+    registry.write_json("metrics.json")
+    tracer.export_jsonl("trace.jsonl")
+    obs.disable()
+
+Instrumentation binds at *construction* time: enable observability
+before creating the objects you want measured. The CLI flags
+(``repro fleet --metrics-out ... --trace-out ...``) and the benchmark
+harness do this for you.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    validate_metrics_document,
+)
+from repro.obs.noop import (
+    NULL_METRICS,
+    NULL_TRACER,
+    NullMetricsRegistry,
+    NullTracer,
+)
+from repro.obs.promtext import parse_prometheus_text, render_prometheus
+from repro.obs.trace import EventRecord, SimTimeTracer, SpanRecord
+
+_metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
+_tracer: SimTimeTracer | NullTracer = NULL_TRACER
+
+
+def metrics() -> MetricsRegistry | NullMetricsRegistry:
+    """The active metrics registry (no-op unless enabled)."""
+    return _metrics
+
+
+def tracer() -> SimTimeTracer | NullTracer:
+    """The active sim-time tracer (no-op unless enabled)."""
+    return _tracer
+
+
+def metrics_enabled() -> bool:
+    return _metrics is not NULL_METRICS
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not NULL_TRACER
+
+
+def enable_metrics(registry: MetricsRegistry | None = None,
+                   ) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active registry."""
+    global _metrics
+    if registry is None:
+        registry = _metrics if metrics_enabled() else MetricsRegistry()
+    _metrics = registry
+    return registry
+
+
+def enable_tracing(trace: SimTimeTracer | None = None,
+                   clock=None, capacity: int = 65536) -> SimTimeTracer:
+    """Install ``trace`` (or a fresh tracer) as the active tracer."""
+    global _tracer
+    if trace is None:
+        trace = (_tracer if tracing_enabled()
+                 else SimTimeTracer(capacity=capacity))
+    if clock is not None:
+        trace.set_clock(clock)
+    _tracer = trace
+    return trace
+
+
+def disable() -> None:
+    """Return both singletons to their no-op defaults."""
+    global _metrics, _tracer
+    _metrics = NULL_METRICS
+    _tracer = NULL_TRACER
+
+
+@contextmanager
+def enabled(metrics_registry: MetricsRegistry | None = None,
+            trace: SimTimeTracer | None = None, clock=None):
+    """Scope-enable observability; restores the previous state on exit.
+
+    Yields ``(registry, tracer)``. Used by tests and short harness
+    sections that should not leak global state.
+    """
+    global _metrics, _tracer
+    previous = (_metrics, _tracer)
+    try:
+        registry = enable_metrics(metrics_registry or MetricsRegistry())
+        span_tracer = enable_tracing(trace or SimTimeTracer(), clock=clock)
+        yield registry, span_tracer
+    finally:
+        _metrics, _tracer = previous
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SimTimeTracer",
+    "SpanRecord",
+    "disable",
+    "enable_metrics",
+    "enable_tracing",
+    "enabled",
+    "metrics",
+    "metrics_enabled",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "tracer",
+    "tracing_enabled",
+    "validate_metrics_document",
+]

@@ -1,0 +1,303 @@
+"""Pre-bound instrument bundles for each instrumented layer.
+
+Instrumented subsystems call these factories once at construction and
+keep the returned bundle; each field is a metric child (or family,
+when further labels vary per call site). With observability disabled
+the bundles are built from the no-op singletons, so the per-operation
+cost is a no-op method call.
+
+Families are (re-)registered idempotently on every call, so multiple
+devices/clusters share one family and differ only by their label
+values. The full catalog (names, labels, units, semantics) is
+documented in docs/OBSERVABILITY.md; that document is the contract —
+rename a metric here and the docs, CI smoke check, and dashboards must
+move with it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+
+_device_ids = itertools.count()
+
+
+def next_device_name() -> str:
+    """Process-unique default device label (``dev0``, ``dev1``, ...)."""
+    return f"dev{next(_device_ids)}"
+
+
+# Fraction-shaped buckets for ratios in [0, 1].
+FRACTION_BUCKETS = (0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                    0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0)
+
+# Wall-clock seconds for per-step compute cost (fast python loops).
+STEP_SECONDS_BUCKETS = (1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+                        1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+                        0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+# Sim-time dwell buckets (logical ticks / days; wide dynamic range).
+DWELL_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                 250.0, 500.0, 1000.0, 2500.0, 5000.0)
+
+
+@dataclass(frozen=True)
+class FTLInstruments:
+    """Per-device FTL/GC hot-path instruments (children, pre-labelled)."""
+
+    device: str
+    host_writes: Any
+    host_reads: Any
+    flash_writes: Any
+    gc_relocations: Any
+    wear_relocations: Any
+    erases: Any
+    trims: Any
+    retired_fpages: Any
+    lost_opages: Any
+    write_amplification: Any
+
+
+def ftl_instruments(device: str) -> FTLInstruments:
+    m = obs.metrics()
+
+    def counter(name: str, help_text: str, unit: str = "opages"):
+        return m.counter(name, help=help_text, unit=unit,
+                         labelnames=("device",)).labels(device=device)
+
+    return FTLInstruments(
+        device=device,
+        host_writes=counter(
+            "repro_ftl_host_writes_total",
+            "Host oPage writes accepted by the FTL"),
+        host_reads=counter(
+            "repro_ftl_host_reads_total",
+            "Host oPage reads served by the FTL"),
+        flash_writes=counter(
+            "repro_ftl_flash_writes_total",
+            "oPages programmed onto NAND (host + relocation)"),
+        gc_relocations=counter(
+            "repro_ftl_gc_relocations_total",
+            "Valid oPages moved by garbage collection"),
+        wear_relocations=counter(
+            "repro_ftl_wear_relocations_total",
+            "oPages moved off overworn pages by scrubbing"),
+        erases=counter(
+            "repro_ftl_erases_total",
+            "Block erases performed", unit="blocks"),
+        trims=counter(
+            "repro_ftl_trims_total",
+            "Host trims accepted"),
+        retired_fpages=counter(
+            "repro_ftl_retired_fpages_total",
+            "fPages permanently taken out of service", unit="fpages"),
+        lost_opages=counter(
+            "repro_ftl_lost_opages_total",
+            "oPages destroyed by uncorrectable media errors"),
+        write_amplification=m.gauge(
+            "repro_ftl_write_amplification",
+            help="Flash writes per host write (1.0 is ideal)",
+            unit="ratio", labelnames=("device",)).labels(device=device),
+    )
+
+
+@dataclass(frozen=True)
+class GCInstruments:
+    """Per-policy GC victim-selection instruments."""
+
+    picks: Any
+    victim_valid_fraction: Any
+
+
+def gc_instruments(policy: str) -> GCInstruments:
+    m = obs.metrics()
+    return GCInstruments(
+        picks=m.counter(
+            "repro_gc_victim_picks_total",
+            help="GC victim selections", unit="blocks",
+            labelnames=("policy",)).labels(policy=policy),
+        victim_valid_fraction=m.histogram(
+            "repro_gc_victim_valid_fraction",
+            help="Victim utilisation (valid/capacity) at pick time — "
+                 "the direct driver of write amplification",
+            unit="ratio", labelnames=("policy",),
+            buckets=FRACTION_BUCKETS).labels(policy=policy),
+    )
+
+
+@dataclass(frozen=True)
+class SalamanderInstruments:
+    """Per-device minidisk lifecycle instruments.
+
+    ``decommissions`` and ``regenerations``/``limbo_fpages`` are
+    families (labelled further by reason / tiredness level per event).
+    """
+
+    device: str
+    decommissions: Any      # family; labels (device, reason)
+    regenerations: Any      # family; labels (device, level)
+    limbo_fpages: Any       # family; labels (device, level)
+    limbo_capacity_opages: Any
+    advertised_bytes: Any
+    active_minidisks: Any
+    draining_minidisks: Any
+
+
+def salamander_instruments(device: str) -> SalamanderInstruments:
+    m = obs.metrics()
+    return SalamanderInstruments(
+        device=device,
+        decommissions=m.counter(
+            "repro_salamander_decommissions_total",
+            help="mDisks decommissioned (Eq. 2 capacity pressure)",
+            unit="minidisks", labelnames=("device", "reason")),
+        regenerations=m.counter(
+            "repro_salamander_regenerations_total",
+            help="mDisks minted from revived limbo pages (RegenS)",
+            unit="minidisks", labelnames=("device", "level")),
+        limbo_fpages=m.gauge(
+            "repro_salamander_limbo_fpages",
+            help="fPages parked in limbo, by tiredness level",
+            unit="fpages", labelnames=("device", "level")),
+        limbo_capacity_opages=m.gauge(
+            "repro_salamander_limbo_capacity_opages",
+            help="Eq. 1 capacity stored in limbo",
+            unit="opages", labelnames=("device",)).labels(device=device),
+        advertised_bytes=m.gauge(
+            "repro_salamander_advertised_bytes",
+            help="Host-visible capacity across active mDisks",
+            unit="bytes", labelnames=("device",)).labels(device=device),
+        active_minidisks=m.gauge(
+            "repro_salamander_active_minidisks",
+            help="mDisks currently in service",
+            unit="minidisks", labelnames=("device",)).labels(device=device),
+        draining_minidisks=m.gauge(
+            "repro_salamander_draining_minidisks",
+            help="mDisks in the §4.3 grace period (readable, not writable)",
+            unit="minidisks", labelnames=("device",)).labels(device=device),
+    )
+
+
+@dataclass(frozen=True)
+class DiFSInstruments:
+    """Cluster-wide recovery-path instruments."""
+
+    recovery_bytes: Any        # family; labels (direction,)
+    volume_failures: Any
+    chunks_recovered: Any
+    chunks_lost: Any
+    chunk_reads: Any
+    chunks_created: Any
+    queue_depth: Any           # family; labels (kind,)
+    degraded_dwell: Any        # family; labels (kind,)
+    live_volumes: Any
+
+
+def difs_instruments() -> DiFSInstruments:
+    m = obs.metrics()
+    return DiFSInstruments(
+        recovery_bytes=m.counter(
+            "repro_difs_recovery_bytes_total",
+            help="Recovery traffic moved (source reads + rebuilt writes)",
+            unit="bytes", labelnames=("direction",)),
+        volume_failures=m.counter(
+            "repro_difs_volume_failures_total",
+            help="Failure domains (volumes/minidisks) lost",
+            unit="volumes"),
+        chunks_recovered=m.counter(
+            "repro_difs_chunks_recovered_total",
+            help="Chunks restored to full redundancy", unit="chunks"),
+        chunks_lost=m.counter(
+            "repro_difs_chunks_lost_total",
+            help="Chunks lost beyond repair", unit="chunks"),
+        chunk_reads=m.counter(
+            "repro_difs_chunk_reads_total",
+            help="Client chunk reads", unit="chunks"),
+        chunks_created=m.counter(
+            "repro_difs_chunks_created_total",
+            help="Chunks written with full redundancy", unit="chunks"),
+        queue_depth=m.gauge(
+            "repro_difs_recovery_queue_depth",
+            help="Pending re-replication work items",
+            unit="items", labelnames=("kind",)),
+        degraded_dwell=m.histogram(
+            "repro_difs_degraded_dwell_time",
+            help="Cluster-time a failure waited in the recovery queue "
+                 "before being processed",
+            unit="sim_time", labelnames=("kind",),
+            buckets=DWELL_BUCKETS),
+        live_volumes=m.gauge(
+            "repro_difs_live_volumes",
+            help="Volumes currently alive", unit="volumes"),
+    )
+
+
+@dataclass(frozen=True)
+class FleetInstruments:
+    """Per-mode fleet simulation instruments (children, pre-labelled)."""
+
+    step_duration: Any
+    devices_functioning: Any
+    capacity_bytes: Any
+    capacity_lost_bytes: Any
+    device_deaths: Any  # family; labels (mode, cause)
+    mode: str
+
+
+def fleet_instruments(mode: str) -> FleetInstruments:
+    m = obs.metrics()
+    return FleetInstruments(
+        mode=mode,
+        step_duration=m.histogram(
+            "repro_fleet_step_duration_seconds",
+            help="Wall-clock cost of one fleet simulation step",
+            unit="seconds", labelnames=("mode",),
+            buckets=STEP_SECONDS_BUCKETS).labels(mode=mode),
+        devices_functioning=m.gauge(
+            "repro_fleet_devices_functioning",
+            help="Devices still in service at the latest step",
+            unit="devices", labelnames=("mode",)).labels(mode=mode),
+        capacity_bytes=m.gauge(
+            "repro_fleet_capacity_bytes",
+            help="Advertised fleet capacity at the latest step",
+            unit="bytes", labelnames=("mode",)).labels(mode=mode),
+        capacity_lost_bytes=m.counter(
+            "repro_fleet_capacity_lost_bytes_total",
+            help="Advertised capacity shed (the diFS re-replication "
+                 "volume, §4.3)",
+            unit="bytes", labelnames=("mode",)).labels(mode=mode),
+        device_deaths=m.counter(
+            "repro_fleet_device_deaths_total",
+            help="Devices leaving service, by cause",
+            unit="devices", labelnames=("mode", "cause")),
+    )
+
+
+@dataclass(frozen=True)
+class EngineInstruments:
+    """Discrete-event engine instruments."""
+
+    events_executed: Any
+    events_cancelled: Any
+    queue_depth: Any
+
+
+def engine_instruments() -> EngineInstruments:
+    m = obs.metrics()
+    return EngineInstruments(
+        events_executed=m.counter(
+            "repro_engine_events_executed_total",
+            help="Events the discrete-event engine has fired",
+            unit="events"),
+        events_cancelled=m.counter(
+            "repro_engine_events_cancelled_total",
+            help="Scheduled events cancelled before firing",
+            unit="events"),
+        queue_depth=m.gauge(
+            "repro_engine_queue_depth",
+            help="Live (non-cancelled) events awaiting execution",
+            unit="events"),
+    )

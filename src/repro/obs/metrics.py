@@ -1,0 +1,458 @@
+"""Process-local metrics registry (counters, gauges, histograms).
+
+The registry is the cross-layer measurement substrate described in
+docs/OBSERVABILITY.md: every instrumented layer (FTL, GC, Salamander,
+diFS, fleet/engine simulators) registers *metric families* here —
+named, typed, unit-annotated collections of labelled time-series — and
+exports them as a schema-stable JSON document
+(:data:`METRICS_SCHEMA`) or Prometheus text exposition format.
+
+Design notes:
+
+* Registration is idempotent: calling :meth:`MetricsRegistry.counter`
+  twice with the same name returns the same family (and raises
+  :class:`~repro.errors.ConfigError` on a type/label mismatch), so
+  independent subsystems can share families without coordination.
+* Label cardinality is bounded per family
+  (:attr:`MetricFamily.max_label_sets`, default 1024) — a misbehaving
+  instrumentation site fails loudly instead of leaking memory.
+* Histograms use fixed buckets chosen at registration; observations
+  are O(log buckets) via :func:`bisect.bisect_left`. Percentiles are
+  estimated from the cumulative bucket counts, which is exactly the
+  fidelity a Prometheus-style scrape gives an operator.
+* The simulators are single-threaded, so children are plain Python
+  objects without locks; ``inc``/``set``/``observe`` are a few
+  attribute operations each.
+
+The module-level default registry lives in :mod:`repro.obs` and is a
+no-op (:mod:`repro.obs.noop`) until explicitly enabled, so
+instrumentation costs ~nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from bisect import bisect_left
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+#: Version tag stamped into every exported metrics document.
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+
+#: Default histogram buckets — tuned for the simulators' dimensionless
+#: ratios and second-scale durations alike (two decades around 1.0).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing value (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(
+                f"counters only go up; cannot inc by {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (one labelled child).
+
+    ``bounds`` are the inclusive upper bounds of each bucket
+    (Prometheus ``le`` semantics); an implicit ``+Inf`` bucket catches
+    the overflow. Bucket counts are stored non-cumulatively and
+    cumulated at export.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def percentile(self, q: float) -> float:
+        """Bucket-resolution percentile estimate (``q`` in [0, 100]).
+
+        Returns the upper bound of the bucket containing the q-th
+        observation (the last finite bound for overflow observations),
+        0.0 when empty — the same estimate a PromQL
+        ``histogram_quantile`` would produce without interpolation.
+        """
+        if not 0 <= q <= 100:
+            raise ConfigError(f"q must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(self.count * q / 100.0) or 1
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            if running >= rank:
+                return bound
+        return self.bounds[-1] if self.bounds else math.inf
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and typed children.
+
+    Families are created through the registry
+    (:meth:`MetricsRegistry.counter` and friends), never directly.
+    When ``labelnames`` is empty the family itself proxies the single
+    default child, so ``family.inc()`` / ``family.set()`` /
+    ``family.observe()`` work without a ``labels()`` call.
+    """
+
+    def __init__(self, kind: str, name: str, help: str = "",
+                 unit: str | None = None,
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] | None = None,
+                 max_label_sets: int = 1024) -> None:
+        if kind not in _CHILD_TYPES:
+            raise ConfigError(f"unknown metric kind {kind!r}")
+        if not _METRIC_NAME_RE.match(name):
+            raise ConfigError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise ConfigError(f"invalid label name {label!r}")
+        if len(set(labelnames)) != len(labelnames):
+            raise ConfigError(f"duplicate label names in {labelnames!r}")
+        if buckets is not None:
+            if kind != "histogram":
+                raise ConfigError("buckets are only valid for histograms")
+            bounds = [float(b) for b in buckets]
+            if not bounds or sorted(bounds) != bounds \
+                    or len(set(bounds)) != len(bounds):
+                raise ConfigError(
+                    f"buckets must be non-empty and strictly increasing, "
+                    f"got {buckets!r}")
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.labelnames = tuple(labelnames)
+        self.buckets = (tuple(float(b) for b in buckets)
+                        if buckets is not None else
+                        (DEFAULT_BUCKETS if kind == "histogram" else None))
+        self.max_label_sets = max_label_sets
+        self._children: dict[tuple[str, ...], object] = {}
+
+    # -- children ---------------------------------------------------------
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self.buckets)
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, **labels: str):
+        """The child for one label set (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ConfigError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}")
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_label_sets:
+                raise ConfigError(
+                    f"metric {self.name!r} exceeded its label-set budget "
+                    f"of {self.max_label_sets}; check for unbounded label "
+                    f"values")
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ConfigError(
+                f"metric {self.name!r} is labelled {self.labelnames}; "
+                f"call .labels(...) first")
+        return self.labels()
+
+    # Unlabelled convenience proxies.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    # -- export -----------------------------------------------------------
+
+    def samples(self) -> list[dict]:
+        """Schema-stable sample dicts (sorted by label values)."""
+        out = []
+        for key in sorted(self._children):
+            child = self._children[key]
+            labels = dict(zip(self.labelnames, key))
+            if self.kind == "histogram":
+                out.append({
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": [
+                        {"le": "+Inf" if math.isinf(le) else le, "count": n}
+                        for le, n in child.cumulative_buckets()],
+                })
+            else:
+                out.append({"labels": labels, "value": child.value})
+        return out
+
+
+class MetricsRegistry:
+    """Holds every metric family and exports them.
+
+    Collect hooks (:meth:`add_collect_hook`) let stateful subsystems
+    refresh gauges lazily at export time instead of on every mutation
+    — e.g. the diFS cluster publishes live-volume counts only when a
+    snapshot is actually taken.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._collect_hooks: list[Callable[[], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, kind: str, name: str, help: str,
+                  unit: str | None, labelnames: Sequence[str],
+                  buckets: Sequence[float] | None = None) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ConfigError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as {kind}")
+            if existing.labelnames != tuple(labelnames):
+                raise ConfigError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, got {tuple(labelnames)}")
+            return existing
+        family = MetricFamily(kind, name, help=help, unit=unit,
+                              labelnames=labelnames, buckets=buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", unit: str | None = None,
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register("counter", name, help, unit, labelnames)
+
+    def gauge(self, name: str, help: str = "", unit: str | None = None,
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register("gauge", name, help, unit, labelnames)
+
+    def histogram(self, name: str, help: str = "", unit: str | None = None,
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] | None = None) -> MetricFamily:
+        return self._register("histogram", name, help, unit, labelnames,
+                              buckets=buckets or DEFAULT_BUCKETS)
+
+    def add_collect_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` before every export (refresh lazy gauges)."""
+        self._collect_hooks.append(hook)
+
+    # -- introspection -----------------------------------------------------
+
+    def families(self) -> list[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # -- export ------------------------------------------------------------
+
+    def collect(self) -> None:
+        for hook in self._collect_hooks:
+            hook()
+
+    def to_dict(self) -> dict:
+        """The schema-stable metrics document (see docs/OBSERVABILITY.md)."""
+        self.collect()
+        return {
+            "schema": METRICS_SCHEMA,
+            "metrics": [
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "unit": family.unit,
+                    "labelnames": list(family.labelnames),
+                    "samples": family.samples(),
+                }
+                for family in self.families()
+            ],
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        from repro.obs.promtext import render_prometheus
+
+        return render_prometheus(self.to_dict())
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the metrics document as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True))
+        return path
+
+
+def validate_metrics_document(document: object) -> dict:
+    """Validate the shape of an exported metrics document.
+
+    This is the documented ``repro.obs.metrics/v1`` contract the CI
+    smoke run and the bench snapshots assert against. Raises
+    :class:`~repro.errors.ConfigError` on the first violation; returns
+    the document for chaining.
+    """
+    def fail(message: str):
+        raise ConfigError(f"invalid metrics document: {message}")
+
+    if not isinstance(document, dict):
+        fail("not an object")
+    if document.get("schema") != METRICS_SCHEMA:
+        fail(f"schema must be {METRICS_SCHEMA!r}, "
+             f"got {document.get('schema')!r}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list):
+        fail("'metrics' must be a list")
+    seen: set[str] = set()
+    for entry in metrics:
+        if not isinstance(entry, dict):
+            fail("metric entries must be objects")
+        name = entry.get("name")
+        if not isinstance(name, str) or not _METRIC_NAME_RE.match(name):
+            fail(f"bad metric name {name!r}")
+        if name in seen:
+            fail(f"duplicate metric {name!r}")
+        seen.add(name)
+        kind = entry.get("type")
+        if kind not in _CHILD_TYPES:
+            fail(f"{name}: bad type {kind!r}")
+        if not isinstance(entry.get("help"), str):
+            fail(f"{name}: 'help' must be a string")
+        unit = entry.get("unit")
+        if unit is not None and not isinstance(unit, str):
+            fail(f"{name}: 'unit' must be a string or null")
+        labelnames = entry.get("labelnames")
+        if not isinstance(labelnames, list) or not all(
+                isinstance(label, str) and _LABEL_NAME_RE.match(label)
+                for label in labelnames):
+            fail(f"{name}: bad labelnames {labelnames!r}")
+        samples = entry.get("samples")
+        if not isinstance(samples, list):
+            fail(f"{name}: 'samples' must be a list")
+        for sample in samples:
+            _validate_sample(name, kind, labelnames, sample, fail)
+    return document  # type: ignore[return-value]
+
+
+def _validate_sample(name: str, kind: str, labelnames: list,
+                     sample: object, fail: Callable[[str], None]) -> None:
+    if not isinstance(sample, dict):
+        fail(f"{name}: samples must be objects")
+    labels = sample.get("labels")
+    if not isinstance(labels, dict) or set(labels) != set(labelnames):
+        fail(f"{name}: sample labels {labels!r} do not match "
+             f"labelnames {labelnames!r}")
+    if kind == "histogram":
+        if not isinstance(sample.get("count"), int) \
+                or not isinstance(sample.get("sum"), (int, float)):
+            fail(f"{name}: histogram samples need integer 'count' and "
+                 f"numeric 'sum'")
+        buckets = sample.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            fail(f"{name}: histogram samples need a 'buckets' list")
+        previous = -math.inf
+        running = -1
+        for bucket in buckets:
+            if not isinstance(bucket, dict):
+                fail(f"{name}: buckets must be objects")
+            le = bucket.get("le")
+            le_value = math.inf if le == "+Inf" else le
+            if not isinstance(le_value, (int, float)) or le_value <= previous:
+                fail(f"{name}: bucket bounds must be increasing, "
+                     f"got {le!r}")
+            count = bucket.get("count")
+            if not isinstance(count, int) or count < max(running, 0):
+                fail(f"{name}: bucket counts must be cumulative")
+            previous, running = le_value, count
+        if buckets[-1].get("le") != "+Inf" \
+                or buckets[-1].get("count") != sample["count"]:
+            fail(f"{name}: last bucket must be '+Inf' with the total count")
+    else:
+        if not isinstance(sample.get("value"), (int, float)):
+            fail(f"{name}: {kind} samples need a numeric 'value'")
+
+
+def merge_label_values(labels: Mapping[str, str],
+                       labelnames: Iterable[str]) -> tuple[str, ...]:
+    """Order ``labels`` by ``labelnames`` (shared by export/parsing)."""
+    return tuple(str(labels[name]) for name in labelnames)

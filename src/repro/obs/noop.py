@@ -1,0 +1,159 @@
+"""No-op observability objects: the disabled-by-default fast path.
+
+Every instrumentation site in the codebase holds references obtained
+from :func:`repro.obs.metrics` / :func:`repro.obs.tracer`. When
+observability is disabled (the default), those functions hand out the
+singletons below, whose methods are empty — one attribute lookup and
+one no-op call per instrumentation point, which the overhead benchmark
+(``benchmarks/test_obs_overhead.py``) verifies is within noise of an
+uninstrumented run. Hot loops that want literally zero per-iteration
+cost additionally guard on :func:`repro.obs.metrics_enabled`.
+
+The null objects mirror the real APIs exactly (including
+``labels(...)`` chaining and span context managers) so instrumented
+code never branches on whether observability is on.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import METRICS_SCHEMA
+
+
+class NullChild:
+    """Accepts counter/gauge/histogram mutations and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class NullFamily(NullChild):
+    """A metric family whose children are all the null child."""
+
+    __slots__ = ()
+
+    def labels(self, **labels):
+        return NULL_CHILD
+
+    def samples(self) -> list:
+        return []
+
+
+class NullMetricsRegistry:
+    """Registry stand-in: registration returns null families."""
+
+    __slots__ = ()
+
+    def counter(self, name, help="", unit=None, labelnames=()):
+        return NULL_FAMILY
+
+    def gauge(self, name, help="", unit=None, labelnames=()):
+        return NULL_FAMILY
+
+    def histogram(self, name, help="", unit=None, labelnames=(),
+                  buckets=None):
+        return NULL_FAMILY
+
+    def add_collect_hook(self, hook) -> None:
+        pass
+
+    def collect(self) -> None:
+        pass
+
+    def families(self) -> list:
+        return []
+
+    def get(self, name):
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def to_dict(self) -> dict:
+        return {"schema": METRICS_SCHEMA, "metrics": []}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def write_json(self, path):
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+
+class NullSpan:
+    """Reusable no-op span context manager."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer:
+    """Tracer stand-in: spans and events vanish."""
+
+    __slots__ = ()
+    capacity = 0
+    dropped = 0
+
+    def set_clock(self, clock) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    @property
+    def active_depth(self) -> int:
+        return 0
+
+    def records(self) -> list:
+        return []
+
+    def export_jsonl(self, path):
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("")
+        return path
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_CHILD = NullChild()
+NULL_FAMILY = NullFamily()
+NULL_METRICS = NullMetricsRegistry()
+NULL_SPAN = NullSpan()
+NULL_TRACER = NullTracer()

@@ -1,0 +1,182 @@
+"""Prometheus text exposition rendering and parsing.
+
+Renders a ``repro.obs.metrics/v1`` document (see
+:meth:`repro.obs.metrics.MetricsRegistry.to_dict`) as text exposition
+format 0.0.4 — the format every Prometheus scraper, ``promtool`` and
+VictoriaMetrics ingests — and parses it back for round-trip tests.
+
+Counter families are rendered with the conventional ``_total`` suffix
+(added if the registered name lacks it); histogram families expand
+into ``_bucket``/``_sum``/``_count`` series. Label values are escaped
+per the spec (backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", "n": "\n", '"': '"'}.get(nxt, ch + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _label_block(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _help_line(name: str, help_text: str) -> str:
+    escaped = help_text.replace("\\", r"\\").replace("\n", r"\n")
+    return f"# HELP {name} {escaped}"
+
+
+def render_prometheus(document: dict) -> str:
+    """Render a metrics document as Prometheus text format."""
+    lines: list[str] = []
+    for entry in document.get("metrics", []):
+        kind = entry["type"]
+        name = entry["name"]
+        if kind == "counter" and not name.endswith("_total"):
+            name = name + "_total"
+        if entry.get("help"):
+            lines.append(_help_line(name, entry["help"]))
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in entry["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                for bucket in sample["buckets"]:
+                    le = bucket["le"]
+                    le_text = le if le == "+Inf" else _format_value(le)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le_text
+                    lines.append(
+                        f"{name}_bucket{_label_block(bucket_labels)} "
+                        f"{bucket['count']}")
+                lines.append(f"{name}_sum{_label_block(labels)} "
+                             f"{_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{_label_block(labels)} "
+                             f"{sample['count']}")
+            else:
+                lines.append(f"{name}{_label_block(labels)} "
+                             f"{_format_value(sample['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(block: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        name = block[i:eq].strip().strip(",")
+        if block[eq + 1] != '"':
+            raise ConfigError(f"malformed label block {block!r}")
+        j = eq + 2
+        raw = []
+        while j < len(block):
+            ch = block[j]
+            if ch == "\\":
+                raw.append(block[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ConfigError(f"unterminated label value in {block!r}")
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_number(text: str) -> float:
+    if text == "NaN":
+        return math.nan
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse text exposition format back into a comparable structure.
+
+    Returns ``{series_name: {"type": str | None, "samples":
+    {(sorted (label, value) pairs): value}}}`` where histogram series
+    appear under their expanded ``_bucket``/``_sum``/``_count`` names
+    (with ``type`` set on the base family name). Raises
+    :class:`~repro.errors.ConfigError` on malformed lines.
+    """
+    series: dict[str, dict] = {}
+
+    def entry(name: str) -> dict:
+        return series.setdefault(name, {"type": None, "samples": {}})
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                raise ConfigError(
+                    f"line {line_number}: malformed TYPE comment")
+            entry(parts[2])["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            block, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(block)
+        else:
+            fields = line.split()
+            if len(fields) != 2:
+                raise ConfigError(
+                    f"line {line_number}: expected 'name value', "
+                    f"got {line!r}")
+            name, value_text = fields
+            labels = {}
+        name = name.strip()
+        value_text = value_text.strip()
+        if not name:
+            raise ConfigError(f"line {line_number}: empty metric name")
+        try:
+            value = _parse_number(value_text)
+        except ValueError:
+            raise ConfigError(
+                f"line {line_number}: bad sample value {value_text!r}")
+        key = tuple(sorted(labels.items()))
+        entry(name)["samples"][key] = value
+    return series

@@ -10,13 +10,24 @@ schema::
       "meta": {...},                      # free-form provenance
       "tables": {"name": {"headers": [...], "rows": [[...], ...]}},
       "series": {"name": {"x": [...], "y": [...],
-                           "x_label": "...", "y_label": "..."}}
+                           "x_label": "...", "y_label": "..."}},
+      "metrics": {...}                    # optional; attach_metrics()
     }
+
+Non-finite policy: JSON has no NaN/Infinity, and ``json.dumps`` silently
+emits the non-standard ``NaN`` literal unless told otherwise. Artifacts
+must parse everywhere (jq, browsers, strict parsers), so non-finite floats
+are encoded as the strings ``"NaN"``, ``"Infinity"`` and ``"-Infinity"``,
+and the final dump runs with ``allow_nan=False`` to guarantee none leak
+through raw. Values of unknown types are rejected with
+:class:`~repro.errors.ConfigError` rather than silently stringified.
 """
 
 from __future__ import annotations
 
 import json
+import math
+from enum import Enum
 from pathlib import Path
 
 import numpy as np
@@ -25,20 +36,37 @@ from repro.errors import ConfigError
 from repro.reporting.series import Series
 
 
+def _finite(value: float):
+    """Encode non-finite floats as strings (see module docstring)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
 def _jsonable(value):
-    if isinstance(value, (np.integer,)):
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
         return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
+    if isinstance(value, (float, np.floating)):
+        return _finite(float(value))
+    if isinstance(value, str):
+        return value
     if isinstance(value, np.ndarray):
         return [_jsonable(v) for v in value.tolist()]
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
+    if isinstance(value, (Path, Enum)):
+        return str(value.value) if isinstance(value, Enum) else str(value)
+    raise ConfigError(
+        f"cannot serialise {type(value).__name__!r} value {value!r} "
+        f"into an experiment artifact")
 
 
 class ExperimentWriter:
@@ -58,6 +86,16 @@ class ExperimentWriter:
         self.meta = dict(meta or {})
         self._tables: dict[str, dict] = {}
         self._series: dict[str, dict] = {}
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Embed a metrics registry's document in the artifact.
+
+        ``registry`` is anything with a ``to_dict()`` returning the
+        ``repro.obs.metrics/v1`` document (collected lazily at
+        :meth:`document` time, so late samples are included).
+        """
+        self._metrics = registry
 
     def add_table(self, name: str, headers: list[str],
                   rows: list[list]) -> None:
@@ -82,12 +120,15 @@ class ExperimentWriter:
         }
 
     def document(self) -> dict:
-        return {
+        document = {
             "experiment": self.experiment,
             "meta": _jsonable(self.meta),
             "tables": self._tables,
             "series": self._series,
         }
+        if self._metrics is not None:
+            document["metrics"] = _jsonable(self._metrics.to_dict())
+        return document
 
     def write(self, directory: str | Path) -> Path:
         """Write ``<directory>/<experiment>.json``; returns the path."""
@@ -95,7 +136,7 @@ class ExperimentWriter:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.experiment}.json"
         path.write_text(json.dumps(self.document(), indent=2,
-                                   sort_keys=True))
+                                   sort_keys=True, allow_nan=False))
         return path
 
 

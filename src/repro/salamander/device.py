@@ -23,13 +23,16 @@ DESIGN.md:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
 from typing import Callable
 
 import math
 
 import numpy as np
+
+from repro import obs
+from repro.obs.instruments import salamander_instruments
 
 from repro.errors import (
     ConfigError,
@@ -165,6 +168,9 @@ class SalamanderSSD(PageMappedFTL):
         ]
         self._draining: list[int] = []  # FIFO of DRAINING mdisk ids
         self._exhausted = False
+        self._sal_instr = salamander_instruments(self.obs_name)
+        self._obs_limbo_levels: set[int] = set()
+        self._refresh_obs_gauges()
 
     @classmethod
     def create(cls, geometry: FlashGeometry | None = None,
@@ -405,6 +411,29 @@ class SalamanderSSD(PageMappedFTL):
         if self.salamander_config.mode is SalamanderMode.REGEN:
             self._regenerate()
 
+    def _refresh_obs_gauges(self) -> None:
+        """Push the capacity/limbo state into the metrics registry.
+
+        Called after every lifecycle transition (decommission, regenerate,
+        release, exhaustion). A single ``metrics_enabled`` check keeps the
+        disabled-path cost to one boolean test.
+        """
+        if not obs.metrics_enabled():
+            return
+        instr = self._sal_instr
+        counts = self.limbo.counts()
+        for level in self._obs_limbo_levels - set(counts):
+            instr.limbo_fpages.labels(
+                device=instr.device, level=str(level)).set(0)
+        for level, n in counts.items():
+            instr.limbo_fpages.labels(
+                device=instr.device, level=str(level)).set(n)
+            self._obs_limbo_levels.add(level)
+        instr.limbo_capacity_opages.set(self.limbo.capacity_opages())
+        instr.advertised_bytes.set(self.advertised_bytes)
+        instr.active_minidisks.set(len(self.active_minidisks()))
+        instr.draining_minidisks.set(len(self._draining))
+
     def _decommission(self, mdisk: Minidisk, reason: str) -> None:
         grace = self.salamander_config.grace_decommissions
         self._event_seq += 1
@@ -417,6 +446,9 @@ class SalamanderSSD(PageMappedFTL):
             self._invalidate(mdisk)
             mdisk.decommission(self._event_seq)
         self.stats.decommissioned_minidisks += 1
+        self._sal_instr.decommissions.labels(
+            device=self._sal_instr.device, reason=reason).inc()
+        self._refresh_obs_gauges()
         self._emit(MinidiskDecommissioned(
             seq=self._event_seq, mdisk_id=mdisk.mdisk_id, reason=reason,
             remaining_active=len(self.active_minidisks())))
@@ -438,6 +470,7 @@ class SalamanderSSD(PageMappedFTL):
         self._invalidate(mdisk)
         mdisk.status = MinidiskStatus.DECOMMISSIONED
         self._draining.remove(mdisk_id)
+        self._refresh_obs_gauges()
 
     def _invalidate(self, mdisk: Minidisk) -> None:
         for lba in range(mdisk.size_lbas):
@@ -473,6 +506,9 @@ class SalamanderSSD(PageMappedFTL):
             self.minidisks.append(mdisk)
             self._grow_flat_space(cfg.msize_lbas)
             self.stats.regenerated_minidisks += 1
+            self._sal_instr.regenerations.labels(
+                device=self._sal_instr.device, level=str(plan.level)).inc()
+            self._refresh_obs_gauges()
             self._emit(MinidiskRegenerated(
                 seq=self._event_seq, mdisk_id=mdisk.mdisk_id,
                 level=plan.level, size_lbas=mdisk.size_lbas))
@@ -489,6 +525,10 @@ class SalamanderSSD(PageMappedFTL):
             self._emit(DeviceExhausted(seq=self._event_seq))
 
     def _emit(self, event: HostEvent) -> None:
+        if obs.tracing_enabled():
+            obs.tracer().event(
+                type(event).__name__, device=self.obs_name,
+                **asdict(event))
         self.events.append(event)
         for listener in self._listeners:
             listener(event)

@@ -79,14 +79,14 @@ class LimboLedger:
     def pages_at(self, level: int) -> list[int]:
         """fPages parked at exactly ``level``, ascending."""
         self._check_level(level)
-        return sorted(f for f, l in self._level_of.items() if l == level)
+        return sorted(f for f, lvl in self._level_of.items() if lvl == level)
 
     def capacity_opages(self, level: int | None = None) -> int:
         """Eq. 1: data oPages storable in limbo pages (optionally one level)."""
         if level is not None:
             self._check_level(level)
             return (self.dead_level - level) * len(self.pages_at(level))
-        return sum(self.dead_level - l for l in self._level_of.values())
+        return sum(self.dead_level - lvl for lvl in self._level_of.values())
 
     def _check_level(self, level: int) -> None:
         if not 0 <= level < self.dead_level:

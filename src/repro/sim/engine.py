@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs.instruments import engine_instruments
 from repro.sim.clock import SimClock
 
 
@@ -22,18 +23,31 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    done: bool = field(default=False, compare=False)
 
 
 class Engine:
-    """Event loop over a :class:`SimClock`."""
+    """Event loop over a :class:`SimClock`.
+
+    Cancelled events are dropped lazily: :meth:`cancel` only flags the
+    event, and the heap sheds dead entries when they reach the top or when
+    more than half of it (and at least :data:`COMPACT_MIN`) is dead. A live
+    counter keeps ``len(engine)`` O(1) — it used to be an O(n) scan, which
+    made progress checks quadratic in long scenarios.
+    """
+
+    COMPACT_MIN = 16
 
     def __init__(self, clock: SimClock | None = None) -> None:
         self.clock = clock or SimClock()
         self._heap: list[_ScheduledEvent] = []
         self._seq = 0
+        self._live = 0
+        self._instr = engine_instruments()
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (scheduled, not cancelled) events — O(1)."""
+        return self._live
 
     def schedule_at(self, when: float,
                     callback: Callable[[], None]) -> _ScheduledEvent:
@@ -44,6 +58,8 @@ class Engine:
         self._seq += 1
         event = _ScheduledEvent(time=when, seq=self._seq, callback=callback)
         heapq.heappush(self._heap, event)
+        self._live += 1
+        self._instr.queue_depth.set(self._live)
         return event
 
     def schedule_in(self, delay: float,
@@ -69,7 +85,21 @@ class Engine:
         self.schedule_in(interval, tick)
 
     def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a scheduled event (idempotent; no-op after it fired)."""
+        if event.cancelled or event.done:
+            return
         event.cancelled = True
+        self._live -= 1
+        self._instr.events_cancelled.inc()
+        self._instr.queue_depth.set(self._live)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when it is mostly dead weight."""
+        dead = len(self._heap) - self._live
+        if dead >= self.COMPACT_MIN and dead > self._live:
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
@@ -77,7 +107,11 @@ class Engine:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.done = True
+            self._live -= 1
             self.clock.advance_to(event.time)
+            self._instr.events_executed.inc()
+            self._instr.queue_depth.set(self._live)
             event.callback()
             return True
         return False

@@ -27,11 +27,14 @@ devices wear *faster* per host byte, a feedback the curves include.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigError
+from repro.obs.instruments import fleet_instruments
 from repro.flash.geometry import FlashGeometry
 from repro.flash.rber import RBERModel, lognormal_page_variation
 from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
@@ -201,6 +204,15 @@ def simulate_fleet(config: FleetConfig, mode: str,
     """
     if mode not in MODES:
         raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+    # Bound once; with observability disabled the per-step cost is a single
+    # ``is None`` check (the 5% overhead budget in docs/OBSERVABILITY.md).
+    instr = fleet_instruments(mode) if obs.metrics_enabled() else None
+    tracer = obs.tracer() if obs.tracing_enabled() else None
+    day_now = [0.0]
+    if tracer is not None:
+        # The fleet model is the time authority here: stamp trace records
+        # with the simulated day rather than wall clock.
+        tracer.set_clock(lambda: day_now[0])
     rng = make_rng(seed)
     geometry = config.geometry
     policy = TirednessPolicy(geometry=geometry)
@@ -279,7 +291,9 @@ def simulate_fleet(config: FleetConfig, mode: str,
     previous_capacity = adv0_bytes * config.devices
 
     for step in range(steps):
+        step_start = _time.perf_counter() if instr is not None else 0.0
         day = (step + 1) * config.step_days
+        day_now[0] = float(day)
         afr_draws = afr_rng.random(config.devices)
         total_capacity = 0.0
         alive_count = 0
@@ -289,11 +303,21 @@ def simulate_fleet(config: FleetConfig, mode: str,
             if afr_draws[index] < step_failure_prob:
                 dev.alive = False
                 dev.death_day = day
+                if instr is not None:
+                    instr.device_deaths.labels(mode=mode, cause="afr").inc()
+                if tracer is not None:
+                    tracer.event("fleet.device_death", mode=mode,
+                                 device=index, day=day, cause="afr")
                 continue
             adv = advertised_bytes(dev)
             if adv <= floor_bytes() or adv <= 0.0:
                 dev.alive = False
                 dev.death_day = day
+                if instr is not None:
+                    instr.device_deaths.labels(mode=mode, cause="wear").inc()
+                if tracer is not None:
+                    tracer.event("fleet.device_death", mode=mode,
+                                 device=index, day=day, cause="wear")
                 continue
             # Advance wear through this step at the current live capacity.
             raw = in_service_raw_bytes(adv)
@@ -307,6 +331,11 @@ def simulate_fleet(config: FleetConfig, mode: str,
         capacity[step] = total_capacity
         lost[step] = max(0.0, previous_capacity - total_capacity)
         previous_capacity = total_capacity
+        if instr is not None:
+            instr.step_duration.observe(_time.perf_counter() - step_start)
+            instr.devices_functioning.set(alive_count)
+            instr.capacity_bytes.set(total_capacity)
+            instr.capacity_lost_bytes.inc(float(lost[step]))
 
     return FleetResult(
         mode=mode,

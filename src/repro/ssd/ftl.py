@@ -37,6 +37,7 @@ from repro.errors import (
     UncorrectableError,
 )
 from repro.flash.chip import FlashChip, PageState
+from repro.obs.instruments import ftl_instruments, next_device_name
 from repro.ssd.gc import CostBenefitGC, GCPolicy, GreedyGC
 from repro.ssd.stats import SSDStats
 from repro.ssd.wear import select_min_wear_block
@@ -148,6 +149,9 @@ class PageMappedFTL:
                 f"headroom; shrink the logical size or grow the chip")
 
         self.n_lbas = n_lbas
+        #: Stable observability label for this device's metric series.
+        self.obs_name = next_device_name()
+        self._instr = ftl_instruments(self.obs_name)
         self.stats = SSDStats()
         self.buffer = WriteBuffer(self.config.buffer_opages)
         self._gc: GCPolicy = _GC_POLICIES[self.config.gc_policy]()
@@ -214,6 +218,7 @@ class PageMappedFTL:
         self.buffer.put(lba, bytes(data))
         self._buffer_stream[lba] = stream
         self.stats.host_writes += 1  # counted only once accepted
+        self._instr.host_writes.inc()
         # The write's visible cost is whatever device work it had to wait
         # for: usually nothing (NVRAM hit), sometimes a drain, occasionally
         # a full GC pass — that is where the write tail comes from.
@@ -228,6 +233,7 @@ class PageMappedFTL:
         """
         self._check_lba(lba)
         self.stats.host_reads += 1
+        self._instr.host_reads.inc()
         self._maybe_autoscrub()
         buffered = self.buffer.get(lba)
         if buffered is not None:
@@ -265,6 +271,7 @@ class PageMappedFTL:
         self._check_lba(lba)
         self._check_lba(lba + count - 1)
         self.stats.host_reads += count
+        self._instr.host_reads.inc(count)
         # Resolve every LBA first; group flash-resident ones by fPage.
         results: list[bytes | None] = [None] * count
         by_fpage: dict[int, list[tuple[int, int]]] = {}
@@ -306,6 +313,7 @@ class PageMappedFTL:
         """Discard ``lba``'s data; subsequent reads return zeros."""
         self._check_lba(lba)
         self.stats.trims += 1
+        self._instr.trims.inc()
         self.buffer.discard(lba)
         self._buffer_stream.pop(lba, None)
         self._unmap(lba)
@@ -320,6 +328,7 @@ class PageMappedFTL:
             raise ConfigError(f"count must be positive, got {count!r}")
         self._check_lba(lba)
         self._check_lba(lba + count - 1)
+        self._instr.trims.inc(count)
         for target in range(lba, lba + count):
             self.stats.trims += 1
             self.buffer.discard(target)
@@ -424,6 +433,7 @@ class PageMappedFTL:
             self._program_fpage(target, chunk, relocation=False)
             cursor += capacity
         self.stats.wear_relocations += len(moved)
+        self._instr.wear_relocations.inc(len(moved))
         return len(moved)
 
     def _maybe_autoscrub(self) -> None:
@@ -563,6 +573,7 @@ class PageMappedFTL:
         self._l2p[lba] = LOST
         self.stats.uncorrectable_reads += 1
         self.stats.lost_opages += 1
+        self._instr.lost_opages.inc()
 
     # -- internals: allocation and programming ---------------------------------
 
@@ -614,8 +625,13 @@ class PageMappedFTL:
         for offset, (lba, _payload) in enumerate(items):
             self._map(lba, base + offset)
         self.stats.flash_writes += len(items)
+        self._instr.flash_writes.inc(len(items))
         if relocation:
             self.stats.gc_relocations += len(items)
+            self._instr.gc_relocations.inc(len(items))
+        if self.stats.host_writes:
+            self._instr.write_amplification.set(
+                self.stats.flash_writes / self.stats.host_writes)
 
     def _stream_key(self, stream: str) -> str:
         if stream == "gc" and not self.config.stream_separation:
@@ -707,7 +723,7 @@ class PageMappedFTL:
         valid = self._valid_per_block[candidates]
         capacities = self._block_capacities(candidates)
         ages = self._seq - self._close_seq[candidates]
-        victim = self._gc.choose_victim(candidates, valid, capacities, ages)
+        victim = self._gc.pick(candidates, valid, capacities, ages)
         self._relocate_block(victim)
         self._erase_block(victim)
 
@@ -757,6 +773,7 @@ class PageMappedFTL:
         self.chip.erase(block)
         self._erase_counts[block] += 1
         self.stats.erases += 1
+        self._instr.erases.inc()
         worn = []
         for fpage in self.geometry.fpage_range_of_block(block):
             if self.chip.state(fpage) is not PageState.FREE:
@@ -802,6 +819,7 @@ class PageMappedFTL:
             return self.chip.state(fpage) is PageState.FREE
         self.chip.retire(fpage)
         self.stats.retired_fpages += 1
+        self._instr.retired_fpages.inc()
         return False
 
     def _after_wear_event(self, block: int, worn_fpages: list[int]) -> None:

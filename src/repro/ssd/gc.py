@@ -18,9 +18,32 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.obs.instruments import gc_instruments
+
 
 class GCPolicy(ABC):
-    """Chooses the next victim block for garbage collection."""
+    """Chooses the next victim block for garbage collection.
+
+    Subclasses implement :meth:`choose_victim`; callers that want the
+    pick counted and its utilisation histogrammed (the FTL does) call
+    :meth:`pick` instead, which wraps the policy decision with
+    observability.
+    """
+
+    def __init__(self) -> None:
+        self._instr = gc_instruments(policy=type(self).__name__)
+
+    def pick(self, candidate_blocks: np.ndarray, valid_counts: np.ndarray,
+             capacities: np.ndarray, ages: np.ndarray) -> int:
+        """Instrumented victim selection (same contract as choose_victim)."""
+        victim = self.choose_victim(candidate_blocks, valid_counts,
+                                    capacities, ages)
+        position = int(np.argmax(candidate_blocks == victim))
+        self._instr.picks.inc()
+        self._instr.victim_valid_fraction.observe(
+            float(valid_counts[position])
+            / float(max(capacities[position], 1)))
+        return victim
 
     @abstractmethod
     def choose_victim(

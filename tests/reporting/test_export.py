@@ -55,3 +55,86 @@ class TestExperimentWriter:
         writer = ExperimentWriter("nested")
         path = writer.write(tmp_path / "a" / "b")
         assert path.exists()
+
+
+class TestSerialisationPolicy:
+    def test_numpy_scalars_and_arrays_round_trip(self, tmp_path):
+        writer = ExperimentWriter("np-types", meta={
+            "i8": np.int8(-3), "u32": np.uint32(7),
+            "f16": np.float16(0.5), "f64": np.float64(2.25),
+            "flag": np.bool_(True),
+            "vec": np.arange(3, dtype=np.int32),
+            "grid": np.array([[1.0, 2.0], [3.0, 4.0]]),
+        })
+        document = load_experiment(writer.write(tmp_path))
+        meta = document["meta"]
+        assert meta["i8"] == -3 and isinstance(meta["i8"], int)
+        assert meta["u32"] == 7
+        assert meta["f16"] == 0.5 and isinstance(meta["f16"], float)
+        assert meta["f64"] == 2.25
+        assert meta["flag"] is True
+        assert meta["vec"] == [0, 1, 2]
+        assert meta["grid"] == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_non_finite_floats_become_strings(self, tmp_path):
+        writer = ExperimentWriter("nonfinite", meta={
+            "nan": float("nan"), "inf": float("inf"),
+            "ninf": np.float64("-inf"),
+            "mixed": np.array([1.0, np.nan, np.inf]),
+        })
+        path = writer.write(tmp_path)
+        # The file must be strict JSON: no bare NaN/Infinity literals.
+        raw = path.read_text()
+        assert "NaN" not in raw.replace('"NaN"', "")
+        meta = json.loads(raw)["meta"]
+        assert meta["nan"] == "NaN"
+        assert meta["inf"] == "Infinity"
+        assert meta["ninf"] == "-Infinity"
+        assert meta["mixed"] == [1.0, "NaN", "Infinity"]
+
+    def test_non_serialisable_values_rejected(self):
+        class Opaque:
+            pass
+
+        # Rows are serialised eagerly at add_table time ...
+        writer = ExperimentWriter("bad")
+        with pytest.raises(ConfigError):
+            writer.add_table("t", ["v"], [[Opaque()]])
+        # ... metadata lazily at document time.
+        lazy = ExperimentWriter("bad2", meta={"handle": Opaque()})
+        with pytest.raises(ConfigError):
+            lazy.document()
+
+    def test_path_and_enum_coerced_to_str(self, tmp_path):
+        import enum
+        from pathlib import Path
+
+        class Mode(enum.Enum):
+            REGEN = "regen"
+
+        writer = ExperimentWriter("coerced", meta={
+            "path": Path("/tmp/x"), "mode": Mode.REGEN})
+        meta = load_experiment(writer.write(tmp_path))["meta"]
+        assert meta["path"] == "/tmp/x"
+        assert "REGEN" in meta["mode"] or "regen" in meta["mode"]
+
+
+class TestAttachMetrics:
+    def test_metrics_embedded_and_validated(self, tmp_path):
+        from repro.obs import MetricsRegistry, validate_metrics_document
+
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", help="h").inc(3)
+        writer = ExperimentWriter("with-metrics")
+        writer.attach_metrics(registry)
+        document = load_experiment(writer.write(tmp_path))
+        assert "metrics" in document
+        validate_metrics_document(document["metrics"])
+        (family,) = document["metrics"]["metrics"]
+        assert family["name"] == "repro_test_total"
+        assert family["samples"][0]["value"] == 3.0
+
+    def test_no_metrics_key_when_not_attached(self, tmp_path):
+        writer = ExperimentWriter("plain")
+        document = load_experiment(writer.write(tmp_path))
+        assert "metrics" not in document

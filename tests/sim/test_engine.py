@@ -58,6 +58,74 @@ class TestScheduling:
         assert len(engine) == 1
 
 
+class TestLazyCancellation:
+    def test_double_cancel_is_idempotent(self):
+        engine = Engine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.cancel(event)
+        engine.cancel(event)
+        assert len(engine) == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        engine = Engine()
+        log = []
+        event = engine.schedule_at(1.0, lambda: log.append("fired"))
+        engine.schedule_at(2.0, lambda: None)
+        engine.step()
+        assert log == ["fired"]
+        engine.cancel(event)  # must not corrupt the live count
+        assert len(engine) == 1
+        assert engine.run() == 1
+        assert len(engine) == 0
+
+    def test_len_stays_consistent_through_run(self):
+        engine = Engine()
+        events = [engine.schedule_at(float(i), lambda: None)
+                  for i in range(1, 11)]
+        for event in events[::2]:
+            engine.cancel(event)
+        assert len(engine) == 5
+        assert engine.run() == 5
+        assert len(engine) == 0
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        engine = Engine()
+        keeper = engine.schedule_at(1000.0, lambda: None)
+        events = [engine.schedule_at(float(i), lambda: None)
+                  for i in range(1, 101)]
+        for event in events:
+            engine.cancel(event)
+        # Lazy drop must not leave 100 dead entries behind: far fewer
+        # heap slots than cancellations, and exactly one live event.
+        assert len(engine) == 1
+        assert len(engine._heap) < len(events)
+        assert keeper in engine._heap
+
+    def test_compaction_preserves_order(self):
+        engine = Engine()
+        log = []
+        doomed = [engine.schedule_at(float(i), lambda: log.append("dead"))
+                  for i in range(1, 40)]
+        engine.schedule_at(50.0, lambda: log.append("b"))
+        engine.schedule_at(45.0, lambda: log.append("a"))
+        for event in doomed:
+            engine.cancel(event)
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_small_queues_skip_compaction(self):
+        engine = Engine()
+        events = [engine.schedule_at(float(i), lambda: None)
+                  for i in range(1, 5)]
+        for event in events[:3]:
+            engine.cancel(event)
+        # Below COMPACT_MIN dead entries the heap is left alone; the
+        # dead entries drain lazily at pop time instead.
+        assert len(engine._heap) == 4
+        assert engine.run() == 1
+
+
 class TestRunUntil:
     def test_stops_at_boundary(self):
         engine = Engine()

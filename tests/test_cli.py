@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro import obs
+from repro.cli import (
+    EXIT_CONFIG_ERROR,
+    EXIT_UNEXPECTED_ERROR,
+    build_parser,
+    main,
+)
+from repro.obs import validate_metrics_document
 
 
 class TestParser:
@@ -82,3 +91,77 @@ class TestParser:
         out = capsys.readouterr().out
         assert "predictor" in out
         assert "run-to-failure" in out
+
+
+class TestVersionAndExitCodes:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_config_error_maps_to_exit_2(self, capsys):
+        # afr is a probability; 2.0 passes argparse but fails validation.
+        assert main(["fleet", "--devices", "4", "--blocks", "32",
+                     "--years", "1", "--afr", "2.0"]) == EXIT_CONFIG_ERROR
+        err = capsys.readouterr().err
+        assert "configuration error" in err
+
+    def test_unexpected_error_maps_to_exit_3(self, capsys, monkeypatch):
+        def boom(args):
+            raise RuntimeError("wires crossed")
+
+        # build_parser resolves the handler from module globals at call
+        # time, so patching the name reroutes the subcommand.
+        monkeypatch.setattr("repro.cli._cmd_fig2", boom)
+        assert main(["fig2"]) == EXIT_UNEXPECTED_ERROR
+        err = capsys.readouterr().err
+        assert "unexpected error" in err
+        assert "RuntimeError" in err
+
+
+class TestObservabilityFlags:
+    def test_fleet_writes_metrics_and_trace(self, capsys, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["fleet", "--devices", "8", "--blocks", "32",
+                     "--years", "2", "--step-days", "20",
+                     "--mode", "regen", "--points", "5",
+                     "--metrics-out", str(metrics_path),
+                     "--trace-out", str(trace_path)]) == 0
+        assert not obs.metrics_enabled()  # CLI restores the no-op state
+        document = json.loads(metrics_path.read_text())
+        validate_metrics_document(document)
+        names = {family["name"] for family in document["metrics"]}
+        assert "repro_fleet_step_duration_seconds" in names
+        assert "repro_fleet_devices_functioning" in names
+        records = [json.loads(line)
+                   for line in trace_path.read_text().splitlines()]
+        times = [record["time"] for record in records]
+        assert times == sorted(times)
+        out = capsys.readouterr().out
+        assert str(metrics_path) in out
+        assert str(trace_path) in out
+
+    def test_run_embeds_metrics_in_artifact(self, capsys, tmp_path):
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps(
+            {"name": "cli-obs", "kind": "fig2",
+             "params": {"pec_limit": 500}}))
+        metrics_path = tmp_path / "m.json"
+        assert main(["run", str(scenario),
+                     "--out", str(tmp_path / "artifacts"),
+                     "--metrics-out", str(metrics_path)]) == 0
+        artifact = json.loads(
+            (tmp_path / "artifacts" / "cli-obs.json").read_text())
+        assert "metrics" in artifact
+        validate_metrics_document(json.loads(metrics_path.read_text()))
+
+    def test_flags_off_means_no_observability_cost(self, capsys, tmp_path):
+        assert main(["fleet", "--devices", "4", "--blocks", "32",
+                     "--years", "1", "--step-days", "20",
+                     "--points", "3"]) == 0
+        assert not obs.metrics_enabled()
+        assert not obs.tracing_enabled()
