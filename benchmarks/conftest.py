@@ -7,15 +7,24 @@ emits both the performance numbers and the paper-shaped output. Each
 registered output is also written to ``benchmarks/results/<slug>.txt`` so
 runs leave diffable artifacts behind.
 
-An autouse fixture additionally enables ``repro.obs`` metrics around each
-bench and snapshots the registry into ``benchmarks/results/metrics/`` —
-one ``repro.obs.metrics/v1`` JSON per bench. Benches that measure the
-*disabled* instrumentation cost opt out with ``@pytest.mark.no_obs``.
+An autouse fixture additionally enables ``repro.obs`` metrics *and* a
+timeseries sampler around each bench, snapshotting the registry into
+``benchmarks/results/metrics/`` (one ``repro.obs.metrics/v1`` JSON per
+bench) and any recorded trajectories into
+``benchmarks/results/timeseries/<slug>.jsonl``
+(``repro.obs.timeseries/v1``). Per-bench telemetry *totals* are also
+appended to ``benchmarks/results/BENCH_timeseries.json`` — a capped
+per-bench history of (series, samples, points) across runs, so a bench
+that silently stops producing telemetry shows up as a trajectory dip.
+Benches that measure the *disabled* instrumentation cost opt out with
+``@pytest.mark.no_obs``.
 """
 
 from __future__ import annotations
 
+import json
 import re
+import time
 from pathlib import Path
 
 import pytest
@@ -25,6 +34,10 @@ from repro import obs
 _REGISTERED: list[tuple[str, str]] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
 _METRICS_DIR = _RESULTS_DIR / "metrics"
+_TIMESERIES_DIR = _RESULTS_DIR / "timeseries"
+_BENCH_TIMESERIES = _RESULTS_DIR / "BENCH_timeseries.json"
+#: Runs of history kept per bench in BENCH_timeseries.json.
+_HISTORY_CAP = 20
 
 
 def pytest_configure(config):
@@ -34,20 +47,48 @@ def pytest_configure(config):
         "(used by instrumentation-overhead measurements)")
 
 
+def _append_bench_timeseries(slug: str, sampler) -> None:
+    """Append one bench's telemetry totals to the aggregate trajectory."""
+    try:
+        history = json.loads(_BENCH_TIMESERIES.read_text())
+    except (OSError, json.JSONDecodeError):
+        history = {}
+    if not isinstance(history, dict):
+        history = {}
+    points = sum(len(series["t"])
+                 for series in sampler.to_dict()["series"])
+    runs = history.setdefault(slug, [])
+    runs.append({
+        "at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "series": len(sampler),
+        "samples_taken": sampler.samples_taken,
+        "points": points,
+    })
+    del runs[:-_HISTORY_CAP]
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    _BENCH_TIMESERIES.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.fixture(autouse=True)
 def _obs_snapshot(request):
-    """Per-bench metrics registry, snapshotted to results/metrics/."""
+    """Per-bench metrics + timeseries, snapshotted under results/."""
     if request.node.get_closest_marker("no_obs") is not None:
         yield None
         return
-    with obs.enabled() as (registry, _tracer):
+    sampler = obs.TimeseriesSampler(cadence=0.0)
+    with obs.enabled(timeseries_sampler=sampler) as (registry, _tracer):
         yield registry
         document = registry.to_dict()
+        slug = re.sub(r"[^a-z0-9]+", "-",
+                      request.node.name.lower()).strip("-")
         if document["metrics"]:
             _METRICS_DIR.mkdir(parents=True, exist_ok=True)
-            slug = re.sub(r"[^a-z0-9]+", "-",
-                          request.node.name.lower()).strip("-")
             registry.write_json(_METRICS_DIR / f"{slug}.json")
+        if len(sampler):
+            _TIMESERIES_DIR.mkdir(parents=True, exist_ok=True)
+            sampler.export_jsonl(_TIMESERIES_DIR / f"{slug}.jsonl")
+            _append_bench_timeseries(slug, sampler)
 
 
 def _slug(title: str) -> str:

@@ -8,6 +8,7 @@ Usage::
     python -m repro carbon [--f-op 0.46] [--renewable]
     python -m repro tco [--f-opex 0.14]
     python -m repro replacement [--slots 100] [--age-limit 5]
+    python -m repro report [--metrics m.json] [--timeseries ts.jsonl] [...]
 
 Each subcommand prints the same tables the benchmark suite regenerates;
 see DESIGN.md for the experiment-to-paper mapping.
@@ -49,27 +50,35 @@ def _version() -> str:
 
 
 def _setup_observability(args: argparse.Namespace):
-    """Enable metrics/tracing when the output flags ask for them.
+    """Enable metrics/tracing/timeseries when the output flags ask.
 
-    Returns the ``(registry, tracer)`` pair (either may be ``None``).
-    Must run *before* the experiment objects are constructed —
-    instrumentation binds at construction time.
+    Returns the ``(registry, tracer, sampler)`` triple (each may be
+    ``None``). Must run *before* the experiment objects are constructed
+    — instrumentation binds at construction time.
     """
-    registry = tracer = None
+    registry = tracer = sampler = None
     if getattr(args, "metrics_out", None):
         registry = obs.enable_metrics()
     if getattr(args, "trace_out", None):
         tracer = obs.enable_tracing()
-    return registry, tracer
+    if getattr(args, "timeseries_out", None):
+        from repro.obs.timeseries import DEFAULT_CADENCE
+        sampler = obs.enable_timeseries(
+            cadence=getattr(args, "timeseries_cadence", DEFAULT_CADENCE))
+    return registry, tracer, sampler
 
 
-def _write_observability(args: argparse.Namespace, registry, tracer) -> None:
+def _write_observability(args: argparse.Namespace, registry, tracer,
+                         sampler=None) -> None:
     if registry is not None:
         registry.write_json(args.metrics_out)
         print(f"metrics -> {args.metrics_out}")
     if tracer is not None:
         tracer.export_jsonl(args.trace_out)
         print(f"trace -> {args.trace_out}")
+    if sampler is not None:
+        sampler.export(args.timeseries_out)
+        print(f"timeseries -> {args.timeseries_out}")
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -79,6 +88,17 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write a sim-time JSONL trace here")
+    parser.add_argument(
+        "--timeseries-out", default=None, metavar="PATH",
+        help="write a repro.obs.timeseries/v1 trajectory artifact here "
+             "(.csv for long-format CSV, anything else for JSONL)")
+    from repro.obs.timeseries import DEFAULT_CADENCE
+    parser.add_argument(
+        "--timeseries-cadence", type=float, default=DEFAULT_CADENCE,
+        metavar="T",
+        help="minimum simulated time between timeseries samples "
+             f"(default {DEFAULT_CADENCE:g} — a monthly SMART pull on "
+             "the fleet's day axis; 0 samples every step)")
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -99,7 +119,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.sim.fleet import MODES, FleetConfig, simulate_fleet
 
-    registry, tracer = _setup_observability(args)
+    registry, tracer, sampler = _setup_observability(args)
     config = FleetConfig(
         devices=args.devices,
         geometry=FlashGeometry(blocks=args.blocks, fpages_per_block=64),
@@ -122,7 +142,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     rows = [[mode, f"{r.mean_lifetime_days():.0f}"]
             for mode, r in results.items()]
     print(format_table(["mode", "mean lifetime (days)"], rows))
-    _write_observability(args, registry, tracer)
+    _write_observability(args, registry, tracer, sampler)
     return 0
 
 
@@ -260,16 +280,79 @@ def _cmd_health(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.scenarios import load_scenario, run_scenario
 
-    registry, tracer = _setup_observability(args)
+    registry, tracer, sampler = _setup_observability(args)
     document = load_scenario(args.scenario)
     writer = run_scenario(document)
     if registry is not None:
         writer.attach_metrics(registry)
+    if sampler is not None:
+        writer.attach_timeseries(sampler)
     path = writer.write(args.out)
-    _write_observability(args, registry, tracer)
+    _write_observability(args, registry, tracer, sampler)
     print(f"scenario {document['name']!r} ({document['kind']}) -> {path}")
     for name, table in writer.document()["tables"].items():
         print(format_table(table["headers"], table["rows"], title=name))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.analyze import load_trace_jsonl
+    from repro.obs.metrics import validate_metrics_document
+    from repro.obs.timeseries import load_timeseries
+    from repro.reporting.claims import (
+        build_report,
+        format_report,
+        report_failed,
+    )
+    from repro.reporting.export import load_experiment
+
+    metrics_doc = None
+    if args.metrics:
+        path = Path(args.metrics)
+        if not path.exists():
+            raise ConfigError(f"metrics artifact not found: {path}")
+        try:
+            metrics_doc = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"metrics artifact {path} is not valid JSON: "
+                f"{error}") from error
+        validate_metrics_document(metrics_doc)
+    timeseries_doc = (load_timeseries(args.timeseries)
+                      if args.timeseries else None)
+    trace_records = (load_trace_jsonl(args.trace)
+                     if args.trace else None)
+    artifact_doc = (load_experiment(args.artifact)
+                    if args.artifact else None)
+
+    report = build_report(
+        metrics_doc=metrics_doc,
+        timeseries_doc=timeseries_doc,
+        trace_records=trace_records,
+        artifact_doc=artifact_doc,
+        tolerance=args.tolerance,
+    )
+    markdown = format_report(report)
+    if args.markdown:
+        path = Path(args.markdown)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(markdown + "\n")
+        print(f"report (markdown) -> {path}")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True,
+                                   allow_nan=False))
+        print(f"report (json) -> {path}")
+    if not args.markdown and not args.json:
+        print(markdown)
+    if report_failed(report):
+        print("repro report: one or more claims FAILED",
+              file=sys.stderr)
+        return EXIT_CLAIM_FAILED
     return 0
 
 
@@ -345,9 +428,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(run)
     run.set_defaults(func=_cmd_run)
 
+    report = sub.add_parser(
+        "report",
+        help="check the paper's claims against run artifacts "
+             "(exit 1 when a claim fails)")
+    report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="repro.obs.metrics/v1 JSON (from --metrics-out)")
+    report.add_argument(
+        "--timeseries", default=None, metavar="PATH",
+        help="repro.obs.timeseries/v1 JSONL or CSV "
+             "(from --timeseries-out)")
+    report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="sim-time trace JSONL (from --trace-out); adds a trace "
+             "summary to the report")
+    report.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="scenario artifact JSON (from `repro run`); supplies "
+             "lifetime/capacity inputs and any embedded timeseries")
+    report.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the repro.report/v1 JSON document here")
+    report.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="write the markdown report here (default: print it)")
+    report.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="relative tolerance for the claim checks (default 0.10)")
+    report.set_defaults(func=_cmd_report)
+
     return parser
 
 
+#: Exit code when ``repro report`` finds a failed claim — the artifacts
+#: parsed fine but the numbers contradict the paper. Deliberately 1
+#: (the generic "check failed" convention) so CI pipelines distinguish
+#: a disproved claim from a malformed artifact (2) or a crash (3).
+EXIT_CLAIM_FAILED = 1
 #: Exit code for configuration/usage errors (bad flag values, broken
 #: scenario files) — distinguishable from crashes in scripts and CI.
 EXIT_CONFIG_ERROR = 2
@@ -365,7 +483,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     uses_obs = bool(getattr(args, "metrics_out", None)
-                    or getattr(args, "trace_out", None))
+                    or getattr(args, "trace_out", None)
+                    or getattr(args, "timeseries_out", None))
     try:
         return args.func(args)
     except ConfigError as error:

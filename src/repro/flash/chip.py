@@ -252,6 +252,10 @@ class FlashChip:
     def retired_count(self) -> int:
         return int(np.count_nonzero(self._state == _STATE_RETIRED))
 
+    def retired_mask(self) -> np.ndarray:
+        """Boolean per-fPage retirement mask (True = out of service)."""
+        return self._state == _STATE_RETIRED
+
     # -- operations ----------------------------------------------------------
 
     def program(self, fpage: int, payloads: Sequence[bytes],

@@ -44,19 +44,34 @@ from repro.obs.metrics import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    quantile_from_cumulative,
+    quantile_from_sample,
     validate_metrics_document,
 )
 from repro.obs.noop import (
     NULL_METRICS,
+    NULL_TIMESERIES,
     NULL_TRACER,
     NullMetricsRegistry,
+    NullTimeseriesSampler,
     NullTracer,
 )
 from repro.obs.promtext import parse_prometheus_text, render_prometheus
+from repro.obs.smart import SMART_FIELDS, SmartField, smart_field
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    SeriesBuffer,
+    TimeseriesSampler,
+    document_series_names,
+    load_timeseries,
+    series_from_document,
+    validate_timeseries_document,
+)
 from repro.obs.trace import EventRecord, SimTimeTracer, SpanRecord
 
 _metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
 _tracer: SimTimeTracer | NullTracer = NULL_TRACER
+_timeseries: TimeseriesSampler | NullTimeseriesSampler = NULL_TIMESERIES
 
 
 def metrics() -> MetricsRegistry | NullMetricsRegistry:
@@ -69,12 +84,21 @@ def tracer() -> SimTimeTracer | NullTracer:
     return _tracer
 
 
+def timeseries() -> TimeseriesSampler | NullTimeseriesSampler:
+    """The active periodic sampler (no-op unless enabled)."""
+    return _timeseries
+
+
 def metrics_enabled() -> bool:
     return _metrics is not NULL_METRICS
 
 
 def tracing_enabled() -> bool:
     return _tracer is not NULL_TRACER
+
+
+def timeseries_enabled() -> bool:
+    return _timeseries is not NULL_TIMESERIES
 
 
 def enable_metrics(registry: MetricsRegistry | None = None,
@@ -100,29 +124,64 @@ def enable_tracing(trace: SimTimeTracer | None = None,
     return trace
 
 
+def enable_timeseries(sampler: TimeseriesSampler | None = None,
+                      cadence: float = 0.0,
+                      capacity: int | None = None,
+                      registry: MetricsRegistry | None = None,
+                      ) -> TimeseriesSampler:
+    """Install ``sampler`` (or a fresh one) as the active sampler.
+
+    A fresh sampler snapshots ``registry`` — defaulting to the active
+    metrics registry when metrics are enabled — plus any probes the
+    instrumented layers register. Like the other singletons, enable it
+    *before* the simulation starts so every step is offered for
+    sampling.
+    """
+    global _timeseries
+    if sampler is None:
+        if timeseries_enabled():
+            sampler = _timeseries
+        else:
+            if registry is None and metrics_enabled():
+                registry = _metrics
+            kwargs = {} if capacity is None else {"capacity": capacity}
+            sampler = TimeseriesSampler(registry=registry, cadence=cadence,
+                                        **kwargs)
+    _timeseries = sampler
+    return sampler
+
+
 def disable() -> None:
-    """Return both singletons to their no-op defaults."""
-    global _metrics, _tracer
+    """Return every singleton to its no-op default."""
+    global _metrics, _tracer, _timeseries
     _metrics = NULL_METRICS
     _tracer = NULL_TRACER
+    _timeseries = NULL_TIMESERIES
 
 
 @contextmanager
 def enabled(metrics_registry: MetricsRegistry | None = None,
-            trace: SimTimeTracer | None = None, clock=None):
+            trace: SimTimeTracer | None = None, clock=None,
+            timeseries_sampler: TimeseriesSampler | None = None):
     """Scope-enable observability; restores the previous state on exit.
 
     Yields ``(registry, tracer)``. Used by tests and short harness
-    sections that should not leak global state.
+    sections that should not leak global state. Pass
+    ``timeseries_sampler`` to additionally install a periodic sampler
+    for the scope (off by default to keep existing callers unchanged).
     """
-    global _metrics, _tracer
-    previous = (_metrics, _tracer)
+    global _metrics, _tracer, _timeseries
+    previous = (_metrics, _tracer, _timeseries)
     try:
         registry = enable_metrics(metrics_registry or MetricsRegistry())
         span_tracer = enable_tracing(trace or SimTimeTracer(), clock=clock)
+        if timeseries_sampler is not None:
+            if timeseries_sampler.registry is None:
+                timeseries_sampler.registry = registry
+            enable_timeseries(timeseries_sampler)
         yield registry, span_tracer
     finally:
-        _metrics, _tracer = previous
+        _metrics, _tracer, _timeseries = previous
 
 
 __all__ = [
@@ -135,18 +194,34 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "NullTimeseriesSampler",
     "NullTracer",
+    "SMART_FIELDS",
+    "SeriesBuffer",
     "SimTimeTracer",
+    "SmartField",
     "SpanRecord",
+    "TIMESERIES_SCHEMA",
+    "TimeseriesSampler",
     "disable",
+    "document_series_names",
     "enable_metrics",
+    "enable_timeseries",
     "enable_tracing",
     "enabled",
+    "load_timeseries",
     "metrics",
     "metrics_enabled",
     "parse_prometheus_text",
+    "quantile_from_cumulative",
+    "quantile_from_sample",
     "render_prometheus",
+    "series_from_document",
+    "smart_field",
+    "timeseries",
+    "timeseries_enabled",
     "tracer",
     "tracing_enabled",
     "validate_metrics_document",
+    "validate_timeseries_document",
 ]

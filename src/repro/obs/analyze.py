@@ -1,0 +1,230 @@
+"""Trace analytics: aggregate span JSONL into duration stats.
+
+The sim-time tracer (:mod:`repro.obs.trace`) writes raw spans/events;
+an operator asking "where did the simulated time go?" wants the
+aggregate view: per-name duration distributions (p50/p95/p99 over the
+*simulated* clock), event counts, and the critical path — the chain of
+nested spans that dominates the longest root span. This module
+produces that summary (``repro.obs.trace_summary/v1``) from either a
+JSONL artifact or live tracer records; ``repro report`` embeds it.
+
+Percentiles here are *exact* (linear interpolation over the sorted raw
+durations), unlike the bucket-resolution estimates the metrics
+histograms give — the trace has the raw samples, so use them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigError
+from repro.obs.trace import EventRecord, SpanRecord
+
+#: Version tag stamped into every trace summary document.
+TRACE_SUMMARY_SCHEMA = "repro.obs.trace_summary/v1"
+
+
+def load_trace_jsonl(path: str | Path) -> list[dict]:
+    """Read a trace JSONL artifact into record dicts.
+
+    Raises :class:`~repro.errors.ConfigError` on missing files or
+    corrupt lines — ``repro report`` maps that to exit code 2.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"trace artifact not found: {path}")
+    records = []
+    for line_number, line in enumerate(path.read_text().splitlines(),
+                                       start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"trace artifact {path}:{line_number} is not valid "
+                f"JSON: {error}") from error
+        if not isinstance(record, dict) or "kind" not in record \
+                or "name" not in record or "time" not in record:
+            raise ConfigError(
+                f"trace artifact {path}:{line_number} is not a trace "
+                f"record: {line[:80]!r}")
+        records.append(record)
+    return records
+
+
+def _as_dicts(records: Iterable) -> list[dict]:
+    out = []
+    for record in records:
+        if isinstance(record, (SpanRecord, EventRecord)):
+            out.append(record.to_json())
+        elif isinstance(record, Mapping):
+            out.append(dict(record))
+        else:
+            raise ConfigError(
+                f"cannot analyze trace record of type "
+                f"{type(record).__name__}")
+    return out
+
+
+def interpolated_percentile(sorted_values: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile (``q`` in [0, 100])."""
+    if not 0 <= q <= 100:
+        raise ConfigError(f"q must be in [0, 100], got {q!r}")
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = (len(sorted_values) - 1) * q / 100.0
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (sorted_values[low] * (1.0 - fraction)
+            + sorted_values[high] * fraction)
+
+
+def span_stats(records: Iterable) -> dict[str, dict]:
+    """Per-name span duration statistics.
+
+    Returns ``{name: {count, total, mean, min, max, p50, p95, p99}}``
+    over *simulated* durations (``end_time - time``).
+    """
+    durations: dict[str, list[float]] = {}
+    for record in _as_dicts(records):
+        if record.get("kind") != "span":
+            continue
+        duration = float(record.get("end_time", record["time"])) \
+            - float(record["time"])
+        durations.setdefault(record["name"], []).append(duration)
+    out = {}
+    for name, values in sorted(durations.items()):
+        values.sort()
+        total = sum(values)
+        out[name] = {
+            "count": len(values),
+            "total": total,
+            "mean": total / len(values),
+            "min": values[0],
+            "max": values[-1],
+            "p50": interpolated_percentile(values, 50),
+            "p95": interpolated_percentile(values, 95),
+            "p99": interpolated_percentile(values, 99),
+        }
+    return out
+
+
+def event_counts(records: Iterable) -> dict[str, int]:
+    """Point-event occurrence counts by name."""
+    counts: dict[str, int] = {}
+    for record in _as_dicts(records):
+        if record.get("kind") == "event":
+            counts[record["name"]] = counts.get(record["name"], 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def critical_path(records: Iterable) -> list[dict]:
+    """The dominant nested-span chain under the longest root span.
+
+    Starting from the longest root (parentless) span, repeatedly
+    descend into the longest child. Each step reports the span's name,
+    duration and *self time* (duration minus its children's total) —
+    the classic "where was the time actually spent" decomposition.
+    """
+    spans = [r for r in _as_dicts(records) if r.get("kind") == "span"]
+    if not spans:
+        return []
+    by_id = {s.get("span_id"): s for s in spans if s.get("span_id")
+             is not None}
+    children: dict[int | None, list[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (parent evicted from the ring)
+        children.setdefault(parent, []).append(span)
+
+    def duration(span: dict) -> float:
+        return (float(span.get("end_time", span["time"]))
+                - float(span["time"]))
+
+    path: list[dict] = []
+    node = max(children.get(None, []), key=duration, default=None)
+    depth = 0
+    while node is not None:
+        kids = children.get(node.get("span_id"), [])
+        child_total = sum(duration(k) for k in kids)
+        path.append({
+            "depth": depth,
+            "name": node["name"],
+            "start": float(node["time"]),
+            "duration": duration(node),
+            "self_time": max(0.0, duration(node) - child_total),
+        })
+        node = max(kids, key=duration, default=None)
+        depth += 1
+    return path
+
+
+def analyze_trace(records: Iterable) -> dict:
+    """Full trace summary (``repro.obs.trace_summary/v1``).
+
+    ``records`` may be live :meth:`SimTimeTracer.records` output or
+    dicts loaded via :func:`load_trace_jsonl`.
+    """
+    dicts = _as_dicts(records)
+    spans = [r for r in dicts if r.get("kind") == "span"]
+    events = [r for r in dicts if r.get("kind") == "event"]
+    times = [float(r["time"]) for r in dicts]
+    ends = [float(r.get("end_time", r["time"])) for r in dicts]
+    return {
+        "schema": TRACE_SUMMARY_SCHEMA,
+        "record_count": len(dicts),
+        "span_count": len(spans),
+        "event_count": len(events),
+        "time_range": ([min(times), max(ends)] if dicts else [0.0, 0.0]),
+        "spans": span_stats(dicts),
+        "events": event_counts(dicts),
+        "critical_path": critical_path(dicts),
+    }
+
+
+def format_trace_summary(summary: dict) -> str:
+    """Render a trace summary as a markdown fragment."""
+    lines = [
+        "### Trace summary",
+        "",
+        f"- records: {summary['record_count']} "
+        f"({summary['span_count']} spans, "
+        f"{summary['event_count']} events)",
+        f"- sim-time range: [{summary['time_range'][0]:g}, "
+        f"{summary['time_range'][1]:g}]",
+        "",
+    ]
+    if summary["spans"]:
+        lines += [
+            "| span | count | total | mean | p50 | p95 | p99 |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for name, stats in summary["spans"].items():
+            lines.append(
+                f"| `{name}` | {stats['count']} | {stats['total']:g} "
+                f"| {stats['mean']:g} | {stats['p50']:g} "
+                f"| {stats['p95']:g} | {stats['p99']:g} |")
+        lines.append("")
+    if summary["events"]:
+        lines += ["| event | count |", "|---|---|"]
+        for name, count in summary["events"].items():
+            lines.append(f"| `{name}` | {count} |")
+        lines.append("")
+    if summary["critical_path"]:
+        lines.append("Critical path (longest root, descending into the "
+                     "longest child):")
+        lines.append("")
+        for step in summary["critical_path"]:
+            indent = "  " * step["depth"]
+            lines.append(
+                f"- {indent}`{step['name']}` duration {step['duration']:g} "
+                f"(self {step['self_time']:g})")
+        lines.append("")
+    return "\n".join(lines)

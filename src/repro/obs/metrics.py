@@ -139,9 +139,71 @@ class Histogram:
                 return bound
         return self.bounds[-1] if self.bounds else math.inf
 
+    def quantile(self, q: float) -> float:
+        """Linearly interpolated quantile estimate (``q`` in [0, 1]).
+
+        PromQL ``histogram_quantile`` semantics: the q-th observation
+        is located in its bucket by cumulative rank, then linearly
+        interpolated between the bucket's bounds (lower bound 0 for
+        the first bucket). Overflow observations clamp to the last
+        finite bound. 0.0 when empty.
+        """
+        return quantile_from_cumulative(self.cumulative_buckets(), q)
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+
+def quantile_from_cumulative(buckets: Sequence[tuple[float, int]],
+                             q: float) -> float:
+    """Interpolated quantile over cumulative ``(le, count)`` pairs.
+
+    The shared estimator behind :meth:`Histogram.quantile`,
+    :func:`quantile_from_sample` and the ``repro report``/benchmark
+    digests — one implementation instead of ad-hoc recomputations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"q must be in [0, 1], got {q!r}")
+    if not buckets:
+        raise ConfigError("need at least one bucket")
+    total = buckets[-1][1]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    lower_bound = 0.0
+    lower_count = 0
+    for le, cumulative in buckets:
+        if cumulative >= rank:
+            if math.isinf(le):
+                # Overflow bucket: clamp to the last finite bound.
+                return lower_bound
+            in_bucket = cumulative - lower_count
+            if in_bucket <= 0:
+                return le
+            fraction = (rank - lower_count) / in_bucket
+            return lower_bound + fraction * (le - lower_bound)
+        lower_bound = le if not math.isinf(le) else lower_bound
+        lower_count = cumulative
+    return lower_bound
+
+
+def quantile_from_sample(sample: Mapping, q: float) -> float:
+    """Interpolated quantile from one exported histogram sample dict.
+
+    ``sample`` is an entry of a ``repro.obs.metrics/v1`` histogram's
+    ``samples`` list (cumulative ``buckets`` with ``"+Inf"`` encoded
+    as a string).
+    """
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        raise ConfigError("sample has no 'buckets' list")
+    pairs = [
+        (math.inf if bucket.get("le") == "+Inf" else float(bucket["le"]),
+         int(bucket["count"]))
+        for bucket in buckets
+    ]
+    return quantile_from_cumulative(pairs, q)
 
 
 _CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -235,6 +297,9 @@ class MetricFamily:
 
     def observe(self, value: float) -> None:
         self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._default_child().quantile(q)
 
     @property
     def value(self) -> float:

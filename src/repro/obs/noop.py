@@ -36,6 +36,9 @@ class NullChild:
     def observe(self, value: float) -> None:
         pass
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     @property
     def value(self) -> float:
         return 0.0
@@ -152,8 +155,88 @@ class NullTracer:
         pass
 
 
+class NullProbeHandle:
+    """Handle returned by the null sampler's ``add_probe``."""
+
+    __slots__ = ()
+
+    def remove(self) -> None:
+        pass
+
+
+class NullTimeseriesSampler:
+    """Timeseries stand-in: samples and records vanish."""
+
+    __slots__ = ()
+    cadence = 0.0
+    capacity = 0
+    samples_taken = 0
+    registry = None
+
+    def add_probe(self, name, fn, labels=None, unit=None):
+        return NULL_PROBE
+
+    def record(self, name, t, value, labels=None, unit=None,
+               kind="gauge") -> None:
+        pass
+
+    def due(self, t: float) -> bool:
+        return False
+
+    def maybe_sample(self, t: float) -> bool:
+        return False
+
+    def sample(self, t: float) -> None:
+        pass
+
+    def series_names(self) -> list:
+        return []
+
+    def get_series(self, name, labels=None):
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        from repro.obs.timeseries import TIMESERIES_SCHEMA
+
+        return {"schema": TIMESERIES_SCHEMA, "cadence": 0.0,
+                "capacity": 0, "samples_taken": 0, "series": []}
+
+    def _export_empty(self, path):
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), sort_keys=True) + "\n")
+        return path
+
+    def export_jsonl(self, path):
+        return self._export_empty(path)
+
+    def export_csv(self, path):
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("name,labels,unit,kind,t,value\n")
+        return path
+
+    def export(self, path):
+        if str(path).endswith(".csv"):
+            return self.export_csv(path)
+        return self.export_jsonl(path)
+
+
 NULL_CHILD = NullChild()
 NULL_FAMILY = NullFamily()
 NULL_METRICS = NullMetricsRegistry()
 NULL_SPAN = NullSpan()
 NULL_TRACER = NullTracer()
+NULL_PROBE = NullProbeHandle()
+NULL_TIMESERIES = NullTimeseriesSampler()

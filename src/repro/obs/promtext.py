@@ -93,18 +93,36 @@ def render_prometheus(document: dict) -> str:
 
 
 def _parse_labels(block: str) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label block.
+
+    Tolerates the trailing comma the exposition format permits
+    (``{a="1",}``) and raises :class:`~repro.errors.ConfigError` —
+    never a bare ``ValueError``/``IndexError`` — on malformed input
+    (missing ``=``, unquoted or unterminated values, empty names).
+    """
     labels: dict[str, str] = {}
     i = 0
-    while i < len(block):
-        eq = block.index("=", i)
-        name = block[i:eq].strip().strip(",")
-        if block[eq + 1] != '"':
+    n = len(block)
+    while i < n:
+        # Skip separators; a trailing comma is legal, so running off
+        # the end here just finishes the block.
+        while i < n and block[i] in ", \t":
+            i += 1
+        if i >= n:
+            break
+        eq = block.find("=", i)
+        if eq < 0:
+            raise ConfigError(f"malformed label block {block!r}")
+        name = block[i:eq].strip()
+        if not name:
+            raise ConfigError(f"empty label name in {block!r}")
+        if eq + 1 >= n or block[eq + 1] != '"':
             raise ConfigError(f"malformed label block {block!r}")
         j = eq + 2
         raw = []
-        while j < len(block):
+        while j < n:
             ch = block[j]
-            if ch == "\\":
+            if ch == "\\" and j + 1 < n:
                 raw.append(block[j:j + 2])
                 j += 2
                 continue
@@ -158,6 +176,9 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
             continue
         if "{" in line:
             name, rest = line.split("{", 1)
+            if "}" not in rest:
+                raise ConfigError(
+                    f"line {line_number}: missing '}}' in {line!r}")
             block, value_text = rest.rsplit("}", 1)
             labels = _parse_labels(block)
         else:

@@ -1,0 +1,87 @@
+"""The SMART field catalog: one vocabulary for device health telemetry.
+
+Production flash studies (Meza et al.'s field study, Maneas et al.'s
+NetApp study — see PAPERS.md) mine *periodically sampled* SMART
+counters: age, cumulative writes, grown bad blocks, wear percentiles.
+This module is the single definition of those field names so every
+producer — :mod:`repro.health.telemetry` (baseline SSD populations),
+:meth:`repro.salamander.device.SalamanderSSD.smart_sample` (functional
+devices) and the fleet simulator's per-mode aggregates — emits the same
+series names into :mod:`repro.obs.timeseries` buffers, and so the
+``repro report`` claim checker can consume any of them
+interchangeably.
+
+Field names follow the metric-name conventions of
+docs/OBSERVABILITY.md (``repro_smart_*``); the catalog carries the
+unit and help text used when the fields are exported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SmartField:
+    """One SMART-style health field (name, unit, semantics)."""
+
+    name: str
+    unit: str
+    help: str
+    kind: str = "gauge"  # "gauge" | "counter" (monotone over a device life)
+
+
+_FIELDS = (
+    SmartField("repro_smart_age_days", "days",
+               "Device age at the sample", kind="counter"),
+    SmartField("repro_smart_host_writes_bytes", "bytes",
+               "Cumulative host writes absorbed", kind="counter"),
+    SmartField("repro_smart_bad_blocks", "blocks",
+               "Grown bad (retired) blocks", kind="counter"),
+    SmartField("repro_smart_bad_block_fraction", "ratio",
+               "Grown bad blocks over total blocks", kind="counter"),
+    SmartField("repro_smart_mean_pec", "cycles",
+               "Mean program/erase cycles across in-service pages"),
+    SmartField("repro_smart_max_pec", "cycles",
+               "Worst-page program/erase cycles"),
+    SmartField("repro_smart_wear_percentile", "cycles",
+               "P/E cycles at a wear percentile across the population "
+               "(labelled q=50|95)"),
+    SmartField("repro_smart_rber", "ratio",
+               "Raw bit error rate estimate (median page)"),
+    SmartField("repro_smart_level_fpages", "fpages",
+               "fPages currently at each tiredness level "
+               "(labelled level=0..4); the paper's L0..L4 histogram"),
+    SmartField("repro_smart_retired_fpages", "fpages",
+               "fPages permanently out of service", kind="counter"),
+    SmartField("repro_smart_retired_minidisks", "minidisks",
+               "mDisks decommissioned so far", kind="counter"),
+    SmartField("repro_smart_regenerated_minidisks", "minidisks",
+               "mDisks minted from limbo so far (RegenS)", kind="counter"),
+    SmartField("repro_smart_advertised_bytes", "bytes",
+               "Host-visible capacity at the sample"),
+    SmartField("repro_smart_limbo_fpages", "fpages",
+               "fPages parked in limbo awaiting revival"),
+)
+
+#: The catalog, keyed by field name. Treat as read-only; the names are
+#: part of the ``repro.obs.timeseries/v1`` contract documented in
+#: docs/OBSERVABILITY.md.
+SMART_FIELDS: dict[str, SmartField] = {f.name: f for f in _FIELDS}
+
+
+def smart_field(name: str) -> SmartField:
+    """Look up a catalog entry; unknown names fail loudly."""
+    try:
+        return SMART_FIELDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown SMART field {name!r}; the catalog defines "
+            f"{sorted(SMART_FIELDS)}") from None
+
+
+def is_smart_series(name: str) -> bool:
+    """True when ``name`` belongs to the SMART catalog."""
+    return name in SMART_FIELDS

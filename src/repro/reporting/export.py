@@ -87,6 +87,7 @@ class ExperimentWriter:
         self._tables: dict[str, dict] = {}
         self._series: dict[str, dict] = {}
         self._metrics = None
+        self._timeseries = None
 
     def attach_metrics(self, registry) -> None:
         """Embed a metrics registry's document in the artifact.
@@ -96,6 +97,17 @@ class ExperimentWriter:
         :meth:`document` time, so late samples are included).
         """
         self._metrics = registry
+
+    def attach_timeseries(self, sampler) -> None:
+        """Embed a timeseries sampler's document in the artifact.
+
+        ``sampler`` is anything with a ``to_dict()`` returning the
+        ``repro.obs.timeseries/v1`` document (snapshotted lazily at
+        :meth:`document` time). ``repro report`` reads the embedded
+        document via ``--artifact`` exactly as it reads a standalone
+        ``--timeseries`` file.
+        """
+        self._timeseries = sampler
 
     def add_table(self, name: str, headers: list[str],
                   rows: list[list]) -> None:
@@ -128,6 +140,8 @@ class ExperimentWriter:
         }
         if self._metrics is not None:
             document["metrics"] = _jsonable(self._metrics.to_dict())
+        if self._timeseries is not None:
+            document["timeseries"] = _jsonable(self._timeseries.to_dict())
         return document
 
     def write(self, directory: str | Path) -> Path:
@@ -141,8 +155,20 @@ class ExperimentWriter:
 
 
 def load_experiment(path: str | Path) -> dict:
-    """Read back an artifact; validates the schema's top-level shape."""
-    document = json.loads(Path(path).read_text())
+    """Read back an artifact; validates the schema's top-level shape.
+
+    Raises :class:`~repro.errors.ConfigError` on missing files and
+    corrupt JSON so consumers (``repro report``) map the condition to
+    exit code 2 rather than an unexpected-error traceback.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"artifact not found: {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigError(
+            f"artifact {path} is not valid JSON: {error}") from error
     for key in ("experiment", "meta", "tables", "series"):
         if key not in document:
             raise ConfigError(f"artifact {path} missing key {key!r}")

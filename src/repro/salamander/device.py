@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import obs
 from repro.obs.instruments import salamander_instruments
+from repro.obs.smart import smart_field
 
 from repro.errors import (
     ConfigError,
@@ -559,6 +560,71 @@ class SalamanderSSD(PageMappedFTL):
             "created_seq": m.created_seq,
             "decommissioned_seq": m.decommissioned_seq,
         } for m in self.minidisks]
+
+    def smart_sample(self) -> dict:
+        """SMART-style health snapshot keyed by the shared catalog names.
+
+        Scalar fields map ``name -> value``; ``repro_smart_level_fpages``
+        maps level label to in-service fPage count (the paper's L0..L4
+        histogram). The vocabulary comes from :mod:`repro.obs.smart`, so
+        functional devices, the fleet model and baseline telemetry
+        populations emit directly comparable series — feed the result to
+        a sampler via :meth:`record_smart`.
+        """
+        chip = self.chip
+        pec = chip.pec_array()
+        levels = chip.level_array()
+        in_service = ~chip.retired_mask()
+        level_counts = {
+            str(k): float(np.count_nonzero(levels[in_service] == k))
+            for k in self.policy.usable_levels}
+        if in_service.any():
+            mean_pec = float(pec[in_service].mean())
+            median_pec = float(np.median(pec[in_service]))
+        else:
+            mean_pec = median_pec = 0.0
+        return {
+            "repro_smart_host_writes_bytes": float(
+                self.stats.host_writes * self.geometry.opage_bytes),
+            "repro_smart_mean_pec": mean_pec,
+            "repro_smart_max_pec": float(pec.max()) if pec.size else 0.0,
+            # Median-page estimate: the wear curve at the median PEC
+            # (per-page variation and disturb effects average out).
+            "repro_smart_rber": float(chip.rber_model.rber(median_pec)),
+            "repro_smart_level_fpages": level_counts,
+            "repro_smart_retired_fpages": float(chip.retired_count()),
+            "repro_smart_retired_minidisks": float(
+                self.stats.decommissioned_minidisks),
+            "repro_smart_regenerated_minidisks": float(
+                self.stats.regenerated_minidisks),
+            "repro_smart_advertised_bytes": float(self.advertised_bytes),
+            "repro_smart_limbo_fpages": float(len(self.limbo)),
+        }
+
+    def record_smart(self, t: float, sampler=None,
+                     labels: dict[str, str] | None = None) -> None:
+        """Record :meth:`smart_sample` into a timeseries sampler.
+
+        Defaults to the active :func:`repro.obs.timeseries` sampler;
+        no-ops when timeseries collection is disabled. Series are
+        labelled ``device=<obs_name>`` plus any extra ``labels``.
+        """
+        if sampler is None:
+            sampler = (obs.timeseries()
+                       if obs.timeseries_enabled() else None)
+        if sampler is None:
+            return
+        base = {"device": self.obs_name, **(labels or {})}
+        for name, value in self.smart_sample().items():
+            meta = smart_field(name)
+            if isinstance(value, dict):
+                for level, count in value.items():
+                    sampler.record(name, t, count,
+                                   labels={**base, "level": level},
+                                   unit=meta.unit, kind=meta.kind)
+            else:
+                sampler.record(name, t, value, labels=base,
+                               unit=meta.unit, kind=meta.kind)
 
     def report(self) -> dict[str, float]:
         """Health/state summary used by examples and the fleet harness."""

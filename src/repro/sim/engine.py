@@ -12,6 +12,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.obs.instruments import engine_instruments
 from repro.sim.clock import SimClock
@@ -44,6 +45,9 @@ class Engine:
         self._seq = 0
         self._live = 0
         self._instr = engine_instruments()
+        # Bound once at construction, like every instrumentation site:
+        # with timeseries disabled the per-event cost is one `is None`.
+        self._ts = obs.timeseries() if obs.timeseries_enabled() else None
 
     def __len__(self) -> int:
         """Live (scheduled, not cancelled) events — O(1)."""
@@ -112,6 +116,10 @@ class Engine:
             self.clock.advance_to(event.time)
             self._instr.events_executed.inc()
             self._instr.queue_depth.set(self._live)
+            if self._ts is not None:
+                # Offer this instant to the periodic sampler; its
+                # cadence gate decides whether a snapshot is taken.
+                self._ts.maybe_sample(self.clock.now)
             event.callback()
             return True
         return False

@@ -35,6 +35,7 @@ import numpy as np
 from repro import obs
 from repro.errors import ConfigError
 from repro.obs.instruments import fleet_instruments
+from repro.obs.smart import smart_field
 from repro.flash.geometry import FlashGeometry
 from repro.flash.rber import RBERModel, lognormal_page_variation
 from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
@@ -192,6 +193,24 @@ def _count_below(sorted_values: np.ndarray, threshold: float) -> int:
     return int(np.searchsorted(sorted_values, threshold, side="right"))
 
 
+def _percentile_sorted(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending list (q in [0, 1]).
+
+    Pure Python on purpose: the fleet census calls this on a handful of
+    per-device wear scalars per sample, where ``np.percentile``'s fixed
+    dispatch overhead (~100us) would dominate the sampling budget.
+    """
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    position = (len(values) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(values) - 1)
+    fraction = position - low
+    return values[low] * (1.0 - fraction) + values[high] * fraction
+
+
 def simulate_fleet(config: FleetConfig, mode: str,
                    seed: int | np.random.Generator | None = None,
                    rber_model: RBERModel | None = None) -> FleetResult:
@@ -208,6 +227,7 @@ def simulate_fleet(config: FleetConfig, mode: str,
     # ``is None`` check (the 5% overhead budget in docs/OBSERVABILITY.md).
     instr = fleet_instruments(mode) if obs.metrics_enabled() else None
     tracer = obs.tracer() if obs.tracing_enabled() else None
+    sampler = obs.timeseries() if obs.timeseries_enabled() else None
     day_now = [0.0]
     if tracer is not None:
         # The fleet model is the time authority here: stamp trace records
@@ -240,19 +260,42 @@ def simulate_fleet(config: FleetConfig, mode: str,
     original_daily_bytes = config.dwpd * adv0_bytes
     step_failure_prob = 1.0 - (1.0 - config.afr)**(config.step_days / 365.0)
 
-    def advertised_bytes(dev: _DeviceState) -> float:
-        """Current advertised capacity under ``mode`` at the device's wear."""
+    def advertised_bytes(dev: _DeviceState,
+                         census: list[int] | None = None) -> float:
+        """Current advertised capacity under ``mode`` at the device's wear.
+
+        When ``census`` is given (only on timeseries sample steps) its
+        slots are *overwritten* with this device's per-level alive fPage
+        counts — ``census[k]`` pages at tiredness level ``k``, the last
+        slot out-of-service — reusing the searchsorted results this
+        function computes anyway, so SMART sampling costs ~nothing extra
+        on shrink/regen and one extra page-level count on
+        baseline/cvss.
+        """
+        total_pages = dev.sorted_pages.size
         rber = float(model.rber(dev.wear))
         if rber <= 0:
+            if census is not None:
+                for i in range(len(census)):
+                    census[i] = 0
+                census[0] = total_pages
             return adv0_bytes
         per_fpage = geometry.opages_per_fpage
         if mode == "baseline":
+            if census is not None:
+                live = _count_below(dev.sorted_pages, level_rber[0] / rber)
+                census[0] = live
+                census[1] = total_pages - live
             weak = geometry.blocks - _count_below(
                 dev.sorted_block_max, level_rber[0] / rber)
             if weak / geometry.blocks > config.brick_threshold:
                 return 0.0
             return adv0_bytes
         if mode == "cvss":
+            if census is not None:
+                live = _count_below(dev.sorted_pages, level_rber[0] / rber)
+                census[0] = live
+                census[1] = total_pages - live
             block_factors = (dev.sorted_block_max
                              if config.cvss_rule == "first-page"
                              else dev.sorted_block_mean)
@@ -261,6 +304,9 @@ def simulate_fleet(config: FleetConfig, mode: str,
             return slots * opage_bytes / (1.0 + config.headroom_fraction)
         if mode == "shrink":
             live_pages = _count_below(dev.sorted_pages, level_rber[0] / rber)
+            if census is not None:
+                census[0] = live_pages
+                census[1] = total_pages - live_pages
             return (live_pages * per_fpage * opage_bytes
                     / (1.0 + config.headroom_fraction))
         # regen: pages at level k contribute (P - k) oPage slots.
@@ -269,8 +315,12 @@ def simulate_fleet(config: FleetConfig, mode: str,
         for k in range(min(config.regen_max_level,
                            policy.dead_level - 1) + 1):
             alive_k = _count_below(dev.sorted_pages, level_rber[k] / rber)
+            if census is not None:
+                census[k] = alive_k - alive_below
             slots += (per_fpage - k) * (alive_k - alive_below)
             alive_below = alive_k
+        if census is not None:
+            census[-1] = total_pages - alive_below
         return slots * opage_bytes / (1.0 + config.headroom_fraction)
 
     def in_service_raw_bytes(adv: float) -> float:
@@ -290,54 +340,144 @@ def simulate_fleet(config: FleetConfig, mode: str,
     lost = np.zeros(steps)
     previous_capacity = adv0_bytes * config.devices
 
-    for step in range(steps):
-        step_start = _time.perf_counter() if instr is not None else 0.0
-        day = (step + 1) * config.step_days
-        day_now[0] = float(day)
-        afr_draws = afr_rng.random(config.devices)
-        total_capacity = 0.0
-        alive_count = 0
-        for index, dev in enumerate(devices):
-            if not dev.alive:
-                continue
-            if afr_draws[index] < step_failure_prob:
-                dev.alive = False
-                dev.death_day = day
-                if instr is not None:
-                    instr.device_deaths.labels(mode=mode, cause="afr").inc()
-                if tracer is not None:
-                    tracer.event("fleet.device_death", mode=mode,
-                                 device=index, day=day, cause="afr")
-                continue
-            adv = advertised_bytes(dev)
-            if adv <= floor_bytes() or adv <= 0.0:
-                dev.alive = False
-                dev.death_day = day
-                if instr is not None:
-                    instr.device_deaths.labels(mode=mode, cause="wear").inc()
-                if tracer is not None:
-                    tracer.event("fleet.device_death", mode=mode,
-                                 device=index, day=day, cause="wear")
-                continue
-            # Advance wear through this step at the current live capacity.
-            raw = in_service_raw_bytes(adv)
-            written = (config.step_days * original_daily_bytes
-                       * load_factors[index])
-            dev.wear += written * config.write_amplification / raw
-            alive_count += 1
-            total_capacity += adv
-        days[step] = day
-        functioning[step] = alive_count
-        capacity[step] = total_capacity
-        lost[step] = max(0.0, previous_capacity - total_capacity)
-        previous_capacity = total_capacity
-        if instr is not None:
-            instr.step_duration.observe(_time.perf_counter() - step_start)
-            instr.devices_functioning.set(alive_count)
-            instr.capacity_bytes.set(total_capacity)
-            instr.capacity_lost_bytes.inc(float(lost[step]))
+    # Timeseries probes: fleet aggregates plus population SMART health,
+    # labelled by mode so per-mode runs sharing one sampler stay distinct.
+    # Probes read ``smart_state``, which the step loop fills only on
+    # steps the sampler's cadence gate will actually sample
+    # (``sampler.due``) — the census piggybacks on the searchsorted
+    # calls ``advertised_bytes`` makes anyway, so sampling at the
+    # default cadence costs a few percent, and non-sample steps pay one
+    # ``due()`` call.
+    probe_handles: list = []
+    reuse_ceiling = (min(config.regen_max_level, policy.dead_level - 1)
+                     if mode == "regen" else 0)
+    smart_state: dict[str, float] = {}
+    if sampler is not None:
+        mode_labels = {"mode": mode}
+        smart_state = {"functioning": 0.0, "capacity": 0.0, "lost": 0.0,
+                       "p50": 0.0, "p95": 0.0, "rber": 0.0, "retired": 0.0}
+        for k in range(reuse_ceiling + 1):
+            smart_state[f"level_{k}"] = 0.0
 
-    return FleetResult(
+        def _state_probe(key: str):
+            return lambda: smart_state[key]
+
+        probe_handles.append(sampler.add_probe(
+            "repro_fleet_devices_functioning",
+            _state_probe("functioning"),
+            labels=mode_labels, unit="devices"))
+        probe_handles.append(sampler.add_probe(
+            "repro_fleet_capacity_bytes", _state_probe("capacity"),
+            labels=mode_labels, unit="bytes"))
+        probe_handles.append(sampler.add_probe(
+            "repro_fleet_capacity_lost_step_bytes", _state_probe("lost"),
+            labels=mode_labels, unit="bytes"))
+        wear_field = smart_field("repro_smart_wear_percentile")
+        for q in ("50", "95"):
+            probe_handles.append(sampler.add_probe(
+                wear_field.name, _state_probe(f"p{q}"),
+                labels={**mode_labels, "q": q}, unit=wear_field.unit))
+        rber_field = smart_field("repro_smart_rber")
+        probe_handles.append(sampler.add_probe(
+            rber_field.name, _state_probe("rber"),
+            labels=mode_labels, unit=rber_field.unit))
+        level_field = smart_field("repro_smart_level_fpages")
+        for k in range(reuse_ceiling + 1):
+            probe_handles.append(sampler.add_probe(
+                level_field.name, _state_probe(f"level_{k}"),
+                labels={**mode_labels, "level": str(k)},
+                unit=level_field.unit))
+        retired_field = smart_field("repro_smart_retired_fpages")
+        probe_handles.append(sampler.add_probe(
+            retired_field.name, _state_probe("retired"),
+            labels=mode_labels, unit=retired_field.unit))
+
+    census_scratch = [0] * (reuse_ceiling + 2)
+    n_census = reuse_ceiling + 2
+    try:
+        for step in range(steps):
+            step_start = _time.perf_counter() if instr is not None else 0.0
+            day = (step + 1) * config.step_days
+            day_f = float(day)
+            day_now[0] = day_f
+            # SMART production (census + wear collection) happens only
+            # on steps the cadence gate will sample.
+            pending = sampler is not None and sampler.due(day_f)
+            if pending:
+                census = [0] * n_census
+                wears: list[float] = []
+            afr_draws = afr_rng.random(config.devices)
+            total_capacity = 0.0
+            alive_count = 0
+            for index, dev in enumerate(devices):
+                if not dev.alive:
+                    continue
+                if afr_draws[index] < step_failure_prob:
+                    dev.alive = False
+                    dev.death_day = day
+                    if instr is not None:
+                        instr.device_deaths.labels(mode=mode,
+                                                   cause="afr").inc()
+                    if tracer is not None:
+                        tracer.event("fleet.device_death", mode=mode,
+                                     device=index, day=day, cause="afr")
+                    continue
+                adv = advertised_bytes(
+                    dev, census_scratch if pending else None)
+                if adv <= floor_bytes() or adv <= 0.0:
+                    dev.alive = False
+                    dev.death_day = day
+                    if instr is not None:
+                        instr.device_deaths.labels(mode=mode,
+                                                   cause="wear").inc()
+                    if tracer is not None:
+                        tracer.event("fleet.device_death", mode=mode,
+                                     device=index, day=day, cause="wear")
+                    continue
+                if pending:
+                    # Commit the surviving device's census and (entry)
+                    # wear to this sample.
+                    for i in range(n_census):
+                        census[i] += census_scratch[i]
+                    wears.append(dev.wear)
+                # Advance wear through this step at the current live
+                # capacity.
+                raw = in_service_raw_bytes(adv)
+                written = (config.step_days * original_daily_bytes
+                           * load_factors[index])
+                dev.wear += written * config.write_amplification / raw
+                alive_count += 1
+                total_capacity += adv
+            days[step] = day
+            functioning[step] = alive_count
+            capacity[step] = total_capacity
+            lost[step] = max(0.0, previous_capacity - total_capacity)
+            previous_capacity = total_capacity
+            if instr is not None:
+                instr.step_duration.observe(_time.perf_counter() - step_start)
+                instr.devices_functioning.set(alive_count)
+                instr.capacity_bytes.set(total_capacity)
+                instr.capacity_lost_bytes.inc(float(lost[step]))
+            if pending:
+                wears.sort()
+                smart_state["functioning"] = float(alive_count)
+                smart_state["capacity"] = float(total_capacity)
+                smart_state["lost"] = float(lost[step])
+                smart_state["p50"] = _percentile_sorted(wears, 0.50)
+                smart_state["p95"] = _percentile_sorted(wears, 0.95)
+                smart_state["rber"] = (
+                    float(model.rber(smart_state["p50"])) if wears else 0.0)
+                for k in range(reuse_ceiling + 1):
+                    smart_state[f"level_{k}"] = float(census[k])
+                smart_state["retired"] = float(census[-1])
+                sampler.maybe_sample(day_f)
+    finally:
+        # The probes close over this run's device list; detach them so a
+        # sampler shared across sequential runs never reads dead state.
+        for handle in probe_handles:
+            handle.remove()
+
+    result = FleetResult(
         mode=mode,
         days=days,
         functioning=functioning,
@@ -346,3 +486,17 @@ def simulate_fleet(config: FleetConfig, mode: str,
         death_day=np.array([d.death_day for d in devices]),
         initial_capacity_bytes=adv0_bytes * config.devices,
     )
+    if sampler is not None:
+        # Scalar outcomes the claim checker reads directly (stamped at
+        # the horizon so the series stays monotone in time).
+        end_day = float(days[-1]) if steps else 0.0
+        sampler.record("repro_fleet_mean_lifetime_days", end_day,
+                       result.mean_lifetime_days(),
+                       labels={"mode": mode}, unit="days")
+        sampler.record("repro_fleet_recovery_bytes_total", end_day,
+                       result.total_recovery_bytes(),
+                       labels={"mode": mode}, unit="bytes", kind="counter")
+        sampler.record("repro_fleet_initial_capacity_bytes", end_day,
+                       result.initial_capacity_bytes,
+                       labels={"mode": mode}, unit="bytes")
+    return result

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ReproError
 from repro.rng import make_rng
 from repro.salamander.device import SalamanderSSD
@@ -95,9 +96,27 @@ def run_write_lifetime(
         sample_every: capacity-curve sampling period, in host writes.
     """
     rng = make_rng(seed)
+    # Bound once; the time axis for lifetime trajectories is *host
+    # writes* (the quantity the paper's lifetime claims are over), not
+    # simulated seconds — documented in docs/OBSERVABILITY.md.
+    sampler = obs.timeseries() if obs.timeseries_enabled() else None
+    device_labels = {"device": getattr(device, "obs_name", "device")}
+
+    def _record_trajectory(writes: int) -> None:
+        if sampler is None:
+            return
+        t = float(writes)
+        sampler.record("repro_lifetime_capacity_lbas", t,
+                       float(_capacity_lbas(device)),
+                       labels=device_labels, unit="lbas")
+        record_smart = getattr(device, "record_smart", None)
+        if record_smart is not None:
+            record_smart(t, sampler)
+
     initial = _capacity_lbas(device)
     floor = capacity_floor_fraction * initial
     curve: list[tuple[int, int]] = [(0, initial)]
+    _record_trajectory(0)
     writes = 0
     cause = "max-writes"
     while writes < max_writes:
@@ -113,8 +132,10 @@ def run_write_lifetime(
         writes += 1
         if writes % sample_every == 0:
             curve.append((writes, _capacity_lbas(device)))
+            _record_trajectory(writes)
     final = _capacity_lbas(device)
     curve.append((writes, final))
+    _record_trajectory(writes)
     wear = device.chip.wear_summary()
     return LifetimeResult(
         host_writes=writes,

@@ -1,0 +1,166 @@
+"""Trace analytics: span stats, critical path, artifact loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.analyze import (
+    TRACE_SUMMARY_SCHEMA,
+    analyze_trace,
+    critical_path,
+    event_counts,
+    format_trace_summary,
+    interpolated_percentile,
+    load_trace_jsonl,
+    span_stats,
+)
+from repro.obs.trace import SimTimeTracer
+
+
+def _span(name, start, end, span_id, parent_id=None):
+    return {"kind": "span", "name": name, "time": start,
+            "end_time": end, "span_id": span_id, "parent_id": parent_id}
+
+
+def _event(name, time):
+    return {"kind": "event", "name": name, "time": time}
+
+
+class TestPercentile:
+    def test_exact_interpolation(self):
+        values = [0.0, 10.0, 20.0, 30.0, 40.0]
+        assert interpolated_percentile(values, 50) == 20.0
+        assert interpolated_percentile(values, 25) == 10.0
+        assert interpolated_percentile(values, 95) == pytest.approx(38.0)
+        assert interpolated_percentile(values, 0) == 0.0
+        assert interpolated_percentile(values, 100) == 40.0
+
+    def test_degenerate_inputs(self):
+        assert interpolated_percentile([], 50) == 0.0
+        assert interpolated_percentile([7.5], 99) == 7.5
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ConfigError):
+            interpolated_percentile([1.0], 101)
+        with pytest.raises(ConfigError):
+            interpolated_percentile([1.0], -1)
+
+
+class TestSpanStats:
+    def test_per_name_distributions(self):
+        records = [
+            _span("write", 0, 10, 1),
+            _span("write", 10, 30, 2),
+            _span("gc", 0, 5, 3),
+            _event("retire", 4),
+        ]
+        stats = span_stats(records)
+        assert set(stats) == {"write", "gc"}
+        write = stats["write"]
+        assert write["count"] == 2
+        assert write["total"] == 30.0
+        assert write["mean"] == 15.0
+        assert write["min"] == 10.0
+        assert write["max"] == 20.0
+        assert write["p50"] == 15.0
+
+    def test_open_span_uses_start_time(self):
+        # A span that never ended has duration 0 (end defaults to time).
+        records = [{"kind": "span", "name": "open", "time": 5.0,
+                    "span_id": 1, "parent_id": None}]
+        assert span_stats(records)["open"]["max"] == 0.0
+
+    def test_event_counts(self):
+        records = [_event("a", 1), _event("b", 2), _event("a", 3)]
+        assert event_counts(records) == {"a": 2, "b": 1}
+
+
+class TestCriticalPath:
+    def test_descends_into_longest_child(self):
+        records = [
+            _span("root", 0, 100, 1),
+            _span("short-root", 0, 10, 2),
+            _span("big-child", 0, 70, 3, parent_id=1),
+            _span("small-child", 70, 90, 4, parent_id=1),
+            _span("leaf", 10, 50, 5, parent_id=3),
+        ]
+        path = critical_path(records)
+        assert [step["name"] for step in path] == \
+            ["root", "big-child", "leaf"]
+        assert [step["depth"] for step in path] == [0, 1, 2]
+        # Self time = duration minus the children's total.
+        assert path[0]["self_time"] == pytest.approx(100 - 90)
+        assert path[1]["self_time"] == pytest.approx(70 - 40)
+        assert path[2]["self_time"] == pytest.approx(40.0)
+
+    def test_orphan_parent_promoted_to_root(self):
+        # parent_id points at a span evicted from the ring: treat as root.
+        records = [_span("orphan", 0, 50, 7, parent_id=999)]
+        path = critical_path(records)
+        assert [step["name"] for step in path] == ["orphan"]
+
+    def test_empty(self):
+        assert critical_path([]) == []
+
+
+class TestAnalyzeTrace:
+    def test_live_tracer_records(self):
+        tracer = SimTimeTracer(clock=lambda: 0.0)
+        clock = [0.0]
+        tracer._clock = lambda: clock[0]
+        with tracer.span("outer"):
+            clock[0] = 2.0
+            with tracer.span("inner"):
+                clock[0] = 7.0
+            tracer.event("tick")
+            clock[0] = 10.0
+        summary = analyze_trace(tracer.records())
+        assert summary["schema"] == TRACE_SUMMARY_SCHEMA
+        assert summary["span_count"] == 2
+        assert summary["event_count"] == 1
+        assert summary["time_range"] == [0.0, 10.0]
+        assert summary["spans"]["outer"]["total"] == 10.0
+        assert [s["name"] for s in summary["critical_path"]] == \
+            ["outer", "inner"]
+
+    def test_rejects_unknown_record_type(self):
+        with pytest.raises(ConfigError, match="cannot analyze"):
+            analyze_trace([42])
+
+    def test_format_is_markdown(self):
+        summary = analyze_trace(
+            [_span("s", 0, 3, 1), _event("e", 1)])
+        text = format_trace_summary(summary)
+        assert "### Trace summary" in text
+        assert "| `s` | 1 |" in text
+        assert "| `e` | 1 |" in text
+        assert "Critical path" in text
+
+
+class TestLoadTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [_span("s", 0, 1, 1), _event("e", 0.5)]
+        path.write_text(
+            "\n".join(json.dumps(r) for r in records) + "\n")
+        loaded = load_trace_jsonl(path)
+        assert loaded == records
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_trace_jsonl(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span"\n')
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_trace_jsonl(path)
+
+    def test_non_record_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"foo": 1}\n')
+        with pytest.raises(ConfigError, match="not a trace record"):
+            load_trace_jsonl(path)

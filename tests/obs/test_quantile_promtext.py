@@ -1,0 +1,117 @@
+"""Histogram quantile interpolation and promtext parser robustness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    quantile_from_cumulative,
+    quantile_from_sample,
+)
+from repro.obs.promtext import parse_prometheus_text, render_prometheus
+
+
+class TestQuantileFromCumulative:
+    # Cumulative (le, count): 10 obs <= 1, 30 <= 2, 40 <= +Inf.
+    BUCKETS = [(1.0, 10), (2.0, 30), (math.inf, 40)]
+
+    def test_linear_interpolation_within_bucket(self):
+        # Median rank 20 lands in the (1, 2] bucket holding 20 obs;
+        # (20 - 10) / 20 of the way through -> 1.5.
+        assert quantile_from_cumulative(self.BUCKETS, 0.5) == \
+            pytest.approx(1.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        # Rank 4 in the first bucket: lower bound is 0.
+        assert quantile_from_cumulative(self.BUCKETS, 0.1) == \
+            pytest.approx(0.4)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        assert quantile_from_cumulative(self.BUCKETS, 0.99) == 2.0
+        assert quantile_from_cumulative(self.BUCKETS, 1.0) == 2.0
+
+    def test_empty_and_zero_total(self):
+        with pytest.raises(ConfigError, match="at least one bucket"):
+            quantile_from_cumulative([], 0.5)
+        assert quantile_from_cumulative([(1.0, 0), (math.inf, 0)],
+                                        0.5) == 0.0
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ConfigError):
+            quantile_from_cumulative(self.BUCKETS, 1.5)
+        with pytest.raises(ConfigError):
+            quantile_from_cumulative(self.BUCKETS, -0.1)
+
+    def test_empty_middle_bucket_returns_upper_bound(self):
+        buckets = [(1.0, 10), (2.0, 10), (4.0, 20), (math.inf, 20)]
+        # Rank 15 falls in the (2, 4] bucket.
+        assert quantile_from_cumulative(buckets, 0.75) == \
+            pytest.approx(3.0)
+
+
+class TestHistogramQuantile:
+    def test_live_histogram_matches_exported_sample(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_latency_us", "latency", buckets=[1.0, 2.0, 4.0])
+        for value in [0.5, 1.5, 1.5, 3.0, 10.0]:
+            hist.observe(value)
+        live = hist.quantile(0.5)
+        sample = registry.to_dict()["metrics"][0]["samples"][0]
+        assert quantile_from_sample(sample, 0.5) == pytest.approx(live)
+        # p100 of an overflowed histogram clamps to the last bound.
+        assert hist.quantile(1.0) == 4.0
+
+    def test_quantile_from_sample_requires_buckets(self):
+        with pytest.raises(ConfigError, match="buckets"):
+            quantile_from_sample({"sum": 1.0, "count": 2}, 0.5)
+
+
+class TestPromtextLabelParsing:
+    def test_trailing_comma_is_legal(self):
+        # The exposition format explicitly permits {a="1",}.
+        parsed = parse_prometheus_text('m{a="1",} 2.0\n')
+        assert parsed["m"]["samples"][(("a", "1"),)] == 2.0
+
+    def test_escape_round_trip(self):
+        nasty = 'back\\slash "quote"\nnewline'
+        document = {"metrics": [{
+            "type": "gauge", "name": "m", "help": "",
+            "samples": [{"labels": {"path": nasty}, "value": 1.0}],
+        }]}
+        text = render_prometheus(document)
+        parsed = parse_prometheus_text(text)
+        assert parsed["m"]["samples"][(("path", nasty),)] == 1.0
+
+    @pytest.mark.parametrize("line", [
+        'm{a} 1.0',            # no '='
+        'm{a=1} 1.0',          # unquoted value
+        'm{a="1} 1.0',         # unterminated value
+        'm{="1"} 1.0',         # empty label name
+        'm{a="1" 1.0',         # missing '}'
+        'm 1.0 extra junk',    # too many fields
+        'm not-a-number',      # bad sample value
+        '# TYPE m',            # malformed TYPE comment
+    ])
+    def test_malformed_input_raises_config_error(self, line):
+        with pytest.raises(ConfigError):
+            parse_prometheus_text(line + "\n")
+
+    def test_special_values_round_trip(self):
+        parsed = parse_prometheus_text(
+            "m_nan NaN\nm_pinf +Inf\nm_ninf -Inf\n")
+        assert math.isnan(parsed["m_nan"]["samples"][()])
+        assert parsed["m_pinf"]["samples"][()] == math.inf
+        assert parsed["m_ninf"]["samples"][()] == -math.inf
+
+    def test_counter_total_suffix_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops", "ops").inc(3)
+        parsed = parse_prometheus_text(
+            render_prometheus(registry.to_dict()))
+        assert parsed["repro_ops_total"]["type"] == "counter"
+        assert parsed["repro_ops_total"]["samples"][()] == 3.0

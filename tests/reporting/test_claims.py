@@ -1,0 +1,230 @@
+"""The ``repro report`` claim checker against crafted artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.performance import throughput_factor
+from repro.reporting.claims import (
+    REPORT_SCHEMA,
+    ClaimResult,
+    build_report,
+    capacity_curves_from_artifact,
+    check_lifetime_extension,
+    check_recovery_traffic,
+    check_throughput_degradation,
+    format_report,
+    lifetimes_from_artifact,
+    measured_throughput_factor,
+    report_failed,
+)
+
+
+def _timeseries_doc(lifetimes=None, capacities=None):
+    series = []
+    for mode, value in (lifetimes or {}).items():
+        series.append({"name": "repro_fleet_mean_lifetime_days",
+                       "labels": {"mode": mode}, "t": [100.0],
+                       "v": [value]})
+    for mode, values in (capacities or {}).items():
+        series.append({"name": "repro_fleet_capacity_bytes",
+                       "labels": {"mode": mode},
+                       "t": [float(i) for i in range(len(values))],
+                       "v": values})
+    return {"schema": "repro.obs.timeseries/v1", "series": series}
+
+
+class TestLifetimeExtension:
+    def test_extension_within_envelope_passes(self):
+        results = check_lifetime_extension(
+            {"baseline": 100.0, "shrink": 130.0, "regen": 150.0})
+        assert [r.status for r in results] == ["pass", "pass"]
+        shrink = results[0]
+        assert shrink.claim == "lifetime_extension/shrink"
+        assert shrink.observed == pytest.approx(1.3)
+        assert "within the paper's 1.5x envelope" in shrink.detail
+
+    def test_beyond_envelope_still_passes_but_annotated(self):
+        # "Up to 1.5x" is a reported max, not a cap: exceeding it is
+        # not a regression, so the claim passes with an annotation.
+        (result,) = [r for r in check_lifetime_extension(
+            {"baseline": 100.0, "shrink": 120.0, "regen": 210.0})
+            if r.claim.endswith("regen")]
+        assert result.status == "pass"
+        assert "beyond the paper's 1.5x envelope" in result.detail
+
+    def test_regression_fails(self):
+        (result,) = [r for r in check_lifetime_extension(
+            {"baseline": 100.0, "shrink": 80.0, "regen": 150.0})
+            if r.claim.endswith("shrink")]
+        assert result.status == "fail"
+        assert result.observed == pytest.approx(0.8)
+
+    def test_missing_modes_skip_with_rerun_hint(self):
+        results = check_lifetime_extension({"baseline": 100.0})
+        assert [r.status for r in results] == ["skip", "skip"]
+        assert "--timeseries-out" in results[0].detail
+
+    def test_zero_baseline_skips(self):
+        results = check_lifetime_extension(
+            {"baseline": 0.0, "shrink": 100.0, "regen": 100.0})
+        assert all(r.status == "skip" for r in results)
+
+
+class TestThroughputDegradation:
+    def test_measured_matches_analytic_mix_model(self):
+        p = 4
+        for level in (1, 2, 3):
+            measured = measured_throughput_factor(level)
+            assert measured == pytest.approx(
+                throughput_factor(level, p), rel=0.10)
+
+    def test_check_passes_at_default_tolerance(self):
+        results = check_throughput_degradation()
+        assert [r.claim for r in results] == [
+            "throughput_degradation/L1",
+            "throughput_degradation/L2",
+            "throughput_degradation/L3",
+        ]
+        assert all(r.status == "pass" for r in results)
+        # Expected strings carry the (P - L)/P formula.
+        assert "3/4" in results[0].expected
+
+    def test_unusable_level_skips(self):
+        (result,) = check_throughput_degradation(levels=(9,))
+        assert result.status == "skip"
+
+
+class TestRecoveryTraffic:
+    def test_gradual_shedding_beats_cliff(self):
+        result = check_recovery_traffic({
+            "baseline": [100.0, 100.0, 50.0, 50.0],   # one big cliff
+            "shrink": [100.0, 90.0, 80.0, 70.0],      # many small drops
+        })
+        assert result.status == "pass"
+        assert result.observed == pytest.approx(0.10)
+
+    def test_cliffier_shrink_fails(self):
+        result = check_recovery_traffic({
+            "baseline": [100.0, 90.0, 80.0],
+            "shrink": [100.0, 100.0, 20.0],
+        })
+        assert result.status == "fail"
+
+    def test_missing_curves_skip(self):
+        assert check_recovery_traffic({}).status == "skip"
+        assert check_recovery_traffic(
+            {"baseline": [100.0]}).status == "skip"
+
+
+class TestArtifactExtraction:
+    ARTIFACT = {
+        "tables": {"summary": {
+            "headers": ["mode", "devices", "mean_lifetime_days"],
+            "rows": [["baseline", 16, 400.0], ["shrink", 16, 520.0],
+                     ["regen", 16, "bogus"]],
+        }},
+        "series": {
+            "baseline/capacity": {"x": [0, 1], "y": [100.0, 50.0]},
+            "shrink/capacity": {"x": [0, 1], "y": [100.0, 90.0]},
+            "shrink/lost": {"x": [0, 1], "y": [0.0, 10.0]},
+        },
+    }
+
+    def test_lifetimes_from_summary_table(self):
+        lifetimes = lifetimes_from_artifact(self.ARTIFACT)
+        # The unparseable regen row is dropped, not fatal.
+        assert lifetimes == {"baseline": 400.0, "shrink": 520.0}
+
+    def test_capacity_curves_by_suffix(self):
+        curves = capacity_curves_from_artifact(self.ARTIFACT)
+        assert set(curves) == {"baseline", "shrink"}
+        assert curves["shrink"] == [100.0, 90.0]
+
+    def test_absent_inputs_yield_empty(self):
+        assert lifetimes_from_artifact(None) == {}
+        assert lifetimes_from_artifact({"tables": {}}) == {}
+        assert capacity_curves_from_artifact(None) == {}
+
+
+class TestBuildReport:
+    def test_full_pass_report(self):
+        doc = _timeseries_doc(
+            lifetimes={"baseline": 100.0, "shrink": 130.0,
+                       "regen": 150.0},
+            capacities={"baseline": [100.0, 100.0, 40.0],
+                        "shrink": [100.0, 90.0, 80.0]})
+        report = build_report(timeseries_doc=doc)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["summary"] == {"pass": 6, "fail": 0, "skip": 0}
+        assert not report_failed(report)
+        assert report["inputs"]["timeseries"] is True
+
+    def test_timeseries_embedded_in_artifact(self):
+        artifact = {"timeseries": _timeseries_doc(
+            lifetimes={"baseline": 100.0, "shrink": 120.0,
+                       "regen": 140.0})}
+        report = build_report(artifact_doc=artifact)
+        by_claim = {c["claim"]: c for c in report["claims"]}
+        assert by_claim["lifetime_extension/shrink"]["status"] == "pass"
+        assert "from timeseries" in \
+            by_claim["lifetime_extension/shrink"]["detail"]
+
+    def test_artifact_table_fallback(self):
+        report = build_report(artifact_doc=TestArtifactExtraction.ARTIFACT)
+        by_claim = {c["claim"]: c for c in report["claims"]}
+        shrink = by_claim["lifetime_extension/shrink"]
+        assert shrink["status"] == "pass"
+        assert "artifact summary table" in shrink["detail"]
+        recovery = by_claim["recovery_traffic/shrink_vs_baseline"]
+        assert recovery["status"] == "pass"
+        assert "artifact capacity series" in recovery["detail"]
+
+    def test_no_inputs_is_all_skip_plus_throughput(self):
+        report = build_report()
+        assert report["summary"]["fail"] == 0
+        assert report["summary"]["skip"] == 3
+        assert report["summary"]["pass"] == 3  # throughput re-measured
+
+    def test_failed_claim_detected(self):
+        doc = _timeseries_doc(
+            lifetimes={"baseline": 100.0, "shrink": 50.0,
+                       "regen": 150.0})
+        report = build_report(timeseries_doc=doc)
+        assert report_failed(report)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ConfigError, match="tolerance"):
+            build_report(tolerance=1.5)
+        with pytest.raises(ConfigError, match="tolerance"):
+            build_report(tolerance=-0.1)
+
+    def test_trace_and_metrics_inputs_embedded(self):
+        trace = [{"kind": "span", "name": "s", "time": 0.0,
+                  "end_time": 2.0, "span_id": 1, "parent_id": None}]
+        metrics = {"metrics": [{"name": "m", "type": "counter",
+                                "samples": []}]}
+        report = build_report(metrics_doc=metrics, trace_records=trace)
+        assert report["metric_families"] == 1
+        assert report["trace_summary"]["span_count"] == 1
+
+
+class TestFormatting:
+    def test_markdown_report(self):
+        doc = _timeseries_doc(
+            lifetimes={"baseline": 100.0, "shrink": 130.0,
+                       "regen": 150.0})
+        report = build_report(timeseries_doc=doc)
+        text = format_report(report)
+        assert "## Salamander claim check" in text
+        assert "| claim | status |" in text
+        assert "`lifetime_extension/shrink` | pass" in text
+        # Skipped claims render '-' for observed.
+        assert "| skip | - |" in text
+
+    def test_claim_result_json_round_trip(self):
+        result = ClaimResult("c", "pass", 1.5, "exp", "det")
+        assert result.to_json() == {
+            "claim": "c", "status": "pass", "observed": 1.5,
+            "expected": "exp", "detail": "det"}

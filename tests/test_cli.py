@@ -6,12 +6,13 @@ import pytest
 
 from repro import obs
 from repro.cli import (
+    EXIT_CLAIM_FAILED,
     EXIT_CONFIG_ERROR,
     EXIT_UNEXPECTED_ERROR,
     build_parser,
     main,
 )
-from repro.obs import validate_metrics_document
+from repro.obs import validate_metrics_document, validate_timeseries_document
 
 
 class TestParser:
@@ -165,3 +166,132 @@ class TestObservabilityFlags:
                      "--points", "3"]) == 0
         assert not obs.metrics_enabled()
         assert not obs.tracing_enabled()
+        assert not obs.timeseries_enabled()
+
+
+class TestTimeseriesFlag:
+    def test_fleet_writes_timeseries(self, capsys, tmp_path):
+        ts_path = tmp_path / "ts.jsonl"
+        assert main(["fleet", "--devices", "8", "--blocks", "32",
+                     "--years", "2", "--step-days", "20",
+                     "--mode", "all", "--points", "3",
+                     "--timeseries-out", str(ts_path)]) == 0
+        assert not obs.timeseries_enabled()  # CLI restores no-op state
+        from repro.obs import load_timeseries
+        document = load_timeseries(ts_path)  # validates on load
+        names = {entry["name"] for entry in document["series"]}
+        assert "repro_fleet_capacity_bytes" in names
+        assert "repro_fleet_mean_lifetime_days" in names
+        assert "repro_smart_wear_percentile" in names
+        modes = {entry["labels"].get("mode")
+                 for entry in document["series"]}
+        assert {"baseline", "shrink", "regen"} <= modes
+        assert str(ts_path) in capsys.readouterr().out
+
+    def test_timeseries_cadence_thins_samples(self, tmp_path):
+        dense = tmp_path / "dense.jsonl"
+        sparse = tmp_path / "sparse.jsonl"
+        argv = ["fleet", "--devices", "4", "--blocks", "32",
+                "--years", "2", "--step-days", "10",
+                "--mode", "baseline", "--points", "3"]
+        assert main(argv + ["--timeseries-out", str(dense)]) == 0
+        assert main(argv + ["--timeseries-out", str(sparse),
+                            "--timeseries-cadence", "100"]) == 0
+        from repro.obs import load_timeseries, series_from_document
+        dense_t, _ = series_from_document(
+            load_timeseries(dense), "repro_fleet_devices_functioning")
+        sparse_t, _ = series_from_document(
+            load_timeseries(sparse), "repro_fleet_devices_functioning")
+        assert len(sparse_t) < len(dense_t)
+
+    def test_run_embeds_timeseries_in_artifact(self, capsys, tmp_path):
+        scenario = tmp_path / "s.json"
+        scenario.write_text(json.dumps({
+            "name": "cli-ts", "kind": "fleet",
+            "params": {"devices": 4, "horizon_days": 400,
+                       "step_days": 20,
+                       "geometry": {"blocks": 32,
+                                    "fpages_per_block": 64}},
+        }))
+        ts_path = tmp_path / "ts.csv"
+        assert main(["run", str(scenario),
+                     "--out", str(tmp_path / "artifacts"),
+                     "--timeseries-out", str(ts_path)]) == 0
+        artifact = json.loads(
+            (tmp_path / "artifacts" / "cli-ts.json").read_text())
+        embedded = validate_timeseries_document(artifact["timeseries"])
+        assert embedded["series"]
+        assert ts_path.exists()  # CSV export alongside the artifact
+
+
+class TestReportCommand:
+    @staticmethod
+    def _write_timeseries(path, lifetimes):
+        lines = [json.dumps({"schema": "repro.obs.timeseries/v1",
+                             "cadence": 0.0, "capacity": 4096,
+                             "samples_taken": 1})]
+        for mode, value in lifetimes.items():
+            lines.append(json.dumps({
+                "name": "repro_fleet_mean_lifetime_days",
+                "labels": {"mode": mode}, "unit": "days",
+                "kind": "gauge", "resolution": 0.0, "downsamples": 0,
+                "t": [100.0], "v": [value]}))
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_report_passes_on_healthy_timeseries(self, capsys, tmp_path):
+        ts_path = tmp_path / "ts.jsonl"
+        self._write_timeseries(ts_path, {"baseline": 400.0,
+                                         "shrink": 520.0,
+                                         "regen": 600.0})
+        json_path = tmp_path / "report.json"
+        assert main(["report", "--timeseries", str(ts_path),
+                     "--json", str(json_path)]) == 0
+        report = json.loads(json_path.read_text())
+        assert report["schema"] == "repro.report/v1"
+        assert report["summary"]["fail"] == 0
+        by_claim = {c["claim"]: c for c in report["claims"]}
+        assert by_claim["lifetime_extension/shrink"]["status"] == "pass"
+        assert by_claim["throughput_degradation/L2"]["status"] == "pass"
+
+    def test_report_claim_failure_exits_1(self, capsys, tmp_path):
+        ts_path = tmp_path / "ts.jsonl"
+        self._write_timeseries(ts_path, {"baseline": 400.0,
+                                         "shrink": 100.0,
+                                         "regen": 600.0})
+        assert main(["report", "--timeseries", str(ts_path)]) \
+            == EXIT_CLAIM_FAILED
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "`lifetime_extension/shrink` | fail" in captured.out
+
+    def test_report_prints_markdown_by_default(self, capsys, tmp_path):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "## Salamander claim check" in out
+        assert "| claim | status |" in out
+
+    def test_missing_metrics_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--metrics",
+                     str(tmp_path / "nope.json")]) == EXIT_CONFIG_ERROR
+        assert "not found" in capsys.readouterr().err
+
+    def test_corrupt_metrics_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        assert main(["report", "--metrics", str(path)]) \
+            == EXIT_CONFIG_ERROR
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_corrupt_timeseries_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        path.write_text("{broken\n")
+        assert main(["report", "--timeseries", str(path)]) \
+            == EXIT_CONFIG_ERROR
+
+    def test_missing_artifact_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--artifact",
+                     str(tmp_path / "nope.json")]) == EXIT_CONFIG_ERROR
+
+    def test_bad_tolerance_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--tolerance", "1.5"]) \
+            == EXIT_CONFIG_ERROR
