@@ -1,0 +1,13 @@
+"""Perf-regression harness for the functional simulator's hot paths.
+
+Unlike the paper-figure benches next door (which check *what* the
+simulator computes), these benches check *how fast* it computes it.
+Each workload in :mod:`benchmarks.perf.workloads` times one hot path —
+steady-state GC-heavy FTL writes, OOB-replay remount, one fleet-model
+run — and :mod:`benchmarks.perf.harness` appends the measurement to
+``benchmarks/results/BENCH_perf.json`` (schema ``repro.bench_perf/v1``),
+publishes ``repro_perf_*`` gauges through the :mod:`repro.obs` registry,
+and, when ``REPRO_PERF_ENFORCE=1``, fails any bench that runs more than
+``MAX_SLOWDOWN``x slower than its committed floor in
+``benchmarks/perf/baseline.json``.
+"""

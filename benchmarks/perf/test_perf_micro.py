@@ -1,0 +1,36 @@
+"""Micro perf benches: buffered writes, remount replay, fleet step.
+
+Each bench times one narrower hot path than the GC-heavy macro:
+
+* ``ftl_write_micro`` — buffer/flush/allocation with little GC;
+* ``remount_micro`` — the OOB-replay rebuild scan (mount latency);
+* ``fleet_step_micro`` — one vectorised fleet-model run (the unit the
+  sweep runner parallelises over).
+
+All run under ``@pytest.mark.no_obs`` for timing purity; the harness
+re-publishes results through the obs registry afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.perf import harness, workloads
+
+
+@pytest.mark.no_obs
+def test_ftl_write_micro():
+    entry = harness.run("ftl_write_micro", workloads.ftl_write_micro)
+    assert entry["ops"] == workloads.MICRO_OPS
+
+
+@pytest.mark.no_obs
+def test_remount_micro():
+    entry = harness.run("remount_micro", workloads.remount_micro)
+    assert entry["meta"]["live_lbas"] > 0
+
+
+@pytest.mark.no_obs
+def test_fleet_step_micro():
+    entry = harness.run("fleet_step_micro", workloads.fleet_step_micro)
+    assert entry["meta"]["mean_lifetime_days"] > 0

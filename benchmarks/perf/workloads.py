@@ -1,0 +1,139 @@
+"""Timed hot-path workloads for the perf harness.
+
+Each function builds its fixture *outside* the timed region, times one
+hot loop with ``time.perf_counter()``, and returns
+``{"ops", "wall_s", "meta"}`` for :func:`benchmarks.perf.harness.run`.
+Workloads are deterministic (fixed seeds) so run-to-run variance is
+machine noise, not simulation variance.
+
+``ftl_gc_heavy`` is the headline macro-bench: a 90%-full device under
+uniform random overwrites, which keeps the garbage collector
+continuously busy — the workload the FTL fast path (incremental valid
+counts, cached free-block index, list-backed mapping tables, batched
+chip I/O) was built for.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.sim.fleet import FleetConfig, simulate_fleet
+from repro.ssd.ftl import FTLConfig, PageMappedFTL
+
+
+# -- GC-heavy steady-state writes (macro) ------------------------------------
+
+MACRO_GEOMETRY = FlashGeometry(blocks=64, fpages_per_block=64, channels=4)
+MACRO_OPS = 20_000
+
+
+def _build_macro_ftl() -> PageMappedFTL:
+    chip = FlashChip(MACRO_GEOMETRY, seed=7, variation_sigma=0.3)
+    return PageMappedFTL.for_chip(
+        chip, FTLConfig(overprovision=0.12, buffer_opages=64))
+
+
+def ftl_gc_heavy() -> dict:
+    """Steady-state GC-heavy overwrites on a 90%-full device."""
+    ftl = _build_macro_ftl()
+    payload = bytes(64)
+    fill = int(ftl.n_lbas * 0.9)
+    for lba in range(fill):          # untimed warm-up: reach steady state
+        ftl.write(lba, payload)
+    lbas = np.random.default_rng(42).integers(0, fill, size=MACRO_OPS)
+    lba_list = [int(lba) for lba in lbas]
+    start = time.perf_counter()
+    for lba in lba_list:
+        ftl.write(lba, payload)
+    ftl.flush()
+    wall_s = time.perf_counter() - start
+    waf = ftl.stats.flash_writes / max(ftl.stats.host_writes, 1)
+    return {"ops": MACRO_OPS, "wall_s": wall_s,
+            "meta": {"waf": round(waf, 3), "fill_fraction": 0.9,
+                     "blocks": MACRO_GEOMETRY.blocks}}
+
+
+# -- buffered write path (micro) ---------------------------------------------
+
+MICRO_OPS = 6_000
+
+
+def ftl_write_micro() -> dict:
+    """Sequential-then-random writes on a small, lightly filled device:
+    exercises the buffer/flush/allocation path with little GC."""
+    geometry = FlashGeometry(blocks=32, fpages_per_block=32, channels=2)
+    chip = FlashChip(geometry, seed=11, variation_sigma=0.2)
+    ftl = PageMappedFTL.for_chip(
+        chip, FTLConfig(overprovision=0.25, buffer_opages=16))
+    payload = bytes(32)
+    half = ftl.n_lbas // 2
+    lbas = [int(x) for x in
+            np.random.default_rng(13).integers(0, half, size=MICRO_OPS)]
+    start = time.perf_counter()
+    for lba in lbas:
+        ftl.write(lba, payload)
+    ftl.flush()
+    wall_s = time.perf_counter() - start
+    return {"ops": MICRO_OPS, "wall_s": wall_s,
+            "meta": {"n_lbas": ftl.n_lbas}}
+
+
+# -- OOB-replay remount (micro) ----------------------------------------------
+
+def remount_micro() -> dict:
+    """Time ``PageMappedFTL.remount``'s full-device OOB replay scan.
+
+    Ops unit: fPages scanned (the rebuild is linear in flash size)."""
+    geometry = FlashGeometry(blocks=48, fpages_per_block=48, channels=2)
+    chip = FlashChip(geometry, seed=17, variation_sigma=0.2)
+    config = FTLConfig(overprovision=0.2, buffer_opages=32)
+    ftl = PageMappedFTL.for_chip(chip, config)
+    payload = bytes(48)
+    rng = np.random.default_rng(19)
+    fill = int(ftl.n_lbas * 0.8)
+    for lba in range(fill):
+        ftl.write(lba, payload)
+    for lba in rng.integers(0, fill, size=4_000):
+        ftl.write(int(lba), payload)       # stale copies for replay to skip
+    ftl.flush()
+    entries = [(lba, ftl.buffer.get(lba)) for lba in ftl.buffer.keys()]
+    rounds = 3
+    start = time.perf_counter()
+    for _ in range(rounds):
+        recovered = PageMappedFTL.remount(chip, ftl.n_lbas, config, entries)
+    wall_s = time.perf_counter() - start
+    ops = rounds * geometry.total_fpages
+    return {"ops": ops, "wall_s": wall_s,
+            "meta": {"rounds": rounds, "live_lbas": recovered.live_lbas()}}
+
+
+# -- analytic fleet step (micro) ---------------------------------------------
+
+FLEET_MICRO_CONFIG = FleetConfig(
+    devices=16,
+    geometry=FlashGeometry(blocks=64, fpages_per_block=64),
+    pec_limit_l0=3000.0,
+    variation_sigma=0.35,
+    dwpd=2.0,
+    write_amplification=2.0,
+    afr=0.01,
+    horizon_days=1825,
+    step_days=10,
+)
+
+
+def fleet_step_micro() -> dict:
+    """One vectorised fleet-model run; ops = device-steps advanced."""
+    steps = FLEET_MICRO_CONFIG.horizon_days // FLEET_MICRO_CONFIG.step_days
+    start = time.perf_counter()
+    result = simulate_fleet(FLEET_MICRO_CONFIG, "regen", seed=2025)
+    wall_s = time.perf_counter() - start
+    ops = FLEET_MICRO_CONFIG.devices * steps
+    return {"ops": ops, "wall_s": wall_s,
+            "meta": {"mode": "regen",
+                     "mean_lifetime_days":
+                         round(result.mean_lifetime_days(), 1)}}

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro fig2 [--pec-limit 3000] [--ecc-family bch|ldpc]
     python -m repro fleet [--devices 48] [--dwpd 2.0] [--years 10] [...]
+    python -m repro sweep [--runs 4] [--jobs 4] [--out results/sweep.json]
     python -m repro tournament [--utilization 0.6] [--pec-limit 30]
     python -m repro carbon [--f-op 0.46] [--renewable]
     python -m repro tco [--f-opex 0.14]
@@ -277,6 +278,42 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.fleet import MODES, FleetConfig
+    from repro.sim.parallel import (
+        derive_seeds,
+        resolve_jobs,
+        run_fleet_grid,
+        summarize_sweep,
+        sweep_document,
+        write_sweep_artifact,
+    )
+
+    config = FleetConfig(
+        devices=args.devices,
+        geometry=FlashGeometry(blocks=args.blocks, fpages_per_block=64),
+        dwpd=args.dwpd, afr=args.afr,
+        horizon_days=int(args.years * 365), step_days=args.step_days)
+    modes = MODES if args.mode == "all" else (args.mode,)
+    seeds = derive_seeds(args.seed, args.runs)
+    jobs = resolve_jobs(args.jobs)
+    results = run_fleet_grid(config, modes=modes, seeds=seeds, jobs=jobs)
+    document = sweep_document(config, modes, seeds, results)
+    path = write_sweep_artifact(document, args.out)
+    rows = [[row["mode"], row["runs"],
+             f"{row['mean_lifetime_days']:.0f}",
+             f"{row['mean_survivors_at_horizon']:.1f}",
+             f"{row['mean_recovery_bytes']:.3e}"]
+            for row in summarize_sweep(document)]
+    print(format_table(
+        ["mode", "runs", "mean lifetime (d)", "survivors @ horizon",
+         "recovery (bytes)"],
+        rows, title=f"fleet sweep: {args.runs} seed(s) x "
+                    f"{len(modes)} mode(s), {jobs} job(s)"))
+    print(f"sweep artifact -> {path}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.scenarios import load_scenario, run_scenario
 
@@ -419,6 +456,30 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--max-days", type=int, default=5000)
     health.add_argument("--seed", type=int, default=1)
     health.set_defaults(func=_cmd_health)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="multi-seed fleet sweep with a process-parallel runner; "
+             "artifacts are bit-identical for any --jobs value")
+    sweep.add_argument("--devices", type=int, default=48)
+    sweep.add_argument("--blocks", type=int, default=128)
+    sweep.add_argument("--dwpd", type=float, default=2.0)
+    sweep.add_argument("--afr", type=float, default=0.01)
+    sweep.add_argument("--years", type=float, default=10.0)
+    sweep.add_argument("--step-days", type=int, default=10)
+    sweep.add_argument("--mode", default="all",
+                       choices=("all", "baseline", "cvss", "shrink", "regen"))
+    sweep.add_argument("--seed", type=int, default=2025,
+                       help="root seed; per-run seeds are derived from it "
+                            "deterministically (jobs-invariant)")
+    sweep.add_argument("--runs", type=int, default=4,
+                       help="independent seed replicates per mode")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all cores; results are "
+                            "identical for any value)")
+    sweep.add_argument("--out", default="results/sweep.json",
+                       help="repro.sweep/v1 artifact path")
+    sweep.set_defaults(func=_cmd_sweep)
 
     run = sub.add_parser(
         "run", help="execute a JSON scenario file (see scenarios/)")

@@ -141,13 +141,20 @@ class FlashChip:
         self.stats = ChipStats()
 
         n = self.geometry.total_fpages
+        self._total_fpages = n
         # Per-channel accumulated busy time: blocks are striped across
         # channels (block % channels), the usual plane/channel layout.
         # Independent-channel operations overlap, so a parallel device's
         # makespan is the busiest channel, not the serial sum.
-        self.channel_busy_us = np.zeros(self.geometry.channels)
+        self.channel_busy_us = [0.0] * self.geometry.channels
+        self._channels = self.geometry.channels
         self._pec = np.zeros(n, dtype=np.int64)
         self._level = np.zeros(n, dtype=np.int64)
+        # Python-list mirror of ``_level``: levels are read per operation
+        # on the hot path but written only on (rare) wear transitions, so
+        # a list mirror makes the reads cheap while the numpy array stays
+        # canonical for the vectorised sweeps.
+        self._level_py: list[int] = [0] * n
         self._reads_since_erase = np.zeros(n, dtype=np.int64)
         self._programmed_at = np.zeros(n, dtype=float)
         self._state = np.full(n, _STATE_FREE, dtype=np.int8)
@@ -160,6 +167,48 @@ class FlashChip:
         # the spare area and replay it at mount time after power loss.
         self._oob: dict[int, tuple[tuple[int | None, ...], int]] = {}
 
+        # -- hot-path lookup tables (docs/PERFORMANCE.md) -----------------
+        # Everything below is derived once from immutable policy/geometry
+        # state; per-read code must not re-derive it. The per-level ECC
+        # schemes in particular used to be *constructed* per read.
+        self._fpages_per_block = self.geometry.fpages_per_block
+        self._opage_bytes = self.geometry.opage_bytes
+        self._dead_level = self.policy.dead_level
+        self._data_opages_by_level = tuple(
+            self.policy.data_opages(level) for level in self.policy.levels)
+        self._ecc_by_level = tuple(
+            self.policy.ecc_for_level(level)
+            for level in self.policy.usable_levels)
+        self._ecc_t_by_level = tuple(
+            ecc.correctable_bits for ecc in self._ecc_by_level)
+        self._max_rber_by_level = tuple(
+            self.policy.max_rber(level)
+            for level in self.policy.usable_levels)
+        self._caps_array = np.asarray(self._max_rber_by_level, dtype=float)
+        self._caps_ascending = bool(
+            np.all(self._caps_array[:-1] <= self._caps_array[1:]))
+        self._opage_transfer_us = (self.latency.transfer_us_per_kib
+                                   * self.geometry.opage_bytes / 1024)
+        self._fpage_transfer_us_by_level = tuple(
+            self.latency.transfer_us_per_kib
+            * (slots * self.geometry.opage_bytes) / 1024
+            for slots in self._data_opages_by_level[:-1])
+        self._program_latency_by_level = tuple(
+            self.latency.program_latency_us(
+                slots * self.geometry.opage_bytes + self.geometry.spare_bytes)
+            for slots in self._data_opages_by_level)
+        # Wear term rber_model.rber(pec) memoised per PEC value (the
+        # per-page variation factor multiplies in afterwards).
+        self._base_rber_cache: dict[int, float] = {}
+        # Per-block capacity accounting (the paper's Eq. 2 inputs),
+        # maintained incrementally by set_level/retire so capacity
+        # queries stop scanning every fPage on the chip.
+        self._block_usable_slots = np.full(
+            self.geometry.blocks,
+            self._fpages_per_block * self._dead_level, dtype=np.int64)
+        self._block_retired_fpages = np.zeros(self.geometry.blocks,
+                                              dtype=np.int64)
+
     # -- wear and reliability introspection ---------------------------------
 
     def pec(self, fpage: int) -> int:
@@ -169,8 +218,10 @@ class FlashChip:
 
     def level(self, fpage: int) -> int:
         """Current tiredness level of ``fpage``."""
-        self.geometry.check_fpage(fpage)
-        return int(self._level[fpage])
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
+        return self._level_py[fpage]
 
     def state(self, fpage: int) -> PageState:
         self.geometry.check_fpage(fpage)
@@ -183,11 +234,25 @@ class FlashChip:
 
     def rber_of(self, fpage: int) -> float:
         """Current effective RBER of ``fpage``: wear + disturb + retention."""
-        self.geometry.check_fpage(fpage)
-        wear = float(self.rber_model.rber(self._pec[fpage])
-                     * self._variation[fpage])
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
+        return self._rber_unchecked(fpage)
+
+    def _wear_rber(self, fpage: int) -> float:
+        """Wear term of the RBER: model(pec) memoised, times variation."""
+        pec = int(self._pec[fpage])
+        base = self._base_rber_cache.get(pec)
+        if base is None:
+            base = float(self.rber_model.rber(pec))
+            self._base_rber_cache[pec] = base
+        return base * float(self._variation[fpage])
+
+    def _rber_unchecked(self, fpage: int) -> float:
+        """``rber_of`` without the bounds check (internal hot path)."""
+        wear = self._wear_rber(fpage)
         disturb = self.read_disturb_rber * float(
-            self._reads_since_erase[fpage])
+            self._reads_since_erase[fpage]) if self.read_disturb_rber else 0.0
         retention = 0.0
         if (self.retention_rber_per_day > 0
                 and int(self._state[fpage]) == _STATE_WRITTEN):
@@ -220,14 +285,45 @@ class FlashChip:
         level, the page must be retired or promoted.
         """
         rber = self.rber_of(fpage)
-        for level in self.policy.usable_levels:
-            if rber <= self.policy.max_rber(level):
+        return self._required_level_for(rber)
+
+    def _required_level_for(self, rber: float) -> int:
+        """Lowest usable level whose ECC covers ``rber`` (dead if none)."""
+        for level, cap in enumerate(self._max_rber_by_level):
+            if rber <= cap:
                 return level
-        return self.policy.dead_level
+        return self._dead_level
 
     def is_overworn(self, fpage: int) -> bool:
         """Whether the page's RBER exceeds its *current* level's ECC."""
         return self.required_level(fpage) > self.level(fpage)
+
+    def worn_free_pages(self, block: int) -> list[tuple[int, int]]:
+        """``(fpage, required_level)`` for FREE pages past their level's ECC.
+
+        Vectorised wear-only qualification sweep over one block, valid
+        exactly when the FTL runs wear-transition detection: right after
+        an erase, when read disturb has been reset and FREE pages accrue
+        no retention term. PEC is block-uniform, so one memoised model
+        evaluation covers the whole block.
+        """
+        self.geometry.check_block(block)
+        start = block * self._fpages_per_block
+        stop = start + self._fpages_per_block
+        pec = int(self._pec[start])
+        base = self._base_rber_cache.get(pec)
+        if base is None:
+            base = float(self.rber_model.rber(pec))
+            self._base_rber_cache[pec] = base
+        rber = base * self._variation[start:stop]
+        if self._caps_ascending:
+            required = np.searchsorted(self._caps_array, rber, side="left")
+        else:  # pragma: no cover - non-monotone ECC ladders do not occur
+            required = np.array([self._required_level_for(float(r))
+                                 for r in rber], dtype=np.int64)
+        worn = np.flatnonzero((self._state[start:stop] == _STATE_FREE)
+                              & (required > self._level[start:stop]))
+        return [(start + int(i), int(required[i])) for i in worn]
 
     # -- bulk views (vectorised; used by FTL policies) -----------------------
 
@@ -244,6 +340,38 @@ class FlashChip:
     def state_array(self) -> np.ndarray:
         """Int-coded states; compare against ``PageState`` via helpers."""
         return self._state.copy()
+
+    def is_free(self, fpage: int) -> bool:
+        """Fast FREE-state predicate (no enum materialisation)."""
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
+        return int(self._state[fpage]) == _STATE_FREE
+
+    def is_written(self, fpage: int) -> bool:
+        """Fast WRITTEN-state predicate (no enum materialisation)."""
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
+        return int(self._state[fpage]) == _STATE_WRITTEN
+
+    def block_fully_retired(self, block: int) -> bool:
+        """Whether every fPage of ``block`` is out of service (O(1))."""
+        self.geometry.check_block(block)
+        return (int(self._block_retired_fpages[block])
+                >= self._fpages_per_block)
+
+    def usable_slots_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Usable oPage slots per requested block at current levels.
+
+        Each non-retired fPage at level ``L`` contributes ``P - L`` slots
+        (the paper's Eq. 2 contributions), maintained incrementally.
+        """
+        return self._block_usable_slots[blocks]
+
+    def usable_slots_total(self) -> int:
+        """Usable oPage slots across the whole chip at current levels."""
+        return int(self._block_usable_slots.sum())
 
     def free_fpages(self) -> np.ndarray:
         """Indices of programmable fPages."""
@@ -269,15 +397,17 @@ class FlashChip:
         LBA plus a write sequence number) in the spare area. Returns the
         expected latency in microseconds.
         """
-        self.geometry.check_fpage(fpage)
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
         state = int(self._state[fpage])
         if state == _STATE_RETIRED:
             raise ProgramError(f"fPage {fpage} is retired")
         if state == _STATE_WRITTEN:
             raise ProgramError(
                 f"fPage {fpage} already written; erase its block first")
-        level = int(self._level[fpage])
-        expected = self.policy.data_opages(level)
+        level = self._level_py[fpage]
+        expected = self._data_opages_by_level[level]
         if expected == 0:
             raise ProgramError(f"fPage {fpage} is at the dead level")
         if len(payloads) != expected:
@@ -304,9 +434,8 @@ class FlashChip:
             self._oob[fpage] = (tuple(lbas), int(sequence))
         self._state[fpage] = _STATE_WRITTEN
         self.stats.programs += 1
-        latency = self.latency.program_latency_us(
-            expected * opage_bytes + self.geometry.spare_bytes)
-        self._charge(self.geometry.block_of_fpage(fpage), latency)
+        latency = self._program_latency_by_level[level]
+        self._charge(fpage // self._fpages_per_block, latency)
         return latency
 
     def read(self, fpage: int, slot: int) -> tuple[bytes, float]:
@@ -315,34 +444,116 @@ class FlashChip:
         Raises :class:`UncorrectableError` when the sampled bit-error count
         exceeds the page's ECC capability at its current tiredness level.
         """
-        self.geometry.check_fpage(fpage)
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
         if int(self._state[fpage]) != _STATE_WRITTEN:
             raise ProgramError(f"fPage {fpage} is not written")
-        level = int(self._level[fpage])
-        data_slots = self.policy.data_opages(level)
+        level = self._level_py[fpage]
+        data_slots = self._data_opages_by_level[level]
         if not 0 <= slot < data_slots:
             raise IndexError(
                 f"slot {slot} out of range [0, {data_slots}) for L{level}")
-        ecc = self.policy.ecc_for_level(level)
-        rber = self.rber_of(fpage)
+        rber = self._rber_unchecked(fpage)
         self._record_read_disturb(fpage)
-        retries = self.latency.expected_read_retries(rber, ecc)
-        latency = self.latency.read_latency_us(
-            rber, ecc, self.geometry.opage_bytes)
+        retries = self._read_retries_fast(rber, level)
+        latency = ((1.0 + retries) * self.latency.read_us
+                   + self._opage_transfer_us)
         self.stats.reads += 1
         self.stats.read_retries += retries
-        self._charge(self.geometry.block_of_fpage(fpage), latency)
+        self._charge(fpage // self._fpages_per_block, latency)
         if self.inject_errors and rber > 0:
+            ecc = self._ecc_by_level[level]
+            correctable = self._ecc_t_by_level[level]
             flipped = int(self.rng.binomial(ecc.codeword_bits, min(rber, 1.0)))
-            if flipped > ecc.correctable_bits:
+            if flipped > correctable:
                 self.stats.uncorrectable_reads += 1
                 raise UncorrectableError(
-                    f"fPage {fpage} (L{level}, pec={self.pec(fpage)}): "
-                    f"{flipped} bit errors exceed t={ecc.correctable_bits}",
+                    f"fPage {fpage} (L{level}, pec={int(self._pec[fpage])}): "
+                    f"{flipped} bit errors exceed t={correctable}",
                     bit_errors=flipped,
-                    correctable=ecc.correctable_bits,
+                    correctable=correctable,
                 )
         return self._data[fpage][slot], latency
+
+    def read_opages(self, fpage: int, slots: Sequence[int],
+                    ) -> list[bytes | None]:
+        """Batch-read several oPages of one written fPage.
+
+        Semantically equivalent to calling :meth:`read` once per slot in
+        order — the same statistics accrue, the same busy time is
+        charged, and *exactly the same RNG draws happen in the same
+        order*, so workloads are bit-identical whichever path the FTL
+        takes (the perf harness asserts this). The difference is error
+        handling (an uncorrectable slot yields ``None`` instead of
+        raising, so one bad slot does not abort the batch) and cost: the
+        per-read RBER/retry/latency derivation is hoisted out of the loop
+        whenever it is loop-invariant (no read disturb or retention
+        modelling), which is the common configuration for GC relocation —
+        the hottest read path in the simulator.
+        """
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
+        if int(self._state[fpage]) != _STATE_WRITTEN:
+            raise ProgramError(f"fPage {fpage} is not written")
+        level = self._level_py[fpage]
+        data_slots = self._data_opages_by_level[level]
+        ecc = self._ecc_by_level[level]
+        correctable = self._ecc_t_by_level[level]
+        codeword_bits = ecc.codeword_bits
+        data = self._data[fpage]
+        block = fpage // self._fpages_per_block
+        stats = self.stats
+        inject = self.inject_errors
+        rng = self.rng
+        chan = self.channel_busy_us
+        ci = block % self._channels
+        # RBER is loop-invariant unless reads disturb the block mid-batch
+        # or a retention clock could advance between reads.
+        static = (self.read_disturb_rber == 0
+                  and self.retention_rber_per_day == 0)
+        if static:
+            rber = self._rber_unchecked(fpage)
+            retries = self._read_retries_fast(rber, level)
+            latency = ((1.0 + retries) * self.latency.read_us
+                       + self._opage_transfer_us)
+            p_flip = min(rber, 1.0)
+        out: list[bytes | None] = []
+        for slot in slots:
+            if not 0 <= slot < data_slots:
+                raise IndexError(
+                    f"slot {slot} out of range [0, {data_slots}) "
+                    f"for L{level}")
+            if not static:
+                rber = self._rber_unchecked(fpage)
+                self._record_read_disturb(fpage)
+                retries = self._read_retries_fast(rber, level)
+                latency = ((1.0 + retries) * self.latency.read_us
+                           + self._opage_transfer_us)
+                p_flip = min(rber, 1.0)
+            stats.reads += 1
+            stats.read_retries += retries
+            stats.busy_us += latency
+            chan[ci] += latency
+            if inject and rber > 0:
+                flipped = int(rng.binomial(codeword_bits, p_flip))
+                if flipped > correctable:
+                    stats.uncorrectable_reads += 1
+                    out.append(None)
+                    continue
+            out.append(data[slot])
+        return out
+
+    def _read_retries_fast(self, rber: float, level: int) -> float:
+        """``LatencyModel.expected_read_retries`` with the per-level ECC
+        capability looked up from the precomputed table."""
+        capability = self._max_rber_by_level[level]
+        if capability <= 0:
+            return self.latency.max_read_retries
+        ratio = min(rber / capability, 1.0)
+        return (self.latency.max_read_retries
+                * ratio ** self.latency.retry_exponent)
 
     def read_fpage(self, fpage: int) -> tuple[tuple[bytes, ...], float]:
         """Read a whole fPage in one sense: all data oPages plus latency.
@@ -352,29 +563,32 @@ class FlashChip:
         (fewer data oPages per sense) degrade large accesses by
         ``P / (P - L)`` (paper §4.2).
         """
-        self.geometry.check_fpage(fpage)
+        if not 0 <= fpage < self._total_fpages:
+            raise IndexError(
+                f"fPage {fpage} out of range [0, {self._total_fpages})")
         if int(self._state[fpage]) != _STATE_WRITTEN:
             raise ProgramError(f"fPage {fpage} is not written")
-        level = int(self._level[fpage])
-        data_slots = self.policy.data_opages(level)
-        ecc = self.policy.ecc_for_level(level)
-        rber = self.rber_of(fpage)
+        level = self._level_py[fpage]
+        data_slots = self._data_opages_by_level[level]
+        rber = self._rber_unchecked(fpage)
         self._record_read_disturb(fpage)
-        retries = self.latency.expected_read_retries(rber, ecc)
-        latency = self.latency.read_latency_us(
-            rber, ecc, data_slots * self.geometry.opage_bytes)
+        retries = self._read_retries_fast(rber, level)
+        latency = ((1.0 + retries) * self.latency.read_us
+                   + self._fpage_transfer_us_by_level[level])
         self.stats.reads += 1
         self.stats.read_retries += retries
-        self._charge(self.geometry.block_of_fpage(fpage), latency)
+        self._charge(fpage // self._fpages_per_block, latency)
         if self.inject_errors and rber > 0:
+            ecc = self._ecc_by_level[level]
+            correctable = self._ecc_t_by_level[level]
             flipped = int(self.rng.binomial(ecc.codeword_bits, min(rber, 1.0)))
-            if flipped > ecc.correctable_bits:
+            if flipped > correctable:
                 self.stats.uncorrectable_reads += 1
                 raise UncorrectableError(
-                    f"fPage {fpage} (L{level}, pec={self.pec(fpage)}): "
-                    f"{flipped} bit errors exceed t={ecc.correctable_bits}",
+                    f"fPage {fpage} (L{level}, pec={int(self._pec[fpage])}): "
+                    f"{flipped} bit errors exceed t={correctable}",
                     bit_errors=flipped,
-                    correctable=ecc.correctable_bits,
+                    correctable=correctable,
                 )
         return self._data[fpage][:data_slots], latency
 
@@ -384,16 +598,17 @@ class FlashChip:
         Returns the expected latency in microseconds.
         """
         self.geometry.check_block(block)
-        pages = np.asarray(self.geometry.fpage_range_of_block(block))
-        live = pages[self._state[pages] != _STATE_RETIRED]
-        if live.size == 0:
+        if int(self._block_retired_fpages[block]) >= self._fpages_per_block:
             raise EraseError(f"block {block} is fully retired")
-        self._pec[pages] += 1
-        self._reads_since_erase[pages] = 0
-        self._state[live] = _STATE_FREE
-        for fpage in pages:
-            self._data.pop(int(fpage), None)
-            self._oob.pop(int(fpage), None)
+        start = block * self._fpages_per_block
+        stop = start + self._fpages_per_block
+        self._pec[start:stop] += 1
+        self._reads_since_erase[start:stop] = 0
+        seg = self._state[start:stop]
+        seg[seg != _STATE_RETIRED] = _STATE_FREE
+        for fpage in range(start, stop):
+            self._data.pop(fpage, None)
+            self._oob.pop(fpage, None)
         self.stats.erases += 1
         latency = self.latency.erase_latency_us()
         self._charge(block, latency)
@@ -411,17 +626,29 @@ class FlashChip:
             raise ProgramError(
                 f"fPage {fpage} is written; relocate its data before "
                 f"changing levels")
-        if level < int(self._level[fpage]):
+        current = self._level_py[fpage]
+        if level < current:
             raise ConfigError(
                 f"fPage {fpage}: cannot lower level from "
-                f"{int(self._level[fpage])} to {level}")
+                f"{current} to {level}")
+        if int(self._state[fpage]) != _STATE_RETIRED:
+            block = fpage // self._fpages_per_block
+            self._block_usable_slots[block] -= level - current
+            if level == self._dead_level:
+                self._block_retired_fpages[block] += 1
         self._level[fpage] = level
-        if level == self.policy.dead_level:
+        self._level_py[fpage] = level
+        if level == self._dead_level:
             self._state[fpage] = _STATE_RETIRED
 
     def retire(self, fpage: int) -> None:
         """Permanently remove ``fpage`` from service (any prior state)."""
         self.geometry.check_fpage(fpage)
+        if int(self._state[fpage]) != _STATE_RETIRED:
+            block = fpage // self._fpages_per_block
+            self._block_usable_slots[block] -= (
+                self._dead_level - self._level_py[fpage])
+            self._block_retired_fpages[block] += 1
         self._state[fpage] = _STATE_RETIRED
         self._data.pop(fpage, None)
         self._oob.pop(fpage, None)
@@ -448,19 +675,18 @@ class FlashChip:
         its busiest channel is. With one channel this equals
         ``stats.busy_us``.
         """
-        return float(self.channel_busy_us.max())
+        return float(max(self.channel_busy_us))
 
     def _charge(self, block: int, latency: float) -> None:
         self.stats.busy_us += latency
-        self.channel_busy_us[block % self.geometry.channels] += latency
+        self.channel_busy_us[block % self._channels] += latency
 
     def _record_read_disturb(self, fpage: int) -> None:
         """Reading a page disturbs its whole block's cells (§2)."""
         if self.read_disturb_rber == 0:
             return
-        pages = np.asarray(self.geometry.fpage_range_of_block(
-            self.geometry.block_of_fpage(fpage)))
-        self._reads_since_erase[pages] += 1
+        start = (fpage // self._fpages_per_block) * self._fpages_per_block
+        self._reads_since_erase[start:start + self._fpages_per_block] += 1
 
     # -- summaries -----------------------------------------------------------
 

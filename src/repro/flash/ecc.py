@@ -235,11 +235,14 @@ class LdpcScheme:
         return self.data_bits / self.codeword_bits
 
     def max_rber(self) -> float:
-        """Waterfall threshold: the p where R = efficiency * (1 - H2(p))."""
-        headroom = 1.0 - self.code_rate / self.efficiency
-        if headroom <= 0:
-            return 0.0
-        return inverse_binary_entropy(headroom)
+        """Waterfall threshold: the p where R = efficiency * (1 - H2(p)).
+
+        Cached per (n, r, efficiency) — the 80-iteration entropy
+        bisection used to run on *every* call, and ``correctable_bits``
+        (hit per chip read) depends on it.
+        """
+        return _ldpc_max_rber_cached(self.codeword_bits, self.parity_bits,
+                                     self.efficiency)
 
     @property
     def correctable_bits(self) -> int:
@@ -261,6 +264,18 @@ class LdpcScheme:
 
     def is_reliable_at(self, rber: float) -> bool:
         return self.page_failure_probability(rber) <= self.uber_target
+
+
+@lru_cache(maxsize=4096)
+def _ldpc_max_rber_cached(codeword_bits: int, parity_bits: int,
+                          efficiency: float) -> float:
+    """Waterfall threshold for an LDPC configuration (see
+    :meth:`LdpcScheme.max_rber`); computed identically, once."""
+    code_rate = (codeword_bits - parity_bits) / codeword_bits
+    headroom = 1.0 - code_rate / efficiency
+    if headroom <= 0:
+        return 0.0
+    return inverse_binary_entropy(headroom)
 
 
 @lru_cache(maxsize=4096)

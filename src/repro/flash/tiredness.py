@@ -130,21 +130,14 @@ class TirednessPolicy:
         if level == self.dead_level:
             raise ConfigError(
                 f"level {level} is the dead level; it has no ECC scheme")
-        data = self.data_opages(level) * self.geometry.opage_bytes
-        if self.ecc_family == "ldpc":
-            return LdpcScheme.for_page(data, self.parity_bytes(level),
-                                       efficiency=self.ldpc_efficiency,
-                                       uber_target=self.uber_target)
-        return EccScheme.for_page(data, self.parity_bytes(level),
-                                  uber_target=self.uber_target,
-                                  codewords=self.ecc_codewords)
+        return _ecc_scheme_cached(self, level)
 
     def max_rber(self, level: int) -> float:
         """Largest RBER a page at ``level`` tolerates (0 for the dead level)."""
         self.check_level(level)
         if level == self.dead_level:
             return 0.0
-        return self.ecc_for_level(level).max_rber()
+        return _max_rber_for_policy(self, level)
 
     def pec_limit(self, level: int, model: RBERModel,
                   scale_factor: ArrayLike = 1.0) -> ArrayLike:
@@ -192,6 +185,32 @@ class TirednessPolicy:
         for level in reversed(self.usable_levels):
             out = np.where(rber <= self.max_rber(level), level, out)
         return int(out) if out.ndim == 0 else out
+
+
+@lru_cache(maxsize=512)
+def _ecc_scheme_cached(policy: TirednessPolicy, level: int):
+    """Memoised (policy, level) -> ECC scheme construction.
+
+    :class:`TirednessPolicy` is a frozen (hashable) dataclass, so the
+    qualification lookup the chip's read path and the FTL's wear
+    detection hammer — extending the existing ``_max_rber_cached`` memo
+    in :mod:`repro.flash.ecc` up to the policy layer — is built once per
+    distinct policy instead of per call.
+    """
+    data = policy.data_opages(level) * policy.geometry.opage_bytes
+    if policy.ecc_family == "ldpc":
+        return LdpcScheme.for_page(data, policy.parity_bytes(level),
+                                   efficiency=policy.ldpc_efficiency,
+                                   uber_target=policy.uber_target)
+    return EccScheme.for_page(data, policy.parity_bytes(level),
+                              uber_target=policy.uber_target,
+                              codewords=policy.ecc_codewords)
+
+
+@lru_cache(maxsize=512)
+def _max_rber_for_policy(policy: TirednessPolicy, level: int) -> float:
+    """Memoised (policy, level) -> max tolerable RBER."""
+    return _ecc_scheme_cached(policy, level).max_rber()
 
 
 def calibrate_power_law(

@@ -236,8 +236,7 @@ class SalamanderSSD(PageMappedFTL):
         for mdisk in device.minidisks:
             if mdisk.status is MinidiskStatus.DECOMMISSIONED:
                 device._invalidate(mdisk)
-        for lba, payload in snapshot["buffer"]:
-            device.buffer.put(lba, payload)
+        device._restore_buffer(snapshot["buffer"])
         return device
 
     # -- host-facing geometry ----------------------------------------------------
@@ -515,8 +514,7 @@ class SalamanderSSD(PageMappedFTL):
                 level=plan.level, size_lbas=mdisk.size_lbas))
 
     def _grow_flat_space(self, extra_lbas: int) -> None:
-        self._l2p = np.concatenate([
-            self._l2p, np.full(extra_lbas, UNMAPPED, dtype=np.int64)])
+        self._l2p.extend([UNMAPPED] * extra_lbas)
         self.n_lbas += extra_lbas
 
     def _exhaust(self) -> None:
@@ -538,12 +536,12 @@ class SalamanderSSD(PageMappedFTL):
         """Live LBAs per active mDisk (mapped plus buffered-unmapped)."""
         counts: dict[int, int] = {}
         msize = self.msize_lbas
-        mapped = np.flatnonzero(self._l2p >= 0)
-        for flat in mapped:
-            counts[int(flat) // msize] = counts.get(int(flat) // msize, 0) + 1
+        for flat, slot in enumerate(self._l2p):
+            if slot >= 0:
+                counts[flat // msize] = counts.get(flat // msize, 0) + 1
         for key in self.buffer.keys():
             if self._l2p[key] < 0:
-                counts[int(key) // msize] = counts.get(int(key) // msize, 0) + 1
+                counts[key // msize] = counts.get(key // msize, 0) + 1
         return counts
 
     # -- reporting ------------------------------------------------------------------------

@@ -12,13 +12,23 @@ Two granularities, sharing the same flash models:
   same variation draws.
 
 :mod:`repro.sim.clock` and :mod:`repro.sim.engine` provide the
-discrete-event machinery used by cluster-level scenarios.
+discrete-event machinery used by cluster-level scenarios;
+:mod:`repro.sim.parallel` fans multi-seed sweeps out over worker
+processes with bit-identical merged artifacts.
 """
 
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
 from repro.sim.lifetime import LifetimeResult, run_write_lifetime
 from repro.sim.fleet import FleetConfig, FleetResult, simulate_fleet
+from repro.sim.parallel import (
+    FleetTask,
+    derive_seeds,
+    parallel_map,
+    run_fleet_grid,
+    sweep_document,
+    write_sweep_artifact,
+)
 from repro.sim.replacement import (
     ReplacementConfig,
     ReplacementResult,
@@ -34,6 +44,12 @@ __all__ = [
     "FleetConfig",
     "FleetResult",
     "simulate_fleet",
+    "FleetTask",
+    "derive_seeds",
+    "parallel_map",
+    "run_fleet_grid",
+    "sweep_document",
+    "write_sweep_artifact",
     "ReplacementConfig",
     "ReplacementResult",
     "simulate_replacement",

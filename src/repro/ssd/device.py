@@ -102,8 +102,7 @@ class BaselineSSD(PageMappedFTL):
                 device._free_blocks.discard(block)
         device._rebuild_from_flash()
         if buffer_entries:
-            for lba, payload in buffer_entries:
-                device.buffer.put(lba, payload)
+            device._restore_buffer(buffer_entries)
         if device.ledger.exceeded:
             device._failed = True
         return device

@@ -36,8 +36,9 @@ from repro.errors import (
     OutOfSpaceError,
     UncorrectableError,
 )
-from repro.flash.chip import FlashChip, PageState
+from repro.flash.chip import FlashChip
 from repro.obs.instruments import ftl_instruments, next_device_name
+from repro.ssd.freelist import BlockIndex
 from repro.ssd.gc import CostBenefitGC, GCPolicy, GreedyGC
 from repro.ssd.stats import SSDStats
 from repro.ssd.wear import select_min_wear_block
@@ -158,17 +159,30 @@ class PageMappedFTL:
 
         p = self.geometry.opages_per_fpage
         self._slots_per_fpage_max = p
-        self._l2p = np.full(n_lbas, UNMAPPED, dtype=np.int64)
-        self._p2l = np.full(self.geometry.total_opage_slots, UNMAPPED,
-                            dtype=np.int64)
-        self._valid_per_block = np.zeros(self.geometry.blocks, dtype=np.int64)
+        self._slots_per_block = self.geometry.fpages_per_block * p
+        # oPage capacity per tiredness level, resolved once (P - L).
+        self._data_opages = tuple(
+            self.policy.data_opages(level) for level in self.policy.levels)
+        # L2P/P2L are plain Python lists: the FTL only ever touches
+        # single elements on the hot path, and list indexing is several
+        # times cheaper than numpy scalar extraction (docs/PERFORMANCE.md).
+        self._l2p: list[int] = [UNMAPPED] * n_lbas
+        self._p2l: list[int] = [UNMAPPED] * self.geometry.total_opage_slots
+        # Valid-oPage count per block: a Python list (hot single-element
+        # updates in _map/_unmap); the ``_valid_per_block`` property gives
+        # the vector view GC and tests consume.
+        self._valid_counts: list[int] = [0] * self.geometry.blocks
         self._erase_counts = np.zeros(self.geometry.blocks, dtype=np.int64)
         self._close_seq = np.zeros(self.geometry.blocks, dtype=np.int64)
         self._seq = 0
 
         self._write_seq = 0  # monotone program counter, stored in OOB
-        self._free_blocks: set[int] = set(range(self.geometry.blocks))
-        self._closed_blocks: set[int] = set()
+        # Incrementally maintained allocation/GC indexes (the hot-path
+        # invariants live in docs/PERFORMANCE.md). ``_block_usable`` is a
+        # template hook, so the free index filters through it lazily.
+        self._free_blocks = BlockIndex(range(self.geometry.blocks),
+                                       usable_fn=self._block_usable)
+        self._closed_blocks = BlockIndex()
         self._dead_blocks: set[int] = set()
         # One open (block, cursor) per write stream: host stream hints get
         # their own blocks, and relocations get one when stream_separation
@@ -177,6 +191,11 @@ class PageMappedFTL:
             **{f"host{i}": None for i in range(self.config.host_streams)},
             "gc": None}
         self._buffer_stream: dict[int, int] = {}
+        # Incremental counters replacing full rescans: buffered oPages per
+        # stream (invariant: sums over ``_buffer_stream``) and mapped LBAs
+        # (invariant: ``count_nonzero(_l2p >= 0)``).
+        self._stream_counts = [0] * self.config.host_streams
+        self._mapped_lbas = 0
         self._scrub_cursor = 0
         self._writes_since_scrub = 0
 
@@ -212,17 +231,19 @@ class PageMappedFTL:
             raise ConfigError(
                 f"write of {len(data)} bytes exceeds the {self.geometry.opage_bytes}"
                 f"-byte oPage size; split at the device layer")
-        busy_before = self.chip.stats.busy_us
-        if lba not in self.buffer and self.buffer.is_full:
+        buffer = self.buffer
+        chip_stats = self.chip.stats
+        busy_before = chip_stats.busy_us
+        if lba not in buffer and buffer.is_full:
             self._drain_one_fpage()
-        self.buffer.put(lba, bytes(data))
-        self._buffer_stream[lba] = stream
+        buffer.put(lba, bytes(data))
+        self._note_buffered(lba, stream)
         self.stats.host_writes += 1  # counted only once accepted
         self._instr.host_writes.inc()
         # The write's visible cost is whatever device work it had to wait
         # for: usually nothing (NVRAM hit), sometimes a drain, occasionally
         # a full GC pass — that is where the write tail comes from.
-        self.stats.write_latency.add(self.chip.stats.busy_us - busy_before)
+        self.stats.write_latency.add(chip_stats.busy_us - busy_before)
 
     def read(self, lba: int) -> bytes:
         """Read the 4 KiB oPage at ``lba``.
@@ -238,7 +259,7 @@ class PageMappedFTL:
         buffered = self.buffer.get(lba)
         if buffered is not None:
             return buffered.ljust(self.geometry.opage_bytes, b"\0")
-        slot = int(self._l2p[lba])
+        slot = self._l2p[lba]
         if slot == UNMAPPED:
             return bytes(self.geometry.opage_bytes)
         if slot == LOST:
@@ -282,7 +303,7 @@ class PageMappedFTL:
                 results[offset] = buffered.ljust(
                     self.geometry.opage_bytes, b"\0")
                 continue
-            slot = int(self._l2p[target])
+            slot = self._l2p[target]
             if slot == UNMAPPED:
                 results[offset] = bytes(self.geometry.opage_bytes)
                 continue
@@ -315,7 +336,7 @@ class PageMappedFTL:
         self.stats.trims += 1
         self._instr.trims.inc()
         self.buffer.discard(lba)
-        self._buffer_stream.pop(lba, None)
+        self._note_unbuffered(lba)
         self._unmap(lba)
 
     def trim_range(self, lba: int, count: int) -> None:
@@ -332,7 +353,7 @@ class PageMappedFTL:
         for target in range(lba, lba + count):
             self.stats.trims += 1
             self.buffer.discard(target)
-            self._buffer_stream.pop(target, None)
+            self._note_unbuffered(target)
             self._unmap(target)
 
     def write_range(self, lba: int, payloads: list[bytes]) -> None:
@@ -402,7 +423,7 @@ class PageMappedFTL:
         for _ in range(budget):
             fpage = self._scrub_cursor
             self._scrub_cursor = (self._scrub_cursor + 1) % total
-            if self.chip.state(fpage) is not PageState.WRITTEN:
+            if not self.chip.is_written(fpage):
                 continue
             if not self.chip.is_overworn(fpage):
                 continue
@@ -412,29 +433,41 @@ class PageMappedFTL:
     def _evacuate_fpage(self, fpage: int) -> int:
         """Move a written page's valid oPages to fresh flash."""
         self._ensure_free_space()
-        base = fpage * self._slots_per_fpage_max
-        level = self.chip.level(fpage)
-        moved: list[tuple[int, bytes]] = []
-        for offset in range(self.policy.data_opages(level)):
-            lba = int(self._p2l[base + offset])
-            if lba < 0:
-                continue
-            try:
-                data, _latency = self.chip.read(fpage, offset)
-            except UncorrectableError:
-                self._lose_lba(lba, base + offset)
-                continue
-            moved.append((lba, data))
+        moved = self._read_valid_opages(fpage)
         cursor = 0
         while cursor < len(moved):
             target = self._allocate_open_fpage(stream="gc")
-            capacity = self.policy.data_opages(self.chip.level(target))
+            capacity = self._data_opages[self.chip.level(target)]
             chunk = moved[cursor:cursor + capacity]
             self._program_fpage(target, chunk, relocation=False)
             cursor += capacity
         self.stats.wear_relocations += len(moved)
         self._instr.wear_relocations.inc(len(moved))
         return len(moved)
+
+    def _read_valid_opages(self, fpage: int) -> list[tuple[int, bytes]]:
+        """Batch-read a written page's valid oPages, in slot order.
+
+        Slots that fail ECC are recorded as lost (matching the previous
+        one-read-per-slot error handling) and skipped.
+        """
+        base = fpage * self._slots_per_fpage_max
+        level = self.chip.level(fpage)
+        # List slices copy, so ``_lose_lba`` mutating ``_p2l`` mid-loop
+        # cannot corrupt the snapshot we iterate over.
+        lbas = self._p2l[base:base + self._data_opages[level]]
+        slot_list = [slot for slot, lba in enumerate(lbas) if lba >= 0]
+        if not slot_list:
+            return []
+        payloads = self.chip.read_opages(fpage, slot_list)
+        survivors: list[tuple[int, bytes]] = []
+        for slot, data in zip(slot_list, payloads):
+            lba = lbas[slot]
+            if data is None:
+                self._lose_lba(lba, base + slot)
+                continue
+            survivors.append((lba, data))
+        return survivors
 
     def _maybe_autoscrub(self) -> None:
         interval = self.config.scrub_interval_writes
@@ -473,9 +506,20 @@ class PageMappedFTL:
         ftl = cls(chip, n_lbas, config)
         ftl._rebuild_from_flash()
         if buffer_entries:
-            for lba, payload in buffer_entries:
-                ftl.buffer.put(lba, payload)
+            ftl._restore_buffer(buffer_entries)
         return ftl
+
+    def _restore_buffer(self,
+                        entries: list[tuple[int, bytes]]) -> None:
+        """Refill the NVRAM buffer at mount time, keeping stream counts.
+
+        Stream hints are not journaled, so restored entries count as
+        stream 0 — exactly how ``_busiest_stream`` previously classified
+        buffered keys with no recorded stream.
+        """
+        for lba, payload in entries:
+            self.buffer.put(lba, payload)
+            self._note_buffered(lba, 0)
 
     def _rebuild_from_flash(self) -> None:
         """Mount-time scan: rebuild mapping, counts, and block states."""
@@ -526,23 +570,80 @@ class PageMappedFTL:
 
         This is the left-hand side of the paper's Eq. 2 (summed over limbo
         levels): each non-retired fPage at level ``L`` contributes ``P - L``
-        slots.
+        slots. Served from the chip's incremental per-block accounting.
         """
-        states = self.chip.state_array()
-        levels = self.chip.level_array()
-        alive = states != 2  # PageState.RETIRED code
-        contributions = self.policy.dead_level - levels
-        return int(contributions[alive].sum())
+        return self.chip.usable_slots_total()
 
     def live_lbas(self) -> int:
-        """LBAs currently holding data (mapped or buffered)."""
-        mapped = int(np.count_nonzero(self._l2p >= 0))
+        """LBAs currently holding data (mapped or buffered).
+
+        The mapped count is maintained incrementally by ``_map``/
+        ``_unmap`` (``_live_lbas_scan`` is the reference recomputation,
+        asserted equivalent in the fast-path tests); only the small NVRAM
+        buffer is scanned for buffered-but-unmapped keys.
+        """
+        buffered_unmapped = sum(
+            1 for key in self.buffer.keys() if self._l2p[key] < 0)
+        return self._mapped_lbas + buffered_unmapped
+
+    def _live_lbas_scan(self) -> int:
+        """O(n_lbas) reference implementation of :meth:`live_lbas`."""
+        mapped = sum(1 for slot in self._l2p if slot >= 0)
         buffered_unmapped = sum(
             1 for key in self.buffer.keys() if self._l2p[key] < 0)
         return mapped + buffered_unmapped
 
     def free_block_count(self) -> int:
         return len(self._free_blocks)
+
+    def _audit_fastpath(self) -> None:
+        """Assert the incremental fast-path state equals a full recompute.
+
+        Debug/test aid for the invariants in docs/PERFORMANCE.md: every
+        counter or cached array introduced by the fast path must equal
+        the O(n) scan it replaced, at any externally observable moment.
+        Raises ``AssertionError`` on divergence.
+        """
+        mapped = sum(1 for slot in self._l2p if slot >= 0)
+        assert self._mapped_lbas == mapped, (
+            f"mapped-LBA counter {self._mapped_lbas} != scan {mapped}")
+        assert self.live_lbas() == self._live_lbas_scan()
+        buffered = set(self.buffer.keys())
+        assert set(self._buffer_stream) == buffered, (
+            "buffer-stream bookkeeping diverged from buffer contents")
+        counts = [0] * self.config.host_streams
+        for lba in buffered:
+            counts[self._buffer_stream.get(lba, 0)] += 1
+        assert counts == self._stream_counts, (
+            f"stream counts {self._stream_counts} != scan {counts}")
+        expected_free = sorted(
+            b for b in self._free_blocks if self._block_usable(b))
+        assert self._usable_free_blocks().tolist() == expected_free, (
+            "cached usable-free-block array diverged from scan")
+        assert self._closed_blocks.array().tolist() == sorted(
+            self._closed_blocks), "closed-block array diverged"
+        states = self.chip.state_array()
+        levels = self.chip.level_array()
+        per_fpage = np.where(states == 2, 0, self.policy.dead_level - levels)
+        per_block = per_fpage.reshape(
+            self.geometry.blocks, self.geometry.fpages_per_block).sum(axis=1)
+        all_blocks = np.arange(self.geometry.blocks)
+        chip_caps = self.chip.usable_slots_of_blocks(all_blocks)
+        assert (chip_caps == per_block).all(), (
+            "per-block usable-slot accounting diverged from scan")
+        assert self.chip.usable_slots_total() == int(per_block.sum())
+        retired = (states == 2).reshape(
+            self.geometry.blocks, self.geometry.fpages_per_block).sum(axis=1)
+        for block in range(self.geometry.blocks):
+            assert self.chip.block_fully_retired(block) == bool(
+                retired[block] == self.geometry.fpages_per_block), (
+                f"block {block} fully-retired flag diverged")
+        valid = np.zeros(self.geometry.blocks, dtype=np.int64)
+        for slot, lba in enumerate(self._p2l):
+            if lba >= 0:
+                valid[slot // self._slots_per_block] += 1
+        assert valid.tolist() == self._valid_counts, (
+            "valid-per-block accounting diverged from p2l scan")
 
     # -- internals: mapping ----------------------------------------------------
 
@@ -551,21 +652,53 @@ class PageMappedFTL:
             raise InvalidLBAError(
                 f"LBA {lba} out of range [0, {self.n_lbas})")
 
+    @property
+    def _valid_per_block(self) -> np.ndarray:
+        """Vector view of per-block valid-oPage counts (copy)."""
+        return np.asarray(self._valid_counts, dtype=np.int64)
+
     def _unmap(self, lba: int) -> None:
-        slot = int(self._l2p[lba])
+        slot = self._l2p[lba]
         if slot >= 0:
             self._p2l[slot] = UNMAPPED
-            block = self.geometry.block_of_fpage(
-                slot // self._slots_per_fpage_max)
-            self._valid_per_block[block] -= 1
+            self._valid_counts[slot // self._slots_per_block] -= 1
+            self._mapped_lbas -= 1
         self._l2p[lba] = UNMAPPED
 
     def _map(self, lba: int, slot: int) -> None:
-        self._unmap(lba)
+        # _unmap inlined: this pair runs once per oPage programmed.
+        prev = self._l2p[lba]
+        if prev >= 0:
+            self._p2l[prev] = UNMAPPED
+            self._valid_counts[prev // self._slots_per_block] -= 1
+            self._mapped_lbas -= 1
         self._l2p[lba] = slot
         self._p2l[slot] = lba
-        block = self.geometry.block_of_fpage(slot // self._slots_per_fpage_max)
-        self._valid_per_block[block] += 1
+        self._valid_counts[slot // self._slots_per_block] += 1
+        self._mapped_lbas += 1
+
+    # -- internals: incremental buffer/stream accounting -----------------------
+
+    def _note_buffered(self, lba: int, stream: int) -> None:
+        """Record that ``lba`` is buffered under ``stream``.
+
+        Keeps ``_stream_counts`` consistent with the buffer contents so
+        ``_busiest_stream`` never rescans the buffer. Invariant: the keys
+        of ``_buffer_stream`` are exactly the buffered keys.
+        """
+        prev = self._buffer_stream.get(lba)
+        if prev is not None:
+            if prev == stream:
+                return
+            self._stream_counts[prev] -= 1
+        self._buffer_stream[lba] = stream
+        self._stream_counts[stream] += 1
+
+    def _note_unbuffered(self, lba: int) -> None:
+        """Record that ``lba`` left the buffer (drain or trim)."""
+        stream = self._buffer_stream.pop(lba, None)
+        if stream is not None:
+            self._stream_counts[stream] -= 1
 
     def _lose_lba(self, lba: int, slot: int) -> None:
         """Mark an LBA destroyed by a media error."""
@@ -586,24 +719,22 @@ class PageMappedFTL:
         self._ensure_free_space()
         stream = self._busiest_stream()
         fpage = self._allocate_open_fpage(stream=f"host{stream}")
-        level = self.chip.level(fpage)
-        capacity = self.policy.data_opages(level)
+        capacity = self._data_opages[self.chip.level(fpage)]
         keys = None
         if self.config.host_streams > 1:
             keys = {lba for lba in self.buffer.keys()
                     if self._buffer_stream.get(lba, 0) == stream}
         batch = self.buffer.pop_batch(capacity, keys=keys)
         for lba, _payload in batch:
-            self._buffer_stream.pop(lba, None)
+            self._note_unbuffered(lba)
         self._program_fpage(fpage, batch, relocation=False)
         self._maybe_autoscrub()
 
     def _busiest_stream(self) -> int:
+        """Stream with the most buffered pages (incremental counts)."""
         if self.config.host_streams == 1:
             return 0
-        counts = [0] * self.config.host_streams
-        for lba in self.buffer.keys():
-            counts[self._buffer_stream.get(lba, 0)] += 1
+        counts = self._stream_counts
         return int(max(range(len(counts)), key=counts.__getitem__))
 
     def _program_fpage(self, fpage: int,
@@ -611,19 +742,35 @@ class PageMappedFTL:
                        relocation: bool) -> None:
         """Program ``fpage`` with ``items``; pads short batches with zeros."""
         level = self.chip.level(fpage)
-        capacity = self.policy.data_opages(level)
+        capacity = self._data_opages[level]
         if len(items) > capacity:
             raise ConfigError(
                 f"{len(items)} payloads exceed fPage capacity {capacity}")
-        payloads = [payload for _lba, payload in items]
-        payloads += [b""] * (capacity - len(items))
+        pad = capacity - len(items)
+        payloads = [payload for _lba, payload in items] + [b""] * pad
         self._write_seq += 1
-        oob_lbas = tuple(lba for lba, _payload in items) \
-            + (None,) * (capacity - len(items))
+        oob_lbas = tuple([lba for lba, _payload in items] + [None] * pad)
         self.chip.program(fpage, payloads, oob=(oob_lbas, self._write_seq))
+        # Mapping inlined from _map: every new slot lands in one block,
+        # so the per-block valid count bumps once, not per oPage.
         base = fpage * self._slots_per_fpage_max
-        for offset, (lba, _payload) in enumerate(items):
-            self._map(lba, base + offset)
+        l2p = self._l2p
+        p2l = self._p2l
+        counts = self._valid_counts
+        spb = self._slots_per_block
+        delta = 0
+        slot = base
+        for lba, _payload in items:
+            prev = l2p[lba]
+            if prev >= 0:
+                p2l[prev] = UNMAPPED
+                counts[prev // spb] -= 1
+                delta -= 1
+            l2p[lba] = slot
+            p2l[slot] = lba
+            slot += 1
+        counts[base // spb] += len(items)
+        self._mapped_lbas += delta + len(items)
         self.stats.flash_writes += len(items)
         self._instr.flash_writes.inc(len(items))
         if relocation:
@@ -641,28 +788,33 @@ class PageMappedFTL:
     def _allocate_open_fpage(self, stream: str) -> int:
         """Next programmable fPage in the stream's open block."""
         key = self._stream_key(stream)
+        chip = self.chip
+        fpages_per_block = self.geometry.fpages_per_block
         while True:
             if self._open[key] is None:
                 self._open_new_block(key)
             block, cursor = self._open[key]
-            fpages = self.geometry.fpage_range_of_block(block)
-            while cursor < len(fpages):
-                fpage = fpages[cursor]
+            start = block * fpages_per_block
+            while cursor < fpages_per_block:
+                fpage = start + cursor
                 cursor += 1
-                self._open[key] = (block, cursor)
-                if self.chip.state(fpage) is not PageState.FREE:
+                if not chip.is_free(fpage):
                     continue
                 if not self._page_allocatable(fpage):
                     continue
-                if self.chip.is_overworn(fpage):
+                required = chip.required_level(fpage)
+                if required > chip.level(fpage):
                     # Detected lazily at allocation; hand to policy. The page
                     # may come back usable (promoted, or tolerated by CVSS).
-                    still_usable = self._handle_worn_page(
-                        fpage, self.chip.required_level(fpage))
-                    if not still_usable or (self.chip.state(fpage)
-                                            is not PageState.FREE):
+                    # Cursor is persisted first so the policy hook (which
+                    # may retire blocks or raise) sees consistent state.
+                    self._open[key] = (block, cursor)
+                    still_usable = self._handle_worn_page(fpage, required)
+                    if not still_usable or not chip.is_free(fpage):
                         continue
+                self._open[key] = (block, cursor)
                 return fpage
+            self._open[key] = (block, fpages_per_block)
             self._close_open_block(key)
 
     def _open_new_block(self, key: str) -> None:
@@ -681,8 +833,8 @@ class PageMappedFTL:
         self._open[key] = (block, 0)
 
     def _usable_free_blocks(self) -> np.ndarray:
-        blocks = [b for b in sorted(self._free_blocks) if self._block_usable(b)]
-        return np.array(blocks, dtype=np.int64)
+        """Ascending usable free blocks, served from the cached index."""
+        return self._free_blocks.array()
 
     def _close_open_block(self, key: str) -> None:
         state = self._open[key]
@@ -712,15 +864,24 @@ class PageMappedFTL:
         """Relocate one victim block's valid data and erase it."""
         # Sweep out blocks with nothing left to reclaim: condemned (or fully
         # retired) blocks that hold no valid data are dead, not candidates.
-        for block in sorted(self._closed_blocks):
-            if self._valid_per_block[block] == 0 and (
-                    not self._block_usable(block) or self._block_is_dead(block)):
-                self._closed_blocks.discard(block)
-                self._dead_blocks.add(block)
-        candidates = np.array(sorted(self._closed_blocks), dtype=np.int64)
+        # Only zero-valid candidates can qualify, so the sweep inspects
+        # those instead of walking every closed block.
+        candidates = self._closed_blocks.array()
+        valid_arr = self._valid_per_block
+        if candidates.size:
+            swept = False
+            for block in candidates[valid_arr[candidates] == 0]:
+                block = int(block)
+                if (not self._block_usable(block)
+                        or self._block_is_dead(block)):
+                    self._closed_blocks.discard(block)
+                    self._dead_blocks.add(block)
+                    swept = True
+            if swept:
+                candidates = self._closed_blocks.array()
         if candidates.size == 0:
             raise OutOfSpaceError("no closed blocks to garbage-collect")
-        valid = self._valid_per_block[candidates]
+        valid = valid_arr[candidates]
         capacities = self._block_capacities(candidates)
         ages = self._seq - self._close_seq[candidates]
         victim = self._gc.pick(candidates, valid, capacities, ages)
@@ -728,37 +889,21 @@ class PageMappedFTL:
         self._erase_block(victim)
 
     def _block_capacities(self, blocks: np.ndarray) -> np.ndarray:
-        levels = self.chip.level_array()
-        states = self.chip.state_array()
-        per_fpage = np.where(states == 2, 0,
-                             self.policy.dead_level - levels)
-        per_block = per_fpage.reshape(self.geometry.blocks,
-                                      self.geometry.fpages_per_block).sum(axis=1)
-        return per_block[blocks]
+        return self.chip.usable_slots_of_blocks(blocks)
 
     def _relocate_block(self, block: int) -> None:
         """Move every valid oPage out of ``block`` (into open fPages)."""
         survivors: list[tuple[int, bytes]] = []
-        for fpage in self.geometry.fpage_range_of_block(block):
-            if self.chip.state(fpage) is not PageState.WRITTEN:
+        start = block * self.geometry.fpages_per_block
+        for fpage in range(start, start + self.geometry.fpages_per_block):
+            if not self.chip.is_written(fpage):
                 continue
-            base = fpage * self._slots_per_fpage_max
-            level = self.chip.level(fpage)
-            for offset in range(self.policy.data_opages(level)):
-                lba = int(self._p2l[base + offset])
-                if lba < 0:
-                    continue
-                try:
-                    data, _latency = self.chip.read(fpage, offset)
-                except UncorrectableError:
-                    self._lose_lba(lba, base + offset)
-                    continue
-                survivors.append((lba, data))
+            survivors.extend(self._read_valid_opages(fpage))
         # Pack survivors densely: fill each target fPage to its capacity.
         cursor = 0
         while cursor < len(survivors):
             target = self._allocate_open_fpage(stream="gc")
-            capacity = self.policy.data_opages(self.chip.level(target))
+            capacity = self._data_opages[self.chip.level(target)]
             chunk = survivors[cursor:cursor + capacity]
             self._program_fpage(target, chunk, relocation=True)
             cursor += capacity
@@ -774,20 +919,17 @@ class PageMappedFTL:
         self._erase_counts[block] += 1
         self.stats.erases += 1
         self._instr.erases.inc()
-        worn = []
-        for fpage in self.geometry.fpage_range_of_block(block):
-            if self.chip.state(fpage) is not PageState.FREE:
-                continue
-            required = self.chip.required_level(fpage)
-            if required > self.chip.level(fpage):
-                worn.append((fpage, required))
+        # Wear-transition detection: right after the erase, read disturb
+        # is reset and FREE pages carry no retention term, so the chip's
+        # vectorised wear-only sweep is exact here.
+        worn = self.chip.worn_free_pages(block)
         for fpage, required in worn:
             self._handle_worn_page(fpage, required)
         if not self._block_usable(block):
             # Condemned by policy (e.g. baseline bad-block rule): nothing in
             # it may be reused, so its free pages leave service too.
             for fpage in self.geometry.fpage_range_of_block(block):
-                if self.chip.state(fpage) is PageState.FREE:
+                if self.chip.is_free(fpage):
                     self.chip.retire(fpage)
             self._dead_blocks.add(block)
         elif self._block_is_dead(block):
@@ -798,9 +940,7 @@ class PageMappedFTL:
             self._after_wear_event(block, [f for f, _ in worn])
 
     def _block_is_dead(self, block: int) -> bool:
-        states = self.chip.state_array()
-        pages = np.asarray(self.geometry.fpage_range_of_block(block))
-        return bool((states[pages] == 2).all())
+        return self.chip.block_fully_retired(block)
 
     # -- policy hooks ------------------------------------------------------------
 
@@ -816,7 +956,7 @@ class PageMappedFTL:
         """
         if required_level <= self.config.max_level:
             self.chip.set_level(fpage, required_level)
-            return self.chip.state(fpage) is PageState.FREE
+            return self.chip.is_free(fpage)
         self.chip.retire(fpage)
         self.stats.retired_fpages += 1
         self._instr.retired_fpages.inc()

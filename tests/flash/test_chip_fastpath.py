@@ -1,0 +1,166 @@
+"""Equivalence tests for the chip-level fast paths.
+
+The chip precomputes per-level ECC tables, memoises the wear RBER per PEC
+value, batches GC reads (``read_opages``) and maintains per-block capacity
+counters incrementally. Each shortcut must be observationally identical to
+the straightforward recomputation it replaced — including, for the batched
+read path, consuming *exactly the same RNG draws in the same order* as the
+sequential reads it supersedes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.chip import FlashChip, PageState
+from repro.flash.geometry import FlashGeometry
+from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+
+
+def make_pair(seed: int = 21, **kwargs) -> tuple[FlashChip, FlashChip]:
+    """Two chips with identical construction (same variation, same RNG)."""
+    geometry = FlashGeometry(blocks=8, fpages_per_block=8)
+    policy = TirednessPolicy(geometry=geometry)
+    model = calibrate_power_law(policy, pec_limit_l0=50)
+    mk = lambda: FlashChip(geometry, rber_model=model, policy=policy,  # noqa: E731
+                           seed=seed, **kwargs)
+    return mk(), mk()
+
+
+class TestRberMemo:
+    def test_rber_of_matches_direct_model_evaluation(self, make_chip):
+        chip = make_chip(seed=20)
+        for _ in range(3):
+            chip.erase(1)
+        for fpage in chip.geometry.fpage_range_of_block(1):
+            expected = (float(chip.rber_model.rber(chip.pec(fpage)))
+                        * chip.variation(fpage))
+            assert chip.rber_of(fpage) == pytest.approx(expected, rel=0,
+                                                        abs=0.0)
+
+    def test_memo_survives_pec_changes(self, make_chip):
+        chip = make_chip(seed=20)
+        before = chip.rber_of(0)
+        chip.erase(0)
+        after = chip.rber_of(0)
+        assert after > before  # wear moved; the memo did not go stale
+
+
+class TestRequiredLevel:
+    def test_matches_naive_ladder_walk(self, make_chip):
+        chip = make_chip(seed=22)
+        rng = np.random.default_rng(22)
+        for _ in range(40):
+            block = int(rng.integers(0, chip.geometry.blocks))
+            chip.erase(block)
+        for fpage in range(chip.geometry.total_fpages):
+            rber = chip.rber_of(fpage)
+            naive = chip.policy.dead_level
+            for level in chip.policy.usable_levels:
+                if rber <= chip.policy.max_rber(level):
+                    naive = level
+                    break
+            assert chip.required_level(fpage) == naive
+
+    def test_worn_free_pages_matches_per_page_sweep(self, make_chip):
+        chip = make_chip(seed=23, variation_sigma=0.5)
+        for _ in range(30):
+            chip.erase(2)
+        expected = []
+        for fpage in chip.geometry.fpage_range_of_block(2):
+            if chip.state(fpage) is not PageState.FREE:
+                continue
+            required = chip.required_level(fpage)
+            if required > chip.level(fpage):
+                expected.append((fpage, required))
+        assert chip.worn_free_pages(2) == expected
+
+
+class TestReadOpagesBitIdentity:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"read_disturb_rber": 1e-9},
+    ])
+    def test_same_rng_draws_and_stats_as_sequential_reads(self, kwargs):
+        batch_chip, seq_chip = make_pair(seed=24, **kwargs)
+        payloads = [bytes([i]) * 8 for i in range(4)]
+        for chip in (batch_chip, seq_chip):
+            chip.program(0, payloads, oob=((0, 1, 2, 3), 1))
+            # Age the page so the RBER (and hence the injected-error
+            # binomials) are non-trivial.
+            for _ in range(60):
+                chip.erase(1)
+        slots = [0, 1, 2, 3]
+        batch = batch_chip.read_opages(0, slots)
+        sequential = []
+        for slot in slots:
+            try:
+                data, _latency = seq_chip.read(0, slot)
+            except Exception:
+                data = None
+            sequential.append(data)
+        assert batch == sequential
+        # Identical RNG consumption: the next draw on both chips agrees.
+        assert (batch_chip.rng.integers(0, 2**31)
+                == seq_chip.rng.integers(0, 2**31))
+        assert batch_chip.stats.reads == seq_chip.stats.reads
+        assert batch_chip.stats.read_retries == seq_chip.stats.read_retries
+        assert batch_chip.stats.busy_us == seq_chip.stats.busy_us
+        assert batch_chip.channel_busy_us == seq_chip.channel_busy_us
+
+    def test_subset_of_slots(self):
+        batch_chip, seq_chip = make_pair(seed=25)
+        payloads = [bytes([i]) * 8 for i in range(4)]
+        for chip in (batch_chip, seq_chip):
+            chip.program(8, payloads, oob=((4, 5, 6, 7), 1))
+        slots = [1, 3]
+        batch = batch_chip.read_opages(8, slots)
+        sequential = [seq_chip.read(8, slot)[0] for slot in slots]
+        assert batch == sequential
+        assert batch_chip.stats.busy_us == seq_chip.stats.busy_us
+
+
+class TestBlockAccounting:
+    def test_usable_slots_track_retire_and_promote(self, make_chip):
+        chip = make_chip(seed=26)
+        policy = chip.policy
+        rng = np.random.default_rng(26)
+        for _ in range(200):
+            fpage = int(rng.integers(0, chip.geometry.total_fpages))
+            action = rng.random()
+            if action < 0.4:
+                chip.retire(fpage)
+            elif action < 0.8:
+                current = chip.level(fpage)
+                if (chip.state(fpage) is not PageState.WRITTEN
+                        and current < policy.dead_level):
+                    chip.set_level(fpage, current + 1)
+            else:
+                block = fpage // chip.geometry.fpages_per_block
+                try:
+                    chip.erase(block)
+                except Exception:
+                    pass
+        # Recompute from scratch and compare with the incremental counters.
+        states = chip.state_array()
+        levels = chip.level_array()
+        per_fpage = np.where(states == 2, 0, policy.dead_level - levels)
+        per_block = per_fpage.reshape(
+            chip.geometry.blocks, chip.geometry.fpages_per_block).sum(axis=1)
+        all_blocks = np.arange(chip.geometry.blocks)
+        assert (chip.usable_slots_of_blocks(all_blocks) == per_block).all()
+        assert chip.usable_slots_total() == int(per_block.sum())
+        retired = (states == 2).reshape(
+            chip.geometry.blocks, chip.geometry.fpages_per_block)
+        for block in range(chip.geometry.blocks):
+            assert chip.block_fully_retired(block) == bool(
+                retired[block].all())
+
+    def test_level_mirror_consistent_with_array(self, make_chip):
+        chip = make_chip(seed=27)
+        chip.set_level(3, 2)
+        chip.set_level(4, chip.policy.dead_level)
+        levels = chip.level_array()
+        for fpage in range(chip.geometry.total_fpages):
+            assert chip.level(fpage) == int(levels[fpage])

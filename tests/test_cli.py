@@ -295,3 +295,41 @@ class TestReportCommand:
     def test_bad_tolerance_exits_2(self, capsys, tmp_path):
         assert main(["report", "--tolerance", "1.5"]) \
             == EXIT_CONFIG_ERROR
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--devices", "6", "--blocks", "16", "--years", "2",
+            "--step-days", "20", "--runs", "2"]
+
+    def test_jobs_do_not_change_artifact_bytes(self, capsys, tmp_path):
+        """`--jobs 2` must emit the same bytes as `--jobs 1` — the CLI
+        face of the parallel runner's determinism contract."""
+        j1, j2 = tmp_path / "j1.json", tmp_path / "j2.json"
+        assert main([*self.ARGS, "--jobs", "1", "--out", str(j1)]) == 0
+        assert main([*self.ARGS, "--jobs", "2", "--out", str(j2)]) == 0
+        assert j1.read_bytes() == j2.read_bytes()
+        out = capsys.readouterr().out
+        assert "sweep artifact" in out
+        assert "fleet sweep" in out
+
+    def test_artifact_validates_and_covers_grid(self, capsys, tmp_path):
+        from repro.sim.parallel import load_sweep_artifact
+        path = tmp_path / "sweep.json"
+        assert main([*self.ARGS, "--jobs", "1", "--out", str(path)]) == 0
+        document = load_sweep_artifact(path)
+        assert len(document["seeds"]) == 2
+        assert len(document["results"]) == \
+            len(document["modes"]) * len(document["seeds"])
+
+    def test_single_mode_sweep(self, capsys, tmp_path):
+        path = tmp_path / "regen.json"
+        assert main([*self.ARGS, "--mode", "regen", "--runs", "1",
+                     "--out", str(path)]) == 0
+        from repro.sim.parallel import load_sweep_artifact
+        document = load_sweep_artifact(path)
+        assert document["modes"] == ["regen"]
+
+    def test_bad_jobs_maps_to_exit_2(self, capsys, tmp_path):
+        assert main([*self.ARGS, "--jobs", "-2",
+                     "--out", str(tmp_path / "x.json")]) == EXIT_CONFIG_ERROR
+        assert "configuration error" in capsys.readouterr().err
