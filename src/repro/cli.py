@@ -102,6 +102,21 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
              "the fleet's day axis; 0 samples every step)")
 
 
+def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PATH",
+        help="inject faults from a repro.faults/v1 plan JSON "
+             "(see docs/FAULTS.md); omit for a fault-free run")
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """Load the ``--faults`` plan, or None when the flag was not given."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.faults import FaultPlan
+    return FaultPlan.load(args.faults)
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
     policy = TirednessPolicy(ecc_family=args.ecc_family)
     model = calibrate_power_law(policy, pec_limit_l0=args.pec_limit)
@@ -127,7 +142,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         dwpd=args.dwpd, afr=args.afr,
         horizon_days=int(args.years * 365), step_days=args.step_days)
     modes = MODES if args.mode == "all" else (args.mode,)
-    results = {mode: simulate_fleet(config, mode, seed=args.seed)
+    plan = _load_fault_plan(args)
+    # Passing the *plan* (not an injector) gives every mode its own
+    # fresh fault counters — the schedule applies per run, not jointly.
+    results = {mode: simulate_fleet(config, mode, seed=args.seed,
+                                    faults=plan)
                for mode in modes}
     print(render_series(
         [Series(mode, r.days / 365.0, r.functioning, x_label="years")
@@ -297,8 +316,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     modes = MODES if args.mode == "all" else (args.mode,)
     seeds = derive_seeds(args.seed, args.runs)
     jobs = resolve_jobs(args.jobs)
-    results = run_fleet_grid(config, modes=modes, seeds=seeds, jobs=jobs)
-    document = sweep_document(config, modes, seeds, results)
+    plan = _load_fault_plan(args)
+    results = run_fleet_grid(config, modes=modes, seeds=seeds, jobs=jobs,
+                             faults=plan)
+    document = sweep_document(config, modes, seeds, results, faults=plan)
     path = write_sweep_artifact(document, args.out)
     rows = [[row["mode"], row["runs"],
              f"{row['mean_lifetime_days']:.0f}",
@@ -319,6 +340,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     registry, tracer, sampler = _setup_observability(args)
     document = load_scenario(args.scenario)
+    plan = _load_fault_plan(args)
+    if plan is not None:
+        # The CLI flag overrides any plan embedded in the scenario file.
+        document = dict(document)
+        document["faults"] = plan.to_dict()
     writer = run_scenario(document)
     if registry is not None:
         writer.attach_metrics(registry)
@@ -418,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("all", "baseline", "cvss", "shrink", "regen"))
     fleet.add_argument("--seed", type=int, default=2025)
     _add_observability_flags(fleet)
+    _add_faults_flag(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
     tournament = sub.add_parser(
@@ -479,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical for any value)")
     sweep.add_argument("--out", default="results/sweep.json",
                        help="repro.sweep/v1 artifact path")
+    _add_faults_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     run = sub.add_parser(
@@ -487,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default="results",
                      help="artifact output directory")
     _add_observability_flags(run)
+    _add_faults_flag(run)
     run.set_defaults(func=_cmd_run)
 
     report = sub.add_parser(

@@ -23,10 +23,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import (
     ChunkLostError,
     ConfigError,
+    RecoveryReadError,
     ReproError,
 )
 from repro.obs.instruments import difs_instruments
@@ -59,6 +60,9 @@ class ClusterConfig:
         redundancy: ``"replication"`` (default) or ``"rs"`` for RS(k, m)
             erasure coding (see :mod:`repro.difs.redundancy`).
         rs_k / rs_m: erasure-coding shape when ``redundancy == "rs"``.
+        recovery_read_retries: transient recovery-read failures tolerated
+            per unit before the source replica is written off (bounds the
+            retry loop under injected ``difs.recovery.read`` faults).
     """
 
     replication: int = 3
@@ -68,11 +72,16 @@ class ClusterConfig:
     redundancy: str = "replication"
     rs_k: int = 4
     rs_m: int = 2
+    recovery_read_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.replication < 1:
             raise ConfigError(
                 f"replication must be >= 1, got {self.replication!r}")
+        if self.recovery_read_retries < 0:
+            raise ConfigError(
+                f"recovery_read_retries must be >= 0, "
+                f"got {self.recovery_read_retries!r}")
         if self.chunk_lbas <= 0:
             raise ConfigError(
                 f"chunk_lbas must be positive, got {self.chunk_lbas!r}")
@@ -108,6 +117,7 @@ class Cluster:
         self._chunks_by_volume: dict[str, set[str]] = {}
         self._device_count = 0
         self._audit_cursor = 0
+        self._faults = faults.injector()
         self._instr = difs_instruments()
         if obs.metrics_enabled():
             # Gauge sampled at collection time, so it is correct even when
@@ -335,8 +345,13 @@ class Cluster:
     def poll_failures(self) -> int:
         """Detect silently-dead volumes (e.g. bricked devices); enqueue them.
 
-        Returns the number of newly-detected failures.
+        Also advances the fault injector's node-outage clock: injected
+        ``difs.node`` outages are measured in poll sweeps (a node is down
+        for ``count`` consecutive polls). Returns the number of
+        newly-detected failures — outages are transient and never count.
         """
+        if self._faults is not None:
+            self._faults.note_poll()
         found = 0
         for volume_id, volume in self.volumes.items():
             if not volume.is_alive and volume_id not in \
@@ -372,6 +387,7 @@ class Cluster:
         """
         units: dict[int, list[bytes]] = dict(preloaded or {})
         needed = self.scheme.min_units
+        injector = self._faults
         # Prefer live replicas, then grace-readable ones; within each pass
         # prefer low indexes (the systematic data units decode fastest).
         for readable_pass in (False, True):
@@ -388,13 +404,51 @@ class Cluster:
                     continue
                 if not volume.is_alive and not readable_pass:
                     continue
+                if injector is not None and injector.node_down(
+                        volume.node_id):
+                    # Transient node outage: the replica is fine, just
+                    # unreachable right now — skip it, never forget it.
+                    injector.record_degraded("skip_node_outage")
+                    continue
                 try:
-                    units[replica.index] = volume.read_chunk(replica.slot)
+                    units[replica.index] = self._read_unit(
+                        volume, replica.slot)
                 except ReproError:
                     self.forget_replica(chunk, replica,
                                         release=volume.is_alive)
                     continue
         return units if len(units) >= needed else None
+
+    def _read_unit(self, volume: Volume, slot: int) -> list[bytes]:
+        """Read one unit for collection, with bounded retry under faults.
+
+        With no injector installed this is a plain ``read_chunk``. Each
+        attempt the plan fails consumes one ``difs.recovery.read`` site
+        hit, so a burst of ``count=n`` means "fail n consecutive
+        attempts": ``n <= recovery_read_retries`` succeeds after the
+        retries; a longer burst (a permanently-down source) exhausts the
+        budget and raises :class:`RecoveryReadError`, which the caller
+        handles exactly like any dead replica — the chunk degrades or is
+        marked lost rather than hanging. Retries move no data, so the
+        byte accounting stays exact.
+        """
+        injector = self._faults
+        if injector is None:
+            return volume.read_chunk(slot)
+        attempts = 0
+        while True:
+            spec = injector.check("difs.recovery.read",
+                                  volume=volume.volume_id,
+                                  node=volume.node_id)
+            if spec is None:
+                return volume.read_chunk(slot)
+            attempts += 1
+            self.recovery.stats.read_retries += 1
+            injector.record_degraded("recovery_read_retry")
+            if attempts > self.config.recovery_read_retries:
+                raise RecoveryReadError(
+                    f"unit read from {volume.volume_id} failed "
+                    f"{attempts} times; source written off")
 
     def add_unit(self, chunk: Chunk, index: int,
                  payloads: list[bytes]) -> Replica:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import NoPlacementError, ReproError
 from repro.obs.instruments import difs_instruments
 
@@ -38,13 +38,19 @@ class RecoveryEvent:
 
 @dataclass
 class RecoveryStats:
-    """Cumulative recovery accounting."""
+    """Cumulative recovery accounting.
+
+    ``read_retries`` counts transient recovery-read failures that were
+    retried (injected faults); retries move no data, so they appear here
+    and *not* in ``bytes_read``.
+    """
 
     volume_failures: int = 0
     chunks_recovered: int = 0
     chunks_lost: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    read_retries: int = 0
     events: list[RecoveryEvent] = field(default_factory=list)
 
     @property
@@ -63,6 +69,7 @@ class RecoveryManager:
     def __init__(self, cluster) -> None:
         self._cluster = cluster
         self.stats = RecoveryStats()
+        self._faults = faults.injector()
         self._pending_volumes: list[str] = []
         self._pending_chunks: list[str] = []
         self._failed_volumes: set[str] = set()
@@ -117,6 +124,10 @@ class RecoveryManager:
             if self._pending_volumes:
                 volume_id = self._pending_volumes.pop(0)
                 enqueued = self._pending_volume_times.pop(0)
+                if self._event_fault("volume", volume_id,
+                                     self._pending_volumes,
+                                     self._pending_volume_times, enqueued):
+                    continue
                 self._instr.degraded_dwell.labels(kind="volume").observe(
                     self._cluster.time - enqueued)
                 self._set_queue_gauges()
@@ -126,11 +137,41 @@ class RecoveryManager:
             elif self._pending_chunks:
                 chunk_id = self._pending_chunks.pop(0)
                 enqueued = self._pending_chunk_times.pop(0)
+                if self._event_fault("chunk", chunk_id,
+                                     self._pending_chunks,
+                                     self._pending_chunk_times, enqueued):
+                    continue
                 self._instr.degraded_dwell.labels(kind="chunk").observe(
                     self._cluster.time - enqueued)
                 self._set_queue_gauges()
                 with obs.tracer().span("difs.repair_chunk", chunk=chunk_id):
                     self._repair_chunk(chunk_id, record=None)
+
+    def _event_fault(self, kind: str, item_id: str, queue: list[str],
+                     times: list[float], enqueued: float) -> bool:
+        """Apply an injected ``difs.recovery.event`` fault to one dequeue.
+
+        ``delay`` re-appends the item (dwell time keeps accruing from the
+        original enqueue) and skips it this round; ``duplicate`` re-appends
+        it *and* processes it now — recovery handlers are idempotent, so a
+        duplicated event must converge to the same state (the fault tests
+        assert exactly that). Returns True when processing should be
+        skipped.
+        """
+        if self._faults is None:
+            return False
+        spec = self._faults.check("difs.recovery.event",
+                                  kind=kind, id=item_id)
+        if spec is None:
+            return False
+        queue.append(item_id)
+        times.append(enqueued)
+        self._set_queue_gauges()
+        if spec.fault == "delay":
+            self._faults.record_degraded("recovery_event_delayed")
+            return True
+        self._faults.record_degraded("recovery_event_duplicated")
+        return False
 
     def _recover_volume(self, volume_id: str) -> None:
         cluster = self._cluster
@@ -152,7 +193,8 @@ class RecoveryManager:
                 if volume is not None and volume.readable:
                     try:
                         source_units = {
-                            replica.index: volume.read_chunk(replica.slot)}
+                            replica.index: cluster._read_unit(
+                                volume, replica.slot)}
                     except ReproError:
                         source_units = None
                 cluster.forget_replica(chunk, replica, release=False)

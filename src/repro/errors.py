@@ -46,8 +46,40 @@ class UncorrectableError(FlashError):
         self.correctable = correctable
 
 
+class InjectedFault:
+    """Mixin marking an error as raised by :mod:`repro.faults`.
+
+    Handlers that want to absorb *injected* failures without masking real
+    model bugs catch ``(SomeError, InjectedFault)`` intersections, e.g.
+    ``except ProgramFaultError`` — which is both a :class:`ProgramError`
+    and an :class:`InjectedFault`.
+    """
+
+
+class ProgramFaultError(ProgramError, InjectedFault):
+    """An injected (fault-plan) program failure."""
+
+
+class EraseFaultError(EraseError, InjectedFault):
+    """An injected (fault-plan) erase failure."""
+
+
 class SSDError(ReproError):
     """Base class for device-level failures."""
+
+
+class PowerLossError(SSDError, InjectedFault):
+    """An injected power loss / controller crash.
+
+    Raised at an injection site; only the crash-and-remount driver in
+    :mod:`repro.faults.harness` should catch it. Everything non-durable
+    (DRAM mapping tables, in-flight GC state) is lost; the NVRAM write
+    buffer and flash contents survive.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected power loss at {site}")
+        self.site = site
 
 
 class DeviceBrickedError(SSDError):
@@ -80,6 +112,10 @@ class DiFSError(ReproError):
 
 class ChunkLostError(DiFSError):
     """All replicas of a chunk were lost before recovery could complete."""
+
+
+class RecoveryReadError(DiFSError, InjectedFault):
+    """An injected failure of a recovery read from a surviving replica."""
 
 
 class NoPlacementError(DiFSError):

@@ -1,0 +1,85 @@
+"""Crash-and-remount driver: the only sanctioned PowerLossError handler.
+
+Injected power losses (:class:`~repro.errors.PowerLossError`) unwind
+the operation in flight; everything the crashed device held in DRAM —
+mapping tables, counters, in-flight GC state — is gone. What survives
+is exactly what real hardware keeps:
+
+* the flash chip (every atomic program/erase that completed), and
+* the NVRAM region: the write buffer, plus for Salamander devices the
+  minidisk table / limbo ledger / event state (see
+  :meth:`SalamanderSSD.nvram_snapshot`).
+
+:func:`remount_after_crash` models that: it reads the durable state off
+the crashed object (NVRAM contents are whatever they were at the crash
+instant — injection sites sit *between* atomic chip operations, never
+inside one) and reconstructs a fresh device via the flavour's
+``remount`` classmethod, which replays the flash OOB log through
+``_rebuild_from_flash``. The crash-consistency fuzz harness in
+``tests/faults/`` loops write → crash → remount → invariant-check on
+exactly this driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigError, PowerLossError
+from repro.salamander.device import SalamanderSSD
+from repro.ssd.device import BaselineSSD
+from repro.ssd.ftl import PageMappedFTL
+
+_D = TypeVar("_D", bound=PageMappedFTL)
+
+
+def nvram_buffer_entries(device: PageMappedFTL) -> list[tuple[int, bytes]]:
+    """Snapshot the NVRAM write buffer of any device flavour."""
+    return [(lba, device.buffer.get(lba)) for lba in device.buffer.keys()]
+
+
+def remount_after_crash(device: _D) -> _D:
+    """Rebuild ``device`` from its durable (flash + NVRAM) state.
+
+    Dispatches on flavour — most specific first, since both SSD classes
+    derive from :class:`PageMappedFTL`:
+
+    * :class:`SalamanderSSD` — ``nvram_snapshot()`` +
+      ``SalamanderSSD.remount``
+    * :class:`BaselineSSD` — flash-resident bad-block scan +
+      ``BaselineSSD.remount``
+    * :class:`PageMappedFTL` — plain OOB replay via
+      ``PageMappedFTL.remount``
+
+    Returns a *new* object over the same chip; the crashed one must be
+    discarded (its DRAM state is undefined mid-operation).
+    """
+    if isinstance(device, SalamanderSSD):
+        return SalamanderSSD.remount(device.chip, device.salamander_config,
+                                     device.nvram_snapshot())
+    if isinstance(device, BaselineSSD):
+        return BaselineSSD.remount(device.chip, device.device_config,
+                                   n_lbas=device.n_lbas,
+                                   buffer_entries=nvram_buffer_entries(device))
+    if isinstance(device, PageMappedFTL):
+        return PageMappedFTL.remount(device.chip, device.n_lbas,
+                                     device.config,
+                                     buffer_entries=nvram_buffer_entries(device))
+    raise ConfigError(
+        f"don't know how to remount {type(device).__name__}")
+
+
+def run_to_crash(operation: Callable[[], object],
+                 device: _D) -> tuple[_D, bool, str | None]:
+    """Run ``operation``; on injected power loss, remount and report.
+
+    Returns ``(device, crashed, site)`` — the same device when the
+    operation completed, or a freshly remounted one (and the crash
+    site) when a :class:`PowerLossError` fired. Any other error
+    propagates: the driver absorbs *injected* crashes only, never real
+    model bugs.
+    """
+    try:
+        operation()
+    except PowerLossError as loss:
+        return remount_after_crash(device), True, loss.site
+    return device, False, None

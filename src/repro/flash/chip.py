@@ -28,10 +28,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.errors import (
     ConfigError,
     EraseError,
+    EraseFaultError,
     ProgramError,
+    ProgramFaultError,
     UncorrectableError,
 )
 from repro.flash.geometry import FlashGeometry
@@ -139,6 +142,9 @@ class FlashChip:
         self.retention_rber_per_day = retention_rber_per_day
         self.now_fn = now_fn
         self.stats = ChipStats()
+        # Fault injection binds at construction (None ⇒ hooks are a
+        # single attribute test; see docs/FAULTS.md).
+        self._faults = faults.injector()
 
         n = self.geometry.total_fpages
         self._total_fpages = n
@@ -422,6 +428,16 @@ class FlashChip:
                     f"payload for slot {slot} is {len(payload)} bytes; "
                     f"oPages hold {opage_bytes}")
             stored.append(bytes(payload).ljust(opage_bytes, b"\0"))
+        if self._faults is not None:
+            # Counted after validation: a hit is one well-formed program
+            # attempt. An injected failure leaves the page FREE and
+            # unmodified — the FTL decides whether to retire it.
+            spec = self._faults.check(
+                "chip.program", fpage=fpage,
+                block=fpage // self._fpages_per_block)
+            if spec is not None:
+                raise ProgramFaultError(
+                    f"injected program failure at fPage {fpage}")
         self._data[fpage] = tuple(stored)
         if self.now_fn is not None:
             self._programmed_at[fpage] = float(self.now_fn())
@@ -462,6 +478,19 @@ class FlashChip:
         self.stats.reads += 1
         self.stats.read_retries += retries
         self._charge(fpage // self._fpages_per_block, latency)
+        if self._faults is not None:
+            spec = self._faults.check(
+                "chip.read", fpage=fpage, slot=slot,
+                block=fpage // self._fpages_per_block)
+            if spec is not None:
+                if spec.fault == "uncorrectable":
+                    self.stats.uncorrectable_reads += 1
+                    correctable = self._ecc_t_by_level[level]
+                    raise UncorrectableError(
+                        f"fPage {fpage} (L{level}): injected uncorrectable "
+                        f"read", bit_errors=correctable + 1,
+                        correctable=correctable)
+                self._corrupt_slot(fpage, slot, spec.args)
         if self.inject_errors and rber > 0:
             ecc = self._ecc_by_level[level]
             correctable = self._ecc_t_by_level[level]
@@ -506,6 +535,7 @@ class FlashChip:
         block = fpage // self._fpages_per_block
         stats = self.stats
         inject = self.inject_errors
+        injector = self._faults
         rng = self.rng
         chan = self.channel_busy_us
         ci = block % self._channels
@@ -536,6 +566,18 @@ class FlashChip:
             stats.read_retries += retries
             stats.busy_us += latency
             chan[ci] += latency
+            if injector is not None:
+                # Same hit/context sequence as per-slot read() calls, so
+                # fault schedules are path-independent too.
+                spec = injector.check("chip.read", fpage=fpage, slot=slot,
+                                      block=block)
+                if spec is not None:
+                    if spec.fault == "uncorrectable":
+                        stats.uncorrectable_reads += 1
+                        out.append(None)
+                        continue
+                    self._corrupt_slot(fpage, slot, spec.args)
+                    data = self._data[fpage]
             if inject and rber > 0:
                 flipped = int(rng.binomial(codeword_bits, p_flip))
                 if flipped > correctable:
@@ -544,6 +586,19 @@ class FlashChip:
                     continue
             out.append(data[slot])
         return out
+
+    def _corrupt_slot(self, fpage: int, slot: int, args) -> None:
+        """Silently flip stored bits (injected corruption beyond the RBER
+        model). The damage is persistent media corruption: ECC corrected
+        nothing, so subsequent reads — by anyone — see the same bad bytes.
+        ``args``: ``byte`` (offset, default 0), ``mask`` (XOR, default 0xFF).
+        """
+        data = list(self._data[fpage])
+        payload = bytearray(data[slot])
+        index = int(args.get("byte", 0)) % len(payload)
+        payload[index] ^= int(args.get("mask", 0xFF)) & 0xFF
+        data[slot] = bytes(payload)
+        self._data[fpage] = tuple(data)
 
     def _read_retries_fast(self, rber: float, level: int) -> float:
         """``LatencyModel.expected_read_retries`` with the per-level ECC
@@ -578,6 +633,21 @@ class FlashChip:
         self.stats.reads += 1
         self.stats.read_retries += retries
         self._charge(fpage // self._fpages_per_block, latency)
+        if self._faults is not None:
+            # A whole-fPage sense is one hit (one array read on hardware).
+            spec = self._faults.check(
+                "chip.read", fpage=fpage,
+                block=fpage // self._fpages_per_block)
+            if spec is not None:
+                if spec.fault == "uncorrectable":
+                    self.stats.uncorrectable_reads += 1
+                    correctable = self._ecc_t_by_level[level]
+                    raise UncorrectableError(
+                        f"fPage {fpage} (L{level}): injected uncorrectable "
+                        f"read", bit_errors=correctable + 1,
+                        correctable=correctable)
+                slot = int(spec.args.get("slot", 0)) % data_slots
+                self._corrupt_slot(fpage, slot, spec.args)
         if self.inject_errors and rber > 0:
             ecc = self._ecc_by_level[level]
             correctable = self._ecc_t_by_level[level]
@@ -600,6 +670,14 @@ class FlashChip:
         self.geometry.check_block(block)
         if int(self._block_retired_fpages[block]) >= self._fpages_per_block:
             raise EraseError(f"block {block} is fully retired")
+        if self._faults is not None:
+            spec = self._faults.check("chip.erase", block=block)
+            if spec is not None:
+                # Failure before any mutation: PEC does not advance and
+                # written pages keep their data (real erase failures are
+                # detected by status polling; firmware retires the block).
+                raise EraseFaultError(
+                    f"injected erase failure at block {block}")
         start = block * self._fpages_per_block
         stop = start + self._fpages_per_block
         self._pec[start:stop] += 1

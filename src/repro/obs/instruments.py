@@ -277,6 +277,34 @@ def fleet_instruments(mode: str) -> FleetInstruments:
 
 
 @dataclass(frozen=True)
+class FaultInstruments:
+    """Fault-injection instruments (families; labelled per event)."""
+
+    injected: Any   # family; labels (site, fault)
+    crashes: Any    # family; labels (site,)
+    degraded: Any   # family; labels (action,)
+
+
+def fault_instruments() -> FaultInstruments:
+    m = obs.metrics()
+    return FaultInstruments(
+        injected=m.counter(
+            "repro_faults_injected_total",
+            help="Faults injected by the active fault plan",
+            unit="faults", labelnames=("site", "fault")),
+        crashes=m.counter(
+            "repro_faults_crashes_total",
+            help="Injected power losses / controller crashes",
+            unit="crashes", labelnames=("site",)),
+        degraded=m.counter(
+            "repro_faults_degraded_total",
+            help="Graceful-degradation actions taken in response to "
+                 "injected faults",
+            unit="actions", labelnames=("action",)),
+    )
+
+
+@dataclass(frozen=True)
 class EngineInstruments:
     """Discrete-event engine instruments."""
 

@@ -442,9 +442,21 @@ class SalamanderSSD(PageMappedFTL):
             # re-replicates; only the logical capacity leaves service now.
             mdisk.decommission(self._event_seq, draining=True)
             self._draining.append(mdisk.mdisk_id)
+            if self._faults is not None:
+                self._faults.crash_if("salamander.decommission",
+                                      mdisk=mdisk.mdisk_id, reason=reason)
         else:
-            self._invalidate(mdisk)
+            # Durability ordering (docs/FAULTS.md, ack-before-persist):
+            # record the decommission in the NVRAM minidisk table *before*
+            # dropping the mDisk's mappings and buffered writes. A crash
+            # between the two must find the mDisk already DECOMMISSIONED
+            # (remount re-runs the invalidation), never an ACTIVE mDisk
+            # whose acked data was already discarded.
             mdisk.decommission(self._event_seq)
+            if self._faults is not None:
+                self._faults.crash_if("salamander.decommission",
+                                      mdisk=mdisk.mdisk_id, reason=reason)
+            self._invalidate(mdisk)
         self.stats.decommissioned_minidisks += 1
         self._sal_instr.decommissions.labels(
             device=self._sal_instr.device, reason=reason).inc()
@@ -497,6 +509,13 @@ class SalamanderSSD(PageMappedFTL):
             plan = planner(self.limbo, needed)
             if plan is None:
                 return
+            if self._faults is not None:
+                # Crash *before* the mint touches NVRAM: the limbo
+                # ledger / minidisk table mutations below model one
+                # atomic NVRAM transaction, so the injection point sits
+                # outside it.
+                self._faults.crash_if("salamander.regenerate",
+                                      level=plan.level)
             for fpage in plan.fpages:
                 self.limbo.remove(fpage)
             self._event_seq += 1

@@ -27,7 +27,9 @@ import json
 from dataclasses import fields, replace
 from pathlib import Path
 
+from repro import faults as faults_mod
 from repro.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.reporting.export import ExperimentWriter
 from repro.reporting.series import Series
 
@@ -54,7 +56,18 @@ def validate_scenario(document: dict) -> dict:
     params = document.get("params", {})
     if not isinstance(params, dict):
         raise ConfigError("scenario 'params' must be an object")
+    if "faults" in document:
+        # Validates eagerly so a broken plan fails at load, not mid-run.
+        scenario_fault_plan(document)
     return document
+
+
+def scenario_fault_plan(document: dict) -> FaultPlan | None:
+    """The scenario's embedded fault plan, or ``None`` when fault-free."""
+    plan_doc = document.get("faults")
+    if plan_doc is None:
+        return None
+    return FaultPlan.from_dict(plan_doc)
 
 
 def _fleet_config(params: dict):
@@ -79,9 +92,12 @@ def _run_fleet(document: dict, writer: ExperimentWriter) -> None:
     config = _fleet_config(document.get("params", {}))
     modes = document.get("modes", list(MODES))
     seed = document.get("seed", 0)
+    # Each mode gets a fresh injector built from the plan, so the fault
+    # schedule applies identically per discipline (like per sweep task).
+    plan = scenario_fault_plan(document)
     rows = []
     for mode in modes:
-        result = simulate_fleet(config, mode, seed=seed)
+        result = simulate_fleet(config, mode, seed=seed, faults=plan)
         writer.add_series(Series(
             f"{mode}/functioning", result.days, result.functioning,
             x_label="days", y_label="functioning devices"))
@@ -205,12 +221,28 @@ _RUNNERS = {
 
 
 def run_scenario(document: dict) -> ExperimentWriter:
-    """Execute a validated scenario; returns the artifact writer."""
+    """Execute a validated scenario; returns the artifact writer.
+
+    When the scenario carries a ``"faults"`` plan (``repro.faults/v1``)
+    it is installed as the process-wide injector for the duration of the
+    run, so functional kinds (``tournament``, ...) construct their
+    devices fault-aware; the fleet kind additionally passes the plan per
+    mode for fresh per-run trigger counters. The plan document is echoed
+    into the artifact's ``meta`` for provenance.
+    """
     document = validate_scenario(document)
-    writer = ExperimentWriter(document["name"], meta={
+    meta = {
         "kind": document["kind"],
         "seed": document.get("seed"),
         "params": document.get("params", {}),
-    })
-    _RUNNERS[document["kind"]](document, writer)
+    }
+    plan = scenario_fault_plan(document)
+    if plan is not None:
+        meta["faults"] = plan.to_dict()
+    writer = ExperimentWriter(document["name"], meta=meta)
+    if plan is not None:
+        with faults_mod.installed(plan):
+            _RUNNERS[document["kind"]](document, writer)
+    else:
+        _RUNNERS[document["kind"]](document, writer)
     return writer

@@ -12,7 +12,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import SimulationError
 from repro.obs.instruments import engine_instruments
 from repro.sim.clock import SimClock
@@ -48,6 +48,7 @@ class Engine:
         # Bound once at construction, like every instrumentation site:
         # with timeseries disabled the per-event cost is one `is None`.
         self._ts = obs.timeseries() if obs.timeseries_enabled() else None
+        self._faults = faults.injector()
 
     def __len__(self) -> int:
         """Live (scheduled, not cancelled) events — O(1)."""
@@ -120,6 +121,11 @@ class Engine:
                 # Offer this instant to the periodic sampler; its
                 # cadence gate decides whether a snapshot is taken.
                 self._ts.maybe_sample(self.clock.now)
+            if self._faults is not None:
+                # Crash *between* events: the popped event is charged
+                # (done, clock advanced) but its callback never ran —
+                # the discrete-event analogue of power loss.
+                self._faults.crash_if("engine.step", time=self.clock.now)
             event.callback()
             return True
         return False

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import faults as faults_mod
 from repro import obs
 from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs.instruments import fleet_instruments
 from repro.obs.smart import smart_field
 from repro.flash.geometry import FlashGeometry
@@ -213,16 +215,30 @@ def _percentile_sorted(values: list[float], q: float) -> float:
 
 def simulate_fleet(config: FleetConfig, mode: str,
                    seed: int | np.random.Generator | None = None,
-                   rber_model: RBERModel | None = None) -> FleetResult:
+                   rber_model: RBERModel | None = None,
+                   faults: FaultPlan | FaultInjector | None = None,
+                   ) -> FleetResult:
     """Run one fleet under one device discipline.
 
     Pass the same ``seed`` for every mode to compare disciplines on
     identical hardware draws (the AFR stream is forked per mode from the
     same root, so background failures are statistically — not samplewise —
     identical).
+
+    ``faults`` schedules injected failures against the ``fleet.step``
+    site: a :class:`~repro.faults.FaultPlan` gets a *fresh* injector per
+    call (so parallel sweeps stay byte-identical regardless of worker
+    count), an explicit :class:`~repro.faults.FaultInjector` is used as
+    given, and ``None`` falls back to the globally installed injector.
     """
     if mode not in MODES:
         raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+    if faults is None:
+        injector = faults_mod.injector()
+    elif isinstance(faults, FaultInjector):
+        injector = faults
+    else:
+        injector = FaultInjector(faults)
     # Bound once; with observability disabled the per-step cost is a single
     # ``is None`` check (the 5% overhead budget in docs/OBSERVABILITY.md).
     instr = fleet_instruments(mode) if obs.metrics_enabled() else None
@@ -400,6 +416,31 @@ def simulate_fleet(config: FleetConfig, mode: str,
             day = (step + 1) * config.step_days
             day_f = float(day)
             day_now[0] = day_f
+            if injector is not None:
+                # One site hit per fleet step; ``device_loss`` kills the
+                # first N alive devices in index order — deterministic by
+                # construction, independent of any RNG stream, so the AFR
+                # and hardware draws downstream are unperturbed.
+                spec = injector.check("fleet.step", mode=mode,
+                                      step=step + 1, day=day_f)
+                if spec is not None:
+                    to_kill = int(spec.args.get("devices", 1))
+                    for index, dev in enumerate(devices):
+                        if to_kill <= 0:
+                            break
+                        if not dev.alive:
+                            continue
+                        dev.alive = False
+                        dev.death_day = day
+                        to_kill -= 1
+                        injector.record_degraded("fleet_device_loss")
+                        if instr is not None:
+                            instr.device_deaths.labels(
+                                mode=mode, cause="injected").inc()
+                        if tracer is not None:
+                            tracer.event("fleet.device_death", mode=mode,
+                                         device=index, day=day,
+                                         cause="injected")
             # SMART production (census + wear collection) happens only
             # on steps the cadence gate will sample.
             pending = sampler is not None and sampler.due(day_f)

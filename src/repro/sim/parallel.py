@@ -34,6 +34,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.rng import fork_rng, make_rng
 from repro.sim.fleet import MODES, FleetConfig, FleetResult, simulate_fleet
 
@@ -90,11 +91,18 @@ def parallel_map(fn: Callable[[_T], _R], tasks: Sequence[_T],
 
 @dataclass(frozen=True)
 class FleetTask:
-    """One (config, mode, seed) fleet simulation, picklable for dispatch."""
+    """One (config, mode, seed) fleet simulation, picklable for dispatch.
+
+    ``faults`` rides along as a *plan* (a pure value), never a live
+    injector: each worker builds a fresh injector from it, so fault
+    trigger counters are per-run and the merged sweep stays byte-identical
+    for any ``--jobs`` value.
+    """
 
     config: FleetConfig
     mode: str
     seed: int
+    faults: FaultPlan | None = None
 
 
 def run_fleet_task(task: FleetTask) -> FleetResult:
@@ -109,29 +117,34 @@ def run_fleet_task(task: FleetTask) -> FleetResult:
     """
     if multiprocessing.parent_process() is not None:
         obs.disable()
-    return simulate_fleet(task.config, task.mode, seed=task.seed)
+    return simulate_fleet(task.config, task.mode, seed=task.seed,
+                          faults=task.faults)
 
 
 def fleet_tasks(config: FleetConfig, modes: Sequence[str],
-                seeds: Sequence[int]) -> list[FleetTask]:
+                seeds: Sequence[int],
+                faults: FaultPlan | None = None) -> list[FleetTask]:
     """Canonical task enumeration: seed-major, then mode order."""
     for mode in modes:
         if mode not in MODES:
             raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
-    return [FleetTask(config=config, mode=mode, seed=int(seed))
+    return [FleetTask(config=config, mode=mode, seed=int(seed),
+                      faults=faults)
             for seed in seeds for mode in modes]
 
 
 def run_fleet_grid(config: FleetConfig, modes: Sequence[str] = MODES,
                    seeds: Sequence[int] = (2025,), jobs: int = 1,
+                   faults: FaultPlan | None = None,
                    ) -> dict[tuple[str, int], FleetResult]:
     """Simulate every (mode, seed) combination, optionally in parallel.
 
     Returns ``{(mode, seed): FleetResult}``. The result for any key is
     identical whatever ``jobs`` is — the sweep artifact and the
-    determinism test both rely on this.
+    determinism test both rely on this. The same ``faults`` plan applies
+    to every task (each gets its own injector).
     """
-    tasks = fleet_tasks(config, modes, seeds)
+    tasks = fleet_tasks(config, modes, seeds, faults=faults)
     results = parallel_map(run_fleet_task, tasks, jobs=jobs)
     return {(task.mode, task.seed): result
             for task, result in zip(tasks, results)}
@@ -174,17 +187,19 @@ def _result_record(task: FleetTask, result: FleetResult) -> dict:
 
 def sweep_document(config: FleetConfig, modes: Sequence[str],
                    seeds: Sequence[int],
-                   results: dict[tuple[str, int], FleetResult]) -> dict:
+                   results: dict[tuple[str, int], FleetResult],
+                   faults: FaultPlan | None = None) -> dict:
     """Assemble the ``repro.sweep/v1`` artifact document.
 
     Deliberately excludes anything execution-dependent (job count,
     timestamps, host names): two runs of the same sweep must produce the
-    same document.
+    same document. When the sweep ran under a fault plan the plan document
+    is embedded verbatim (fault-free sweeps keep the historical layout).
     """
     records = [_result_record(FleetTask(config, mode, int(seed)),
                               results[(mode, int(seed))])
                for seed in seeds for mode in modes]
-    return {
+    document = {
         "schema": SWEEP_SCHEMA,
         "kind": "fleet_sweep",
         "config": _jsonable(asdict(config)),
@@ -192,6 +207,9 @@ def sweep_document(config: FleetConfig, modes: Sequence[str],
         "seeds": [int(seed) for seed in seeds],
         "results": records,
     }
+    if faults is not None:
+        document["faults"] = faults.to_dict()
+    return document
 
 
 def write_sweep_artifact(document: dict, path: str | Path) -> Path:

@@ -178,6 +178,13 @@ class BaselineSSD(PageMappedFTL):
     def _block_usable(self, block: int) -> bool:
         return not self.ledger.is_bad(block)
 
+    def _block_condemned(self, block: int) -> None:
+        """Erase failures land on the bad-block ledger like worn blocks."""
+        if not self.ledger.is_bad(block):
+            self.ledger.mark_bad(block)
+            self.stats.retired_blocks += 1
+            self._free_blocks.discard(block)
+
     def _after_wear_event(self, block: int, worn_fpages: list[int]) -> None:
         """End-of-life rule: brick as soon as the ledger crosses threshold.
 

@@ -30,10 +30,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
 from repro.errors import (
     ConfigError,
+    EraseFaultError,
     InvalidLBAError,
     OutOfSpaceError,
+    ProgramFaultError,
     UncorrectableError,
 )
 from repro.flash.chip import FlashChip
@@ -150,6 +153,9 @@ class PageMappedFTL:
                 f"headroom; shrink the logical size or grow the chip")
 
         self.n_lbas = n_lbas
+        # Fault injection binds at construction, like observability: with
+        # no plan installed the hooks are one attribute test (None).
+        self._faults = faults.injector()
         #: Stable observability label for this device's metric series.
         self.obs_name = next_device_name()
         self._instr = ftl_instruments(self.obs_name)
@@ -234,6 +240,11 @@ class PageMappedFTL:
         buffer = self.buffer
         chip_stats = self.chip.stats
         busy_before = chip_stats.busy_us
+        if self._faults is not None:
+            # Crash *before* the NVRAM insert: the write was never acked,
+            # so losing it is correct (and the invariant harness treats
+            # it as un-acked).
+            self._faults.crash_if("ftl.write", lba=lba)
         if lba not in buffer and buffer.is_full:
             self._drain_one_fpage()
         buffer.put(lba, bytes(data))
@@ -434,13 +445,11 @@ class PageMappedFTL:
         """Move a written page's valid oPages to fresh flash."""
         self._ensure_free_space()
         moved = self._read_valid_opages(fpage)
-        cursor = 0
-        while cursor < len(moved):
-            target = self._allocate_open_fpage(stream="gc")
-            capacity = self._data_opages[self.chip.level(target)]
-            chunk = moved[cursor:cursor + capacity]
-            self._program_fpage(target, chunk, relocation=False)
-            cursor += capacity
+        if self._faults is not None:
+            # Crash between the read and the rewrite: the source page is
+            # untouched (reads are non-destructive), so nothing is lost.
+            self._faults.crash_if("ftl.scrub", fpage=fpage)
+        self._program_items("gc", moved, relocation=False)
         self.stats.wear_relocations += len(moved)
         self._instr.wear_relocations.inc(len(moved))
         return len(moved)
@@ -715,6 +724,13 @@ class PageMappedFTL:
 
         Drains the stream with the most buffered pages, into that stream's
         own open block.
+
+        Durability ordering (ack-before-persist, docs/FAULTS.md): the
+        batch is *peeked*, programmed, and only then removed from the
+        NVRAM buffer. Entries these acked writes map to must never leave
+        NVRAM before the flash program that persists them completes — a
+        crash between a pop and the program would silently lose acked
+        data (the crash-consistency harness regression-tests this).
         """
         self._ensure_free_space()
         stream = self._busiest_stream()
@@ -724,10 +740,29 @@ class PageMappedFTL:
         if self.config.host_streams > 1:
             keys = {lba for lba in self.buffer.keys()
                     if self._buffer_stream.get(lba, 0) == stream}
-        batch = self.buffer.pop_batch(capacity, keys=keys)
+        batch = self.buffer.peek_batch(capacity, keys=keys)
+        injector = self._faults
+        if injector is not None:
+            injector.crash_if("ftl.drain.pre_program", fpage=fpage)
+        while True:
+            try:
+                self._program_fpage(fpage, batch, relocation=False)
+                break
+            except ProgramFaultError:
+                # Media refused the program; the batch is still safe in
+                # NVRAM. Retire the page and retry on a fresh one (whose
+                # capacity may be smaller if it sits at a higher level —
+                # the surplus simply stays buffered).
+                self._on_program_fault(fpage)
+                self._ensure_free_space()
+                fpage = self._allocate_open_fpage(stream=f"host{stream}")
+                capacity = self._data_opages[self.chip.level(fpage)]
+                batch = batch[:capacity]
+        if injector is not None:
+            injector.crash_if("ftl.drain.post_program", fpage=fpage)
         for lba, _payload in batch:
+            self.buffer.discard(lba)
             self._note_unbuffered(lba)
-        self._program_fpage(fpage, batch, relocation=False)
         self._maybe_autoscrub()
 
     def _busiest_stream(self) -> int:
@@ -779,6 +814,41 @@ class PageMappedFTL:
         if self.stats.host_writes:
             self._instr.write_amplification.set(
                 self.stats.flash_writes / self.stats.host_writes)
+
+    def _program_items(self, stream: str, items: list[tuple[int, bytes]],
+                       relocation: bool) -> None:
+        """Pack ``items`` densely into the stream's open fPages.
+
+        The shared chunking loop of relocation paths (GC and scrubbing).
+        Injected program failures retire the refused target page and the
+        same chunk retries on a fresh allocation — relocation never
+        drops a payload it already holds in DRAM.
+        """
+        cursor = 0
+        while cursor < len(items):
+            target = self._allocate_open_fpage(stream=stream)
+            capacity = self._data_opages[self.chip.level(target)]
+            chunk = items[cursor:cursor + capacity]
+            try:
+                self._program_fpage(target, chunk, relocation=relocation)
+            except ProgramFaultError:
+                self._on_program_fault(target)
+                continue
+            cursor += capacity
+
+    def _on_program_fault(self, fpage: int) -> None:
+        """A program operation was refused by the media: retire the page.
+
+        The chip leaves a refused page FREE and unmodified, so taking it
+        out of service is the whole cleanup; callers retry their payload
+        on a fresh page (real firmware does the same on program-status
+        failures).
+        """
+        self.chip.retire(fpage)
+        self.stats.retired_fpages += 1
+        self._instr.retired_fpages.inc()
+        if self._faults is not None:
+            self._faults.record_degraded("retire_program_fail")
 
     def _stream_key(self, stream: str) -> str:
         if stream == "gc" and not self.config.stream_separation:
@@ -885,8 +955,20 @@ class PageMappedFTL:
         capacities = self._block_capacities(candidates)
         ages = self._seq - self._close_seq[candidates]
         victim = self._gc.pick(candidates, valid, capacities, ages)
+        injector = self._faults
+        if injector is not None:
+            # Crash points bracketing the two non-atomic halves of a
+            # collection. Each sits *between* atomic chip operations:
+            # valid data either still lives in the victim (pre-erase) or
+            # already lives, with a newer write sequence, in the blocks
+            # relocation filled — so remount recovers either way.
+            injector.crash_if("gc.pre_relocate", block=int(victim))
         self._relocate_block(victim)
+        if injector is not None:
+            injector.crash_if("gc.pre_erase", block=int(victim))
         self._erase_block(victim)
+        if injector is not None:
+            injector.crash_if("gc.post_erase", block=int(victim))
 
     def _block_capacities(self, blocks: np.ndarray) -> np.ndarray:
         return self.chip.usable_slots_of_blocks(blocks)
@@ -900,13 +982,7 @@ class PageMappedFTL:
                 continue
             survivors.extend(self._read_valid_opages(fpage))
         # Pack survivors densely: fill each target fPage to its capacity.
-        cursor = 0
-        while cursor < len(survivors):
-            target = self._allocate_open_fpage(stream="gc")
-            capacity = self._data_opages[self.chip.level(target)]
-            chunk = survivors[cursor:cursor + capacity]
-            self._program_fpage(target, chunk, relocation=True)
-            cursor += capacity
+        self._program_items("gc", survivors, relocation=True)
 
     def _erase_block(self, block: int) -> None:
         """Erase ``block`` and run wear-transition detection on its pages."""
@@ -915,7 +991,11 @@ class PageMappedFTL:
             # Every page retired while the block was closed; nothing to erase.
             self._dead_blocks.add(block)
             return
-        self.chip.erase(block)
+        try:
+            self.chip.erase(block)
+        except EraseFaultError:
+            self._condemn_block(block)
+            return
         self._erase_counts[block] += 1
         self.stats.erases += 1
         self._instr.erases.inc()
@@ -938,6 +1018,36 @@ class PageMappedFTL:
             self._free_blocks.add(block)
         if worn:
             self._after_wear_event(block, [f for f, _ in worn])
+
+    def _condemn_block(self, block: int) -> None:
+        """An erase failure takes the whole block out of service.
+
+        Standard firmware behaviour: every page is retired (their
+        contents were already relocated — ``_erase_block`` runs after
+        relocation, so nothing valid remains), the block joins the dead
+        set, and the device-policy hook may additionally ledger it.
+        """
+        retired = 0
+        for fpage in self.geometry.fpage_range_of_block(block):
+            if self.chip.is_free(fpage) or self.chip.is_written(fpage):
+                self.chip.retire(fpage)
+                retired += 1
+        self.stats.retired_fpages += retired
+        if retired:
+            self._instr.retired_fpages.inc(retired)
+        self._free_blocks.discard(block)
+        self._dead_blocks.add(block)
+        if self._faults is not None:
+            self._faults.record_degraded("condemn_erase_fail")
+        self._block_condemned(block)
+        self._after_wear_event(block, [])
+
+    def _block_condemned(self, block: int) -> None:
+        """Policy hook: a block left service due to an erase failure.
+
+        Default: nothing beyond the base bookkeeping. The baseline
+        device ledgers the block so the brick threshold sees it.
+        """
 
     def _block_is_dead(self, block: int) -> bool:
         return self.chip.block_fully_retired(block)

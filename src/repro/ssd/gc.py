@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro import faults
 from repro.obs.instruments import gc_instruments
 
 
@@ -27,17 +28,35 @@ class GCPolicy(ABC):
     Subclasses implement :meth:`choose_victim`; callers that want the
     pick counted and its utilisation histogrammed (the FTL does) call
     :meth:`pick` instead, which wraps the policy decision with
-    observability.
+    observability — and with the ``gc.pick`` fault-injection site, which
+    can override the choice (``force_victim``) to steer GC into
+    pathological schedules the policies would never produce themselves.
     """
 
     def __init__(self) -> None:
         self._instr = gc_instruments(policy=type(self).__name__)
+        self._faults = faults.injector()
 
     def pick(self, candidate_blocks: np.ndarray, valid_counts: np.ndarray,
              capacities: np.ndarray, ages: np.ndarray) -> int:
         """Instrumented victim selection (same contract as choose_victim)."""
         victim = self.choose_victim(candidate_blocks, valid_counts,
                                     capacities, ages)
+        if self._faults is not None:
+            spec = self._faults.check("gc.pick", victim=victim)
+            if spec is not None:
+                # Forced victim: ``args.index`` picks a candidate by
+                # position (modulo the candidate count, so any index is
+                # valid in any state); without it, the fullest block —
+                # the worst case for write amplification.
+                index = spec.args.get("index")
+                if index is None:
+                    victim = int(np.asarray(candidate_blocks)[
+                        int(np.argmax(valid_counts))])
+                else:
+                    victim = int(np.asarray(candidate_blocks)[
+                        int(index) % len(candidate_blocks)])
+                self._faults.record_degraded("gc_forced_victim")
         position = int(np.argmax(candidate_blocks == victim))
         self._instr.picks.inc()
         self._instr.victim_valid_fraction.observe(

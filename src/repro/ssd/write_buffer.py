@@ -85,6 +85,26 @@ class WriteBuffer:
                 batch.append((key, self._entries.pop(key)))
         return batch
 
+    def peek_batch(self, count: int,
+                   keys: set[Hashable] | None = None,
+                   ) -> list[tuple[Hashable, bytes]]:
+        """The batch :meth:`pop_batch` *would* take, without removing it.
+
+        Crash-safe drains peek, program the batch onto flash, and only
+        then :meth:`discard` each key — so the NVRAM copy outlives the
+        operation that persists it (docs/FAULTS.md, ack-before-persist).
+        Selection and order are identical to :meth:`pop_batch`.
+        """
+        if count < 0:
+            raise ConfigError(f"count must be non-negative, got {count!r}")
+        batch = []
+        for key, payload in self._entries.items():
+            if len(batch) >= count:
+                break
+            if keys is None or key in keys:
+                batch.append((key, payload))
+        return batch
+
     def keys(self) -> list[Hashable]:
         """Buffered keys, oldest first."""
         return list(self._entries)

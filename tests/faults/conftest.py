@@ -1,0 +1,20 @@
+"""Fault-injection test fixtures.
+
+The module-level injector is process-global state (like the obs
+singletons); the autouse guard below makes leaking one from a test a
+loud failure instead of a heisenbug in whatever test runs next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    assert faults.injector() is None, (
+        "a previous test leaked an installed fault injector")
+    yield
+    faults.uninstall()

@@ -1,0 +1,68 @@
+"""Disabled injection must cost nothing: one bound None, one `is` check.
+
+Every layer binds ``faults.injector()`` once at construction; with no
+plan installed that binding is ``None`` and the hot paths reduce to a
+single identity test. These tests pin the binding discipline so a
+future refactor cannot quietly re-introduce per-op singleton lookups
+(the perf harness guards the wall-clock side; see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from repro import faults
+from repro.difs.cluster import Cluster, ClusterConfig
+from repro.faults import FaultPlan
+from repro.sim.engine import Engine
+from repro.ssd.ftl import PageMappedFTL
+
+
+class TestDisabledBindings:
+    def test_nothing_installed_by_default(self):
+        assert faults.injector() is None
+        assert not faults.enabled()
+
+    def test_every_layer_binds_none_when_disabled(self, make_chip,
+                                                  ftl_config, make_baseline,
+                                                  make_salamander):
+        chip = make_chip()
+        ftl = PageMappedFTL.for_chip(make_chip(), ftl_config)
+        baseline = make_baseline()
+        salamander = make_salamander()
+        cluster = Cluster(ClusterConfig(replication=2, chunk_lbas=4),
+                          seed=1)
+        engine = Engine()
+        for layer in (chip, ftl, baseline, salamander, salamander.chip,
+                      cluster, cluster.recovery, engine):
+            assert layer._faults is None, type(layer).__name__
+
+    def test_binding_happens_at_construction_not_per_call(self, make_chip,
+                                                          ftl_config):
+        # A device built *before* install never sees the plan (documented
+        # contract: install first, construct second)...
+        before = PageMappedFTL.for_chip(make_chip(), ftl_config)
+        with faults.installed(FaultPlan.random(1)):
+            assert before._faults is None
+            # ...and one built under the plan keeps its injector even
+            # after uninstall (it never re-reads the singleton).
+            during = PageMappedFTL.for_chip(make_chip(), ftl_config)
+            bound = during._faults
+            assert bound is faults.injector()
+        assert during._faults is bound
+        assert faults.injector() is None
+
+    def test_disabled_device_behaves_identically(self, make_chip,
+                                                 ftl_config):
+        # Behavioural zero-cost: op-for-op identical results with the
+        # subsystem absent vs merely disabled is what lets the perf
+        # floors in benchmarks/ apply unchanged.
+        outputs = []
+        for _ in range(2):
+            device = PageMappedFTL.for_chip(
+                make_chip(seed=5, inject_errors=False), ftl_config)
+            for lba in range(32):
+                device.write(lba % 12, f"z{lba}".encode())
+            device.flush()
+            device.background_tick()
+            outputs.append([device.read(lba) for lba in range(12)])
+        assert outputs[0] == outputs[1]
+        assert faults.injector() is None
