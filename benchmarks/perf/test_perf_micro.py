@@ -3,6 +3,8 @@
 Each bench times one narrower hot path than the GC-heavy macro:
 
 * ``ftl_write_micro`` — buffer/flush/allocation with little GC;
+* ``io_roundtrip_micro`` — the DeviceQueue request/completion plumbing
+  the cluster's default IO path now rides on;
 * ``remount_micro`` — the OOB-replay rebuild scan (mount latency);
 * ``fleet_step_micro`` — one vectorised fleet-model run (the unit the
   sweep runner parallelises over).
@@ -22,6 +24,14 @@ from benchmarks.perf import harness, workloads
 def test_ftl_write_micro():
     entry = harness.run("ftl_write_micro", workloads.ftl_write_micro)
     assert entry["ops"] == workloads.MICRO_OPS
+
+
+@pytest.mark.no_obs
+def test_io_roundtrip_micro():
+    entry = harness.run("io_roundtrip_micro", workloads.io_roundtrip_micro)
+    assert entry["ops"] == workloads.IO_MICRO_OPS
+    assert entry["meta"]["errors"] == 0
+    assert entry["meta"]["mean_service_us"] > 0
 
 
 @pytest.mark.no_obs

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
+from repro.io import DeviceQueue, IORequest
 from repro.sim.fleet import FleetConfig, simulate_fleet
 from repro.ssd.ftl import FTLConfig, PageMappedFTL
 
@@ -80,6 +81,42 @@ def ftl_write_micro() -> dict:
     wall_s = time.perf_counter() - start
     return {"ops": MICRO_OPS, "wall_s": wall_s,
             "meta": {"n_lbas": ftl.n_lbas}}
+
+
+# -- queued IO roundtrip (micro) ---------------------------------------------
+
+IO_MICRO_OPS = 8_000
+
+
+def io_roundtrip_micro() -> dict:
+    """Single-LBA reads through :class:`repro.io.queue.DeviceQueue`.
+
+    Times the full request path — ``IORequest`` construction and
+    validation, submit, dispatch, completion accounting — on top of the
+    underlying device read. Guards the queue plumbing against becoming
+    a per-request hot-path cost now that the cluster defaults to it."""
+    geometry = FlashGeometry(blocks=32, fpages_per_block=32, channels=2)
+    chip = FlashChip(geometry, seed=23, variation_sigma=0.2)
+    ftl = PageMappedFTL.for_chip(
+        chip, FTLConfig(overprovision=0.25, buffer_opages=16))
+    payload = bytes(32)
+    fill = ftl.n_lbas // 2
+    for lba in range(fill):
+        ftl.write(lba, payload)
+    ftl.flush()
+    queue = DeviceQueue(ftl)
+    lbas = [int(x) for x in
+            np.random.default_rng(29).integers(0, fill, size=IO_MICRO_OPS)]
+    start = time.perf_counter()
+    for lba in lbas:
+        queue.execute(IORequest(op="read", lba=lba))
+    wall_s = time.perf_counter() - start
+    stats = queue.stats
+    return {"ops": IO_MICRO_OPS, "wall_s": wall_s,
+            "meta": {"dispatched": stats.dispatched,
+                     "errors": stats.errors,
+                     "mean_service_us": round(stats.mean_service_us, 3),
+                     "mean_latency_us": round(stats.mean_latency_us, 3)}}
 
 
 # -- OOB-replay remount (micro) ----------------------------------------------

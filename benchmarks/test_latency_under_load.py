@@ -7,6 +7,12 @@ wear-aware service-time model (retries grow as pages approach their ECC)
 with the M/D/c queueing model: as a fixed-code-rate device ages, its
 saturation point slides left and tail latency at a fixed load grows; a
 RegenS device re-margins its pages at L1 and keeps the knee put.
+
+A second, *measured* leg validates the analytic curve against the queued
+IO pipeline: open-loop Poisson reads drive a real FTL device through a
+:class:`repro.io.queue.DeviceQueue` at several utilisations and the
+measured mean latency must track ``mdc_latency_us`` — the same
+measurement ``repro report``'s queueing-latency claim re-runs.
 """
 
 import math
@@ -85,3 +91,36 @@ def test_latency_under_load(benchmark, experiment_output):
     # Saturation capacity decays with wear for the fixed code rate.
     assert (by_key[("past-L0-budget", "saturation")]["l0_latency"]
             < by_key[("fresh", "saturation")]["l0_latency"])
+
+
+UTILISATIONS = (0.3, 0.5, 0.7)
+
+
+@pytest.mark.benchmark(group="ext-load")
+def test_latency_under_load_measured(benchmark, experiment_output):
+    """Open-loop Poisson reads through the queue track the M/D/c model."""
+    from repro.reporting.claims import measured_queueing_latency
+
+    def sweep():
+        return [measured_queueing_latency(rho, n_requests=800)
+                for rho in UTILISATIONS]
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"{run['utilisation']:.1f}",
+             f"{run['iops'] / 1000:.1f}",
+             f"{run['measured_mean_latency_us']:.1f}",
+             f"{run['analytic_mean_latency_us']:.1f}",
+             f"{run['measured_mean_wait_us']:.1f}"]
+            for run in runs]
+    experiment_output(
+        "EXT-LOAD — measured open-loop latency through the queued IO "
+        "pipeline vs the analytic M/D/c model (1 channel; fresh device)",
+        format_table(["utilisation", "load (kIOPS)", "measured mean (us)",
+                      "analytic mean (us)", "measured wait (us)"], rows))
+    for run in runs:
+        assert run["measured_mean_latency_us"] == pytest.approx(
+            run["analytic_mean_latency_us"], rel=0.15)
+    # Queueing delay grows with utilisation.
+    waits = [run["measured_mean_wait_us"] for run in runs]
+    assert waits == sorted(waits)
+    assert waits[-1] > 0.0

@@ -7,6 +7,12 @@ latency distribution (mean/p50/p99) at several points in a device's life,
 for a fixed-code-rate baseline and a RegenS device on identical flash:
 near end of life the baseline's tail inflates with retries, while RegenS's
 promoted L1 pages regain ECC margin and keep the tail flat.
+
+Probes run through the queued IO pipeline: each checkpoint issues reads
+via a fresh :class:`repro.io.queue.DeviceQueue` with ``keep_latencies``
+and the distribution comes from the per-completion latencies the queue
+records — the same numbers ``repro_io_latency_us`` observes in
+production paths.
 """
 
 import numpy as np
@@ -16,6 +22,7 @@ import repro.errors as E
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
+from repro.io import DeviceQueue, IORequest
 from repro.reporting.tables import format_table
 from repro.salamander.device import SalamanderConfig, SalamanderSSD
 from repro.ssd.device import BaselineSSD, SSDConfig
@@ -77,31 +84,35 @@ def measure_at_checkpoints(kind: str, total_writes: int = 24_000):
 
 
 def _probe_reads(device, rng, probes: int = 400):
-    """Sample the read-latency distribution without advancing wear."""
-    from repro.ssd.stats import LatencyReservoir
-    reservoir = LatencyReservoir()
-    before = device.stats.read_latency
-    device.stats.read_latency = reservoir
+    """Sample the read-latency distribution through a fresh probe queue."""
+    queue = DeviceQueue(device, keep_latencies=True)
+    latencies = queue.stats.latencies_us
     issued = 0
     attempts = 0
     while issued < probes and attempts < probes * 4:
         attempts += 1
+        mark = len(latencies)
         try:
             if isinstance(device, SalamanderSSD):
                 active = device.active_minidisks()
                 if not active:
                     break
                 mdisk = active[int(rng.integers(0, len(active)))]
-                device.read(mdisk.mdisk_id,
-                            int(rng.integers(0, mdisk.size_lbas)))
+                queue.execute(IORequest(
+                    op="read", lba=int(rng.integers(0, mdisk.size_lbas)),
+                    mdisk_id=mdisk.mdisk_id))
             else:
-                device.read(int(rng.integers(0, device.n_lbas)))
+                queue.execute(IORequest(
+                    op="read", lba=int(rng.integers(0, device.n_lbas))))
         except E.ReproError:
+            # A failed probe is not a latency sample (mirrors the legacy
+            # reservoir, which only saw successful device reads).
+            del latencies[mark:]
             continue
         issued += 1
-    device.stats.read_latency = before
-    return (reservoir.mean, reservoir.percentile(50),
-            reservoir.percentile(99))
+    samples = np.asarray(latencies)
+    return (float(samples.mean()), float(np.percentile(samples, 50)),
+            float(np.percentile(samples, 99)))
 
 
 @pytest.mark.benchmark(group="ext-tail")

@@ -397,6 +397,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         trace_records=trace_records,
         artifact_doc=artifact_doc,
         tolerance=args.tolerance,
+        queue_depth=args.queue_depth,
+        io_batch=args.io_batch,
     )
     markdown = format_report(report)
     if args.markdown:
@@ -546,6 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--tolerance", type=float, default=0.10,
         help="relative tolerance for the claim checks (default 0.10)")
+    report.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="NCQ depth for the measured queueing-latency claim "
+             "(default 64; keep it above the expected queue length so "
+             "backpressure does not bend the open-loop arrivals)")
+    report.add_argument(
+        "--io-batch", action="store_true",
+        help="enable request coalescing on the measured queue "
+             "(changes physical access patterns; off by default)")
     report.set_defaults(func=_cmd_report)
 
     return parser

@@ -63,6 +63,16 @@ class ClusterConfig:
         recovery_read_retries: transient recovery-read failures tolerated
             per unit before the source replica is written off (bounds the
             retry loop under injected ``difs.recovery.read`` faults).
+        queue_depth: per-device NCQ depth for the measured IO pipeline
+            (:mod:`repro.io`). The queued path is the default; ``0``
+            selects the legacy direct device calls (kept for the
+            differential conformance suite — both paths are
+            bit-identical).
+        io_batch: opt-in request coalescing on the device queues.
+            Merging changes physical access patterns (merged reads
+            sense each touched fPage once across the merged range), so
+            it is excluded from the bit-identity contract and off by
+            default.
     """
 
     replication: int = 3
@@ -73,11 +83,20 @@ class ClusterConfig:
     rs_k: int = 4
     rs_m: int = 2
     recovery_read_retries: int = 3
+    queue_depth: int = 8
+    io_batch: bool = False
 
     def __post_init__(self) -> None:
         if self.replication < 1:
             raise ConfigError(
                 f"replication must be >= 1, got {self.replication!r}")
+        if self.queue_depth < 0:
+            raise ConfigError(
+                f"queue_depth must be >= 0 (0 = direct path), "
+                f"got {self.queue_depth!r}")
+        if self.io_batch and self.queue_depth == 0:
+            raise ConfigError(
+                "io_batch needs the queued path; set queue_depth >= 1")
         if self.recovery_read_retries < 0:
             raise ConfigError(
                 f"recovery_read_retries must be >= 0, "
@@ -155,11 +174,34 @@ class Cluster:
         self._chunks_by_volume.setdefault(volume.volume_id, set())
         return volume
 
+    def _attach_io_queue(self, device) -> None:
+        """Front ``device`` with a submission queue per cluster config.
+
+        The queued pipeline is the default path; ``queue_depth == 0``
+        keeps the legacy direct calls (the differential suite runs both
+        and asserts bit-identical results). One queue per *device* —
+        every minidisk volume of a Salamander SSD shares it, because
+        the NCQ is a device resource.
+        """
+        if self.config.queue_depth == 0:
+            return
+        if not hasattr(device, "attach_queue"):
+            return  # test doubles without the BlockDevice queue surface
+        device.attach_queue(depth=self.config.queue_depth,
+                            coalesce=self.config.io_batch)
+
+    def _volume_queue(self, device):
+        if self.config.queue_depth == 0 or not hasattr(device, "io_queue"):
+            return None
+        return device.io_queue
+
     def _add_monolithic(self, node: StorageNode, device_name: str,
                         device) -> Volume:
+        self._attach_io_queue(device)
         volume_id = f"{node.node_id}/{device_name}"
         volume = MonolithicVolume(volume_id, node.node_id,
                                   self.unit_lbas, device)
+        volume.queue = self._volume_queue(device)
         self._register(node, volume)
         if hasattr(device, "shrink_listener"):
             device.shrink_listener = (
@@ -168,6 +210,7 @@ class Cluster:
 
     def _add_salamander(self, node: StorageNode, device_name: str,
                         device: SalamanderSSD) -> list[Volume]:
+        self._attach_io_queue(device)
         volumes = []
         for mdisk in device.active_minidisks():
             volumes.append(self._register_minidisk(
@@ -182,6 +225,9 @@ class Cluster:
         volume_id = f"{node.node_id}/{device_name}/md{mdisk_id}"
         volume = MinidiskVolume(volume_id, node.node_id,
                                 self.unit_lbas, device, mdisk_id)
+        # Regenerated minidisks join the same device queue (the NCQ
+        # outlives any one minidisk).
+        volume.queue = self._volume_queue(device)
         return self._register(node, volume)
 
     # -- device event handlers (enqueue only) -------------------------------------------
@@ -228,6 +274,8 @@ class Cluster:
         for index, payloads in enumerate(units):
             self.add_unit(chunk, index, payloads)
         self._instr.chunks_created.inc()
+        if self.config.io_batch:
+            self.flush_io()
         return chunk
 
     def read_chunk(self, chunk_id: str) -> bytes:
@@ -283,6 +331,8 @@ class Cluster:
             chunk.replicas.append(replica)
             self._chunks_by_volume[replica.volume_id].add(chunk_id)
         chunk.version += 1
+        if self.config.io_batch:
+            self.flush_io()
         return chunk
 
     def delete_chunk(self, chunk_id: str) -> None:
@@ -575,6 +625,48 @@ class Cluster:
             restored += 1
         return restored
 
+    # -- measured IO pipeline ----------------------------------------------------------------------
+
+    def device_queues(self) -> list:
+        """Every distinct device submission queue in the cluster."""
+        queues, seen = [], set()
+        for volume in self.volumes.values():
+            queue = volume.queue
+            if queue is not None and id(queue) not in seen:
+                seen.add(id(queue))
+                queues.append(queue)
+        return queues
+
+    def flush_io(self) -> None:
+        """Dispatch any coalesce-staged requests on every device queue."""
+        for queue in self.device_queues():
+            queue.flush()
+
+    def io_stats(self) -> dict[str, float]:
+        """Aggregate measured-latency counters across all device queues.
+
+        Means weight every dispatched request equally, so they line up
+        with what one ``repro_io_latency_us`` histogram over all devices
+        would report.
+        """
+        queues = self.device_queues()
+        dispatched = sum(q.stats.dispatched for q in queues)
+        total_latency = sum(q.stats.total_latency_us for q in queues)
+        total_wait = sum(q.stats.total_wait_us for q in queues)
+        total_service = sum(q.stats.total_service_us for q in queues)
+        return {
+            "queues": len(queues),
+            "submitted": sum(q.stats.submitted for q in queues),
+            "dispatched": dispatched,
+            "merged": sum(q.stats.merged for q in queues),
+            "errors": sum(q.stats.errors for q in queues),
+            "mean_latency_us": (total_latency / dispatched
+                                if dispatched else 0.0),
+            "mean_wait_us": total_wait / dispatched if dispatched else 0.0,
+            "mean_service_us": (total_service / dispatched
+                                if dispatched else 0.0),
+        }
+
     # -- reporting --------------------------------------------------------------------------------
 
     def total_capacity_bytes(self) -> int:
@@ -595,4 +687,5 @@ class Cluster:
             "chunks_recovered": self.recovery.stats.chunks_recovered,
             "chunks_lost": self.recovery.stats.chunks_lost,
             "recovery_bytes": self.recovery.stats.bytes_moved,
+            "io_mean_latency_us": self.io_stats()["mean_latency_us"],
         }

@@ -8,6 +8,14 @@ remaining good capacity".
 
 Volumes also own chunk-slot allocation: a volume formatted for
 ``chunk_lbas``-sized chunks exposes ``capacity_lbas // chunk_lbas`` slots.
+
+Chunk IO goes through the device's :class:`repro.io.queue.DeviceQueue`
+when the cluster has attached one (``volume.queue``): writes become one
+``write`` request, reads one ``read_range`` request, and every
+completion carries measured wait/service/latency. With no queue the
+legacy direct device calls run — the queued path dispatches through
+exactly the same methods in the same order, so both paths are
+bit-identical (the differential conformance suite pins this).
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.errors import ConfigError, ReproError
+from repro.io.request import IORequest
 from repro.salamander.device import SalamanderSSD
 
 
@@ -34,6 +43,9 @@ class Volume(ABC):
         self.volume_id = volume_id
         self.node_id = node_id
         self.chunk_lbas = chunk_lbas
+        #: Device submission queue (a :class:`repro.io.queue.DeviceQueue`)
+        #: the cluster attaches; ``None`` means direct device calls.
+        self.queue = None
         self._failed = False
         self.total_slots = self.capacity_lbas() // chunk_lbas
         self._free_slots = set(range(self.total_slots))
@@ -100,13 +112,26 @@ class Volume(ABC):
 
     # -- chunk I/O ---------------------------------------------------------------------
 
+    #: Minidisk address space chunk requests target (``None`` = flat).
+    _io_mdisk_id: int | None = None
+
     def write_chunk(self, slot: int, payloads: list[bytes]) -> None:
-        """Write one chunk (one oPage payload per LBA) into ``slot``."""
+        """Write one chunk (one oPage payload per LBA) into ``slot``.
+
+        Routed through the device queue when one is attached; errors
+        raise synchronously from ``submit`` exactly as the direct
+        per-LBA writes would.
+        """
         self._check_slot(slot)
         if len(payloads) != self.chunk_lbas:
             raise ConfigError(
                 f"chunk needs {self.chunk_lbas} payloads, got {len(payloads)}")
         base = slot * self.chunk_lbas
+        if self.queue is not None:
+            self.queue.submit(IORequest(
+                op="write", lba=base, payloads=list(payloads),
+                mdisk_id=self._io_mdisk_id))
+            return
         for offset, payload in enumerate(payloads):
             self._write_lba(base + offset, payload)
 
@@ -115,10 +140,16 @@ class Volume(ABC):
 
         Uses the device's scatter-gather path (one sense per touched
         fPage) so system-level large-read performance inherits the §4.2
-        ``P/(P-L)`` behaviour.
+        ``P/(P-L)`` behaviour. With a queue attached the read is one
+        measured ``read_range`` request over the same device method.
         """
         self._check_slot(slot)
         base = slot * self.chunk_lbas
+        if self.queue is not None:
+            completion = self.queue.execute(IORequest(
+                op="read_range", lba=base, count=self.chunk_lbas,
+                mdisk_id=self._io_mdisk_id))
+            return completion.result
         return self._read_range(base, self.chunk_lbas)
 
     def _read_range(self, lba: int, count: int) -> list[bytes]:
@@ -145,7 +176,9 @@ class MonolithicVolume(Volume):
         super().__init__(volume_id, node_id, chunk_lbas)
 
     def capacity_lbas(self) -> int:
-        return getattr(self.device, "capacity_lbas", self.device.n_lbas)
+        # The BlockDevice protocol guarantees this attribute; no more
+        # duck-typed fallbacks to FTL internals.
+        return self.device.capacity_lbas
 
     def device_alive(self) -> bool:
         return self.device.is_alive
@@ -178,6 +211,7 @@ class MinidiskVolume(Volume):
                  device: SalamanderSSD, mdisk_id: int) -> None:
         self.device = device
         self.mdisk_id = mdisk_id
+        self._io_mdisk_id = mdisk_id
         self._mdisk = device.minidisk(mdisk_id)
         super().__init__(volume_id, node_id, chunk_lbas)
 

@@ -1,0 +1,31 @@
+"""repro.io: the end-to-end host->device request pipeline.
+
+Every block of data the diFS moves — client chunk writes and reads,
+recovery re-replication, rebalance copies — travels through this layer
+as an :class:`IORequest` submitted to a per-device :class:`DeviceQueue`
+and answered with an :class:`IOCompletion` carrying *measured* wait and
+service time, fed by the flash layer's ``busy_us``/``channel_busy_us``
+accounting. One :class:`BlockDevice` protocol describes what every
+device flavour (baseline, CVSS, Salamander) must expose.
+
+The determinism contract (docs/IO_PIPELINE.md): with coalescing off
+(the default) the queued path performs *exactly* the same device method
+calls, in the same order, as direct calls would — identical RNG draw
+order, identical data path, identical ``_audit_fastpath`` state. The
+queue adds time accounting, never behaviour.
+"""
+
+from repro.io.protocols import BlockDevice, QueuedDevice, device_kind_of
+from repro.io.queue import DeviceQueue
+from repro.io.request import READ_OPS, IOCompletion, IORequest, WRITE_OPS
+
+__all__ = [
+    "BlockDevice",
+    "DeviceQueue",
+    "IOCompletion",
+    "IORequest",
+    "QueuedDevice",
+    "READ_OPS",
+    "WRITE_OPS",
+    "device_kind_of",
+]

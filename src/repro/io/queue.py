@@ -1,0 +1,397 @@
+"""Per-device NCQ-style submission queue with measured service times.
+
+One :class:`DeviceQueue` fronts one device (all of a Salamander SSD's
+minidisk volumes share it — the NCQ is a device resource). The queue
+does two jobs:
+
+1. **Dispatch.** Device method calls happen *inside* ``submit`` (or
+   ``execute``), in submission order, through exactly the same methods
+   direct callers would use — so with coalescing off the data path,
+   RNG draw order and ``_audit_fastpath`` state are bit-identical to
+   the legacy direct path (the differential conformance suite asserts
+   this). Errors raise synchronously from ``submit``/``execute``,
+   preserving direct-call exception semantics.
+
+2. **Time accounting.** The queue keeps a device-local virtual clock
+   in microseconds and models the device as ``c`` parallel channel
+   servers (``c`` = the chip's channel count). Each request is placed
+   on the earliest-free server; its *service time* is measured from
+   the chip's ``channel_busy_us`` bookkeeping (the per-channel
+   makespan the request added — multi-channel parallelism inside one
+   request shortens its service, it does not contend across requests),
+   and its *wait* is however long the server was still busy with
+   earlier requests. Closed-loop callers (the cluster) submit at the
+   current clock, so waits are zero and latency equals measured
+   service; open-loop harnesses pass explicit ``at_us`` arrival times
+   and queueing delay emerges — that is what the M/D/c claim check
+   validates against :func:`repro.models.queueing.mdc_latency_us`.
+
+``depth`` bounds the in-flight window like a real NCQ: submitting into
+a full queue first retires the oldest in-flight completion and clamps
+the newcomer's arrival to that completion time (host-side
+backpressure).
+
+Coalescing (``coalesce=True``) merges a submitted request into a
+staged contiguous neighbour of the same kind before dispatch. It
+changes physical access patterns (merged reads sense each touched
+fPage once across the *merged* range), so it is opt-out of the
+bit-identity contract and defaults off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.io.protocols import device_kind_of
+from repro.io.request import IOCompletion, IORequest
+from repro.obs.instruments import io_instruments
+
+#: Upper bound on LBAs a coalesced request may span.
+MAX_MERGE_LBAS = 1024
+
+_MERGEABLE_OPS = ("read_range", "trim_range", "write")
+
+
+@dataclass
+class QueueStats:
+    """Plain counters mirrored into ``repro_io_*`` metrics.
+
+    Kept on the queue itself so claim checks and benchmarks can read
+    measured latencies without an observability registry enabled.
+    """
+
+    submitted: int = 0
+    dispatched: int = 0
+    errors: int = 0
+    merged: int = 0
+    deadline_misses: int = 0
+    total_latency_us: float = 0.0
+    total_wait_us: float = 0.0
+    total_service_us: float = 0.0
+    total_work_us: float = 0.0
+    latencies_us: list[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return (self.total_latency_us / self.dispatched
+                if self.dispatched else 0.0)
+
+    @property
+    def mean_wait_us(self) -> float:
+        return (self.total_wait_us / self.dispatched
+                if self.dispatched else 0.0)
+
+    @property
+    def mean_service_us(self) -> float:
+        return (self.total_service_us / self.dispatched
+                if self.dispatched else 0.0)
+
+
+class DeviceQueue:
+    """Submission queue and service-time meter for one block device.
+
+    Args:
+        device: any :class:`repro.io.protocols.BlockDevice`.
+        depth: in-flight window (>= 1).
+        coalesce: merge contiguous neighbours before dispatch (changes
+            physical access patterns; see module docstring).
+        device_kind: metric label override; defaults to the device's
+            ``device_kind`` attribute or lower-cased class name.
+        keep_latencies: record every completion latency in
+            ``stats.latencies_us`` (percentile analysis in harnesses;
+            off by default to keep long runs bounded).
+    """
+
+    def __init__(self, device, depth: int = 8, coalesce: bool = False,
+                 device_kind: str | None = None,
+                 keep_latencies: bool = False) -> None:
+        if depth < 1:
+            raise ConfigError(f"depth must be >= 1, got {depth!r}")
+        self.device = device
+        self.depth = depth
+        self.coalesce = coalesce
+        self.keep_latencies = keep_latencies
+        self.device_kind = device_kind or device_kind_of(device)
+        chip = getattr(device, "chip", None)
+        self._chip = chip
+        geometry = getattr(chip, "geometry", None)
+        self.channels = int(getattr(geometry, "channels", 1) or 1)
+        #: Device-local virtual clock (us). Monotone; advanced by
+        #: arrivals, never by service (servers run ahead of the clock).
+        self.clock_us = 0.0
+        self._channel_free = [0.0] * self.channels
+        self._inflight: deque[IOCompletion] = deque()
+        self._done: deque[IOCompletion] = deque()
+        self._staged: IORequest | None = None
+        self._staged_merged = 1
+        self._next_tag = 0
+        self.stats = QueueStats()
+        self._instr = io_instruments(self.device_kind)
+        self._latency_children: dict[str, object] = {}
+        self._wait_children: dict[str, object] = {}
+        self._request_children: dict[str, object] = {}
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: IORequest,
+               at_us: float | None = None) -> IORequest:
+        """Submit one request; dispatches eagerly (or stages it when
+        coalescing). Dispatch errors raise here, exactly as a direct
+        device call would; the errored completion is still recorded
+        and visible to :meth:`poll`.
+        """
+        request.tag = self._next_tag
+        self._next_tag += 1
+        self.stats.submitted += 1
+        if self.coalesce:
+            if self._try_merge(request, at_us):
+                return request
+            self._flush_staged()
+            self._staged = request
+            self._staged_merged = 1
+            request.submit_us = self._arrival(at_us)
+            return request
+        self._dispatch(request, at_us)
+        return request
+
+    def execute(self, request: IORequest,
+                at_us: float | None = None) -> IOCompletion:
+        """Submit synchronously and return the completion now.
+
+        Any staged request dispatches first (ordering), then this one;
+        its completion is consumed (it will not appear in ``poll``).
+        Errors re-raise, preserving direct-call semantics.
+        """
+        request.tag = self._next_tag
+        self._next_tag += 1
+        self.stats.submitted += 1
+        self._flush_staged()
+        completion = self._dispatch_inner(request, at_us)
+        # Consume it: sync callers own the result.
+        if self._inflight and self._inflight[-1] is completion:
+            self._inflight.pop()
+        elif completion in self._done:
+            self._done.remove(completion)
+        self._set_inflight_gauge()
+        if completion.error is not None:
+            raise completion.error
+        return completion
+
+    def poll(self) -> list[IOCompletion]:
+        """Drain and return every finished completion (oldest first)."""
+        self._flush_staged()
+        out = list(self._done) + list(self._inflight)
+        self._done.clear()
+        self._inflight.clear()
+        self._set_inflight_gauge()
+        return out
+
+    def flush(self) -> None:
+        """Dispatch any staged (coalesced) request."""
+        self._flush_staged()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    # -- internals ------------------------------------------------------------
+
+    def _arrival(self, at_us: float | None) -> float:
+        if at_us is None:
+            return self.clock_us
+        return max(at_us, 0.0)
+
+    def _try_merge(self, request: IORequest,
+                   at_us: float | None) -> bool:
+        staged = self._staged
+        if staged is None or at_us is not None:
+            return False
+        if request.op != staged.op or request.op not in _MERGEABLE_OPS:
+            return False
+        if request.mdisk_id != staged.mdisk_id:
+            return False
+        if request.stream != staged.stream:
+            return False
+        if request.lba != staged.lba + staged.count:
+            return False
+        if staged.count + request.count > MAX_MERGE_LBAS:
+            return False
+        staged.count += request.count
+        if staged.op == "write":
+            staged.payloads.extend(request.payloads)
+        deadlines = [d for d in (staged.deadline_us, request.deadline_us)
+                     if d is not None]
+        staged.deadline_us = min(deadlines) if deadlines else None
+        staged.tag = request.tag  # completion reports the latest tag
+        self._staged_merged += 1
+        self.stats.merged += 1
+        self._instr.merged.inc()
+        return True
+
+    def _flush_staged(self) -> None:
+        staged = self._staged
+        if staged is None:
+            return
+        self._staged = None
+        merged = self._staged_merged
+        self._staged_merged = 1
+        self._dispatch(staged, staged.submit_us, merged=merged)
+
+    def _dispatch(self, request: IORequest, at_us: float | None,
+                  merged: int = 1) -> IOCompletion:
+        completion = self._dispatch_inner(request, at_us, merged=merged)
+        if completion.error is not None:
+            raise completion.error
+        return completion
+
+    def _dispatch_inner(self, request: IORequest, at_us: float | None,
+                        merged: int = 1) -> IOCompletion:
+        closed_loop = at_us is None
+        arrival = self._arrival(at_us)
+        # NCQ backpressure: a full window blocks the host until the
+        # oldest in-flight completion frees a slot.
+        while len(self._inflight) >= self.depth:
+            oldest = self._inflight.popleft()
+            arrival = max(arrival, oldest.end_us)
+            self._done.append(oldest)
+        server = min(range(self.channels),
+                     key=self._channel_free.__getitem__)
+        start = max(arrival, self._channel_free[server])
+        request.submit_us = arrival
+        chip = self._chip
+        if chip is not None:
+            busy_before = chip.stats.busy_us
+            chan_before = list(chip.channel_busy_us)
+        error: Exception | None = None
+        result: list[bytes] | None = None
+        try:
+            result = self._call_device(request)
+        except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
+            error = exc
+        if chip is not None:
+            work = chip.stats.busy_us - busy_before
+            chan_after = chip.channel_busy_us
+            service = max(
+                (chan_after[i] - chan_before[i]
+                 for i in range(len(chan_before))), default=0.0)
+        else:
+            work = service = 0.0
+        end = start + service
+        self._channel_free[server] = end
+        # Closed-loop callers block on the completion, so the device
+        # clock advances with it (hence their next arrival never finds
+        # the server busy: waits are zero by construction). Open-loop
+        # callers own time via ``at_us``; the clock only tracks the
+        # latest arrival so a late stamp cannot run it backwards.
+        self.clock_us = max(self.clock_us, end if closed_loop else arrival)
+        completion = IOCompletion(
+            request=request,
+            status="error" if error is not None else "ok",
+            result=result, error=error,
+            submit_us=arrival, start_us=start, end_us=end,
+            work_us=work, merged=merged)
+        self._record(completion)
+        self._inflight.append(completion)
+        self._set_inflight_gauge()
+        return completion
+
+    def _call_device(self, request: IORequest) -> list[bytes] | None:
+        device = self.device
+        op = request.op
+        mdisk = request.mdisk_id
+        if op == "read":
+            if mdisk is None:
+                return [device.read(request.lba)]
+            return [device.read(mdisk, request.lba)]
+        if op == "read_range":
+            if mdisk is None:
+                return device.read_range(request.lba, request.count)
+            return device.read_range(mdisk, request.lba, request.count)
+        if op == "write":
+            base = request.lba
+            if mdisk is None:
+                stream = request.stream
+                if stream:
+                    for offset, payload in enumerate(request.payloads):
+                        device.write(base + offset, payload, stream=stream)
+                else:
+                    # Exactly the legacy per-LBA call shape (devices
+                    # like BaselineSSD take no stream argument).
+                    for offset, payload in enumerate(request.payloads):
+                        device.write(base + offset, payload)
+            else:
+                for offset, payload in enumerate(request.payloads):
+                    device.write(mdisk, base + offset, payload)
+            return None
+        if op == "trim":
+            if mdisk is None:
+                device.trim(request.lba)
+            else:
+                device.trim(mdisk, request.lba)
+            return None
+        if op == "trim_range":
+            if mdisk is None:
+                device.trim_range(request.lba, request.count)
+            else:
+                for offset in range(request.count):
+                    device.trim(mdisk, request.lba + offset)
+            return None
+        if op == "flush":
+            device.flush()
+            return None
+        raise ConfigError(f"unhandled op {op!r}")  # pragma: no cover
+
+    def _record(self, completion: IOCompletion) -> None:
+        stats = self.stats
+        stats.dispatched += 1
+        stats.total_latency_us += completion.latency_us
+        stats.total_wait_us += completion.wait_us
+        stats.total_service_us += completion.service_us
+        stats.total_work_us += completion.work_us
+        if self.keep_latencies:
+            stats.latencies_us.append(completion.latency_us)
+        op = completion.request.op
+        self._latency_child(op).observe(completion.latency_us)
+        self._wait_child(op).observe(completion.wait_us)
+        self._request_child(op).inc()
+        if completion.error is not None:
+            stats.errors += 1
+            self._instr.errors.inc()
+        if completion.deadline_missed:
+            stats.deadline_misses += 1
+            self._instr.deadline_misses.inc()
+
+    def _latency_child(self, op: str):
+        child = self._latency_children.get(op)
+        if child is None:
+            child = self._instr.latency.labels(
+                op=op, device_kind=self.device_kind)
+            self._latency_children[op] = child
+        return child
+
+    def _wait_child(self, op: str):
+        child = self._wait_children.get(op)
+        if child is None:
+            child = self._instr.wait.labels(
+                op=op, device_kind=self.device_kind)
+            self._wait_children[op] = child
+        return child
+
+    def _request_child(self, op: str):
+        child = self._request_children.get(op)
+        if child is None:
+            child = self._instr.requests.labels(
+                op=op, device_kind=self.device_kind)
+            self._request_children[op] = child
+        return child
+
+    def _set_inflight_gauge(self) -> None:
+        self._instr.inflight.set(len(self._inflight))
+
+    # -- introspection --------------------------------------------------------
+
+    def makespan_us(self) -> float:
+        """When the busiest channel server goes idle (virtual time)."""
+        return max(self._channel_free)

@@ -20,11 +20,25 @@ from repro.errors import ConfigError
 
 
 def _erlang_c(c: int, offered: float) -> float:
-    """Erlang-C probability of queueing with ``c`` servers, load ``offered``."""
+    """Erlang-C probability of queueing with ``c`` servers, load ``offered``.
+
+    Evaluated with the iterative term recurrence ``term_k = term_{k-1} *
+    offered / k`` instead of literal ``offered**k / k!`` — the naive form
+    overflows ``float`` for large ``c`` (``math.factorial(171)`` alone
+    exceeds the double range) even though the ratio is well-conditioned.
+    Returns 1.0 at or beyond saturation (every arrival queues).
+    """
     if offered >= c:
         return 1.0
-    total = sum(offered**k / math.factorial(k) for k in range(c))
-    tail = offered**c / (math.factorial(c) * (1 - offered / c))
+    if offered <= 0.0:
+        return 0.0
+    total = 0.0
+    term = 1.0  # offered**0 / 0!
+    for k in range(c):
+        total += term
+        term *= offered / (k + 1)
+    # Loop exit: term == offered**c / c!
+    tail = term / (1 - offered / c)
     return tail / (total + tail)
 
 
@@ -44,8 +58,11 @@ def md1_wait_us(service_us: float, arrival_per_us: float) -> float:
 def mdc_latency_us(service_us: float, iops: float, channels: int = 1) -> float:
     """Mean request latency (wait + service) at ``iops`` on ``channels``.
 
-    Returns ``inf`` at or beyond saturation — the experiment's signal that
-    the operating point is infeasible.
+    Returns ``inf`` at or beyond saturation for every ``channels`` —
+    never raises there, and the c = 1 exact path agrees with the c > 1
+    approximation about where the boundary is (``offered >= channels``).
+    As utilisation → 1 from below the value grows without bound but
+    stays finite, so sweeps can walk arbitrarily close to the wall.
     """
     if channels < 1:
         raise ConfigError(f"channels must be >= 1, got {channels!r}")

@@ -43,6 +43,15 @@ STEP_SECONDS_BUCKETS = (1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 DWELL_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
                  250.0, 500.0, 1000.0, 2500.0, 5000.0)
 
+# Device-time microseconds for IO request latency: reads sit around the
+# sense latency (~60-500 us with retries), writes are usually ~0 (NVRAM
+# hit) but tail into tens of milliseconds when a drain triggers a GC
+# pass, and recovery chunk ops span whole-chunk transfers.
+IO_LATENCY_US_BUCKETS = (
+    0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0, 10000.0, 25000.0, 50000.0, 100000.0, 250000.0,
+    500000.0, 1000000.0)
+
 
 @dataclass(frozen=True)
 class FTLInstruments:
@@ -178,6 +187,67 @@ def salamander_instruments(device: str) -> SalamanderInstruments:
             "repro_salamander_draining_minidisks",
             help="mDisks in the §4.3 grace period (readable, not writable)",
             unit="minidisks", labelnames=("device",)).labels(device=device),
+    )
+
+
+@dataclass(frozen=True)
+class IOInstruments:
+    """Per-device-kind IO pipeline instruments (repro.io).
+
+    ``latency``/``wait``/``requests`` are families further labelled by
+    ``op`` per request; the queue caches the per-op children.
+    """
+
+    device_kind: str
+    latency: Any         # family; labels (op, device_kind)
+    wait: Any            # family; labels (op, device_kind)
+    requests: Any        # family; labels (op, device_kind)
+    errors: Any          # child, pre-labelled (device_kind,)
+    merged: Any          # child, pre-labelled (device_kind,)
+    deadline_misses: Any  # child, pre-labelled (device_kind,)
+    inflight: Any        # child, pre-labelled (device_kind,)
+
+
+def io_instruments(device_kind: str) -> IOInstruments:
+    m = obs.metrics()
+    return IOInstruments(
+        device_kind=device_kind,
+        latency=m.histogram(
+            "repro_io_latency_us",
+            help="End-to-end request latency (queue wait + measured "
+                 "device service time)",
+            unit="us", labelnames=("op", "device_kind"),
+            buckets=IO_LATENCY_US_BUCKETS),
+        wait=m.histogram(
+            "repro_io_wait_us",
+            help="Time a request waited for a free channel server "
+                 "before dispatch",
+            unit="us", labelnames=("op", "device_kind"),
+            buckets=IO_LATENCY_US_BUCKETS),
+        requests=m.counter(
+            "repro_io_requests_total",
+            help="Requests dispatched through the queued IO path",
+            unit="requests", labelnames=("op", "device_kind")),
+        errors=m.counter(
+            "repro_io_errors_total",
+            help="Requests that completed with a device error",
+            unit="requests",
+            labelnames=("device_kind",)).labels(device_kind=device_kind),
+        merged=m.counter(
+            "repro_io_merged_total",
+            help="Requests absorbed into a neighbour by coalescing",
+            unit="requests",
+            labelnames=("device_kind",)).labels(device_kind=device_kind),
+        deadline_misses=m.counter(
+            "repro_io_deadline_misses_total",
+            help="Completions that landed past their request deadline",
+            unit="requests",
+            labelnames=("device_kind",)).labels(device_kind=device_kind),
+        inflight=m.gauge(
+            "repro_io_inflight",
+            help="Dispatched completions not yet polled",
+            unit="requests",
+            labelnames=("device_kind",)).labels(device_kind=device_kind),
     )
 
 

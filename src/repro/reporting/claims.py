@@ -21,6 +21,16 @@ mechanically against a run's observability artifacts:
    capacity drop* (fraction of initial capacity) between shrink and
    baseline trajectories, from ``repro_fleet_capacity_bytes``
    timeseries or a fleet artifact's ``<mode>/capacity`` series.
+4. **Queueing latency** (§4.2 load axis): the measured IO pipeline
+   (:mod:`repro.io`) agrees with the analytic M/D/c model. The check
+   drives open-loop Poisson reads through a real device queue at
+   several utilisations and compares the measured mean latency against
+   :func:`repro.models.queueing.mdc_latency_us` evaluated at the
+   *measured* mean service time. Self-contained like the throughput
+   check — no artifact needed. Means (not p50) are compared because
+   the analytic model predicts the mean; M/D/1 medians sit 25-35 %
+   below it at moderate load. ``repro report --queue-depth/--io-batch``
+   parameterise the queue under test.
 
 Each check returns a :class:`ClaimResult` with status ``pass``,
 ``fail`` or ``skip`` (skip = the needed inputs were not supplied; the
@@ -44,6 +54,16 @@ DEFAULT_TOLERANCE = 0.10
 
 #: The paper's headline lifetime-extension bound ("up to 1.5x").
 LIFETIME_BOUND = 1.5
+
+#: Relative tolerance for measured-vs-analytic queueing latency. Wider
+#: than the default claim tolerance because a finite Poisson sample's
+#: mean wait fluctuates (~600 arrivals leave a few percent of noise on
+#: top of any model error).
+QUEUEING_TOLERANCE = 0.15
+
+#: Utilisations the queueing-latency claim samples (all below the 0.7
+#: operating point the acceptance band is specified at).
+QUEUEING_UTILISATIONS = (0.3, 0.5, 0.7)
 
 
 @dataclass
@@ -249,6 +269,123 @@ def check_throughput_degradation(levels: tuple[int, ...] = (1, 2, 3),
     return results
 
 
+def measured_queueing_latency(utilisation: float,
+                              n_requests: int = 1500,
+                              queue_depth: int = 64,
+                              io_batch: bool = False,
+                              channels: int = 1,
+                              seed: int = 7) -> dict[str, float]:
+    """Drive open-loop Poisson reads through a real queue; measure means.
+
+    Builds a deterministic single-level device (no process variation, no
+    injected errors, ``channels`` flash channels), prefills it so reads
+    hit flash, then submits single-LBA reads with exponential
+    inter-arrival gaps tuned to the target utilisation of the *measured*
+    service time. Returns measured and analytic mean latencies plus the
+    operating point, so callers can compare like for like: the analytic
+    value is :func:`repro.models.queueing.mdc_latency_us` at the same
+    measured service time and arrival rate.
+
+    ``queue_depth`` should stay well above the typical queue length at
+    the chosen utilisation — NCQ backpressure defers arrivals and would
+    (correctly) bend the measurement away from the unbounded-queue
+    model.
+    """
+    from repro.flash.chip import FlashChip
+    from repro.flash.geometry import FlashGeometry
+    from repro.io import DeviceQueue, IORequest
+    from repro.models.queueing import mdc_latency_us
+    from repro.rng import make_rng
+    from repro.ssd.ftl import FTLConfig, PageMappedFTL
+
+    if not 0.0 < utilisation < 1.0:
+        raise ConfigError(
+            f"utilisation must be in (0, 1), got {utilisation!r}")
+    geometry = FlashGeometry(blocks=16, fpages_per_block=16,
+                             channels=channels)
+    chip = FlashChip(geometry, seed=seed, variation_sigma=0.0,
+                     inject_errors=False)
+    config = FTLConfig(overprovision=0.25, buffer_opages=8)
+    n_lbas = int(geometry.total_opage_slots * 0.75)
+    ftl = PageMappedFTL(chip, n_lbas, config)
+    prefill = min(n_lbas, 256)
+    for lba in range(prefill):
+        ftl.write(lba, bytes([lba & 0xFF]) * 16)
+    ftl.flush()
+    # Pilot read on a throwaway queue: the deterministic service time.
+    pilot = DeviceQueue(ftl, depth=queue_depth)
+    service_us = pilot.execute(
+        IORequest(op="read", lba=0), at_us=0.0).service_us
+    if service_us <= 0:
+        raise ConfigError("pilot read took no device time; "
+                          "prefill did not reach flash")
+    # Open-loop Poisson arrivals at the target utilisation. With
+    # channels > 1 each server sees utilisation, so the device-level
+    # arrival rate scales by the channel count.
+    arrival_per_us = utilisation * channels / service_us
+    rng = make_rng(seed)
+    queue = DeviceQueue(ftl, depth=queue_depth, coalesce=io_batch)
+    t = 0.0
+    for i in range(n_requests):
+        t += float(rng.exponential(1.0 / arrival_per_us))
+        queue.submit(IORequest(op="read", lba=i % prefill), at_us=t)
+        if queue.inflight >= queue_depth:
+            queue.poll()
+    queue.flush()
+    queue.poll()
+    measured = queue.stats.mean_latency_us
+    mean_service = queue.stats.mean_service_us
+    analytic = mdc_latency_us(mean_service, arrival_per_us * 1e6,
+                              channels=channels)
+    return {
+        "utilisation": utilisation,
+        "channels": float(channels),
+        "service_us": mean_service,
+        "iops": arrival_per_us * 1e6,
+        "measured_mean_latency_us": measured,
+        "measured_mean_wait_us": queue.stats.mean_wait_us,
+        "analytic_mean_latency_us": analytic,
+        "requests": float(queue.stats.dispatched),
+    }
+
+
+def check_queueing_latency(
+        utilisations: tuple[float, ...] = QUEUEING_UTILISATIONS,
+        tolerance: float = QUEUEING_TOLERANCE,
+        queue_depth: int = 64,
+        io_batch: bool = False) -> list[ClaimResult]:
+    """Measured pipeline latency within ``tolerance`` of M/D/c.
+
+    One claim row per utilisation on a single channel (where M/D/1 is
+    exact), plus one multi-channel row at moderate load exercising the
+    Erlang-C approximation.
+    """
+    points = [(rho, 1) for rho in utilisations] + [(0.5, 4)]
+    results = []
+    for rho, channels in points:
+        suffix = f"rho{rho:g}" if channels == 1 else \
+            f"c{channels}_rho{rho:g}"
+        claim = f"queueing_latency/{suffix}"
+        run = measured_queueing_latency(
+            rho, queue_depth=queue_depth, io_batch=io_batch,
+            channels=channels)
+        measured = run["measured_mean_latency_us"]
+        analytic = run["analytic_mean_latency_us"]
+        status = ("pass" if analytic > 0
+                  and abs(measured - analytic) <= tolerance * analytic
+                  else "fail")
+        results.append(ClaimResult(
+            claim, status, round(measured, 2),
+            f"mean latency within {tolerance:.0%} of M/D/c "
+            f"{analytic:.1f} us",
+            f"open-loop Poisson reads: {run['requests']:.0f} requests, "
+            f"service {run['service_us']:.1f} us, "
+            f"{run['iops']:.0f} IOPS on {channels} channel(s), "
+            f"queue depth {queue_depth}"
+            + (", coalescing on" if io_batch else "")))
+    return results
+
+
 def _peak_drop_fraction(capacities: list[float]) -> float | None:
     """Largest single-interval capacity drop / initial capacity."""
     if len(capacities) < 2 or capacities[0] <= 0:
@@ -287,12 +424,16 @@ def build_report(metrics_doc: dict | None = None,
                  trace_records: list[dict] | None = None,
                  artifact_doc: dict | None = None,
                  tolerance: float = DEFAULT_TOLERANCE,
-                 throughput_levels: tuple[int, ...] = (1, 2, 3)) -> dict:
+                 throughput_levels: tuple[int, ...] = (1, 2, 3),
+                 queue_depth: int = 64,
+                 io_batch: bool = False) -> dict:
     """Run every claim check over the supplied inputs.
 
     All inputs are optional; checks whose inputs are missing are
     reported as ``skip`` rather than failing, so a partial report is
-    still useful. Returns the ``repro.report/v1`` document.
+    still useful. ``queue_depth``/``io_batch`` parameterise the queue
+    the measured-latency claim drives (the CLI's ``--queue-depth`` and
+    ``--io-batch``). Returns the ``repro.report/v1`` document.
     """
     if not 0 <= tolerance < 1:
         raise ConfigError(
@@ -320,6 +461,9 @@ def build_report(metrics_doc: dict | None = None,
             f"{m}={v:.0f}d" for m, v in sorted(lifetimes.items()))
             if lifetimes else ""))
     claims += check_throughput_degradation(throughput_levels, tolerance)
+    claims += check_queueing_latency(
+        tolerance=max(tolerance, QUEUEING_TOLERANCE),
+        queue_depth=queue_depth, io_batch=io_batch)
     recovery = check_recovery_traffic(curves)
     if recovery.status != "skip":
         recovery.detail += f" (from {curve_source})"

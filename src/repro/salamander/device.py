@@ -138,6 +138,8 @@ class SalamanderSSD(PageMappedFTL):
     base class.
     """
 
+    device_kind = "salamander"
+
     def __init__(self, chip: FlashChip,
                  config: SalamanderConfig | None = None) -> None:
         self.salamander_config = config or SalamanderConfig()
@@ -267,6 +269,13 @@ class SalamanderSSD(PageMappedFTL):
     @property
     def advertised_bytes(self) -> int:
         return self.advertised_lbas * self.geometry.opage_bytes
+
+    @property
+    def capacity_lbas(self) -> int:
+        """Protocol alias: the host-visible capacity is the active-
+        minidisk sum (shrinks on decommission, grows on regeneration).
+        """
+        return self.advertised_lbas
 
     @property
     def is_alive(self) -> bool:

@@ -79,6 +79,8 @@ class CVSSDevice(PageMappedFTL):
     size, exactly like CVSS consumes file-system free space.
     """
 
+    device_kind = "cvss"
+
     def __init__(self, chip: FlashChip, config: CVSSConfig | None = None,
                  n_lbas: int | None = None) -> None:
         self.device_config = config or CVSSConfig()

@@ -61,6 +61,8 @@ class BaselineSSD(PageMappedFTL):
         n_lbas: logical size override; default derives from over-provisioning.
     """
 
+    device_kind = "baseline"
+
     def __init__(self, chip: FlashChip, config: SSDConfig | None = None,
                  n_lbas: int | None = None) -> None:
         self.device_config = config or SSDConfig()

@@ -43,6 +43,8 @@ from repro.flash.chip import FlashChip
 from repro.obs.instruments import ftl_instruments, next_device_name
 from repro.ssd.freelist import BlockIndex
 from repro.ssd.gc import CostBenefitGC, GCPolicy, GreedyGC
+from repro.ssd.remount import RemountMixin
+from repro.ssd.scrub import ScrubMixin
 from repro.ssd.stats import SSDStats
 from repro.ssd.wear import select_min_wear_block
 from repro.ssd.write_buffer import WriteBuffer
@@ -123,14 +125,29 @@ class FTLConfig:
                 f"got {self.scrub_batch_fpages!r}")
 
 
-class PageMappedFTL:
+class PageMappedFTL(ScrubMixin, RemountMixin):
     """Logical block device over a :class:`FlashChip`.
+
+    The wear scrubber lives in :class:`repro.ssd.scrub.ScrubMixin` and
+    the power-loss remount path in
+    :class:`repro.ssd.remount.RemountMixin`; this module keeps the
+    mapping, buffering, allocation and GC core (and re-exports the
+    whole assembled class, so existing imports keep working).
+
+    Conforms to :class:`repro.io.protocols.BlockDevice`: the shared
+    control surface (``capacity_lbas``/``is_alive``/``health``) and the
+    queued IO pair (``submit``/``poll`` over a lazily created
+    :class:`repro.io.queue.DeviceQueue`) live here, so every device
+    flavour inherits them.
 
     Args:
         chip: the flash chip to manage.
         n_lbas: logical oPage count exposed to the host.
         config: FTL tunables; ``None`` means defaults.
     """
+
+    #: Metric label for the device flavour; subclasses override.
+    device_kind = "ftl"
 
     def __init__(self, chip: FlashChip, n_lbas: int,
                  config: FTLConfig | None = None) -> None:
@@ -153,6 +170,8 @@ class PageMappedFTL:
                 f"headroom; shrink the logical size or grow the chip")
 
         self.n_lbas = n_lbas
+        self._capacity_lbas = n_lbas
+        self._io_queue = None
         # Fault injection binds at construction, like observability: with
         # no plan installed the hooks are one attribute test (None).
         self._faults = faults.injector()
@@ -217,9 +236,75 @@ class PageMappedFTL:
         return cls(chip, n_lbas, config)
 
     @property
+    def capacity_lbas(self) -> int:
+        """Currently advertised logical size in oPages.
+
+        Plain FTLs and the baseline device advertise a fixed
+        ``n_lbas``; CVSS assigns this downward as blocks retire;
+        Salamander overrides it with the active-minidisk sum.
+        """
+        return self._capacity_lbas
+
+    @capacity_lbas.setter
+    def capacity_lbas(self, value: int) -> None:
+        self._capacity_lbas = value
+
+    @property
     def capacity_bytes(self) -> int:
-        """Logical device size in bytes."""
-        return self.n_lbas * self.geometry.opage_bytes
+        """Advertised device size in bytes."""
+        return self.capacity_lbas * self.geometry.opage_bytes
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the device still serves IO (subclasses refine)."""
+        return True
+
+    def health(self) -> dict:
+        """Uniform :class:`~repro.io.protocols.BlockDevice` health
+        snapshot; device flavours layer their richer reports
+        (``smart()``, ``smart_sample()``) on top of this shared core.
+        """
+        return {
+            "device_kind": self.device_kind,
+            "alive": self.is_alive,
+            "capacity_lbas": self.capacity_lbas,
+            "capacity_bytes": self.capacity_bytes,
+            "live_lbas": self.live_lbas(),
+            "free_blocks": self.free_block_count(),
+            "retired_fpages": self.stats.retired_fpages,
+            "host_writes": self.stats.host_writes,
+            "host_reads": self.stats.host_reads,
+        }
+
+    # -- queued IO path ------------------------------------------------------
+
+    @property
+    def io_queue(self):
+        """This device's submission queue, created on first use.
+
+        Lazy so that fault/perf harnesses constructing thousands of
+        devices never pay for queues they do not poll.
+        """
+        if self._io_queue is None:
+            from repro.io.queue import DeviceQueue
+            self._io_queue = DeviceQueue(self)
+        return self._io_queue
+
+    def attach_queue(self, depth: int = 8, coalesce: bool = False,
+                     keep_latencies: bool = False):
+        """(Re)build the submission queue with explicit settings."""
+        from repro.io.queue import DeviceQueue
+        self._io_queue = DeviceQueue(self, depth=depth, coalesce=coalesce,
+                                     keep_latencies=keep_latencies)
+        return self._io_queue
+
+    def submit(self, request, at_us: float | None = None):
+        """Submit an :class:`repro.io.request.IORequest` to the queue."""
+        return self.io_queue.submit(request, at_us=at_us)
+
+    def poll(self):
+        """Drain finished completions from the queue."""
+        return self.io_queue.poll()
 
     def write(self, lba: int, data: bytes, stream: int = 0) -> None:
         """Buffer a 4 KiB (or shorter) write to ``lba``.
@@ -413,47 +498,6 @@ class PageMappedFTL:
             performed += 1
         return performed
 
-    def scrub(self, max_fpages: int | None = None) -> int:
-        """Proactive wear sweep: relocate data off pages past their ECC.
-
-        Walks written pages from a rolling cursor; any page whose current
-        RBER exceeds its tiredness level's capability has its valid oPages
-        read (while they are still likely correctable) and rewritten
-        elsewhere. The drained page is then reclaimed by normal GC, where
-        the usual wear handling retires or promotes it.
-
-        Args:
-            max_fpages: pages to examine this sweep (None = whole device).
-
-        Returns:
-            Number of oPages relocated.
-        """
-        total = self.geometry.total_fpages
-        budget = total if max_fpages is None else min(max_fpages, total)
-        relocated = 0
-        for _ in range(budget):
-            fpage = self._scrub_cursor
-            self._scrub_cursor = (self._scrub_cursor + 1) % total
-            if not self.chip.is_written(fpage):
-                continue
-            if not self.chip.is_overworn(fpage):
-                continue
-            relocated += self._evacuate_fpage(fpage)
-        return relocated
-
-    def _evacuate_fpage(self, fpage: int) -> int:
-        """Move a written page's valid oPages to fresh flash."""
-        self._ensure_free_space()
-        moved = self._read_valid_opages(fpage)
-        if self._faults is not None:
-            # Crash between the read and the rewrite: the source page is
-            # untouched (reads are non-destructive), so nothing is lost.
-            self._faults.crash_if("ftl.scrub", fpage=fpage)
-        self._program_items("gc", moved, relocation=False)
-        self.stats.wear_relocations += len(moved)
-        self._instr.wear_relocations.inc(len(moved))
-        return len(moved)
-
     def _read_valid_opages(self, fpage: int) -> list[tuple[int, bytes]]:
         """Batch-read a written page's valid oPages, in slot order.
 
@@ -477,100 +521,6 @@ class PageMappedFTL:
                 continue
             survivors.append((lba, data))
         return survivors
-
-    def _maybe_autoscrub(self) -> None:
-        interval = self.config.scrub_interval_writes
-        if interval == 0:
-            return
-        self._writes_since_scrub += 1
-        if self._writes_since_scrub >= interval:
-            self._writes_since_scrub = 0
-            try:
-                self.scrub(max_fpages=self.config.scrub_batch_fpages)
-            except OutOfSpaceError:
-                # Scrubbing is best-effort housekeeping; a full device
-                # must not fail the host operation that tickled it.
-                pass
-
-    # -- power-loss recovery -----------------------------------------------------
-
-    @classmethod
-    def remount(cls, chip: FlashChip, n_lbas: int,
-                config: FTLConfig | None = None,
-                buffer_entries: list[tuple[int, bytes]] | None = None,
-                ) -> "PageMappedFTL":
-        """Reconstruct an FTL from flash contents after power loss.
-
-        Replays the OOB metadata every program stamped into the spare
-        area: for each LBA the highest write sequence wins (older copies
-        are stale garbage for GC to reclaim). ``buffer_entries`` restores
-        the NVRAM write buffer — the paper's buffer is non-volatile, so a
-        plain power cycle loses nothing; pass ``None`` to model an NVRAM
-        failure, in which case unflushed writes are (correctly) gone.
-
-        Known and accepted semantics: trims are not journaled, so data
-        trimmed after its last program *resurrects* on remount — the
-        standard behaviour for FTLs without a trim journal.
-        """
-        ftl = cls(chip, n_lbas, config)
-        ftl._rebuild_from_flash()
-        if buffer_entries:
-            ftl._restore_buffer(buffer_entries)
-        return ftl
-
-    def _restore_buffer(self,
-                        entries: list[tuple[int, bytes]]) -> None:
-        """Refill the NVRAM buffer at mount time, keeping stream counts.
-
-        Stream hints are not journaled, so restored entries count as
-        stream 0 — exactly how ``_busiest_stream`` previously classified
-        buffered keys with no recorded stream.
-        """
-        for lba, payload in entries:
-            self.buffer.put(lba, payload)
-            self._note_buffered(lba, 0)
-
-    def _rebuild_from_flash(self) -> None:
-        """Mount-time scan: rebuild mapping, counts, and block states."""
-        states = self.chip.state_array()
-        best_seq: dict[int, int] = {}
-        for fpage in range(self.geometry.total_fpages):
-            if states[fpage] != 1:  # not WRITTEN
-                continue
-            oob = self.chip.read_oob(fpage)
-            if oob is None:
-                continue  # pre-OOB or foreign data; unreadable by this FTL
-            lbas, sequence = oob
-            self._write_seq = max(self._write_seq, sequence)
-            base = fpage * self._slots_per_fpage_max
-            for slot, lba in enumerate(lbas):
-                if lba is None or not 0 <= lba < self.n_lbas:
-                    continue
-                if sequence > best_seq.get(lba, -1):
-                    best_seq[lba] = sequence
-                    self._map(lba, base + slot)
-        # Block states: any written page -> closed; all retired -> dead;
-        # otherwise free. Partially-written blocks count as closed — their
-        # free tail is reclaimed when GC erases them (cheap, and avoids
-        # resuming a half-open block with an unknown history).
-        self._free_blocks.clear()
-        self._open = {
-            **{f"host{i}": None for i in range(self.config.host_streams)},
-            "gc": None}
-        for block in range(self.geometry.blocks):
-            pages = np.asarray(self.geometry.fpage_range_of_block(block))
-            block_states = states[pages]
-            self._erase_counts[block] = int(self.chip.pec(int(pages[0])))
-            if (block_states == 2).all():
-                self._dead_blocks.add(block)
-            elif (block_states == 1).any():
-                self._closed_blocks.add(block)
-                self._seq += 1
-                self._close_seq[block] = self._seq
-            elif self._block_usable(block):
-                self._free_blocks.add(block)
-            else:
-                self._dead_blocks.add(block)
 
     # -- capacity accounting ---------------------------------------------------
 

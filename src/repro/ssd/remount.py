@@ -1,0 +1,102 @@
+"""Power-loss remount (OOB replay), factored out of the FTL core.
+
+:class:`RemountMixin` carries the mount-time reconstruction path that
+:class:`repro.ssd.ftl.PageMappedFTL` mixes in: replay the OOB write
+log stamped into every programmed fPage's spare area (highest write
+sequence wins per LBA), rebuild block states, and optionally refill
+the NVRAM write buffer. Device flavours layer their own remounts on
+top (``BaselineSSD.remount`` restores the bad-block ledger first;
+``SalamanderSSD.remount`` replays the NVRAM minidisk snapshot).
+
+Split out of ``ftl.py`` purely for readability; behaviour, method
+names and replay order are byte-identical (the remount state-equality
+property tests pin this), and ``from repro.ssd.ftl import
+PageMappedFTL`` keeps working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RemountMixin"]
+
+
+class RemountMixin:
+    """OOB-replay remount methods shared through :class:`PageMappedFTL`."""
+
+    @classmethod
+    def remount(cls, chip, n_lbas: int,
+                config=None,
+                buffer_entries: list[tuple[int, bytes]] | None = None):
+        """Reconstruct an FTL from flash contents after power loss.
+
+        Replays the OOB metadata every program stamped into the spare
+        area: for each LBA the highest write sequence wins (older copies
+        are stale garbage for GC to reclaim). ``buffer_entries`` restores
+        the NVRAM write buffer — the paper's buffer is non-volatile, so a
+        plain power cycle loses nothing; pass ``None`` to model an NVRAM
+        failure, in which case unflushed writes are (correctly) gone.
+
+        Known and accepted semantics: trims are not journaled, so data
+        trimmed after its last program *resurrects* on remount — the
+        standard behaviour for FTLs without a trim journal.
+        """
+        ftl = cls(chip, n_lbas, config)
+        ftl._rebuild_from_flash()
+        if buffer_entries:
+            ftl._restore_buffer(buffer_entries)
+        return ftl
+
+    def _restore_buffer(self,
+                        entries: list[tuple[int, bytes]]) -> None:
+        """Refill the NVRAM buffer at mount time, keeping stream counts.
+
+        Stream hints are not journaled, so restored entries count as
+        stream 0 — exactly how ``_busiest_stream`` previously classified
+        buffered keys with no recorded stream.
+        """
+        for lba, payload in entries:
+            self.buffer.put(lba, payload)
+            self._note_buffered(lba, 0)
+
+    def _rebuild_from_flash(self) -> None:
+        """Mount-time scan: rebuild mapping, counts, and block states."""
+        states = self.chip.state_array()
+        best_seq: dict[int, int] = {}
+        for fpage in range(self.geometry.total_fpages):
+            if states[fpage] != 1:  # not WRITTEN
+                continue
+            oob = self.chip.read_oob(fpage)
+            if oob is None:
+                continue  # pre-OOB or foreign data; unreadable by this FTL
+            lbas, sequence = oob
+            self._write_seq = max(self._write_seq, sequence)
+            base = fpage * self._slots_per_fpage_max
+            for slot, lba in enumerate(lbas):
+                if lba is None or not 0 <= lba < self.n_lbas:
+                    continue
+                if sequence > best_seq.get(lba, -1):
+                    best_seq[lba] = sequence
+                    self._map(lba, base + slot)
+        # Block states: any written page -> closed; all retired -> dead;
+        # otherwise free. Partially-written blocks count as closed — their
+        # free tail is reclaimed when GC erases them (cheap, and avoids
+        # resuming a half-open block with an unknown history).
+        self._free_blocks.clear()
+        self._open = {
+            **{f"host{i}": None for i in range(self.config.host_streams)},
+            "gc": None}
+        for block in range(self.geometry.blocks):
+            pages = np.asarray(self.geometry.fpage_range_of_block(block))
+            block_states = states[pages]
+            self._erase_counts[block] = int(self.chip.pec(int(pages[0])))
+            if (block_states == 2).all():
+                self._dead_blocks.add(block)
+            elif (block_states == 1).any():
+                self._closed_blocks.add(block)
+                self._seq += 1
+                self._close_seq[block] = self._seq
+            elif self._block_usable(block):
+                self._free_blocks.add(block)
+            else:
+                self._dead_blocks.add(block)

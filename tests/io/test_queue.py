@@ -1,0 +1,171 @@
+"""DeviceQueue mechanics: clocks, backpressure, coalescing, errors.
+
+Timing assertions run with ``variation_sigma=0`` and error injection
+off, so every flash read costs the same deterministic service time.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, InvalidLBAError
+from repro.io import DeviceQueue, IORequest
+
+
+@pytest.fixture
+def device(make_baseline):
+    """Deterministic-latency baseline device with LBAs 0..15 on flash."""
+    ssd = make_baseline(seed=3, variation_sigma=0.0, inject_errors=False)
+    for lba in range(16):
+        ssd.write(lba, bytes([lba]) * 8)
+    ssd.flush()  # drain the NVRAM buffer so reads hit flash
+    return ssd
+
+
+def read_request(lba):
+    return IORequest(op="read", lba=lba)
+
+
+class TestDispatch:
+    def test_closed_loop_has_no_wait(self, device):
+        queue = DeviceQueue(device)
+        completion = queue.execute(read_request(0))
+        assert completion.ok
+        assert completion.result == [device.read(0)]
+        assert completion.wait_us == 0.0
+        assert completion.service_us > 0.0
+        assert completion.latency_us == completion.service_us
+
+    def test_submit_then_poll(self, device):
+        queue = DeviceQueue(device)
+        for lba in range(4):
+            queue.submit(read_request(lba))
+        completions = queue.poll()
+        assert [c.request.lba for c in completions] == [0, 1, 2, 3]
+        assert [c.request.tag for c in completions] == [0, 1, 2, 3]
+        assert all(c.ok for c in completions)
+        assert queue.poll() == []
+
+    def test_execute_consumes_its_completion(self, device):
+        queue = DeviceQueue(device)
+        queue.execute(read_request(0))
+        assert queue.poll() == []
+
+    def test_open_loop_same_arrival_queues_on_one_channel(self, device):
+        # tiny_geometry has one channel: two simultaneous arrivals
+        # serialise, so the second waits the first's service time.
+        queue = DeviceQueue(device)
+        first = queue.execute(read_request(0), at_us=0.0)
+        second = queue.execute(read_request(1), at_us=0.0)
+        assert first.wait_us == 0.0
+        assert second.wait_us == pytest.approx(first.service_us)
+        assert second.latency_us == pytest.approx(
+            second.wait_us + second.service_us)
+
+    def test_open_loop_spaced_arrivals_do_not_queue(self, device):
+        queue = DeviceQueue(device)
+        first = queue.execute(read_request(0), at_us=0.0)
+        second = queue.execute(
+            read_request(1), at_us=first.end_us + 1.0)
+        assert second.wait_us == 0.0
+
+    def test_work_equals_service_on_one_channel(self, device):
+        queue = DeviceQueue(device)
+        completion = queue.execute(read_request(0))
+        assert completion.work_us == pytest.approx(completion.service_us)
+
+    def test_backpressure_clamps_arrival(self, device):
+        queue = DeviceQueue(device, depth=1)
+        first = queue.execute(read_request(0), at_us=0.0)
+        # The window is empty again (execute consumed it), so refill it.
+        queue.submit(read_request(1), at_us=0.0)
+        blocked = queue.execute(read_request(2), at_us=0.0)
+        # Arrival was clamped to the oldest in-flight completion's end.
+        assert blocked.submit_us >= first.end_us
+        assert queue.stats.dispatched == 3
+
+    def test_depth_validation(self, device):
+        with pytest.raises(ConfigError):
+            DeviceQueue(device, depth=0)
+
+    def test_stats_accumulate(self, device):
+        queue = DeviceQueue(device, keep_latencies=True)
+        for lba in range(3):
+            queue.execute(read_request(lba))
+        stats = queue.stats
+        assert stats.submitted == stats.dispatched == 3
+        assert len(stats.latencies_us) == 3
+        assert stats.mean_latency_us == pytest.approx(
+            sum(stats.latencies_us) / 3)
+        assert stats.mean_latency_us == pytest.approx(
+            stats.mean_wait_us + stats.mean_service_us)
+
+
+class TestCoalescing:
+    def test_contiguous_writes_merge(self, device):
+        queue = DeviceQueue(device, coalesce=True)
+        for lba in range(4):
+            queue.submit(IORequest(op="write", lba=16 + lba,
+                                   payloads=[b"m" * 8]))
+        assert queue.stats.dispatched == 0  # still staged
+        queue.flush()
+        assert queue.stats.dispatched == 1
+        assert queue.stats.merged == 3
+        completions = queue.poll()
+        assert completions[0].merged == 4
+        assert completions[0].request.count == 4
+
+    def test_non_contiguous_does_not_merge(self, device):
+        queue = DeviceQueue(device, coalesce=True)
+        queue.submit(IORequest(op="write", lba=16, payloads=[b"a" * 8]))
+        queue.submit(IORequest(op="write", lba=20, payloads=[b"b" * 8]))
+        queue.flush()
+        assert queue.stats.merged == 0
+        assert queue.stats.dispatched == 2
+
+    def test_execute_flushes_staged_first(self, device):
+        # Read-after-staged-write must see the write: execute()
+        # dispatches the staged request before its own.
+        queue = DeviceQueue(device, coalesce=True)
+        queue.submit(IORequest(op="write", lba=16, payloads=[b"q" * 8]))
+        completion = queue.execute(read_request(16))
+        assert completion.result[0].rstrip(b"\0") == b"q" * 8
+
+    def test_merge_respects_cap(self, device):
+        from repro.io.queue import MAX_MERGE_LBAS
+        queue = DeviceQueue(device, coalesce=True)
+        staged = IORequest(op="read_range", lba=0, count=MAX_MERGE_LBAS)
+        queue._staged = staged
+        assert not queue._try_merge(
+            IORequest(op="read_range", lba=MAX_MERGE_LBAS, count=1), None)
+
+
+class TestErrors:
+    def test_execute_reraises_device_error(self, device):
+        queue = DeviceQueue(device)
+        with pytest.raises(InvalidLBAError):
+            queue.execute(read_request(10 ** 9))
+        assert queue.stats.errors == 1
+
+    def test_submit_raises_synchronously(self, device):
+        queue = DeviceQueue(device)
+        with pytest.raises(InvalidLBAError):
+            queue.submit(read_request(10 ** 9))
+        # The errored completion is still visible to poll().
+        completions = queue.poll()
+        assert len(completions) == 1
+        assert not completions[0].ok
+        assert isinstance(completions[0].error, InvalidLBAError)
+
+
+class TestClock:
+    def test_clock_monotone(self, device):
+        queue = DeviceQueue(device)
+        queue.execute(read_request(0), at_us=100.0)
+        queue.execute(read_request(1), at_us=50.0)  # late-arriving stamp
+        assert queue.clock_us == 100.0
+
+    def test_makespan_covers_all_service(self, device):
+        queue = DeviceQueue(device)
+        total = 0.0
+        for lba in range(4):
+            total += queue.execute(read_request(lba), at_us=0.0).service_us
+        assert queue.makespan_us() == pytest.approx(total)

@@ -1,0 +1,67 @@
+"""Unit tests for IORequest/IOCompletion — validation and timing maths."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.io import IOCompletion, IORequest, READ_OPS, WRITE_OPS
+
+
+class TestIORequest:
+    def test_write_derives_count_from_payloads(self):
+        request = IORequest(op="write", lba=4, payloads=[b"a", b"b", b"c"])
+        assert request.count == 3
+        assert not request.is_read
+
+    def test_write_needs_payloads(self):
+        with pytest.raises(ConfigError):
+            IORequest(op="write", lba=0)
+
+    def test_reads_carry_no_payloads(self):
+        with pytest.raises(ConfigError):
+            IORequest(op="read", lba=0, payloads=[b"x"])
+
+    def test_read_is_single_lba(self):
+        with pytest.raises(ConfigError):
+            IORequest(op="read", lba=0, count=4)
+        assert IORequest(op="read_range", lba=0, count=4).is_read
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigError):
+            IORequest(op="compare-and-swap")
+
+    def test_negative_lba_and_count_rejected(self):
+        with pytest.raises(ConfigError):
+            IORequest(op="read", lba=-1)
+        with pytest.raises(ConfigError):
+            IORequest(op="read_range", lba=0, count=0)
+
+    def test_op_groups(self):
+        assert "read" in READ_OPS and "read_range" in READ_OPS
+        assert "write" in WRITE_OPS
+
+
+class TestIOCompletion:
+    def test_timing_decomposition(self):
+        completion = IOCompletion(
+            request=IORequest(op="read", lba=0),
+            submit_us=10.0, start_us=25.0, end_us=85.0)
+        assert completion.wait_us == pytest.approx(15.0)
+        assert completion.service_us == pytest.approx(60.0)
+        assert completion.latency_us == pytest.approx(75.0)
+        assert completion.latency_us == pytest.approx(
+            completion.wait_us + completion.service_us)
+        assert completion.ok
+
+    def test_deadline_flag(self):
+        request = IORequest(op="read", lba=0, deadline_us=50.0)
+        late = IOCompletion(request=request, submit_us=0.0,
+                            start_us=0.0, end_us=60.0)
+        ok = IOCompletion(request=request, submit_us=0.0,
+                          start_us=0.0, end_us=40.0)
+        assert late.deadline_missed
+        assert not ok.deadline_missed
+
+    def test_no_deadline_never_missed(self):
+        completion = IOCompletion(
+            request=IORequest(op="read", lba=0), end_us=1e9)
+        assert not completion.deadline_missed

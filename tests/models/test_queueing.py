@@ -68,3 +68,91 @@ class TestMDC:
             mdc_latency_us(60.0, 100, channels=0)
         with pytest.raises(ConfigError):
             saturation_iops(-1)
+
+
+class TestEdgeCases:
+    """Property tests pinning the saturation boundary and large-c maths."""
+
+    CHANNELS = [1, 2, 3, 4, 8, 16, 32, 48, 64]
+
+    @pytest.mark.parametrize("channels", CHANNELS)
+    def test_no_overflow_large_c(self, channels):
+        # The naive offered**k / k! evaluation overflows long before
+        # c = 64 at high utilisation; the recurrence must not.
+        service = 250.0
+        sat = saturation_iops(service, channels=channels)
+        latency = mdc_latency_us(service, sat * 0.95, channels=channels)
+        assert math.isfinite(latency)
+        assert latency >= service
+
+    def test_no_overflow_very_large_c(self):
+        # Far past where math.factorial(c) leaves the double range.
+        for channels in (128, 200, 400):
+            sat = saturation_iops(60.0, channels=channels)
+            latency = mdc_latency_us(60.0, sat * 0.9, channels=channels)
+            assert math.isfinite(latency)
+            assert latency >= 60.0
+
+    @pytest.mark.parametrize("channels", CHANNELS)
+    def test_consistent_at_and_over_saturation(self, channels):
+        """inf exactly from the saturation point on, for every c."""
+        service = 80.0
+        sat = saturation_iops(service, channels=channels)
+        assert mdc_latency_us(service, sat, channels=channels) == math.inf
+        assert mdc_latency_us(service, sat * 2, channels=channels) == math.inf
+        assert math.isfinite(
+            mdc_latency_us(service, sat * 0.999, channels=channels))
+
+    @pytest.mark.parametrize("channels", CHANNELS)
+    def test_finite_and_monotone_as_utilisation_approaches_one(
+            self, channels):
+        """Walking rho -> 1 from below stays finite and non-decreasing."""
+        service = 100.0
+        sat = saturation_iops(service, channels=channels)
+        rhos = [0.1, 0.5, 0.9, 0.99, 0.999, 0.9999]
+        latencies = [mdc_latency_us(service, sat * rho, channels=channels)
+                     for rho in rhos]
+        assert all(math.isfinite(lat) for lat in latencies)
+        assert all(a <= b for a, b in zip(latencies, latencies[1:]))
+        # ... and genuinely diverging, not plateauing.
+        assert latencies[-1] > 10 * service
+
+    @pytest.mark.parametrize("channels", CHANNELS)
+    def test_zero_load_is_pure_service(self, channels):
+        assert mdc_latency_us(42.0, 0.0, channels=channels) == \
+            pytest.approx(42.0)
+
+    def test_erlang_c_matches_naive_form_small_c(self):
+        """The recurrence equals the literal formula where both work."""
+        from repro.models.queueing import _erlang_c
+
+        for c in (1, 2, 4, 8, 16):
+            for rho in (0.1, 0.5, 0.9, 0.99):
+                offered = rho * c
+                total = sum(offered**k / math.factorial(k)
+                            for k in range(c))
+                tail = offered**c / (math.factorial(c)
+                                     * (1 - offered / c))
+                naive = tail / (total + tail)
+                assert _erlang_c(c, offered) == pytest.approx(
+                    naive, rel=1e-12)
+
+    def test_erlang_c_bounds(self):
+        from repro.models.queueing import _erlang_c
+
+        assert _erlang_c(8, 0.0) == 0.0
+        assert _erlang_c(8, 8.0) == 1.0
+        assert _erlang_c(8, 12.0) == 1.0
+        for c in (1, 4, 64):
+            for rho in (0.2, 0.7, 0.95):
+                p = _erlang_c(c, rho * c)
+                assert 0.0 <= p <= 1.0
+
+    def test_mdc_c1_equals_md1_exact(self):
+        """The c = 1 fast path and the Erlang route agree: M/D/1 is exact."""
+        service = 60.0
+        for rho in (0.1, 0.5, 0.9):
+            iops = rho * saturation_iops(service)
+            expected = md1_wait_us(service, iops / 1e6) + service
+            assert mdc_latency_us(service, iops, channels=1) == \
+                pytest.approx(expected)

@@ -96,6 +96,44 @@ class TestThroughputDegradation:
         assert result.status == "skip"
 
 
+class TestQueueingLatency:
+    def test_measured_matches_analytic_below_saturation(self):
+        from repro.reporting.claims import measured_queueing_latency
+
+        run = measured_queueing_latency(0.5, n_requests=800)
+        assert run["service_us"] > 0
+        assert run["measured_mean_latency_us"] == pytest.approx(
+            run["analytic_mean_latency_us"], rel=0.15)
+        # At rho=0.5 there is genuine queueing to measure.
+        assert run["measured_mean_wait_us"] > 0
+
+    def test_check_passes_at_default_tolerance(self):
+        from repro.reporting.claims import check_queueing_latency
+
+        results = check_queueing_latency()
+        assert len(results) == 4
+        assert all(r.status == "pass" for r in results)
+        claims = {r.claim for r in results}
+        assert "queueing_latency/rho0.7" in claims
+        assert "queueing_latency/c4_rho0.5" in claims
+
+    def test_latency_grows_with_utilisation(self):
+        from repro.reporting.claims import measured_queueing_latency
+
+        low = measured_queueing_latency(0.3, n_requests=500)
+        high = measured_queueing_latency(0.7, n_requests=500)
+        assert (high["measured_mean_latency_us"]
+                > low["measured_mean_latency_us"])
+
+    def test_bad_utilisation_rejected(self):
+        from repro.reporting.claims import measured_queueing_latency
+
+        with pytest.raises(ConfigError):
+            measured_queueing_latency(0.0)
+        with pytest.raises(ConfigError):
+            measured_queueing_latency(1.0)
+
+
 class TestRecoveryTraffic:
     def test_gradual_shedding_beats_cliff(self):
         result = check_recovery_traffic({
@@ -157,7 +195,7 @@ class TestBuildReport:
                         "shrink": [100.0, 90.0, 80.0]})
         report = build_report(timeseries_doc=doc)
         assert report["schema"] == REPORT_SCHEMA
-        assert report["summary"] == {"pass": 6, "fail": 0, "skip": 0}
+        assert report["summary"] == {"pass": 10, "fail": 0, "skip": 0}
         assert not report_failed(report)
         assert report["inputs"]["timeseries"] is True
 
@@ -185,7 +223,8 @@ class TestBuildReport:
         report = build_report()
         assert report["summary"]["fail"] == 0
         assert report["summary"]["skip"] == 3
-        assert report["summary"]["pass"] == 3  # throughput re-measured
+        # Throughput and queueing latency are re-measured on every run.
+        assert report["summary"]["pass"] == 7
 
     def test_failed_claim_detected(self):
         doc = _timeseries_doc(
