@@ -5,6 +5,8 @@ Each bench times one narrower hot path than the GC-heavy macro:
 * ``ftl_write_micro`` — buffer/flush/allocation with little GC;
 * ``io_roundtrip_micro`` — the DeviceQueue request/completion plumbing
   the cluster's default IO path now rides on;
+* ``io_roundtrip_reqtrace_micro`` — the same loop with request tracing
+  installed at 1-in-64 sampling (the reqtrace overhead contract);
 * ``remount_micro`` — the OOB-replay rebuild scan (mount latency);
 * ``fleet_step_micro`` — one vectorised fleet-model run (the unit the
   sweep runner parallelises over).
@@ -32,6 +34,17 @@ def test_io_roundtrip_micro():
     assert entry["ops"] == workloads.IO_MICRO_OPS
     assert entry["meta"]["errors"] == 0
     assert entry["meta"]["mean_service_us"] > 0
+
+
+@pytest.mark.no_obs
+def test_io_roundtrip_reqtrace_micro():
+    entry = harness.run("io_roundtrip_reqtrace_micro",
+                        workloads.io_roundtrip_reqtrace_micro)
+    assert entry["ops"] == workloads.IO_MICRO_OPS
+    assert entry["meta"]["errors"] == 0
+    # 1-in-64 sampling actually sampled: the bench measures tracing on,
+    # not a silently unbound tracer.
+    assert entry["meta"]["sampled"] >= workloads.IO_MICRO_OPS // 64
 
 
 @pytest.mark.no_obs

@@ -10,6 +10,7 @@ Usage::
     python -m repro tco [--f-opex 0.14]
     python -m repro replacement [--slots 100] [--age-limit 5]
     python -m repro report [--metrics m.json] [--timeseries ts.jsonl] [...]
+    python -m repro slo --slo objectives.json (--measure | --reqtrace t.jsonl)
 
 Each subcommand prints the same tables the benchmark suite regenerates;
 see DESIGN.md for the experiment-to-paper mapping.
@@ -38,6 +39,7 @@ from repro.models.tco import RU_REGENS as TCO_RU_REGENS
 from repro.models.tco import RU_SHRINKS as TCO_RU_SHRINKS
 from repro.reporting.series import Series
 from repro.reporting.tables import format_table, render_bars, render_series
+from repro.rng import DEFAULT_SEED
 
 
 def _version() -> str:
@@ -109,6 +111,91 @@ def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
              "(see docs/FAULTS.md); omit for a fault-free run")
 
 
+def _add_reqtrace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reqtrace-out", default=None, metavar="PATH",
+        help="run an instrumented IO probe over the selected device "
+             "modes and write its repro.obs.reqtrace/v1 JSONL here "
+             "(see docs/OBSERVABILITY.md)")
+    parser.add_argument(
+        "--slo", default=None, metavar="PATH",
+        help="evaluate a repro.obs.slo/v1 objectives config over the "
+             "probe's request records; the report is printed (use "
+             "`repro slo` for an exit-code gate)")
+
+
+def _evaluate_by_device(records: list, objectives: list) -> dict:
+    """Evaluate objectives per ``device_kind`` group; merge the rows.
+
+    Each mode's probe (and each device in a fleet) runs on its own
+    simulated clock, so windowed evaluation must not interleave
+    ``end_us`` values across kinds. Rows are prefixed ``kind/name``
+    and the merged ``ok`` is the conjunction of every group's.
+    """
+    from repro.obs import slo as slo_mod
+
+    groups: dict[str, list] = {}
+    for record in records:
+        groups.setdefault(str(record.get("device_kind", "")),
+                          []).append(record)
+    if not groups:
+        return slo_mod.evaluate_records([], objectives)
+    rows: list[dict] = []
+    ok = True
+    for kind in sorted(groups):
+        report = slo_mod.evaluate_records(groups[kind], objectives)
+        ok = ok and report["ok"]
+        for row in report["objectives"]:
+            row = dict(row)
+            if kind:
+                row["name"] = f"{kind}/{row['name']}"
+            rows.append(row)
+    return {"schema": slo_mod.SLO_REPORT_SCHEMA,
+            "objective_count": len(rows), "ok": ok, "objectives": rows}
+
+
+def _run_reqtrace_sidecar(args: argparse.Namespace,
+                          modes: Sequence[str] | None = None) -> None:
+    """Serve the ``--reqtrace-out`` / ``--slo`` flags on run/fleet.
+
+    Drives the deterministic IO probe (:mod:`repro.io.probe`) for the
+    command's device modes as a measurement sidecar — fleet/scenario
+    simulations step device *state*, not per-request timing, so the
+    request-level artifact comes from the probe's queue-driven
+    workload under the same seed.
+    """
+    if not (getattr(args, "reqtrace_out", None)
+            or getattr(args, "slo", None)):
+        return
+    from repro.io.probe import (
+        PROBE_MODES,
+        ProbeConfig,
+        merged_records,
+        run_probes,
+    )
+    from repro.obs import reqtrace as reqtrace_mod
+    from repro.obs import slo as slo_mod
+
+    seed = int(getattr(args, "seed", DEFAULT_SEED))
+    probe_modes = tuple(m for m in (modes or ()) if m in PROBE_MODES) \
+        or PROBE_MODES
+    config = ProbeConfig()
+    results = run_probes(probe_modes, seed=seed, config=config)
+    records = merged_records(results)
+    if args.reqtrace_out:
+        path = reqtrace_mod.write_reqtrace(
+            args.reqtrace_out, records,
+            meta={"seed": seed, "every": config.every,
+                  "modes": list(probe_modes),
+                  "sampled": sum(r["meta"]["sampled"] for r in results),
+                  "dropped": sum(r["meta"]["dropped"] for r in results)})
+        print(f"reqtrace -> {path}")
+    if args.slo:
+        objectives = slo_mod.load_slo_config(args.slo)
+        report = _evaluate_by_device(records, objectives)
+        print(slo_mod.format_slo_report(report))
+
+
 def _load_fault_plan(args: argparse.Namespace):
     """Load the ``--faults`` plan, or None when the flag was not given."""
     if not getattr(args, "faults", None):
@@ -163,6 +250,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             for mode, r in results.items()]
     print(format_table(["mode", "mean lifetime (days)"], rows))
     _write_observability(args, registry, tracer, sampler)
+    _run_reqtrace_sidecar(args, modes)
     return 0
 
 
@@ -355,6 +443,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"scenario {document['name']!r} ({document['kind']}) -> {path}")
     for name, table in writer.document()["tables"].items():
         print(format_table(table["headers"], table["rows"], title=name))
+    _run_reqtrace_sidecar(args)
     return 0
 
 
@@ -421,6 +510,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import reqtrace as reqtrace_mod
+    from repro.obs import slo as slo_mod
+    from repro.obs.analyze import analyze_trace, format_trace_summary
+
+    objectives = slo_mod.load_slo_config(args.slo)
+    if bool(args.reqtrace) == bool(args.measure):
+        raise ConfigError(
+            "repro slo needs exactly one input: --reqtrace PATH "
+            "(evaluate an existing artifact) or --measure "
+            "(drive the instrumented IO probe)")
+    if args.reqtrace:
+        _, records = reqtrace_mod.load_reqtrace(args.reqtrace)
+        reqtrace_mod.validate_reqtrace_records(records)
+    else:
+        from repro.io.probe import (
+            PROBE_MODES,
+            merged_records,
+            probe_config_from_args,
+            run_probes,
+        )
+        from repro.sim.parallel import resolve_jobs
+
+        modes = PROBE_MODES if args.mode == "all" else (args.mode,)
+        config = probe_config_from_args(every=args.every,
+                                        n_requests=args.requests)
+        results = run_probes(modes, seed=args.seed, config=config,
+                             jobs=resolve_jobs(args.jobs))
+        records = merged_records(results)
+        if args.reqtrace_out:
+            path = reqtrace_mod.write_reqtrace(
+                args.reqtrace_out, records,
+                meta={"seed": args.seed, "every": config.every,
+                      "modes": list(modes),
+                      "sampled": sum(r["meta"]["sampled"]
+                                     for r in results),
+                      "dropped": sum(r["meta"]["dropped"]
+                                     for r in results)})
+            print(f"reqtrace -> {path}")
+    report = _evaluate_by_device(records, objectives)
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True,
+                                   allow_nan=False))
+        print(f"slo report (json) -> {path}")
+    print(slo_mod.format_slo_report(report))
+    summary = analyze_trace(records)
+    if summary.get("segments"):
+        print(format_trace_summary(summary))
+    if slo_mod.slo_failed(report):
+        print("repro slo: one or more objectives VIOLATED",
+              file=sys.stderr)
+        return EXIT_CLAIM_FAILED
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -447,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=2025)
     _add_observability_flags(fleet)
     _add_faults_flag(fleet)
+    _add_reqtrace_flags(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
     tournament = sub.add_parser(
@@ -518,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="artifact output directory")
     _add_observability_flags(run)
     _add_faults_flag(run)
+    _add_reqtrace_flags(run)
     run.set_defaults(func=_cmd_run)
 
     report = sub.add_parser(
@@ -558,6 +709,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable request coalescing on the measured queue "
              "(changes physical access patterns; off by default)")
     report.set_defaults(func=_cmd_report)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate latency/deadline SLOs over reqtrace records "
+             "(exit 1 when an objective is violated)")
+    slo.add_argument(
+        "--slo", required=True, metavar="PATH",
+        help="repro.obs.slo/v1 objectives config (see "
+             "docs/OBSERVABILITY.md; scenarios/slo_default.json ships "
+             "a permissive example)")
+    slo.add_argument(
+        "--reqtrace", default=None, metavar="PATH",
+        help="evaluate an existing repro.obs.reqtrace/v1 artifact "
+             "(from --reqtrace-out) instead of measuring")
+    slo.add_argument(
+        "--measure", action="store_true",
+        help="drive the instrumented IO probe and evaluate its "
+             "records (mutually exclusive with --reqtrace)")
+    slo.add_argument(
+        "--mode", default="all",
+        choices=("all", "baseline", "cvss", "shrink", "regen"),
+        help="device mode(s) to probe under --measure")
+    slo.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="probe seed; records are a pure function of "
+             "(mode, seed, config) and identical for any --jobs")
+    slo.add_argument(
+        "--jobs", type=int, default=1,
+        help="probe one mode per worker process (0 = all cores)")
+    slo.add_argument(
+        "--every", type=int, default=None, metavar="N",
+        help="sample 1 request in N (default: the probe's 16)")
+    slo.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="measured requests per mode (default: the probe's 400)")
+    slo.add_argument(
+        "--reqtrace-out", default=None, metavar="PATH",
+        help="also write the measured repro.obs.reqtrace/v1 JSONL")
+    slo.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the repro.obs.slo_report/v1 JSON document here")
+    slo.set_defaults(func=_cmd_slo)
 
     return parser
 

@@ -654,12 +654,16 @@ class Cluster:
         total_latency = sum(q.stats.total_latency_us for q in queues)
         total_wait = sum(q.stats.total_wait_us for q in queues)
         total_service = sum(q.stats.total_service_us for q in queues)
+        deadline_misses = sum(q.stats.deadline_misses for q in queues)
         return {
             "queues": len(queues),
             "submitted": sum(q.stats.submitted for q in queues),
             "dispatched": dispatched,
             "merged": sum(q.stats.merged for q in queues),
             "errors": sum(q.stats.errors for q in queues),
+            "deadline_misses": deadline_misses,
+            "deadline_miss_ratio": (deadline_misses / dispatched
+                                    if dispatched else 0.0),
             "mean_latency_us": (total_latency / dispatched
                                 if dispatched else 0.0),
             "mean_wait_us": total_wait / dispatched if dispatched else 0.0,

@@ -40,6 +40,7 @@ from repro.errors import (
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.rber import RBERModel, lognormal_page_variation
+from repro.obs import reqtrace
 from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
 from repro.rng import make_rng
 
@@ -145,6 +146,9 @@ class FlashChip:
         # Fault injection binds at construction (None ⇒ hooks are a
         # single attribute test; see docs/FAULTS.md).
         self._faults = faults.injector()
+        # Request tracing binds the same way: read paths attribute their
+        # retry excess / ECC level to the active sampled request, if any.
+        self._reqtrace = reqtrace.tracer()
 
         n = self.geometry.total_fpages
         self._total_fpages = n
@@ -478,6 +482,13 @@ class FlashChip:
         self.stats.reads += 1
         self.stats.read_retries += retries
         self._charge(fpage // self._fpages_per_block, latency)
+        rt = self._reqtrace
+        if rt is not None and rt.active is not None:
+            ctx = rt.active
+            ctx.note_level(level)
+            if retries > 0.0:
+                ctx.bump("read_retries", retries)
+                ctx.leaf("read_retry", retries * self.latency.read_us)
         if self._faults is not None:
             spec = self._faults.check(
                 "chip.read", fpage=fpage, slot=slot,
@@ -539,6 +550,11 @@ class FlashChip:
         rng = self.rng
         chan = self.channel_busy_us
         ci = block % self._channels
+        rt = self._reqtrace
+        ctx = rt.active if rt is not None else None
+        read_us = self.latency.read_us
+        if ctx is not None:
+            ctx.note_level(level)
         # RBER is loop-invariant unless reads disturb the block mid-batch
         # or a retention clock could advance between reads.
         static = (self.read_disturb_rber == 0
@@ -566,6 +582,9 @@ class FlashChip:
             stats.read_retries += retries
             stats.busy_us += latency
             chan[ci] += latency
+            if ctx is not None and retries > 0.0:
+                ctx.bump("read_retries", retries)
+                ctx.leaf("read_retry", retries * read_us)
             if injector is not None:
                 # Same hit/context sequence as per-slot read() calls, so
                 # fault schedules are path-independent too.
@@ -633,6 +652,13 @@ class FlashChip:
         self.stats.reads += 1
         self.stats.read_retries += retries
         self._charge(fpage // self._fpages_per_block, latency)
+        rt = self._reqtrace
+        if rt is not None and rt.active is not None:
+            ctx = rt.active
+            ctx.note_level(level)
+            if retries > 0.0:
+                ctx.bump("read_retries", retries)
+                ctx.leaf("read_retry", retries * self.latency.read_us)
         if self._faults is not None:
             # A whole-fPage sense is one hit (one array read on hardware).
             spec = self._faults.check(

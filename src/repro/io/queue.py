@@ -43,9 +43,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.io.protocols import device_kind_of
 from repro.io.request import IOCompletion, IORequest
+from repro.obs import reqtrace, slo
 from repro.obs.instruments import io_instruments
 
 #: Upper bound on LBAs a coalesced request may span.
@@ -132,6 +134,21 @@ class DeviceQueue:
         self._latency_children: dict[str, object] = {}
         self._wait_children: dict[str, object] = {}
         self._request_children: dict[str, object] = {}
+        # Request tracing / SLO tracking bind at construction, like
+        # fault injection: None unless installed, one identity test on
+        # the hot path when off.
+        self._reqtrace = reqtrace.tracer()
+        self._rt_sampler = (self._reqtrace.sampler_for(self.device_kind)
+                            if self._reqtrace is not None else None)
+        self._slo = slo.engine()
+        if obs.metrics_enabled():
+            obs.metrics().add_collect_hook(self._refresh_deadline_gauge)
+
+    def _refresh_deadline_gauge(self) -> None:
+        stats = self.stats
+        self._instr.deadline_miss_ratio.set(
+            stats.deadline_misses / stats.dispatched
+            if stats.dispatched else 0.0)
 
     # -- submission -----------------------------------------------------------
 
@@ -145,6 +162,8 @@ class DeviceQueue:
         request.tag = self._next_tag
         self._next_tag += 1
         self.stats.submitted += 1
+        if self._rt_sampler is not None:
+            self._maybe_trace(request)
         if self.coalesce:
             if self._try_merge(request, at_us):
                 return request
@@ -167,6 +186,8 @@ class DeviceQueue:
         request.tag = self._next_tag
         self._next_tag += 1
         self.stats.submitted += 1
+        if self._rt_sampler is not None:
+            self._maybe_trace(request)
         self._flush_staged()
         completion = self._dispatch_inner(request, at_us)
         # Consume it: sync callers own the result.
@@ -203,6 +224,14 @@ class DeviceQueue:
             return self.clock_us
         return max(at_us, 0.0)
 
+    def _maybe_trace(self, request: IORequest) -> None:
+        # The sample decision is a pure function of (tracer seed,
+        # device kind, per-queue submission index) — independent of
+        # wall clock, process layout and other queues, which is what
+        # keeps artifacts byte-identical across ``--jobs``.
+        if self._rt_sampler.sample() and request.trace is None:
+            request.trace = self._reqtrace.begin()
+
     def _try_merge(self, request: IORequest,
                    at_us: float | None) -> bool:
         staged = self._staged
@@ -225,6 +254,10 @@ class DeviceQueue:
                      if d is not None]
         staged.deadline_us = min(deadlines) if deadlines else None
         staged.tag = request.tag  # completion reports the latest tag
+        if request.trace is not None and staged.trace is None:
+            # A sampled request absorbed into a neighbour hands its
+            # context over: the merged dispatch is what it experienced.
+            staged.trace = request.trace
         self._staged_merged += 1
         self.stats.merged += 1
         self._instr.merged.inc()
@@ -261,15 +294,23 @@ class DeviceQueue:
         start = max(arrival, self._channel_free[server])
         request.submit_us = arrival
         chip = self._chip
+        busy_before = 0.0
         if chip is not None:
             busy_before = chip.stats.busy_us
             chan_before = list(chip.channel_busy_us)
+        rt = self._reqtrace
+        ctx = request.trace if rt is not None else None
+        if ctx is not None:
+            ctx.activate(busy_before)
+            rt.active = ctx
         error: Exception | None = None
         result: list[bytes] | None = None
         try:
             result = self._call_device(request)
         except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
             error = exc
+        if ctx is not None:
+            rt.active = None
         if chip is not None:
             work = chip.stats.busy_us - busy_before
             chan_after = chip.channel_busy_us
@@ -292,6 +333,10 @@ class DeviceQueue:
             result=result, error=error,
             submit_us=arrival, start_us=start, end_us=end,
             work_us=work, merged=merged)
+        if ctx is not None:
+            request.trace = None  # consumed; records outlive contexts
+            rt.finish(ctx, completion, self.device_kind,
+                      busy_before + work)
         self._record(completion)
         self._inflight.append(completion)
         self._set_inflight_gauge()
@@ -362,6 +407,13 @@ class DeviceQueue:
         if completion.deadline_missed:
             stats.deadline_misses += 1
             self._instr.deadline_misses.inc()
+        if self._slo is not None:
+            self._slo.observe(
+                end_us=completion.end_us,
+                latency_us=completion.latency_us,
+                op=op, stream=completion.request.stream,
+                device_kind=self.device_kind,
+                deadline_missed=completion.deadline_missed)
 
     def _latency_child(self, op: str):
         child = self._latency_children.get(op)

@@ -64,6 +64,11 @@ class IORequest:
     tag: int = -1
     #: Arrival time on the device clock, stamped at submit.
     submit_us: float = 0.0
+    #: Sampled-request attribution context
+    #: (:class:`repro.obs.reqtrace.ReqContext`); None for the unsampled
+    #: majority. Attached by the queue's seed-derived sampler, carried
+    #: through coalescing, consumed at completion.
+    trace: object | None = None
 
     def __post_init__(self) -> None:
         if self.op not in _ALL_OPS:

@@ -124,6 +124,45 @@ def event_counts(records: Iterable) -> dict[str, int]:
     return dict(sorted(counts.items()))
 
 
+def segment_breakdown(records: Iterable,
+                      percentiles: tuple[float, ...] = (50.0, 99.0),
+                      ) -> dict[str, dict]:
+    """Per-segment share of total latency for reqtrace request records.
+
+    For each percentile ``q``, take the cohort of requests whose total
+    latency is at or above the q-th percentile (the tail from that
+    point) and report each segment's share of the cohort's summed
+    latency — the numbers behind "p99 is 71% queue wait". The ``all``
+    cohort covers every record.
+
+    Returns ``{"all" | "p<q>": {count, total_us, shares}}`` where
+    ``shares`` maps segment name to its fraction of the cohort total.
+    """
+    requests = [r for r in _as_dicts(records)
+                if r.get("kind") == "request" and "segments" in r]
+    if not requests:
+        return {}
+
+    def cohort_shares(cohort: list[dict]) -> dict:
+        total = sum(float(r["total_us"]) for r in cohort)
+        sums: dict[str, float] = {}
+        for record in cohort:
+            for name, value in record["segments"].items():
+                sums[name] = sums.get(name, 0.0) + float(value)
+        shares = {name: (sums[name] / total if total > 0 else 0.0)
+                  for name in sorted(sums)}
+        return {"count": len(cohort), "total_us": total, "shares": shares}
+
+    totals = sorted(float(r["total_us"]) for r in requests)
+    out = {"all": cohort_shares(requests)}
+    for q in percentiles:
+        threshold = interpolated_percentile(totals, q)
+        cohort = [r for r in requests
+                  if float(r["total_us"]) >= threshold]
+        out[f"p{q:g}"] = cohort_shares(cohort)
+    return out
+
+
 def critical_path(records: Iterable) -> list[dict]:
     """The dominant nested-span chain under the longest root span.
 
@@ -172,7 +211,9 @@ def analyze_trace(records: Iterable) -> dict:
     ``records`` may be live :meth:`SimTimeTracer.records` output or
     dicts loaded via :func:`load_trace_jsonl`.
     """
-    dicts = _as_dicts(records)
+    # Artifact headers (reqtrace files lead with one) carry run
+    # metadata, not timing — drop them before aggregating.
+    dicts = [r for r in _as_dicts(records) if r.get("kind") != "header"]
     spans = [r for r in dicts if r.get("kind") == "span"]
     events = [r for r in dicts if r.get("kind") == "event"]
     times = [float(r["time"]) for r in dicts]
@@ -186,6 +227,7 @@ def analyze_trace(records: Iterable) -> dict:
         "spans": span_stats(dicts),
         "events": event_counts(dicts),
         "critical_path": critical_path(dicts),
+        "segments": segment_breakdown(dicts),
     }
 
 
@@ -217,6 +259,27 @@ def format_trace_summary(summary: dict) -> str:
         for name, count in summary["events"].items():
             lines.append(f"| `{name}` | {count} |")
         lines.append("")
+    segments = summary.get("segments")
+    if segments:
+        lines.append("Latency attribution (segment share of cohort "
+                     "total latency):")
+        lines.append("")
+        names = sorted({name for cohort in segments.values()
+                        for name in cohort["shares"]})
+        header = "| cohort | requests | " + " | ".join(
+            f"`{name}`" for name in names) + " |"
+        lines += [header, "|---" * (len(names) + 2) + "|"]
+        for cohort_name, cohort in segments.items():
+            cells = " | ".join(f"{cohort['shares'].get(n, 0.0):.0%}"
+                               for n in names)
+            lines.append(f"| {cohort_name} | {cohort['count']} "
+                         f"| {cells} |")
+        lines.append("")
+        tail = segments.get("p99")
+        if tail and tail["shares"]:
+            top = max(tail["shares"], key=tail["shares"].get)
+            lines.append(f"p99 is {tail['shares'][top]:.0%} `{top}`.")
+            lines.append("")
     if summary["critical_path"]:
         lines.append("Critical path (longest root, descending into the "
                      "longest child):")

@@ -205,6 +205,7 @@ class IOInstruments:
     errors: Any          # child, pre-labelled (device_kind,)
     merged: Any          # child, pre-labelled (device_kind,)
     deadline_misses: Any  # child, pre-labelled (device_kind,)
+    deadline_miss_ratio: Any  # child, pre-labelled (device_kind,)
     inflight: Any        # child, pre-labelled (device_kind,)
 
 
@@ -242,6 +243,12 @@ def io_instruments(device_kind: str) -> IOInstruments:
             "repro_io_deadline_misses_total",
             help="Completions that landed past their request deadline",
             unit="requests",
+            labelnames=("device_kind",)).labels(device_kind=device_kind),
+        deadline_miss_ratio=m.gauge(
+            "repro_io_deadline_miss_ratio",
+            help="Deadline misses over dispatched requests (refreshed "
+                 "at collect time; the deadline_miss_rate SLO input)",
+            unit="ratio",
             labelnames=("device_kind",)).labels(device_kind=device_kind),
         inflight=m.gauge(
             "repro_io_inflight",

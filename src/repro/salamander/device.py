@@ -403,6 +403,8 @@ class SalamanderSSD(PageMappedFTL):
         (their grace ends early) before any further active mDisk is
         sacrificed — freed garbage is cheaper than lost capacity.
         """
+        rt = self._reqtrace
+        ctx = rt.active if rt is not None else None
         while self.capacity_deficit() > 0:
             if self._draining:
                 self.release_minidisk(self._draining[0])
@@ -412,13 +414,34 @@ class SalamanderSSD(PageMappedFTL):
                 break
             victim = choose_victim(self.salamander_config.victim_policy,
                                    active, self._live_counts())
-            self._decommission(victim, reason="wear")
+            if ctx is not None:
+                # Wear-triggered shrink landing inside a sampled host
+                # request's dispatch: capacity interference it observed.
+                ctx.enter("shrink", self.chip.stats.busy_us)
+                ctx.bump("shrink_events")
+                try:
+                    self._decommission(victim, reason="wear")
+                finally:
+                    ctx.exit(self.chip.stats.busy_us)
+            else:
+                self._decommission(victim, reason="wear")
         if not self.active_minidisks():
             self._exhaust()
             raise DeviceBrickedError(
                 "device exhausted: all minidisks decommissioned")
         if self.salamander_config.mode is SalamanderMode.REGEN:
-            self._regenerate()
+            if ctx is not None:
+                minted_before = self.stats.regenerated_minidisks
+                ctx.enter("regen", self.chip.stats.busy_us)
+                try:
+                    self._regenerate()
+                finally:
+                    ctx.exit(self.chip.stats.busy_us)
+                minted = self.stats.regenerated_minidisks - minted_before
+                if minted:
+                    ctx.bump("regen_events", minted)
+            else:
+                self._regenerate()
 
     def _refresh_obs_gauges(self) -> None:
         """Push the capacity/limbo state into the metrics registry.

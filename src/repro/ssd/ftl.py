@@ -40,6 +40,7 @@ from repro.errors import (
     UncorrectableError,
 )
 from repro.flash.chip import FlashChip
+from repro.obs import reqtrace
 from repro.obs.instruments import ftl_instruments, next_device_name
 from repro.ssd.freelist import BlockIndex
 from repro.ssd.gc import CostBenefitGC, GCPolicy, GreedyGC
@@ -175,6 +176,9 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         # Fault injection binds at construction, like observability: with
         # no plan installed the hooks are one attribute test (None).
         self._faults = faults.injector()
+        # Request tracing binds the same way; the active context (if a
+        # sampled request is mid-dispatch) is read through this binding.
+        self._reqtrace = reqtrace.tracer()
         #: Stable observability label for this device's metric series.
         self.obs_name = next_device_name()
         self._instr = ftl_instruments(self.obs_name)
@@ -799,6 +803,9 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         self._instr.retired_fpages.inc()
         if self._faults is not None:
             self._faults.record_degraded("retire_program_fail")
+        rt = self._reqtrace
+        if rt is not None and rt.active is not None:
+            rt.active.bump("program_retries")
 
     def _stream_key(self, stream: str) -> str:
         if stream == "gc" and not self.config.stream_separation:
@@ -882,6 +889,22 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
 
     def _gc_once(self) -> None:
         """Relocate one victim block's valid data and erase it."""
+        rt = self._reqtrace
+        ctx = rt.active if rt is not None else None
+        if ctx is None:
+            self._gc_once_inner()
+            return
+        # A sampled host request is mid-dispatch: the whole collection
+        # (victim reads + relocation programs + erase) is a GC stall it
+        # experienced, so charge the chip busy time to the "gc" segment.
+        ctx.enter("gc", self.chip.stats.busy_us)
+        ctx.bump("gc_passes")
+        try:
+            self._gc_once_inner()
+        finally:
+            ctx.exit(self.chip.stats.busy_us)
+
+    def _gc_once_inner(self) -> None:
         # Sweep out blocks with nothing left to reclaim: condemned (or fully
         # retired) blocks that hold no valid data are dead, not candidates.
         # Only zero-valid candidates can qualify, so the sweep inspects

@@ -54,6 +54,21 @@ class ScrubMixin:
 
     def _evacuate_fpage(self, fpage: int) -> int:
         """Move a written page's valid oPages to fresh flash."""
+        rt = self._reqtrace
+        ctx = rt.active if rt is not None else None
+        if ctx is None:
+            return self._evacuate_fpage_inner(fpage)
+        # Autoscrub triggered inside a sampled request's dispatch: the
+        # evacuation (and any GC it forces — nested under "scrub" on
+        # the section stack) is interference that request absorbed.
+        ctx.enter("scrub", self.chip.stats.busy_us)
+        ctx.bump("scrub_evacuations")
+        try:
+            return self._evacuate_fpage_inner(fpage)
+        finally:
+            ctx.exit(self.chip.stats.busy_us)
+
+    def _evacuate_fpage_inner(self, fpage: int) -> int:
         self._ensure_free_space()
         moved = self._read_valid_opages(fpage)
         if self._faults is not None:

@@ -102,6 +102,9 @@ class TestDifferential:
         assert stats["mean_service_us"] > 0.0
         # Closed-loop cluster IO never waits (no open-loop arrivals).
         assert stats["mean_wait_us"] == 0.0
+        # Deadline accounting aggregates (none set here: zero misses).
+        assert stats["deadline_misses"] == 0
+        assert stats["deadline_miss_ratio"] == 0.0
         assert queued.report()["io_mean_latency_us"] == pytest.approx(
             stats["mean_latency_us"])
 

@@ -156,6 +156,91 @@ class TestErrors:
         assert isinstance(completions[0].error, InvalidLBAError)
 
 
+class TestDeadlines:
+    def test_coalescing_keeps_min_deadline(self, device):
+        # A merged request must inherit the *tightest* deadline of its
+        # constituents — otherwise coalescing would quietly relax SLOs.
+        queue = DeviceQueue(device, coalesce=True)
+        queue.submit(IORequest(op="write", lba=16, payloads=[b"a" * 8],
+                               deadline_us=900.0))
+        queue.submit(IORequest(op="write", lba=17, payloads=[b"b" * 8],
+                               deadline_us=300.0))
+        queue.submit(IORequest(op="write", lba=18, payloads=[b"c" * 8],
+                               deadline_us=500.0))
+        assert queue._staged.deadline_us == 300.0
+
+    def test_merge_with_undated_neighbour_keeps_deadline(self, device):
+        queue = DeviceQueue(device, coalesce=True)
+        queue.submit(IORequest(op="write", lba=16, payloads=[b"a" * 8]))
+        queue.submit(IORequest(op="write", lba=17, payloads=[b"b" * 8],
+                               deadline_us=250.0))
+        assert queue._staged.deadline_us == 250.0
+        queue.submit(IORequest(op="write", lba=18, payloads=[b"c" * 8]))
+        assert queue._staged.deadline_us == 250.0
+
+    def test_all_undated_merge_has_no_deadline(self, device):
+        queue = DeviceQueue(device, coalesce=True)
+        queue.submit(IORequest(op="write", lba=16, payloads=[b"a" * 8]))
+        queue.submit(IORequest(op="write", lba=17, payloads=[b"b" * 8]))
+        assert queue._staged.deadline_us is None
+
+    def test_miss_counted_and_ratio_published(self, device):
+        from repro import obs
+
+        obs.enable_metrics()
+        try:
+            queue = DeviceQueue(device)
+            # Generous deadline met, then an already-expired one missed.
+            ok = queue.execute(read_request(0), at_us=0.0)
+            assert not ok.deadline_missed
+            late = IORequest(op="read", lba=1, deadline_us=0.0)
+            missed = queue.execute(late, at_us=100.0)
+            assert missed.deadline_missed
+            assert queue.stats.deadline_misses == 1
+            doc = obs.metrics().to_dict()
+            families = {m["name"]: m for m in doc["metrics"]}
+            sample = families["repro_io_deadline_miss_ratio"]["samples"][0]
+            assert sample["value"] == pytest.approx(0.5)
+        finally:
+            obs.disable()
+
+
+class TestTraceHandoff:
+    def test_merge_adopts_absorbed_requests_context(self, device):
+        from repro.obs import reqtrace
+
+        with reqtrace.installed(reqtrace.ReqTracer(seed=1, every=1)):
+            queue = DeviceQueue(device, coalesce=True)
+        ctx_a = object.__new__(reqtrace.ReqContext)
+        first = IORequest(op="write", lba=16, payloads=[b"a" * 8])
+        queue._staged = first
+        merged = queue._try_merge(
+            IORequest(op="write", lba=17, payloads=[b"b" * 8]), None)
+        assert merged
+        assert first.trace is None
+        # Now hand a sampled request to an unsampled staged neighbour.
+        second = IORequest(op="write", lba=18, payloads=[b"c" * 8])
+        second.trace = ctx_a
+        assert queue._try_merge(second, None)
+        assert first.trace is ctx_a
+
+    def test_sampled_request_produces_record(self, device):
+        from repro.obs import reqtrace
+
+        with reqtrace.installed(reqtrace.ReqTracer(seed=1, every=1)) \
+                as tracer:
+            queue = DeviceQueue(device)
+            queue.execute(read_request(0))
+            queue.execute(read_request(1), at_us=0.0)
+        assert tracer.sampled == 2
+        records = list(tracer.records)
+        assert len(records) == 2
+        for record in records:
+            assert record["device_kind"] == queue.device_kind
+            assert sum(record["segments"].values()) == pytest.approx(
+                record["total_us"], abs=1e-9)
+
+
 class TestClock:
     def test_clock_monotone(self, device):
         queue = DeviceQueue(device)

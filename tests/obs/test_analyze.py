@@ -15,6 +15,7 @@ from repro.obs.analyze import (
     format_trace_summary,
     interpolated_percentile,
     load_trace_jsonl,
+    segment_breakdown,
     span_stats,
 )
 from repro.obs.trace import SimTimeTracer
@@ -164,3 +165,66 @@ class TestLoadTraceJsonl:
         path.write_text('{"foo": 1}\n')
         with pytest.raises(ConfigError, match="not a trace record"):
             load_trace_jsonl(path)
+
+
+def request_record(total, segments, end=None):
+    return {"kind": "request", "name": "io.read", "time": 0.0,
+            "end_time": end if end is not None else total,
+            "total_us": total, "segments": segments}
+
+
+class TestSegmentBreakdown:
+    def test_shares_sum_to_one_per_cohort(self):
+        records = [
+            request_record(100.0, {"queue_wait": 60.0, "device": 40.0}),
+            request_record(300.0, {"queue_wait": 270.0, "device": 30.0}),
+        ]
+        breakdown = segment_breakdown(records)
+        for cohort in breakdown.values():
+            assert sum(cohort["shares"].values()) == pytest.approx(1.0)
+        assert breakdown["all"]["count"] == 2
+        assert breakdown["all"]["total_us"] == pytest.approx(400.0)
+        assert breakdown["all"]["shares"]["queue_wait"] == \
+            pytest.approx(330.0 / 400.0)
+
+    def test_tail_cohort_isolates_expensive_requests(self):
+        # 99 cheap device-bound requests and one giant queue-bound one:
+        # the p99 cohort is just the giant, so its share flips.
+        records = [request_record(10.0, {"queue_wait": 1.0,
+                                         "device": 9.0})
+                   for _ in range(99)]
+        records.append(request_record(
+            1000.0, {"queue_wait": 990.0, "device": 10.0}))
+        breakdown = segment_breakdown(records)
+        assert breakdown["p99"]["count"] == 1
+        assert breakdown["p99"]["shares"]["queue_wait"] == \
+            pytest.approx(0.99)
+        assert breakdown["all"]["shares"]["device"] > 0.4
+
+    def test_non_request_records_ignored(self):
+        records = [{"kind": "span", "name": "s", "time": 0.0},
+                   {"kind": "header", "name": "reqtrace", "time": 0.0}]
+        assert segment_breakdown(records) == {}
+
+    def test_summary_embeds_segments_and_formats_attribution(self):
+        records = [
+            request_record(10.0, {"queue_wait": 1.0, "device": 9.0}),
+            request_record(500.0, {"queue_wait": 450.0, "device": 25.0,
+                                   "read_retry": 25.0}),
+        ]
+        summary = analyze_trace(records)
+        assert summary["segments"]["all"]["count"] == 2
+        text = format_trace_summary(summary)
+        assert "Latency attribution" in text
+        assert "`queue_wait`" in text
+        # The headline: the p99 cohort is the expensive request, 90%
+        # of whose latency is queue wait.
+        assert "p99 is 90% `queue_wait`." in text
+
+    def test_header_records_excluded_from_counts(self):
+        records = [{"kind": "header", "name": "reqtrace", "time": 0.0,
+                    "schema": "repro.obs.reqtrace/v1", "meta": {}},
+                   request_record(10.0, {"queue_wait": 10.0})]
+        summary = analyze_trace(records)
+        assert summary["record_count"] == 1
+        assert summary["segments"]["all"]["count"] == 1

@@ -162,6 +162,34 @@ class TestExport:
         assert times == sorted(times)
 
 
+    def test_round_trip_after_ring_overflow(self, tmp_path):
+        # Eviction must leave a loadable, analyzable artifact: orphaned
+        # children (parent evicted) and survivors all round-trip.
+        from repro.obs.analyze import analyze_trace, load_trace_jsonl
+
+        clock = FakeClock()
+        tracer = SimTimeTracer(clock=clock, capacity=8)
+        for i in range(20):
+            clock.now = float(i)
+            with tracer.span(f"op{i % 2}"):
+                clock.now = float(i) + 0.5
+                tracer.event("tick")
+        # Spans and events ring separately: 8 of each survive, the
+        # other 24 are dropped and counted.
+        assert tracer.dropped == 24
+        assert len(tracer.records()) == 16
+        path = tracer.export_jsonl(tmp_path / "overflow.jsonl")
+        loaded = load_trace_jsonl(path)
+        assert len(loaded) == 16
+        assert [r["name"] for r in loaded] == \
+            [r.to_json()["name"] for r in tracer.records()]
+        summary = analyze_trace(loaded)
+        assert summary["record_count"] == 16
+        assert summary["span_count"] == 8
+        assert summary["event_count"] == 8
+        assert summary["critical_path"]  # orphans handled, not crashed
+
+
 class TestGlobalSingleton:
     def test_noop_by_default(self):
         assert not obs.tracing_enabled()

@@ -333,3 +333,128 @@ class TestSweepCommand:
         assert main([*self.ARGS, "--jobs", "-2",
                      "--out", str(tmp_path / "x.json")]) == EXIT_CONFIG_ERROR
         assert "configuration error" in capsys.readouterr().err
+
+
+class TestSLOCommand:
+    """`repro slo`: probe-measured and offline SLO evaluation."""
+
+    #: Small probe so the measured tests stay fast; deterministic for
+    #: the default seed.
+    MEASURE = ["slo", "--measure", "--mode", "baseline",
+               "--requests", "120", "--every", "4"]
+
+    @staticmethod
+    def slo_config(tmp_path, threshold_us=1e9, name="read-p99"):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "schema": "repro.obs.slo/v1",
+            "objectives": [{"name": name, "kind": "latency",
+                            "op": "read", "percentile": 99.0,
+                            "threshold_us": threshold_us,
+                            "window_us": 1e9}]}))
+        return path
+
+    def test_measure_meets_generous_objective(self, capsys, tmp_path):
+        config = self.slo_config(tmp_path)
+        report_path = tmp_path / "report.json"
+        assert main([*self.MEASURE, "--slo", str(config),
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "all met" in out
+        assert "Latency attribution" in out  # segments table printed
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.obs.slo_report/v1"
+        assert report["ok"]
+        assert report["objectives"][0]["name"] == "baseline/read-p99"
+
+    def test_violated_p99_exits_nonzero(self, capsys, tmp_path):
+        # The acceptance criterion: an impossible threshold must gate
+        # the exit code, not just print a sad table.
+        config = self.slo_config(tmp_path, threshold_us=0.001)
+        assert main([*self.MEASURE,
+                     "--slo", str(config)]) == EXIT_CLAIM_FAILED
+        captured = capsys.readouterr()
+        assert "VIOLATED" in captured.err
+        assert "**NO**" in captured.out
+
+    def test_reqtrace_out_round_trips_offline(self, capsys, tmp_path):
+        from repro.obs.reqtrace import (
+            load_reqtrace,
+            validate_reqtrace_records,
+        )
+
+        config = self.slo_config(tmp_path)
+        trace_path = tmp_path / "rt.jsonl"
+        assert main([*self.MEASURE, "--slo", str(config),
+                     "--reqtrace-out", str(trace_path)]) == 0
+        header, records = load_reqtrace(trace_path)
+        assert header["meta"]["modes"] == ["baseline"]
+        assert records
+        validate_reqtrace_records(records)
+        capsys.readouterr()
+        # Offline evaluation of the artifact agrees: exit 0 here, exit
+        # 1 under an impossible threshold.
+        assert main(["slo", "--slo", str(config),
+                     "--reqtrace", str(trace_path)]) == 0
+        tight = self.slo_config(tmp_path, threshold_us=0.001)
+        assert main(["slo", "--slo", str(tight),
+                     "--reqtrace", str(trace_path)]) == EXIT_CLAIM_FAILED
+
+    def test_needs_exactly_one_input(self, capsys, tmp_path):
+        config = self.slo_config(tmp_path)
+        assert main(["slo", "--slo", str(config)]) == EXIT_CONFIG_ERROR
+        assert main(["slo", "--slo", str(config), "--measure",
+                     "--reqtrace", "x.jsonl"]) == EXIT_CONFIG_ERROR
+        err = capsys.readouterr().err
+        assert "exactly one input" in err
+
+    def test_bad_config_and_artifact_map_to_exit_2(self, capsys,
+                                                   tmp_path):
+        config = self.slo_config(tmp_path)
+        assert main(["slo", "--slo", str(tmp_path / "absent.json"),
+                     "--measure"]) == EXIT_CONFIG_ERROR
+        assert main(["slo", "--slo", str(config), "--reqtrace",
+                     str(tmp_path / "absent.jsonl")]) == EXIT_CONFIG_ERROR
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        assert main(["slo", "--slo", str(bad),
+                     "--measure"]) == EXIT_CONFIG_ERROR
+        capsys.readouterr()
+
+    def test_default_config_ships_and_passes(self, capsys):
+        # scenarios/slo_default.json is the CI smoke's config; it must
+        # keep passing against the default probe.
+        assert main(["slo", "--slo", "scenarios/slo_default.json",
+                     "--measure", "--mode", "shrink",
+                     "--requests", "120", "--every", "4"]) == 0
+        assert "all met" in capsys.readouterr().out
+
+
+class TestReqtraceFlags:
+    """--reqtrace-out / --slo sidecar on fleet and run."""
+
+    def test_fleet_writes_reqtrace_sidecar(self, capsys, tmp_path):
+        trace_path = tmp_path / "rt.jsonl"
+        assert main(["fleet", "--devices", "4", "--blocks", "16",
+                     "--years", "1", "--step-days", "30",
+                     "--mode", "baseline", "--points", "3",
+                     "--reqtrace-out", str(trace_path)]) == 0
+        from repro.obs.reqtrace import (
+            load_reqtrace,
+            validate_reqtrace_records,
+        )
+        header, records = load_reqtrace(trace_path)
+        assert header["meta"]["modes"] == ["baseline"]
+        assert records
+        validate_reqtrace_records(records)
+        assert all(r["device_kind"] == "baseline" for r in records)
+        assert "reqtrace ->" in capsys.readouterr().out
+
+    def test_run_scenario_with_slo_report(self, capsys, tmp_path):
+        config = TestSLOCommand.slo_config(tmp_path)
+        assert main(["run", "scenarios/quick_fleet.json",
+                     "--out", str(tmp_path),
+                     "--slo", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
