@@ -135,6 +135,19 @@ def _publish_metrics(name: str, entry: dict) -> None:
         registry.write_json(metrics_dir / f"perf-{name}.json")
 
 
+def export_endurance(name: str, ledger) -> Path:
+    """Write a bench's wear-ledger records next to ``BENCH_perf.json``.
+
+    Per-bench ``repro.obs.endurance/v1`` snapshots land under
+    ``benchmarks/results/endurance/`` so a perf run documents not just
+    how fast the hot loop was but what wear it caused — the same
+    decomposition ``repro wear report`` renders.
+    """
+    wear_dir = _RESULTS_DIR / "endurance"
+    return ledger.export_jsonl(wear_dir / f"perf-{name}.jsonl",
+                               meta={"bench": name})
+
+
 # -- regression gate ---------------------------------------------------------
 
 def baseline_for(name: str) -> float | None:

@@ -3,6 +3,9 @@
 Each bench times one narrower hot path than the GC-heavy macro:
 
 * ``ftl_write_micro`` — buffer/flush/allocation with little GC;
+* ``ftl_write_endurance_micro`` — the same loop with the wear ledger
+  installed (the endurance overhead contract), exporting a per-bench
+  wear decomposition snapshot;
 * ``io_roundtrip_micro`` — the DeviceQueue request/completion plumbing
   the cluster's default IO path now rides on;
 * ``io_roundtrip_reqtrace_micro`` — the same loop with request tracing
@@ -26,6 +29,18 @@ from benchmarks.perf import harness, workloads
 def test_ftl_write_micro():
     entry = harness.run("ftl_write_micro", workloads.ftl_write_micro)
     assert entry["ops"] == workloads.MICRO_OPS
+
+
+@pytest.mark.no_obs
+def test_ftl_write_endurance_micro():
+    entry = harness.run("ftl_write_endurance_micro",
+                        workloads.ftl_write_endurance_micro)
+    assert entry["ops"] == workloads.MICRO_OPS
+    # The ledger was live (not silently unbound) and left its artifact.
+    assert entry["meta"]["programs"] > 0
+    snapshot = harness._RESULTS_DIR / "endurance" / \
+        "perf-ftl_write_endurance_micro.jsonl"
+    assert snapshot.exists()
 
 
 @pytest.mark.no_obs

@@ -83,6 +83,44 @@ def ftl_write_micro() -> dict:
             "meta": {"n_lbas": ftl.n_lbas}}
 
 
+# -- buffered write path with wear ledger (micro) ----------------------------
+
+def ftl_write_endurance_micro() -> dict:
+    """:func:`ftl_write_micro` with the wear-provenance ledger installed
+    — the measured side of the ≤5% endurance overhead contract
+    (docs/OBSERVABILITY.md). Identical fixture and loop; the only delta
+    is the per-device handle the chip binds at construction. The
+    ledger's records are exported next to ``BENCH_perf.json`` so every
+    perf run leaves a wear decomposition snapshot.
+    """
+    from repro.obs import endurance
+
+    with endurance.installed(pec_limit=3000.0) as led:
+        geometry = FlashGeometry(blocks=32, fpages_per_block=32,
+                                 channels=2)
+        chip = FlashChip(geometry, seed=11, variation_sigma=0.2)
+        ftl = PageMappedFTL.for_chip(
+            chip, FTLConfig(overprovision=0.25, buffer_opages=16))
+        payload = bytes(32)
+        half = ftl.n_lbas // 2
+        lbas = [int(x) for x in
+                np.random.default_rng(13).integers(0, half,
+                                                   size=MICRO_OPS)]
+        start = time.perf_counter()
+        for lba in lbas:
+            ftl.write(lba, payload)
+        ftl.flush()
+        wall_s = time.perf_counter() - start
+        handle = chip._endurance
+        from benchmarks.perf.harness import export_endurance
+        export_endurance("ftl_write_endurance_micro", led)
+        return {"ops": MICRO_OPS, "wall_s": wall_s,
+                "meta": {"n_lbas": ftl.n_lbas,
+                         "programs": handle.total_programs,
+                         "erases": handle.total_erases,
+                         "waf": round(handle.waf() or 0.0, 3)}}
+
+
 # -- queued IO roundtrip (micro) ---------------------------------------------
 
 IO_MICRO_OPS = 8_000

@@ -11,6 +11,7 @@ Usage::
     python -m repro replacement [--slots 100] [--age-limit 5]
     python -m repro report [--metrics m.json] [--timeseries ts.jsonl] [...]
     python -m repro slo --slo objectives.json (--measure | --reqtrace t.jsonl)
+    python -m repro wear (report|forecast|diff) --endurance e.jsonl [...]
 
 Each subcommand prints the same tables the benchmark suite regenerates;
 see DESIGN.md for the experiment-to-paper mapping.
@@ -19,6 +20,7 @@ see DESIGN.md for the experiment-to-paper mapping.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -122,6 +124,11 @@ def _add_reqtrace_flags(parser: argparse.ArgumentParser) -> None:
         help="evaluate a repro.obs.slo/v1 objectives config over the "
              "probe's request records; the report is printed (use "
              "`repro slo` for an exit-code gate)")
+    parser.add_argument(
+        "--endurance-out", default=None, metavar="PATH",
+        help="also write the probe's wear-ledger records as a "
+             "repro.obs.endurance/v1 JSONL here (consumed by "
+             "`repro wear` and `repro report --endurance`)")
 
 
 def _evaluate_by_device(records: list, objectives: list) -> dict:
@@ -154,22 +161,27 @@ def _evaluate_by_device(records: list, objectives: list) -> dict:
             "objective_count": len(rows), "ok": ok, "objectives": rows}
 
 
-def _run_reqtrace_sidecar(args: argparse.Namespace,
-                          modes: Sequence[str] | None = None) -> None:
-    """Serve the ``--reqtrace-out`` / ``--slo`` flags on run/fleet.
+def _run_probe_sidecar(args: argparse.Namespace,
+                       modes: Sequence[str] | None = None) -> None:
+    """Serve ``--reqtrace-out`` / ``--slo`` / ``--endurance-out``.
 
     Drives the deterministic IO probe (:mod:`repro.io.probe`) for the
     command's device modes as a measurement sidecar — fleet/scenario
     simulations step device *state*, not per-request timing, so the
-    request-level artifact comes from the probe's queue-driven
-    workload under the same seed.
+    request-level and wear-provenance artifacts come from the probe's
+    queue-driven workload under the same seed. One probe run serves
+    every requested artifact. Must run *before*
+    :func:`_write_observability` so the published ``repro_wear_*``
+    families land in the metrics document.
     """
     if not (getattr(args, "reqtrace_out", None)
-            or getattr(args, "slo", None)):
+            or getattr(args, "slo", None)
+            or getattr(args, "endurance_out", None)):
         return
     from repro.io.probe import (
         PROBE_MODES,
         ProbeConfig,
+        merged_endurance,
         merged_records,
         run_probes,
     )
@@ -190,6 +202,20 @@ def _run_reqtrace_sidecar(args: argparse.Namespace,
                   "sampled": sum(r["meta"]["sampled"] for r in results),
                   "dropped": sum(r["meta"]["dropped"] for r in results)})
         print(f"reqtrace -> {path}")
+    if getattr(args, "endurance_out", None):
+        from repro.obs import endurance as endurance_mod
+
+        wear_records = merged_endurance(results)
+        path = endurance_mod.write_endurance(
+            args.endurance_out, wear_records,
+            meta={"seed": seed, "modes": list(probe_modes),
+                  "pec_limit": config.pec_limit,
+                  "devices": len(wear_records),
+                  "snapshot_every": endurance_mod.DEFAULT_SNAPSHOT_EVERY,
+                  "causes": list(endurance_mod.CAUSES)})
+        if getattr(args, "metrics_out", None):
+            endurance_mod.publish_wear_metrics(wear_records)
+        print(f"endurance -> {path}")
     if args.slo:
         objectives = slo_mod.load_slo_config(args.slo)
         report = _evaluate_by_device(records, objectives)
@@ -249,8 +275,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     rows = [[mode, f"{r.mean_lifetime_days():.0f}"]
             for mode, r in results.items()]
     print(format_table(["mode", "mean lifetime (days)"], rows))
+    _run_probe_sidecar(args, modes)
     _write_observability(args, registry, tracer, sampler)
-    _run_reqtrace_sidecar(args, modes)
     return 0
 
 
@@ -439,11 +465,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if sampler is not None:
         writer.attach_timeseries(sampler)
     path = writer.write(args.out)
+    _run_probe_sidecar(args)
     _write_observability(args, registry, tracer, sampler)
     print(f"scenario {document['name']!r} ({document['kind']}) -> {path}")
     for name, table in writer.document()["tables"].items():
         print(format_table(table["headers"], table["rows"], title=name))
-    _run_reqtrace_sidecar(args)
     return 0
 
 
@@ -479,12 +505,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
                      if args.trace else None)
     artifact_doc = (load_experiment(args.artifact)
                     if args.artifact else None)
+    endurance_records = None
+    if args.endurance:
+        from repro.obs.endurance import load_endurance
+        _, endurance_records = load_endurance(args.endurance)
 
     report = build_report(
         metrics_doc=metrics_doc,
         timeseries_doc=timeseries_doc,
         trace_records=trace_records,
         artifact_doc=artifact_doc,
+        endurance_records=endurance_records,
         tolerance=args.tolerance,
         queue_depth=args.queue_depth,
         io_batch=args.io_batch,
@@ -561,11 +592,139 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         print(f"slo report (json) -> {path}")
     print(slo_mod.format_slo_report(report))
     summary = analyze_trace(records)
-    if summary.get("segments"):
+    if any(cohort.get("count")
+           for cohort in summary.get("segments", {}).values()):
         print(format_trace_summary(summary))
     if slo_mod.slo_failed(report):
         print("repro slo: one or more objectives VIOLATED",
               file=sys.stderr)
+        return EXIT_CLAIM_FAILED
+    return 0
+
+
+def _cmd_wear(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import endurance as endurance_mod
+
+    header, records = endurance_mod.load_endurance(args.endurance)
+    endurance_mod.validate_endurance_records(records)
+    violations: list[str] = []
+    document: dict = {"schema": endurance_mod.ENDURANCE_SCHEMA,
+                      "action": args.action, "source": args.endurance,
+                      "meta": header.get("meta", {})}
+
+    if args.action == "report":
+        rows = []
+        for record in records:
+            overhead = {cause: record["program_opages"][cause]
+                        for cause in endurance_mod.CAUSES
+                        if cause != "host"
+                        and record["program_opages"][cause]}
+            by_cause = ", ".join(
+                f"{cause}={count}" for cause, count in sorted(
+                    overhead.items(), key=lambda item: -item[1])) or "-"
+            waf = record["waf"]
+            rows.append([record["name"],
+                         record["program_opages"]["host"],
+                         "-" if waf is None else f"{waf:.3f}",
+                         f"{record['mean_pec']:.2f}",
+                         record["max_pec"], by_cause])
+        print(format_table(
+            ["device", "host oPages", "WAF", "mean PEC", "max PEC",
+             "overhead oPages by cause"],
+            rows, title="wear provenance (measured WAF decomposition)"))
+        document["devices"] = records
+    elif args.action == "forecast":
+        forecast_table = endurance_mod.forecast_rows(
+            records, pec_limit_l0=args.pec_limit_l0)
+        if forecast_table:
+            print(format_table(
+                ["device", "level", "PEC limit", "mean PEC",
+                 "burn (PEC/host oPage)", "ETA (host oPages)"],
+                [[row["device"], f"L{row['level']}",
+                  f"{row['pec_limit']:.0f}", f"{row['mean_pec']:.2f}",
+                  f"{row['slope_pec_per_host_opage']:.3e}",
+                  f"{row['eta_host_opages']:.0f}"]
+                 for row in forecast_table],
+                title="endurance forecast (per tiredness level)"))
+        else:
+            print("no forecastable devices (a forecast needs >= 2 "
+                  "burn-rate snapshots with host progress)")
+        document["rows"] = forecast_table
+        if args.horizon is not None:
+            survival = endurance_mod.fleet_survival(records, args.horizon)
+            document["survival"] = survival
+            fraction = survival["survival_fraction"]
+            print(f"fleet survival @ {args.horizon:g} host oPages: "
+                  f"{survival['surviving']}/{survival['forecastable']} "
+                  f"forecastable device(s)"
+                  + ("" if fraction is None else f" ({fraction:.0%})"))
+            if args.check:
+                if survival["forecastable"] == 0:
+                    violations.append(
+                        "no forecastable devices to hold against "
+                        "--horizon")
+                elif survival["surviving"] < survival["forecastable"]:
+                    short = (survival["forecastable"]
+                             - survival["surviving"])
+                    violations.append(
+                        f"{short} device(s) forecast to exhaust before "
+                        f"the {args.horizon:g} host-oPage horizon")
+    else:  # diff
+        if not args.against:
+            raise ConfigError("repro wear diff needs --against PATH "
+                              "(the reference artifact)")
+        _, against = endurance_mod.load_endurance(args.against)
+        endurance_mod.validate_endurance_records(against)
+        current = {record["name"]: record for record in records}
+        reference = {record["name"]: record for record in against}
+        rows = []
+        for name in sorted(set(current) | set(reference)):
+            ours, theirs = current.get(name), reference.get(name)
+            if ours is None or theirs is None:
+                where = args.endurance if ours is not None else args.against
+                rows.append([name, "-", "-", "-", f"only in {where}"])
+                continue
+            host_delta = (ours["program_opages"]["host"]
+                          - theirs["program_opages"]["host"])
+            overhead_delta = {
+                cause: (ours["program_opages"][cause]
+                        - theirs["program_opages"][cause])
+                for cause in endurance_mod.CAUSES if cause != "host"}
+            by_cause = ", ".join(
+                f"{cause}{delta:+d}" for cause, delta in sorted(
+                    overhead_delta.items(),
+                    key=lambda item: -abs(item[1])) if delta) or "-"
+            waf_delta = ("-" if ours["waf"] is None or theirs["waf"] is None
+                         else f"{ours['waf'] - theirs['waf']:+.3f}")
+            rows.append([name, f"{host_delta:+d}",
+                         f"{ours['mean_pec'] - theirs['mean_pec']:+.2f}",
+                         waf_delta, by_cause])
+        print(format_table(
+            ["device", "host oPages +/-", "mean PEC +/-", "WAF +/-",
+             "overhead oPages by cause +/-"],
+            rows, title=f"wear diff: {args.endurance} vs {args.against}"))
+        document["against"] = args.against
+        document["rows"] = rows
+
+    if args.check and args.waf_budget is not None:
+        for record in records:
+            waf = record.get("waf")
+            if waf is not None and waf > args.waf_budget:
+                violations.append(
+                    f"{record['name']}: WAF {waf:.3f} exceeds budget "
+                    f"{args.waf_budget:g}")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True,
+                                   allow_nan=False))
+        print(f"wear document (json) -> {path}")
+    if violations:
+        for violation in violations:
+            print(f"repro wear: {violation}", file=sys.stderr)
         return EXIT_CLAIM_FAILED
     return 0
 
@@ -691,6 +850,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario artifact JSON (from `repro run`); supplies "
              "lifetime/capacity inputs and any embedded timeseries")
     report.add_argument(
+        "--endurance", default=None, metavar="PATH",
+        help="repro.obs.endurance/v1 JSONL (from --endurance-out); "
+             "enables the wear-provenance claims")
+    report.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the repro.report/v1 JSON document here")
     report.add_argument(
@@ -752,6 +915,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro.obs.slo_report/v1 JSON document here")
     slo.set_defaults(func=_cmd_slo)
 
+    wear = sub.add_parser(
+        "wear",
+        help="inspect repro.obs.endurance/v1 wear-provenance artifacts "
+             "(--check exits 1 on a violated WAF budget or forecast "
+             "horizon)")
+    wear.add_argument(
+        "action", choices=("report", "forecast", "diff"),
+        help="report: per-device WAF decomposition table; forecast: "
+             "per-tiredness-level ETA rows plus fleet survival; diff: "
+             "compare two artifacts device by device")
+    wear.add_argument(
+        "--endurance", required=True, metavar="PATH",
+        help="repro.obs.endurance/v1 JSONL (from --endurance-out)")
+    wear.add_argument(
+        "--against", default=None, metavar="PATH",
+        help="reference artifact for `diff` (deltas are "
+             "--endurance minus --against)")
+    wear.add_argument(
+        "--waf-budget", type=float, default=None, metavar="X",
+        help="with --check: fail when any device's measured WAF "
+             "exceeds this")
+    wear.add_argument(
+        "--horizon", type=float, default=None, metavar="OPAGES",
+        help="forecast: survival horizon in host oPages (with --check: "
+             "every forecastable device must clear it)")
+    wear.add_argument(
+        "--pec-limit-l0", type=float, default=None,
+        help="forecast: L0 P/E limit anchoring the per-level ETA rows "
+             "(default: each device's own recorded limit)")
+    wear.add_argument(
+        "--check", action="store_true",
+        help="gate mode: exit 1 on any --waf-budget or --horizon "
+             "violation (malformed artifacts exit 2 regardless)")
+    wear.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the computed document as JSON here")
+    wear.set_defaults(func=_cmd_wear)
+
     return parser
 
 
@@ -784,6 +985,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ConfigError as error:
         print(f"repro: configuration error: {error}", file=sys.stderr)
         return EXIT_CONFIG_ERROR
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro wear report | head`); die
+        # quietly like a Unix filter. Redirect stdout at the fd level so
+        # the interpreter's exit-time flush can't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except Exception as error:  # noqa: BLE001 - the CLI boundary
         print(f"repro: unexpected error: "
               f"{type(error).__name__}: {error}", file=sys.stderr)

@@ -671,6 +671,53 @@ class Cluster:
                                 if dispatched else 0.0),
         }
 
+    def wear_stats(self) -> dict:
+        """Cluster-level wear provenance: summed cause counters.
+
+        Aggregates the :mod:`repro.obs.endurance` handles of every
+        distinct device chip backing the cluster's volumes (minidisk
+        volumes share their device's chip, so each chip counts once).
+        Returns zeroed counters when no ledger was installed at build
+        time — aggregation is read-only reporting, never a hot-path
+        cost.
+        """
+        from repro.obs.endurance import CAUSES
+
+        programs = dict.fromkeys(CAUSES, 0)
+        program_opages = dict.fromkeys(CAUSES, 0)
+        erases = dict.fromkeys(CAUSES, 0)
+        devices = 0
+        total_opages = 0
+        total_erases = 0
+        max_pec = 0
+        seen: set[int] = set()
+        for volume in self.volumes.values():
+            chip = getattr(getattr(volume, "device", None), "chip", None)
+            handle = getattr(chip, "_endurance", None)
+            if handle is None or id(handle) in seen:
+                continue
+            seen.add(id(handle))
+            devices += 1
+            for cause in CAUSES:
+                programs[cause] += handle.programs[cause]
+                program_opages[cause] += handle.program_opages[cause]
+                erases[cause] += handle.erases[cause]
+            total_opages += handle.total_program_opages
+            total_erases += handle.total_erases
+            max_pec = max(max_pec, handle.max_block_erases)
+        host = program_opages["host"]
+        return {
+            "devices": devices,
+            "programs": programs,
+            "program_opages": program_opages,
+            "erases": erases,
+            "total_program_opages": total_opages,
+            "total_erases": total_erases,
+            "max_pec": max_pec,
+            "waf": (1.0 + (total_opages - host) / host
+                    if host > 0 else None),
+        }
+
     # -- reporting --------------------------------------------------------------------------------
 
     def total_capacity_bytes(self) -> int:

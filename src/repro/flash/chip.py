@@ -40,7 +40,7 @@ from repro.errors import (
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.rber import RBERModel, lognormal_page_variation
-from repro.obs import reqtrace
+from repro.obs import endurance, reqtrace
 from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
 from repro.rng import make_rng
 
@@ -149,6 +149,12 @@ class FlashChip:
         # Request tracing binds the same way: read paths attribute their
         # retry excess / ECC level to the active sampled request, if any.
         self._reqtrace = reqtrace.tracer()
+        # Wear provenance binds the same way: with a ledger installed the
+        # chip registers itself and charges every program/erase to the
+        # ledger's current cause (docs/OBSERVABILITY.md, repro_wear_*).
+        led = endurance.ledger()
+        self._endurance = (None if led is None
+                           else led.register_device(self.geometry.blocks))
 
         n = self.geometry.total_fpages
         self._total_fpages = n
@@ -454,6 +460,19 @@ class FlashChip:
             self._oob[fpage] = (tuple(lbas), int(sequence))
         self._state[fpage] = _STATE_WRITTEN
         self.stats.programs += 1
+        wear = self._endurance
+        if wear is not None:
+            # Data oPages actually carried: the non-None OOB slots (pad
+            # slots map no LBA), falling back to the slot count for raw
+            # programs without OOB — this is what makes the ledger's
+            # cause-summed oPages reconcile exactly with
+            # ``SSDStats.flash_writes``.
+            if oob is None:
+                opages = expected
+            else:
+                opages = sum(1 for lba in self._oob[fpage][0]
+                             if lba is not None)
+            wear.record_program(opages)
         latency = self._program_latency_by_level[level]
         self._charge(fpage // self._fpages_per_block, latency)
         return latency
@@ -714,6 +733,12 @@ class FlashChip:
             self._data.pop(fpage, None)
             self._oob.pop(fpage, None)
         self.stats.erases += 1
+        wear = self._endurance
+        if wear is not None:
+            # After the mutation, so an injected erase failure (raised
+            # above, pre-mutation) advances neither PEC nor the ledger:
+            # per-block ledger erases equal pec_array() deltas exactly.
+            wear.record_erase(block)
         latency = self.latency.erase_latency_us()
         self._charge(block, latency)
         return latency

@@ -31,7 +31,7 @@ from repro.errors import (
 )
 from repro.io.queue import DeviceQueue
 from repro.io.request import IORequest
-from repro.obs import reqtrace
+from repro.obs import endurance, reqtrace
 from repro.rng import DEFAULT_SEED, fork_rng, make_rng
 
 #: Device flavours a probe can drive (CLI ``--mode`` values).
@@ -132,15 +132,23 @@ def run_probe(mode: str, seed: int = DEFAULT_SEED,
               config: ProbeConfig | None = None) -> dict:
     """Drive one instrumented probe workload against ``mode``.
 
-    Returns ``{"mode", "records", "meta", "summary"}`` where
-    ``records`` are the sampled ``repro.obs.reqtrace/v1`` request
-    dicts and ``summary`` aggregates the queue's measured counters
-    (every completion, sampled or not).
+    Returns ``{"mode", "records", "meta", "summary", "endurance"}``
+    where ``records`` are the sampled ``repro.obs.reqtrace/v1`` request
+    dicts, ``summary`` aggregates the queue's measured counters (every
+    completion, sampled or not), and ``endurance`` carries the
+    ``repro.obs.endurance/v1`` device records from a fresh per-probe
+    wear ledger (cause-attributed program/erase counts for the whole
+    probe, aging included).
     """
     config = config or ProbeConfig()
     workload_rng = fork_rng(make_rng(seed), "probe", mode)
+    # A fresh ledger per probe: registration order (hence device names)
+    # is per-process, so records are byte-identical for any --jobs
+    # layout. The ledger draws no RNG and charges no busy time, so the
+    # reqtrace records are unchanged by its presence.
     with reqtrace.installed(reqtrace.ReqTracer(
-            seed=seed, every=config.every)) as tr:
+            seed=seed, every=config.every)) as tr, \
+            endurance.installed(pec_limit=config.pec_limit) as led:
         device = _build_device(mode, seed, config)
         queue = DeviceQueue(device, depth=config.queue_depth,
                             device_kind=mode)
@@ -253,6 +261,7 @@ def run_probe(mode: str, seed: int = DEFAULT_SEED,
                 "mean_service_us": stats.mean_service_us,
                 "sampled": tr.sampled,
             },
+            "endurance": led.device_records(),
         }
 
 
@@ -289,6 +298,22 @@ def merged_records(results: list[dict]) -> list[dict]:
     return out
 
 
+def merged_endurance(results: list[dict]) -> list[dict]:
+    """All probe endurance records, device names prefixed by mode.
+
+    Each probe runs a fresh per-process ledger whose auto-names restart
+    at ``wear0``; prefixing with the mode (``shrink/wear0``) keeps the
+    merged artifact's names unique and canonical regardless of how
+    modes were distributed across worker processes.
+    """
+    out: list[dict] = []
+    for result in results:
+        for record in result.get("endurance", ()):
+            out.append({**record,
+                        "name": f"{result['mode']}/{record['name']}"})
+    return out
+
+
 def probe_config_from_args(every: int | None = None,
                            n_requests: int | None = None) -> ProbeConfig:
     """A :class:`ProbeConfig` with CLI overrides applied."""
@@ -304,6 +329,7 @@ def probe_config_from_args(every: int | None = None,
 __all__ = [
     "PROBE_MODES",
     "ProbeConfig",
+    "merged_endurance",
     "merged_records",
     "probe_config_from_args",
     "run_probe",

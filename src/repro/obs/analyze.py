@@ -137,11 +137,16 @@ def segment_breakdown(records: Iterable,
 
     Returns ``{"all" | "p<q>": {count, total_us, shares}}`` where
     ``shares`` maps segment name to its fraction of the cohort total.
+    With no request records the result is an explicit no-samples
+    summary (an ``all`` cohort of count 0) rather than an error — zero
+    sampled requests is a legitimate outcome of a tiny run or a high
+    sampling interval. A single record forms its own cohort at every
+    percentile.
     """
     requests = [r for r in _as_dicts(records)
                 if r.get("kind") == "request" and "segments" in r]
     if not requests:
-        return {}
+        return {"all": {"count": 0, "total_us": 0.0, "shares": {}}}
 
     def cohort_shares(cohort: list[dict]) -> dict:
         total = sum(float(r["total_us"]) for r in cohort)
@@ -260,7 +265,11 @@ def format_trace_summary(summary: dict) -> str:
             lines.append(f"| `{name}` | {count} |")
         lines.append("")
     segments = summary.get("segments")
-    if segments:
+    if segments and not any(cohort.get("count")
+                            for cohort in segments.values()):
+        lines.append("Latency attribution: no sampled request records.")
+        lines.append("")
+    elif segments:
         lines.append("Latency attribution (segment share of cohort "
                      "total latency):")
         lines.append("")

@@ -259,6 +259,79 @@ def io_instruments(device_kind: str) -> IOInstruments:
 
 
 @dataclass(frozen=True)
+class WearInstruments:
+    """Per-device wear-provenance instruments (repro.obs.endurance).
+
+    The cause-labelled families are kept as families (one child per
+    cause) because publication walks the whole :data:`CAUSES`
+    vocabulary at export time; the ledger's hot path never touches
+    these — see :func:`repro.obs.endurance.publish_wear_metrics`.
+    """
+
+    device: str
+    programs_family: Any        # family; labels (device, cause)
+    program_opages_family: Any  # family; labels (device, cause)
+    erases_family: Any          # family; labels (device, cause)
+    waf: Any                    # child, pre-labelled (device,)
+    mean_pec: Any               # child, pre-labelled (device,)
+    max_pec: Any                # child, pre-labelled (device,)
+    eta_host_opages: Any        # child, pre-labelled (device,)
+
+    def programs(self, cause: str) -> Any:
+        return self.programs_family.labels(device=self.device, cause=cause)
+
+    def program_opages(self, cause: str) -> Any:
+        return self.program_opages_family.labels(device=self.device,
+                                                 cause=cause)
+
+    def erases(self, cause: str) -> Any:
+        return self.erases_family.labels(device=self.device, cause=cause)
+
+
+def wear_instruments(device: str) -> WearInstruments:
+    m = obs.metrics()
+
+    def gauge(name: str, help_text: str, unit: str):
+        return m.gauge(name, help=help_text, unit=unit,
+                       labelnames=("device",)).labels(device=device)
+
+    return WearInstruments(
+        device=device,
+        programs_family=m.counter(
+            "repro_wear_programs_total",
+            help="fPage programs at the chip boundary, by wear cause",
+            unit="fpages", labelnames=("device", "cause")),
+        program_opages_family=m.counter(
+            "repro_wear_program_opages_total",
+            help="Data oPages programmed at the chip boundary, by wear "
+                 "cause (the WAF decomposition terms)",
+            unit="opages", labelnames=("device", "cause")),
+        erases_family=m.counter(
+            "repro_wear_erases_total",
+            help="Block erases at the chip boundary, by wear cause",
+            unit="blocks", labelnames=("device", "cause")),
+        waf=gauge(
+            "repro_wear_waf",
+            "Measured write amplification: 1 + overhead/host oPages",
+            "ratio"),
+        mean_pec=gauge(
+            "repro_wear_mean_pec",
+            "Mean per-block erase count seen by the wear ledger",
+            "cycles"),
+        max_pec=gauge(
+            "repro_wear_max_pec",
+            "Worst-block erase count seen by the wear ledger",
+            "cycles"),
+        eta_host_opages=gauge(
+            "repro_wear_eta_host_opages",
+            "Forecast host oPages absorbable before mean PEC reaches "
+            "the device limit (burn-rate slope over the snapshot "
+            "window)",
+            "opages"),
+    )
+
+
+@dataclass(frozen=True)
 class DiFSInstruments:
     """Cluster-wide recovery-path instruments."""
 

@@ -22,6 +22,13 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
+#: Catalog revision. Bumped to 2 when the wear-provenance fields
+#: (``repro_smart_waf``, ``repro_smart_wear_burn_rate``,
+#: ``repro_smart_lifetime_eta_days``) joined for PR 7's endurance
+#: forecasting; artifacts produced against version 1 simply lack those
+#: series and still load/validate (the catalog only ever grows).
+SMART_CATALOG_VERSION = 2
+
 
 @dataclass(frozen=True)
 class SmartField:
@@ -64,6 +71,16 @@ _FIELDS = (
                "Host-visible capacity at the sample"),
     SmartField("repro_smart_limbo_fpages", "fpages",
                "fPages parked in limbo awaiting revival"),
+    # -- wear provenance / endurance forecasting (catalog version 2) --
+    SmartField("repro_smart_waf", "ratio",
+               "Write amplification at the sample (flash writes per "
+               "host write)"),
+    SmartField("repro_smart_wear_burn_rate", "cycles_per_day",
+               "P/E cycles consumed per day over the recent window "
+               "(the endurance forecaster's slope input)"),
+    SmartField("repro_smart_lifetime_eta_days", "days",
+               "Forecast days until mean PEC reaches the device limit "
+               "at the current burn rate"),
 )
 
 #: The catalog, keyed by field name. Treat as read-only; the names are

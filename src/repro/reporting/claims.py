@@ -31,6 +31,16 @@ mechanically against a run's observability artifacts:
    the analytic model predicts the mean; M/D/1 medians sit 25-35 %
    below it at moderate load. ``repro report --queue-depth/--io-batch``
    parameterise the queue under test.
+5. **Wear provenance** (the endurance trade behind §4's lifetime
+   claim): Salamander's lifetime extension is paid for in measured,
+   cause-attributed wear — not hidden amplification. Given a
+   ``repro.obs.endurance/v1`` artifact (``--endurance``, produced by
+   the ``--endurance-out`` probe sidecar), the checks assert the exact
+   WAF identity ``WAF = 1 + overhead/host`` on every device record,
+   that ``shrink``/``regen`` wear causes appear only on Salamander
+   devices, and that each Salamander mode's WAF delta against the
+   baseline decomposes exactly into its per-cause terms — the wear
+   premium of the mode's lifetime extension, itemised.
 
 Each check returns a :class:`ClaimResult` with status ``pass``,
 ``fail`` or ``skip`` (skip = the needed inputs were not supplied; the
@@ -45,6 +55,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.obs.analyze import analyze_trace, format_trace_summary
+from repro.obs.endurance import CAUSES, validate_endurance_records
 
 #: Version tag stamped into every report document.
 REPORT_SCHEMA = "repro.report/v1"
@@ -416,6 +427,149 @@ def check_recovery_traffic(curves: dict[str, list[float]],
         f"{baseline:.1%} of initial capacity")
 
 
+#: Wear causes only Salamander devices may burn cycles on.
+SALAMANDER_CAUSES = ("shrink", "regen")
+
+
+def endurance_by_mode(records: list[dict] | None) -> dict[str, dict]:
+    """Aggregate mode-prefixed endurance records per device mode.
+
+    The probe sidecar names merged records ``<mode>/<device>``
+    (:func:`repro.io.probe.merged_endurance`); records without a mode
+    prefix are skipped — the per-mode delta claims need the grouping.
+    """
+    out: dict[str, dict] = {}
+    for record in records or []:
+        name = str(record.get("name", ""))
+        if "/" not in name:
+            continue
+        mode = name.split("/", 1)[0]
+        group = out.setdefault(mode, {
+            "devices": 0,
+            "program_opages": dict.fromkeys(CAUSES, 0),
+            "erases": dict.fromkeys(CAUSES, 0),
+            "total_program_opages": 0,
+        })
+        group["devices"] += 1
+        for cause in CAUSES:
+            group["program_opages"][cause] += record["program_opages"][cause]
+            group["erases"][cause] += record["erases"][cause]
+        group["total_program_opages"] += record["total_program_opages"]
+    return out
+
+
+def _group_waf(group: dict | None) -> float | None:
+    """Measured WAF of one mode aggregate (None without host work)."""
+    if not group:
+        return None
+    host = group["program_opages"]["host"]
+    if host <= 0:
+        return None
+    return 1.0 + (group["total_program_opages"] - host) / host
+
+
+def check_wear_provenance(records: list[dict] | None,
+                          ) -> list[ClaimResult]:
+    """Wear-provenance claims over an endurance artifact's records.
+
+    Exact-arithmetic checks (counter identities, not tolerances): the
+    ledger counts every oPage, so any slack here is an accounting bug,
+    not measurement noise.
+    """
+    identity_claim = "wear_provenance/waf_identity"
+    isolation_claim = "wear_provenance/cause_isolation"
+    identity_expected = ("per-cause counters sum to totals; "
+                        "WAF = 1 + overhead/host (exact)")
+    isolation_expected = ("shrink/regen wear causes appear only on "
+                          "Salamander devices")
+    delta_expected = ("WAF delta vs baseline decomposes exactly into "
+                      "per-cause terms")
+    hint = ("needs a repro.obs.endurance/v1 artifact (rerun `repro "
+            "fleet`/`repro run` with --endurance-out, then pass "
+            "--endurance)")
+    if records is None:
+        return ([ClaimResult(identity_claim, "skip", None,
+                             identity_expected, hint),
+                 ClaimResult(isolation_claim, "skip", None,
+                             isolation_expected, hint)]
+                + [ClaimResult(f"wear_provenance/{mode}_delta", "skip",
+                               None, delta_expected, hint)
+                   for mode in ("shrink", "regen")])
+
+    results: list[ClaimResult] = []
+    try:
+        validate_endurance_records(records)
+    except ConfigError as error:
+        results.append(ClaimResult(
+            identity_claim, "fail", float(len(records)),
+            identity_expected, str(error)))
+    else:
+        results.append(ClaimResult(
+            identity_claim, "pass", float(len(records)),
+            identity_expected,
+            f"{len(records)} device record(s); every per-cause counter "
+            f"sums to its total and the measured WAF matches the "
+            f"decomposition identity"))
+
+    groups = endurance_by_mode(records)
+    if groups:
+        stray = sum(
+            group["program_opages"][cause] + group["erases"][cause]
+            for mode, group in groups.items()
+            if mode not in SALAMANDER_CAUSES
+            for cause in SALAMANDER_CAUSES)
+        results.append(ClaimResult(
+            isolation_claim, "pass" if stray == 0 else "fail",
+            float(stray), isolation_expected,
+            f"modes seen: {', '.join(sorted(groups))}; "
+            f"{stray} stray shrink/regen oPage(s)+erase(s) on "
+            f"non-Salamander devices"))
+    else:
+        results.append(ClaimResult(
+            isolation_claim, "skip", None, isolation_expected,
+            "records are not mode-prefixed (not a merged probe "
+            "artifact); cannot group by device mode"))
+
+    base = groups.get("baseline")
+    base_waf = _group_waf(base)
+    for mode in ("shrink", "regen"):
+        claim = f"wear_provenance/{mode}_delta"
+        group = groups.get(mode)
+        waf = _group_waf(group)
+        if base_waf is None or group is None:
+            results.append(ClaimResult(
+                claim, "skip", None, delta_expected,
+                f"needs baseline and {mode} mode-prefixed endurance "
+                f"records with host work"))
+            continue
+        if waf is None:
+            results.append(ClaimResult(
+                claim, "skip", None, delta_expected,
+                f"{mode} devices absorbed no host oPages"))
+            continue
+        host = group["program_opages"]["host"]
+        base_host = base["program_opages"]["host"]
+        deltas = {
+            cause: (group["program_opages"][cause] / host
+                    - base["program_opages"][cause] / base_host)
+            for cause in CAUSES if cause != "host"}
+        total_delta = waf - base_waf
+        reconstructed = sum(deltas.values())
+        exact = (abs(reconstructed - total_delta)
+                 <= 1e-9 * max(1.0, abs(total_delta)))
+        top = ", ".join(
+            f"{cause} {delta:+.4f}" for cause, delta in sorted(
+                deltas.items(), key=lambda item: -abs(item[1]))
+            if delta) or "no per-cause change"
+        results.append(ClaimResult(
+            claim, "pass" if exact else "fail",
+            round(total_delta, 4), delta_expected,
+            f"WAF {mode} {waf:.3f} vs baseline {base_waf:.3f}; "
+            f"per-host-oPage deltas: {top} — the itemised wear premium "
+            f"behind the mode's lifetime extension"))
+    return results
+
+
 # -- report assembly ---------------------------------------------------------
 
 
@@ -423,6 +577,7 @@ def build_report(metrics_doc: dict | None = None,
                  timeseries_doc: dict | None = None,
                  trace_records: list[dict] | None = None,
                  artifact_doc: dict | None = None,
+                 endurance_records: list[dict] | None = None,
                  tolerance: float = DEFAULT_TOLERANCE,
                  throughput_levels: tuple[int, ...] = (1, 2, 3),
                  queue_depth: int = 64,
@@ -433,7 +588,9 @@ def build_report(metrics_doc: dict | None = None,
     reported as ``skip`` rather than failing, so a partial report is
     still useful. ``queue_depth``/``io_batch`` parameterise the queue
     the measured-latency claim drives (the CLI's ``--queue-depth`` and
-    ``--io-batch``). Returns the ``repro.report/v1`` document.
+    ``--io-batch``); ``endurance_records`` are the device records of a
+    ``repro.obs.endurance/v1`` artifact (the CLI's ``--endurance``).
+    Returns the ``repro.report/v1`` document.
     """
     if not 0 <= tolerance < 1:
         raise ConfigError(
@@ -468,6 +625,7 @@ def build_report(metrics_doc: dict | None = None,
     if recovery.status != "skip":
         recovery.detail += f" (from {curve_source})"
     claims.append(recovery)
+    claims += check_wear_provenance(endurance_records)
 
     counts = {"pass": 0, "fail": 0, "skip": 0}
     for claim in claims:
@@ -480,6 +638,7 @@ def build_report(metrics_doc: dict | None = None,
             "timeseries": timeseries_doc is not None,
             "trace": trace_records is not None,
             "artifact": artifact_doc is not None,
+            "endurance": endurance_records is not None,
         },
         "claims": [c.to_json() for c in claims],
         "summary": counts,

@@ -233,12 +233,13 @@ class SalamanderSSD(PageMappedFTL):
         device._draining = list(snapshot["draining"])
         device._event_seq = int(snapshot["event_seq"])
         device._exhausted = bool(snapshot["exhausted"])
-        device._rebuild_from_flash()
-        # Drop resurrected mappings inside decommissioned minidisks.
-        for mdisk in device.minidisks:
-            if mdisk.status is MinidiskStatus.DECOMMISSIONED:
-                device._invalidate(mdisk)
-        device._restore_buffer(snapshot["buffer"])
+        with device._remount_cause():
+            device._rebuild_from_flash()
+            # Drop resurrected mappings inside decommissioned minidisks.
+            for mdisk in device.minidisks:
+                if mdisk.status is MinidiskStatus.DECOMMISSIONED:
+                    device._invalidate(mdisk)
+            device._restore_buffer(snapshot["buffer"])
         return device
 
     # -- host-facing geometry ----------------------------------------------------
@@ -405,6 +406,7 @@ class SalamanderSSD(PageMappedFTL):
         """
         rt = self._reqtrace
         ctx = rt.active if rt is not None else None
+        led = self._endurance
         while self.capacity_deficit() > 0:
             if self._draining:
                 self.release_minidisk(self._draining[0])
@@ -414,34 +416,50 @@ class SalamanderSSD(PageMappedFTL):
                 break
             victim = choose_victim(self.salamander_config.victim_policy,
                                    active, self._live_counts())
-            if ctx is not None:
-                # Wear-triggered shrink landing inside a sampled host
-                # request's dispatch: capacity interference it observed.
-                ctx.enter("shrink", self.chip.stats.busy_us)
-                ctx.bump("shrink_events")
-                try:
-                    self._decommission(victim, reason="wear")
-                finally:
-                    ctx.exit(self.chip.stats.busy_us)
+            if led is None:
+                self._decommission_traced(victim, ctx)
             else:
-                self._decommission(victim, reason="wear")
+                # Any chip work the shrink does (today: none — the
+                # minidisk is unmapped, not rewritten) is ShrinkS burn.
+                with led.cause("shrink"):
+                    self._decommission_traced(victim, ctx)
         if not self.active_minidisks():
             self._exhaust()
             raise DeviceBrickedError(
                 "device exhausted: all minidisks decommissioned")
         if self.salamander_config.mode is SalamanderMode.REGEN:
-            if ctx is not None:
-                minted_before = self.stats.regenerated_minidisks
-                ctx.enter("regen", self.chip.stats.busy_us)
-                try:
-                    self._regenerate()
-                finally:
-                    ctx.exit(self.chip.stats.busy_us)
-                minted = self.stats.regenerated_minidisks - minted_before
-                if minted:
-                    ctx.bump("regen_events", minted)
+            if led is None:
+                self._regenerate_traced(ctx)
             else:
-                self._regenerate()
+                with led.cause("regen"):
+                    self._regenerate_traced(ctx)
+
+    def _decommission_traced(self, victim, ctx) -> None:
+        if ctx is None:
+            self._decommission(victim, reason="wear")
+            return
+        # Wear-triggered shrink landing inside a sampled host
+        # request's dispatch: capacity interference it observed.
+        ctx.enter("shrink", self.chip.stats.busy_us)
+        ctx.bump("shrink_events")
+        try:
+            self._decommission(victim, reason="wear")
+        finally:
+            ctx.exit(self.chip.stats.busy_us)
+
+    def _regenerate_traced(self, ctx) -> None:
+        if ctx is None:
+            self._regenerate()
+            return
+        minted_before = self.stats.regenerated_minidisks
+        ctx.enter("regen", self.chip.stats.busy_us)
+        try:
+            self._regenerate()
+        finally:
+            ctx.exit(self.chip.stats.busy_us)
+        minted = self.stats.regenerated_minidisks - minted_before
+        if minted:
+            ctx.bump("regen_events", minted)
 
     def _refresh_obs_gauges(self) -> None:
         """Push the capacity/limbo state into the metrics registry.
@@ -648,6 +666,9 @@ class SalamanderSSD(PageMappedFTL):
                 self.stats.regenerated_minidisks),
             "repro_smart_advertised_bytes": float(self.advertised_bytes),
             "repro_smart_limbo_fpages": float(len(self.limbo)),
+            "repro_smart_waf": float(
+                self.stats.write_amplification
+                if self.stats.host_writes else 0.0),
         }
 
     def record_smart(self, t: float, sampler=None,

@@ -407,6 +407,20 @@ def simulate_fleet(config: FleetConfig, mode: str,
         probe_handles.append(sampler.add_probe(
             retired_field.name, _state_probe("retired"),
             labels=mode_labels, unit=retired_field.unit))
+        # Wear-provenance fields (catalog version 2): the analytic
+        # fleet's WAF is its configured amplification, the burn rate is
+        # the mean per-step wear increment across alive devices, and
+        # the ETA projects the median device to the L0 P/E limit.
+        for key, field_name in (("waf", "repro_smart_waf"),
+                                ("burn_rate",
+                                 "repro_smart_wear_burn_rate"),
+                                ("eta_days",
+                                 "repro_smart_lifetime_eta_days")):
+            smart_state[key] = 0.0
+            field = smart_field(field_name)
+            probe_handles.append(sampler.add_probe(
+                field.name, _state_probe(key),
+                labels=mode_labels, unit=field.unit))
 
     census_scratch = [0] * (reuse_ceiling + 2)
     n_census = reuse_ceiling + 2
@@ -447,6 +461,7 @@ def simulate_fleet(config: FleetConfig, mode: str,
             if pending:
                 census = [0] * n_census
                 wears: list[float] = []
+                burn_total = 0.0
             afr_draws = afr_rng.random(config.devices)
             total_capacity = 0.0
             alive_count = 0
@@ -486,7 +501,10 @@ def simulate_fleet(config: FleetConfig, mode: str,
                 raw = in_service_raw_bytes(adv)
                 written = (config.step_days * original_daily_bytes
                            * load_factors[index])
-                dev.wear += written * config.write_amplification / raw
+                burn = written * config.write_amplification / raw
+                dev.wear += burn
+                if pending:
+                    burn_total += burn
                 alive_count += 1
                 total_capacity += adv
             days[step] = day
@@ -511,6 +529,13 @@ def simulate_fleet(config: FleetConfig, mode: str,
                 for k in range(reuse_ceiling + 1):
                     smart_state[f"level_{k}"] = float(census[k])
                 smart_state["retired"] = float(census[-1])
+                smart_state["waf"] = float(config.write_amplification)
+                rate = (burn_total / alive_count / config.step_days
+                        if alive_count else 0.0)
+                smart_state["burn_rate"] = rate
+                smart_state["eta_days"] = (
+                    max(0.0, config.pec_limit_l0 - smart_state["p50"])
+                    / rate if rate > 0.0 else 0.0)
                 sampler.maybe_sample(day_f)
     finally:
         # The probes close over this run's device list; detach them so a

@@ -97,14 +97,16 @@ class BaselineSSD(PageMappedFTL):
         :meth:`PageMappedFTL.remount` for buffer/trim semantics.
         """
         device = cls(chip, config, n_lbas)
-        for block in range(chip.geometry.blocks):
-            pages = np.asarray(chip.geometry.fpage_range_of_block(block))
-            if (chip.state_array()[pages] == 2).any():
-                device.ledger.mark_bad(block)
-                device._free_blocks.discard(block)
-        device._rebuild_from_flash()
-        if buffer_entries:
-            device._restore_buffer(buffer_entries)
+        with device._remount_cause():
+            for block in range(chip.geometry.blocks):
+                pages = np.asarray(
+                    chip.geometry.fpage_range_of_block(block))
+                if (chip.state_array()[pages] == 2).any():
+                    device.ledger.mark_bad(block)
+                    device._free_blocks.discard(block)
+            device._rebuild_from_flash()
+            if buffer_entries:
+                device._restore_buffer(buffer_entries)
         if device.ledger.exceeded:
             device._failed = True
         return device

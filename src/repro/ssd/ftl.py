@@ -40,14 +40,14 @@ from repro.errors import (
     UncorrectableError,
 )
 from repro.flash.chip import FlashChip
-from repro.obs import reqtrace
+from repro.obs import endurance, reqtrace
 from repro.obs.instruments import ftl_instruments, next_device_name
 from repro.ssd.freelist import BlockIndex
 from repro.ssd.gc import CostBenefitGC, GCPolicy, GreedyGC
 from repro.ssd.remount import RemountMixin
 from repro.ssd.scrub import ScrubMixin
 from repro.ssd.stats import SSDStats
-from repro.ssd.wear import select_min_wear_block
+from repro.ssd.wear import select_cold_closed_block, select_min_wear_block
 from repro.ssd.write_buffer import WriteBuffer
 
 UNMAPPED = -1
@@ -179,6 +179,10 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         # Request tracing binds the same way; the active context (if a
         # sampled request is mid-dispatch) is read through this binding.
         self._reqtrace = reqtrace.tracer()
+        # Wear provenance binds the same way: housekeeping paths (GC,
+        # scrubbing, wear leveling, shrink/regen) scope-attribute the chip
+        # programs/erases they cause; everything else stays "host".
+        self._endurance = endurance.ledger()
         #: Stable observability label for this device's metric series.
         self.obs_name = next_device_name()
         self._instr = ftl_instruments(self.obs_name)
@@ -889,6 +893,16 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
 
     def _gc_once(self) -> None:
         """Relocate one victim block's valid data and erase it."""
+        led = self._endurance
+        if led is None:
+            self._gc_once_traced()
+            return
+        # Everything a collection does — victim reads, relocation
+        # programs, the erase — burns cycles on GC's behalf.
+        with led.cause("gc"):
+            self._gc_once_traced()
+
+    def _gc_once_traced(self) -> None:
         rt = self._reqtrace
         ctx = rt.active if rt is not None else None
         if ctx is None:
@@ -991,6 +1005,53 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
             self._free_blocks.add(block)
         if worn:
             self._after_wear_event(block, [f for f, _ in worn])
+
+    # -- internals: wear leveling ------------------------------------------------
+
+    def level_wear(self, min_spread: int = 0) -> int:
+        """Opt-in static wear-leveling pass: recycle the coldest block.
+
+        Relocates the valid data of the least-erased *closed* block and
+        erases it, so blocks pinning cold data rejoin the allocation
+        pool instead of freezing their low erase counts forever (the
+        GC-side half :mod:`repro.ssd.wear` approximates with the
+        cost-benefit age term). Nothing on the host path calls this —
+        it is the wear signal sink for the ROADMAP item-3 adaptive
+        controller — so default-run determinism is untouched. With an
+        endurance ledger installed the pass is charged to the
+        ``wear_level`` cause.
+
+        Args:
+            min_spread: only act when the device-wide max erase count
+                exceeds the victim's by at least this much (0 = always).
+
+        Returns:
+            Number of oPages relocated (0 when no candidate qualified).
+        """
+        victim = select_cold_closed_block(self._closed_blocks.array(),
+                                          self._erase_counts)
+        if victim is None:
+            return 0
+        spread = (int(self._erase_counts.max())
+                  - int(self._erase_counts[victim]))
+        if spread < min_spread:
+            return 0
+        self._ensure_free_space()
+        led = self._endurance
+        if led is None:
+            return self._level_wear_move(victim)
+        with led.cause("wear_level"):
+            return self._level_wear_move(victim)
+
+    def _level_wear_move(self, victim: int) -> int:
+        survivors: list[tuple[int, bytes]] = []
+        start = victim * self.geometry.fpages_per_block
+        for fpage in range(start, start + self.geometry.fpages_per_block):
+            if self.chip.is_written(fpage):
+                survivors.extend(self._read_valid_opages(fpage))
+        self._program_items("gc", survivors, relocation=True)
+        self._erase_block(victim)
+        return len(survivors)
 
     def _condemn_block(self, block: int) -> None:
         """An erase failure takes the whole block out of service.

@@ -16,6 +16,8 @@ PageMappedFTL`` keeps working.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 __all__ = ["RemountMixin"]
@@ -23,6 +25,17 @@ __all__ = ["RemountMixin"]
 
 class RemountMixin:
     """OOB-replay remount methods shared through :class:`PageMappedFTL`."""
+
+    def _remount_cause(self):
+        """Scope charging mount-time chip work to the ``remount`` cause.
+
+        The OOB replay only reads flash today, so remount-cause
+        program/erase counts are legitimately ~0 — the scope keeps
+        mount-time work distinguishable if a future rebuild rewrites.
+        Device flavours reuse this around their own remount replays.
+        """
+        led = self._endurance
+        return nullcontext() if led is None else led.cause("remount")
 
     @classmethod
     def remount(cls, chip, n_lbas: int,
@@ -42,9 +55,10 @@ class RemountMixin:
         standard behaviour for FTLs without a trim journal.
         """
         ftl = cls(chip, n_lbas, config)
-        ftl._rebuild_from_flash()
-        if buffer_entries:
-            ftl._restore_buffer(buffer_entries)
+        with ftl._remount_cause():
+            ftl._rebuild_from_flash()
+            if buffer_entries:
+                ftl._restore_buffer(buffer_entries)
         return ftl
 
     def _restore_buffer(self,

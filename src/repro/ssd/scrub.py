@@ -54,6 +54,16 @@ class ScrubMixin:
 
     def _evacuate_fpage(self, fpage: int) -> int:
         """Move a written page's valid oPages to fresh flash."""
+        led = self._endurance
+        if led is None:
+            return self._evacuate_fpage_traced(fpage)
+        # The rewrite programs are scrub's burn; a GC pass forced by
+        # _ensure_free_space nests its own "gc" cause (innermost wins),
+        # matching the reqtrace section nesting below.
+        with led.cause("scrub"):
+            return self._evacuate_fpage_traced(fpage)
+
+    def _evacuate_fpage_traced(self, fpage: int) -> int:
         rt = self._reqtrace
         ctx = rt.active if rt is not None else None
         if ctx is None:

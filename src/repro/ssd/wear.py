@@ -30,6 +30,22 @@ def select_min_wear_block(free_blocks: np.ndarray,
     return int(free_blocks[int(np.argmin(counts))])
 
 
+def select_cold_closed_block(closed_blocks: np.ndarray,
+                             erase_counts: np.ndarray) -> int | None:
+    """Pick the closed block with the lowest erase count, or None.
+
+    The static-wear-leveling victim: a closed block that has been
+    erased least is probably pinning cold data, so relocating it (see
+    :meth:`repro.ssd.ftl.PageMappedFTL.level_wear`) lets its young
+    flash rejoin the hot allocation pool. Ties break to the lowest
+    block id, keeping the pass deterministic.
+    """
+    if closed_blocks.size == 0:
+        return None
+    counts = erase_counts[closed_blocks]
+    return int(closed_blocks[int(np.argmin(counts))])
+
+
 def wear_imbalance(erase_counts: np.ndarray) -> float:
     """Max-minus-mean erase-count spread, normalised by the mean.
 

@@ -155,6 +155,37 @@ class TestErrors:
         assert not completions[0].ok
         assert isinstance(completions[0].error, InvalidLBAError)
 
+    def test_inflight_gauge_tracks_error_reraise_paths(self, device):
+        # The repro_io_inflight gauge must equal len(_inflight) even
+        # when submit/execute re-raise a device error: submit leaves
+        # the errored completion in flight (poll sees it), execute
+        # consumes it — the gauge follows both.
+        from repro import obs
+
+        obs.enable_metrics()
+        try:
+            queue = DeviceQueue(device)
+
+            def gauge():
+                doc = obs.metrics().to_dict()
+                families = {m["name"]: m for m in doc["metrics"]}
+                (sample,) = families["repro_io_inflight"]["samples"]
+                return sample["value"]
+
+            with pytest.raises(InvalidLBAError):
+                queue.submit(read_request(10 ** 9))
+            assert queue.inflight == 1
+            assert gauge() == 1.0
+            queue.poll()
+            assert queue.inflight == 0
+            assert gauge() == 0.0
+            with pytest.raises(InvalidLBAError):
+                queue.execute(read_request(10 ** 9))
+            assert queue.inflight == 0
+            assert gauge() == 0.0
+        finally:
+            obs.disable()
+
 
 class TestDeadlines:
     def test_coalescing_keeps_min_deadline(self, device):

@@ -201,10 +201,32 @@ class TestSegmentBreakdown:
             pytest.approx(0.99)
         assert breakdown["all"]["shares"]["device"] > 0.4
 
-    def test_non_request_records_ignored(self):
+    def test_non_request_records_yield_no_samples_summary(self):
         records = [{"kind": "span", "name": "s", "time": 0.0},
                    {"kind": "header", "name": "reqtrace", "time": 0.0}]
-        assert segment_breakdown(records) == {}
+        assert segment_breakdown(records) == {
+            "all": {"count": 0, "total_us": 0.0, "shares": {}}}
+
+    def test_empty_input_yields_no_samples_summary(self):
+        breakdown = segment_breakdown([])
+        assert breakdown["all"] == {"count": 0, "total_us": 0.0,
+                                    "shares": {}}
+        # The no-samples shape renders as an explicit note, not a
+        # degenerate table.
+        summary = analyze_trace([])
+        text = format_trace_summary(summary)
+        assert "no sampled request records" in text
+        assert "Latency attribution (segment share" not in text
+
+    def test_single_record_forms_every_cohort(self):
+        records = [request_record(100.0, {"queue_wait": 60.0,
+                                          "device": 40.0})]
+        breakdown = segment_breakdown(records)
+        for cohort_name in ("all", "p50", "p99"):
+            cohort = breakdown[cohort_name]
+            assert cohort["count"] == 1
+            assert cohort["total_us"] == pytest.approx(100.0)
+            assert sum(cohort["shares"].values()) == pytest.approx(1.0)
 
     def test_summary_embeds_segments_and_formats_attribution(self):
         records = [

@@ -195,7 +195,11 @@ class TestBuildReport:
                         "shrink": [100.0, 90.0, 80.0]})
         report = build_report(timeseries_doc=doc)
         assert report["schema"] == REPORT_SCHEMA
-        assert report["summary"] == {"pass": 10, "fail": 0, "skip": 0}
+        # The four wear_provenance claims skip without --endurance input.
+        assert report["summary"] == {"pass": 10, "fail": 0, "skip": 4}
+        skipped = [c["claim"] for c in report["claims"]
+                   if c["status"] == "skip"]
+        assert all(c.startswith("wear_provenance/") for c in skipped)
         assert not report_failed(report)
         assert report["inputs"]["timeseries"] is True
 
@@ -222,7 +226,8 @@ class TestBuildReport:
     def test_no_inputs_is_all_skip_plus_throughput(self):
         report = build_report()
         assert report["summary"]["fail"] == 0
-        assert report["summary"]["skip"] == 3
+        # 3 artifact-fed claims + 4 wear_provenance claims skip.
+        assert report["summary"]["skip"] == 7
         # Throughput and queueing latency are re-measured on every run.
         assert report["summary"]["pass"] == 7
 
