@@ -38,6 +38,12 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 HISTORY_CAP = 50
 #: A bench fails (under enforcement) below ``baseline / MAX_SLOWDOWN``.
 MAX_SLOWDOWN = 2.0
+#: Measurement rounds per bench; the *best* round is recorded. Machine
+#: noise on shared runners only ever subtracts throughput (the committed
+#: history swings 273k<->450k ops/s on identical code), so the max over a
+#: few rounds estimates the code's true speed far more stably than any
+#: single run — which is what makes floor ratcheting safe.
+DEFAULT_ROUNDS = 3
 
 _ENTRY_KEYS = ("at", "ops", "wall_s", "ops_per_sec", "meta")
 
@@ -181,14 +187,36 @@ def enforce(name: str, ops_per_sec: float) -> None:
         print(f"[perf] WARNING (not enforced): {message}", file=sys.stderr)
 
 
+def rounds() -> int:
+    """Measurement rounds per bench (``REPRO_PERF_ROUNDS`` overrides)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_PERF_ROUNDS",
+                                         DEFAULT_ROUNDS)))
+    except ValueError:
+        return DEFAULT_ROUNDS
+
+
 def run(name: str, workload) -> dict:
     """Measure ``workload`` (a zero-arg callable returning
-    ``{"ops", "wall_s", "meta"}``), record it and apply the gate."""
-    result = workload()
-    entry = record(name, result["ops"], result["wall_s"],
-                   result.get("meta"))
+    ``{"ops", "wall_s", "meta"}``) over :func:`rounds` rounds, record
+    the best round and apply the gate to it.
+
+    Workloads build their fixtures inside the callable, so every round
+    is an independent, deterministic measurement; the recorded entry is
+    the fastest one (see ``DEFAULT_ROUNDS`` for why best-of, not last).
+    """
+    best = None
+    for _ in range(rounds()):
+        result = workload()
+        if best is None or (result["ops"] / result["wall_s"]
+                            > best["ops"] / best["wall_s"]):
+            best = result
+    meta = dict(best.get("meta") or {})
+    meta["rounds"] = rounds()
+    entry = record(name, best["ops"], best["wall_s"], meta)
     print(f"[perf] {name}: {entry['ops_per_sec']:.0f} ops/s "
-          f"({entry['wall_s']:.3f}s for {entry['ops']} ops)")
+          f"({entry['wall_s']:.3f}s for {entry['ops']} ops, "
+          f"best of {meta['rounds']})")
     enforce(name, entry["ops_per_sec"])
     return entry
 

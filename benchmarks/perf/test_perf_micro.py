@@ -8,6 +8,8 @@ Each bench times one narrower hot path than the GC-heavy macro:
   wear decomposition snapshot;
 * ``io_roundtrip_micro`` — the DeviceQueue request/completion plumbing
   the cluster's default IO path now rides on;
+* ``io_batch_roundtrip_micro`` — the same traffic through
+  ``execute_vector`` IOVector batches (the batched hot path);
 * ``io_roundtrip_reqtrace_micro`` — the same loop with request tracing
   installed at 1-in-64 sampling (the reqtrace overhead contract);
 * ``remount_micro`` — the OOB-replay rebuild scan (mount latency);
@@ -48,6 +50,16 @@ def test_io_roundtrip_micro():
     entry = harness.run("io_roundtrip_micro", workloads.io_roundtrip_micro)
     assert entry["ops"] == workloads.IO_MICRO_OPS
     assert entry["meta"]["errors"] == 0
+    assert entry["meta"]["mean_service_us"] > 0
+
+
+@pytest.mark.no_obs
+def test_io_batch_roundtrip_micro():
+    entry = harness.run("io_batch_roundtrip_micro",
+                        workloads.io_batch_roundtrip_micro)
+    assert entry["ops"] == workloads.IO_MICRO_OPS
+    assert entry["meta"]["errors"] == 0
+    assert entry["meta"]["dispatched"] == workloads.IO_MICRO_OPS
     assert entry["meta"]["mean_service_us"] > 0
 
 

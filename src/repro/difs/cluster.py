@@ -73,6 +73,16 @@ class ClusterConfig:
             sense each touched fPage once across the merged range), so
             it is excluded from the bit-identity contract and off by
             default.
+        io_batch_chunks: batch-submission window — chunk writes are
+            staged into one :class:`repro.io.vector.IOVector` per device
+            queue and dispatched with a single ``execute_vector`` call
+            once this many chunks accumulate (or at the next read,
+            stats poll, or explicit :meth:`Cluster.flush_io`). ``0``
+            (the default) dispatches each request individually. Per-
+            device request order is unchanged, so the batched path stays
+            bit-identical to the direct path while writes succeed; a
+            write that fails at flush time surfaces as a volume failure
+            plus queued repair instead of a synchronous retry.
     """
 
     replication: int = 3
@@ -85,6 +95,7 @@ class ClusterConfig:
     recovery_read_retries: int = 3
     queue_depth: int = 8
     io_batch: bool = False
+    io_batch_chunks: int = 0
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -97,6 +108,13 @@ class ClusterConfig:
         if self.io_batch and self.queue_depth == 0:
             raise ConfigError(
                 "io_batch needs the queued path; set queue_depth >= 1")
+        if self.io_batch_chunks < 0:
+            raise ConfigError(
+                f"io_batch_chunks must be >= 0 (0 = unbatched), "
+                f"got {self.io_batch_chunks!r}")
+        if self.io_batch_chunks and self.queue_depth == 0:
+            raise ConfigError(
+                "io_batch_chunks needs the queued path; set queue_depth >= 1")
         if self.recovery_read_retries < 0:
             raise ConfigError(
                 f"recovery_read_retries must be >= 0, "
@@ -136,6 +154,12 @@ class Cluster:
         self._chunks_by_volume: dict[str, set[str]] = {}
         self._device_count = 0
         self._audit_cursor = 0
+        # Batch submission (io_batch_chunks > 0): per-queue staged chunk
+        # writes, keyed by queue identity. Each value is
+        # ``[queue, IOVector, members]`` with one ``(volume_id, slot)``
+        # member per staged request.
+        self._io_stage: dict[int, list] = {}
+        self._staged_chunks = 0
         self._faults = faults.injector()
         self._instr = difs_instruments()
         if obs.metrics_enabled():
@@ -274,6 +298,7 @@ class Cluster:
         for index, payloads in enumerate(units):
             self.add_unit(chunk, index, payloads)
         self._instr.chunks_created.inc()
+        self._note_chunk_staged()
         if self.config.io_batch:
             self.flush_io()
         return chunk
@@ -331,6 +356,7 @@ class Cluster:
             chunk.replicas.append(replica)
             self._chunks_by_volume[replica.volume_id].add(chunk_id)
         chunk.version += 1
+        self._note_chunk_staged()
         if self.config.io_batch:
             self.flush_io()
         return chunk
@@ -355,6 +381,7 @@ class Cluster:
         the next client read. Walks the namespace from a rolling cursor;
         ``max_chunks`` bounds one sweep. Returns counters.
         """
+        self._dispatch_staged()  # scrub reads must observe staged writes
         chunk_ids = sorted(self.namespace)
         if not chunk_ids:
             return {"chunks_checked": 0, "units_checked": 0,
@@ -400,6 +427,7 @@ class Cluster:
         for ``count`` consecutive polls). Returns the number of
         newly-detected failures — outages are transient and never count.
         """
+        self._dispatch_staged()  # staged writes may change liveness
         if self._faults is not None:
             self._faults.note_poll()
         found = 0
@@ -435,6 +463,7 @@ class Cluster:
         place for the recovery manager to retire. ``preloaded`` units (e.g.
         read off a draining volume by recovery) count toward the quorum.
         """
+        self._dispatch_staged()  # reads must observe staged writes
         units: dict[int, list[bytes]] = dict(preloaded or {})
         needed = self.scheme.min_units
         injector = self._faults
@@ -531,7 +560,8 @@ class Cluster:
                         f"could not allocate a slot for {chunk.chunk_id}")
                 continue
             try:
-                volume.write_chunk(slot, payloads)
+                if not self._stage_chunk_write(volume, slot, payloads):
+                    volume.write_chunk(slot, payloads)
             except ReproError:
                 # The device died or the minidisk vanished mid-write; fail
                 # the volume and retry elsewhere.
@@ -548,6 +578,73 @@ class Cluster:
             raise ConfigError(f"unknown chunk {chunk_id}")
         return chunk
 
+    # -- batch submission (io_batch_chunks) ---------------------------------------------------
+
+    def _stage_chunk_write(self, volume: Volume, slot: int,
+                           payloads: list[bytes]) -> bool:
+        """Stage one chunk write for batched dispatch; False = write now.
+
+        Staged requests keep per-device submission order (one append-only
+        vector per queue), so the dispatched op sequence is identical to
+        the unbatched path.
+        """
+        if self.config.io_batch_chunks == 0 or volume.queue is None:
+            return False
+        from repro.io.vector import IOVector
+
+        request = volume.chunk_write_request(slot, payloads)
+        stage = self._io_stage.get(id(volume.queue))
+        if stage is None:
+            stage = [volume.queue, IOVector(), []]
+            self._io_stage[id(volume.queue)] = stage
+        _, vector, members = stage
+        vector.append(request.op, lba=request.lba, count=request.count,
+                      payloads=request.payloads, mdisk_id=request.mdisk_id,
+                      stream=request.stream)
+        members.append((volume.volume_id, slot))
+        return True
+
+    def _note_chunk_staged(self) -> None:
+        """Close the batching window after ``io_batch_chunks`` chunks."""
+        if not self._io_stage:
+            return
+        self._staged_chunks += 1
+        if self._staged_chunks >= self.config.io_batch_chunks:
+            self.flush_io()
+
+    def _dispatch_staged(self) -> None:
+        """One ``execute_vector`` per queue dispatches all staged writes.
+
+        Per-member errors do not raise (the batch keeps going, exactly as
+        independent scalar submissions would); each failed write fails its
+        volume and queues repair for the replica that never reached flash —
+        the asynchronous analogue of the synchronous retry in
+        :meth:`_place_and_write`.
+        """
+        if not self._io_stage:
+            return
+        stages = list(self._io_stage.values())
+        self._io_stage.clear()
+        self._staged_chunks = 0
+        failed: list[tuple[str, int, Exception]] = []
+        for queue, vector, members in stages:
+            completions = queue.execute_vector(vector)
+            for index, (volume_id, slot) in enumerate(members):
+                error = completions.errors[index]
+                if error is not None:
+                    failed.append((volume_id, slot, error))
+        for volume_id, slot, _ in failed:
+            self.recovery.volume_failed(volume_id)
+            for chunk_id in sorted(self._chunks_by_volume.get(
+                    volume_id, ())):
+                chunk = self.namespace.get(chunk_id)
+                replica = (chunk.replica_on(volume_id)
+                           if chunk is not None else None)
+                if replica is not None and replica.slot == slot:
+                    self.forget_replica(chunk, replica, release=False)
+                    self.recovery.chunk_degraded(chunk_id)
+                    break
+
     # -- namespace persistence ---------------------------------------------------------------------
 
     def namespace_snapshot(self) -> dict:
@@ -558,6 +655,7 @@ class Cluster:
         their own persistence (OOB replay + NVRAM snapshots); this is the
         coordinator's durable metadata, as HDFS's fsimage is.
         """
+        self._dispatch_staged()  # snapshot only placements that reached flash
         return {
             "config": {
                 "replication": self.config.replication,
@@ -638,7 +736,8 @@ class Cluster:
         return queues
 
     def flush_io(self) -> None:
-        """Dispatch any coalesce-staged requests on every device queue."""
+        """Dispatch batch-staged chunk writes, then coalesce-staged requests."""
+        self._dispatch_staged()
         for queue in self.device_queues():
             queue.flush()
 
@@ -649,6 +748,7 @@ class Cluster:
         with what one ``repro_io_latency_us`` histogram over all devices
         would report.
         """
+        self._dispatch_staged()  # staged writes are not yet counted
         queues = self.device_queues()
         dispatched = sum(q.stats.dispatched for q in queues)
         total_latency = sum(q.stats.total_latency_us for q in queues)
@@ -683,6 +783,7 @@ class Cluster:
         """
         from repro.obs.endurance import CAUSES
 
+        self._dispatch_staged()  # staged writes have not worn flash yet
         programs = dict.fromkeys(CAUSES, 0)
         program_opages = dict.fromkeys(CAUSES, 0)
         erases = dict.fromkeys(CAUSES, 0)

@@ -115,6 +115,22 @@ class Volume(ABC):
     #: Minidisk address space chunk requests target (``None`` = flat).
     _io_mdisk_id: int | None = None
 
+    def chunk_write_request(self, slot: int,
+                            payloads: list[bytes]) -> IORequest:
+        """Build (and validate) the queue request for one chunk write.
+
+        The cluster's batch-submission path uses this to stage many chunk
+        writes into one :class:`repro.io.vector.IOVector` per device queue;
+        :meth:`write_chunk` dispatches the identical request one at a time.
+        """
+        self._check_slot(slot)
+        if len(payloads) != self.chunk_lbas:
+            raise ConfigError(
+                f"chunk needs {self.chunk_lbas} payloads, got {len(payloads)}")
+        return IORequest(op="write", lba=slot * self.chunk_lbas,
+                         payloads=list(payloads),
+                         mdisk_id=self._io_mdisk_id)
+
     def write_chunk(self, slot: int, payloads: list[bytes]) -> None:
         """Write one chunk (one oPage payload per LBA) into ``slot``.
 
@@ -122,18 +138,12 @@ class Volume(ABC):
         raise synchronously from ``submit`` exactly as the direct
         per-LBA writes would.
         """
-        self._check_slot(slot)
-        if len(payloads) != self.chunk_lbas:
-            raise ConfigError(
-                f"chunk needs {self.chunk_lbas} payloads, got {len(payloads)}")
-        base = slot * self.chunk_lbas
+        request = self.chunk_write_request(slot, payloads)
         if self.queue is not None:
-            self.queue.submit(IORequest(
-                op="write", lba=base, payloads=list(payloads),
-                mdisk_id=self._io_mdisk_id))
+            self.queue.submit(request)
             return
         for offset, payload in enumerate(payloads):
-            self._write_lba(base + offset, payload)
+            self._write_lba(request.lba + offset, payload)
 
     def read_chunk(self, slot: int) -> list[bytes]:
         """Read one chunk's payloads; raises device errors through.

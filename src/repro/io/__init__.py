@@ -17,13 +17,25 @@ queue adds time accounting, never behaviour.
 
 from repro.io.protocols import BlockDevice, QueuedDevice, device_kind_of
 from repro.io.queue import DeviceQueue
+from repro.io.queue_stats import QueueStats
 from repro.io.request import READ_OPS, IOCompletion, IORequest, WRITE_OPS
+from repro.io.vector import (
+    OP_CODES,
+    OP_NAMES,
+    CompletionVector,
+    IOVector,
+)
 
 __all__ = [
     "BlockDevice",
+    "CompletionVector",
     "DeviceQueue",
     "IOCompletion",
     "IORequest",
+    "IOVector",
+    "OP_CODES",
+    "OP_NAMES",
+    "QueueStats",
     "QueuedDevice",
     "READ_OPS",
     "WRITE_OPS",

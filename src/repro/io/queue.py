@@ -26,6 +26,19 @@ does two jobs:
    and queueing delay emerges — that is what the M/D/c claim check
    validates against :func:`repro.models.queueing.mdc_latency_us`.
 
+Completion state is columnar: dispatches append one row to a
+column-array log (submit/start/end/work times, merged counts, plus
+object columns for request/result/error), and the in-flight window and
+done list are deques of *row indices* — completion ordering is index
+ordering. Scalar :class:`~repro.io.request.IOCompletion` objects are
+materialised only at the API boundary (``execute``'s return, ``poll``,
+traced requests), which keeps the per-request object churn off the hot
+path. The batch entry point :meth:`DeviceQueue.execute_vector` goes
+further: it dispatches a whole :class:`~repro.io.vector.IOVector` with
+no per-member request or completion objects at all, routing runs of
+point reads through the device's ``read_batch`` kernel when that
+preserves timing bit-identity (see ``timed_batch_reads``).
+
 ``depth`` bounds the in-flight window like a real NCQ: submitting into
 a full queue first retires the oldest in-flight completion and clamps
 the newcomer's arrival to that completion time (host-side
@@ -35,60 +48,124 @@ Coalescing (``coalesce=True``) merges a submitted request into a
 staged contiguous neighbour of the same kind before dispatch. It
 changes physical access patterns (merged reads sense each touched
 fPage once across the *merged* range), so it is opt-out of the
-bit-identity contract and defaults off.
+bit-identity contract and defaults off. Deadline accounting stays
+per-member through a merge: the queue remembers every absorbed
+member's deadline and counts one miss per member the merged dispatch
+finished late for (the completion's ``deadline_missed`` flag keeps the
+min-deadline semantics — set iff at least one member missed).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 from repro import obs
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UncorrectableError
 from repro.io.protocols import device_kind_of
 from repro.io.request import IOCompletion, IORequest
+from repro.io.vector import (
+    OP_FLUSH,
+    OP_NAMES,
+    OP_READ,
+    OP_READ_RANGE,
+    OP_TRIM,
+    OP_TRIM_RANGE,
+    OP_WRITE,
+    CompletionVector,
+    IOVector,
+)
 from repro.obs import reqtrace, slo
 from repro.obs.instruments import io_instruments
+
+# Re-exported for callers that predate the stats split; QueueStats is
+# part of the queue's public surface.
+from repro.io.queue_stats import QueueStats
 
 #: Upper bound on LBAs a coalesced request may span.
 MAX_MERGE_LBAS = 1024
 
+#: Minimum run of consecutive point reads worth routing through the
+#: device's ``read_batch`` kernel inside ``execute_vector``.
+_READ_RUN_MIN = 2
+
 _MERGEABLE_OPS = ("read_range", "trim_range", "write")
 
 
-@dataclass
-class QueueStats:
-    """Plain counters mirrored into ``repro_io_*`` metrics.
+class _CompletionLog:
+    """Column store for dispatched completions, addressed by index.
 
-    Kept on the queue itself so claim checks and benchmarks can read
-    measured latencies without an observability registry enabled.
+    Rows are appended per dispatch and identified by a monotone index
+    (``base`` + column position); the queue's in-flight window and done
+    list order these indices, and :meth:`materialise` builds the scalar
+    :class:`IOCompletion` lazily (cached, so repeated lookups return
+    the same object). ``clear`` drops all rows once every index has
+    been consumed, keeping the columns sized to the live window.
     """
 
-    submitted: int = 0
-    dispatched: int = 0
-    errors: int = 0
-    merged: int = 0
-    deadline_misses: int = 0
-    total_latency_us: float = 0.0
-    total_wait_us: float = 0.0
-    total_service_us: float = 0.0
-    total_work_us: float = 0.0
-    latencies_us: list[float] = field(default_factory=list)
+    __slots__ = ("base", "next", "request", "result", "error", "submit",
+                 "start", "end", "work", "merged", "made")
 
-    @property
-    def mean_latency_us(self) -> float:
-        return (self.total_latency_us / self.dispatched
-                if self.dispatched else 0.0)
+    def __init__(self) -> None:
+        self.base = 0
+        self.next = 0
+        self.request: list[IORequest] = []
+        self.result: list[list[bytes] | None] = []
+        self.error: list[Exception | None] = []
+        self.submit: list[float] = []
+        self.start: list[float] = []
+        self.end: list[float] = []
+        self.work: list[float] = []
+        self.merged: list[int] = []
+        self.made: list[IOCompletion | None] = []
 
-    @property
-    def mean_wait_us(self) -> float:
-        return (self.total_wait_us / self.dispatched
-                if self.dispatched else 0.0)
+    def append(self, request: IORequest, result, error, submit: float,
+               start: float, end: float, work: float,
+               merged: int) -> int:
+        idx = self.next
+        self.next = idx + 1
+        self.request.append(request)
+        self.result.append(result)
+        self.error.append(error)
+        self.submit.append(submit)
+        self.start.append(start)
+        self.end.append(end)
+        self.work.append(work)
+        self.merged.append(merged)
+        self.made.append(None)
+        return idx
 
-    @property
-    def mean_service_us(self) -> float:
-        return (self.total_service_us / self.dispatched
-                if self.dispatched else 0.0)
+    def end_us(self, idx: int) -> float:
+        return self.end[idx - self.base]
+
+    def error_of(self, idx: int) -> Exception | None:
+        return self.error[idx - self.base]
+
+    def materialise(self, idx: int) -> IOCompletion:
+        i = idx - self.base
+        made = self.made[i]
+        if made is None:
+            error = self.error[i]
+            made = IOCompletion(
+                request=self.request[i],
+                status="error" if error is not None else "ok",
+                result=self.result[i], error=error,
+                submit_us=self.submit[i], start_us=self.start[i],
+                end_us=self.end[i], work_us=self.work[i],
+                merged=self.merged[i])
+            self.made[i] = made
+        return made
+
+    def clear(self) -> None:
+        self.base = self.next
+        self.request.clear()
+        self.result.clear()
+        self.error.clear()
+        self.submit.clear()
+        self.start.clear()
+        self.end.clear()
+        self.work.clear()
+        self.merged.clear()
+        self.made.clear()
 
 
 class DeviceQueue:
@@ -124,10 +201,12 @@ class DeviceQueue:
         #: arrivals, never by service (servers run ahead of the clock).
         self.clock_us = 0.0
         self._channel_free = [0.0] * self.channels
-        self._inflight: deque[IOCompletion] = deque()
-        self._done: deque[IOCompletion] = deque()
+        self._log = _CompletionLog()
+        self._inflight: deque[int] = deque()
+        self._done: deque[int] = deque()
         self._staged: IORequest | None = None
         self._staged_merged = 1
+        self._staged_deadlines: list[float | None] | None = None
         self._next_tag = 0
         self.stats = QueueStats()
         self._instr = io_instruments(self.device_kind)
@@ -170,10 +249,22 @@ class DeviceQueue:
             self._flush_staged()
             self._staged = request
             self._staged_merged = 1
+            self._staged_deadlines = [request.deadline_us]
             request.submit_us = self._arrival(at_us)
             return request
         self._dispatch(request, at_us)
         return request
+
+    def submit_vector(self, vec: IOVector) -> None:
+        """Submit every member of ``vec`` through :meth:`submit`.
+
+        A member's ``at_us`` column stamps its open-loop arrival; zero
+        means closed loop (arrive at the device clock). Completions
+        land in the usual window and drain through :meth:`poll`.
+        """
+        for i in range(len(vec)):
+            at = float(vec.at_us[i])
+            self.submit(vec.request(i), None if at == 0.0 else at)
 
     def execute(self, request: IORequest,
                 at_us: float | None = None) -> IOCompletion:
@@ -189,23 +280,284 @@ class DeviceQueue:
         if self._rt_sampler is not None:
             self._maybe_trace(request)
         self._flush_staged()
-        completion = self._dispatch_inner(request, at_us)
+        idx = self._dispatch_inner(request, at_us)
         # Consume it: sync callers own the result.
-        if self._inflight and self._inflight[-1] is completion:
+        if self._inflight and self._inflight[-1] == idx:
             self._inflight.pop()
-        elif completion in self._done:
-            self._done.remove(completion)
+        elif idx in self._done:
+            self._done.remove(idx)
+        completion = self._log.materialise(idx)
+        self._maybe_trim()
         self._set_inflight_gauge()
         if completion.error is not None:
             raise completion.error
         return completion
 
+    def execute_vector(self, vec: IOVector) -> CompletionVector:
+        """Dispatch a whole :class:`IOVector` synchronously (closed loop).
+
+        Semantically a per-member :meth:`execute` loop with each
+        member's error *caught* and recorded on its completion instead
+        of aborting the batch — exactly the device state a caller
+        looping ``try: execute(...) except`` would leave behind, which
+        is how the batched==scalar equivalence tests compare the two
+        paths. The ``at_us`` column is ignored: every member arrives at
+        the device clock, like ``execute(request)``.
+
+        The fast path dispatches straight from the vector's columns (no
+        per-member request/completion objects) and routes runs of >= 2
+        flat point reads through the device's ``read_batch`` kernel
+        when the device declares ``timed_batch_reads`` and no fault
+        injector is bound. With request-trace sampling installed the
+        whole vector takes the scalar path, so sampling decisions and
+        trace segments stay identical.
+        """
+        n = len(vec)
+        self._flush_staged()
+        tag0 = self._next_tag
+        if n == 0:
+            return CompletionVector(vec, tag0, [], [], [], [], [], [])
+        if self._rt_sampler is not None:
+            return self._execute_vector_scalar(vec)
+        self._next_tag += n
+        stats = self.stats
+        stats.submitted += n
+        # NCQ backpressure, hoisted: vector members are consumed
+        # synchronously (they never occupy the window), so one drain at
+        # entry leaves the window below ``depth`` for the whole batch —
+        # the per-member loop would find the same state.
+        log = self._log
+        arrival_floor = 0.0
+        while len(self._inflight) >= self.depth:
+            oldest = self._inflight.popleft()
+            arrival_floor = max(arrival_floor, log.end_us(oldest))
+            self._done.append(oldest)
+        device = self.device
+        chip = self._chip
+        chip_stats = chip.stats if chip is not None else None
+        channel_free = self._channel_free
+        free_get = channel_free.__getitem__
+        server_range = range(self.channels)
+        slo_engine = self._slo
+        kind = self.device_kind
+        keep = self.keep_latencies
+        instr = self._instr
+        ops = vec.op[:n].tolist()
+        lbas = vec.lba[:n].tolist()
+        counts = vec.count[:n].tolist()
+        mdisks = vec.mdisk_id[:n].tolist()
+        streams = vec.stream[:n].tolist()
+        deadlines = vec.deadline_us[:n].tolist()
+        payload_col = vec.payloads
+        submit_col = [0.0] * n
+        start_col = [0.0] * n
+        end_col = [0.0] * n
+        work_col = [0.0] * n
+        results: list = [None] * n
+        errors: list = [None] * n
+        n_lbas = getattr(device, "n_lbas", None)
+        batch_read = (
+            getattr(device, "read_batch", None)
+            if (n_lbas is not None
+                and getattr(device, "timed_batch_reads", False)
+                and getattr(device, "_faults", None) is None
+                and (chip is None
+                     or getattr(chip, "_faults", None) is None))
+            else None)
+        clock = self.clock_us
+        obs_children: dict[int, tuple] = {}
+
+        def meter(m: int, code: int, service: float, work: float,
+                  error) -> None:
+            # Same arithmetic as the scalar _dispatch_inner/_record
+            # pair, member by member, so every float matches bit for
+            # bit (deadline stats depend on it).
+            nonlocal clock, arrival_floor
+            arrival = clock if clock >= arrival_floor else arrival_floor
+            arrival_floor = 0.0
+            server = min(server_range, key=free_get)
+            start = max(arrival, channel_free[server])
+            end = start + service
+            channel_free[server] = end
+            if end > clock:
+                clock = end
+            submit_col[m] = arrival
+            start_col[m] = start
+            end_col[m] = end
+            work_col[m] = work
+            latency = end - arrival
+            wait = start - arrival
+            stats.total_latency_us += latency
+            stats.total_wait_us += wait
+            stats.total_service_us += end - start
+            stats.total_work_us += work
+            if keep:
+                stats.latencies_us.append(latency)
+            kids = obs_children.get(code)
+            if kids is None:
+                name = OP_NAMES[code]
+                kids = (self._latency_child(name).observe,
+                        self._wait_child(name).observe,
+                        self._request_child(name).inc, name)
+                obs_children[code] = kids
+            kids[0](latency)
+            kids[1](wait)
+            kids[2]()
+            if error is not None:
+                stats.errors += 1
+                instr.errors.inc()
+            deadline = deadlines[m]
+            missed = deadline == deadline and end > deadline
+            if missed:
+                stats.deadline_misses += 1
+                instr.deadline_misses.inc()
+            if slo_engine is not None:
+                slo_engine.observe(
+                    end_us=end, latency_us=latency, op=kids[3],
+                    stream=streams[m], device_kind=kind,
+                    deadline_missed=missed)
+
+        i = 0
+        while i < n:
+            op = ops[i]
+            if (batch_read is not None and op == OP_READ
+                    and mdisks[i] < 0 and 0 <= lbas[i] < n_lbas):
+                j = i + 1
+                while (j < n and ops[j] == OP_READ and mdisks[j] < 0
+                       and 0 <= lbas[j] < n_lbas):
+                    j += 1
+                if j - i >= _READ_RUN_MIN:
+                    run = j - i
+                    svc = [0.0] * run
+                    wrk = [0.0] * run
+                    try:
+                        batch = batch_read(lbas[i:j], service_out=svc,
+                                           work_out=wrk)
+                    except Exception:
+                        # Liveness gates raise before any member runs
+                        # (reads cannot change device health); replay
+                        # the run member by member so each completion
+                        # records the error the scalar loop would see.
+                        batch = None
+                    if batch is not None:
+                        for k in range(run):
+                            res = batch[k]
+                            m = i + k
+                            if isinstance(res, UncorrectableError):
+                                errors[m] = res
+                            else:
+                                results[m] = [res]
+                            meter(m, OP_READ, svc[k], wrk[k], errors[m])
+                        i = j
+                        continue
+            mdisk = mdisks[i]
+            lba = lbas[i]
+            error = None
+            result = None
+            if chip is not None:
+                busy_before = chip_stats.busy_us
+                chan_before = list(chip.channel_busy_us)
+            try:
+                if op == OP_READ:
+                    result = ([device.read(lba)] if mdisk < 0
+                              else [device.read(mdisk, lba)])
+                elif op == OP_WRITE:
+                    payloads = payload_col[i]
+                    stream = streams[i]
+                    if mdisk < 0:
+                        if stream:
+                            for off, data in enumerate(payloads):
+                                device.write(lba + off, data,
+                                             stream=stream)
+                        else:
+                            for off, data in enumerate(payloads):
+                                device.write(lba + off, data)
+                    else:
+                        for off, data in enumerate(payloads):
+                            device.write(mdisk, lba + off, data)
+                elif op == OP_READ_RANGE:
+                    result = (device.read_range(lba, counts[i])
+                              if mdisk < 0
+                              else device.read_range(mdisk, lba,
+                                                     counts[i]))
+                elif op == OP_TRIM:
+                    if mdisk < 0:
+                        device.trim(lba)
+                    else:
+                        device.trim(mdisk, lba)
+                elif op == OP_TRIM_RANGE:
+                    if mdisk < 0:
+                        device.trim_range(lba, counts[i])
+                    else:
+                        for off in range(counts[i]):
+                            device.trim(mdisk, lba + off)
+                elif op == OP_FLUSH:
+                    device.flush()
+                else:  # pragma: no cover - validate() rejects these
+                    raise ConfigError(f"unhandled op code {op!r}")
+            except Exception as exc:  # noqa: BLE001 - recorded per member
+                error = exc
+            if chip is not None:
+                work = chip_stats.busy_us - busy_before
+                chan_after = chip.channel_busy_us
+                service = max(
+                    (chan_after[c] - chan_before[c]
+                     for c in range(len(chan_before))), default=0.0)
+            else:
+                work = service = 0.0
+            results[i] = result
+            errors[i] = error
+            meter(i, op, service, work, error)
+            i += 1
+        self.clock_us = clock
+        stats.dispatched += n
+        self._set_inflight_gauge()
+        return CompletionVector(vec, tag0, submit_col, start_col,
+                                end_col, work_col, results, errors)
+
+    def _execute_vector_scalar(self, vec: IOVector) -> CompletionVector:
+        """Reference member-by-member path for :meth:`execute_vector`."""
+        n = len(vec)
+        tag0 = self._next_tag
+        submit_col = [0.0] * n
+        start_col = [0.0] * n
+        end_col = [0.0] * n
+        work_col = [0.0] * n
+        results: list = [None] * n
+        errors: list = [None] * n
+        log = self._log
+        for i in range(n):
+            request = vec.request(i)
+            request.tag = self._next_tag
+            self._next_tag += 1
+            self.stats.submitted += 1
+            if self._rt_sampler is not None:
+                self._maybe_trace(request)
+            idx = self._dispatch_inner(request, None)
+            if self._inflight and self._inflight[-1] == idx:
+                self._inflight.pop()
+            elif idx in self._done:
+                self._done.remove(idx)
+            submit_col[i] = log.submit[idx - log.base]
+            start_col[i] = log.start[idx - log.base]
+            end_col[i] = log.end[idx - log.base]
+            work_col[i] = log.work[idx - log.base]
+            results[i] = log.result[idx - log.base]
+            errors[i] = log.error[idx - log.base]
+        self._maybe_trim()
+        self._set_inflight_gauge()
+        return CompletionVector(vec, tag0, submit_col, start_col,
+                                end_col, work_col, results, errors)
+
     def poll(self) -> list[IOCompletion]:
         """Drain and return every finished completion (oldest first)."""
         self._flush_staged()
-        out = list(self._done) + list(self._inflight)
+        log = self._log
+        out = [log.materialise(i) for i in self._done]
+        out.extend(log.materialise(i) for i in self._inflight)
         self._done.clear()
         self._inflight.clear()
+        log.clear()
         self._set_inflight_gauge()
         return out
 
@@ -218,6 +570,10 @@ class DeviceQueue:
         return len(self._inflight)
 
     # -- internals ------------------------------------------------------------
+
+    def _maybe_trim(self) -> None:
+        if not self._inflight and not self._done:
+            self._log.clear()
 
     def _arrival(self, at_us: float | None) -> float:
         if at_us is None:
@@ -250,6 +606,9 @@ class DeviceQueue:
         staged.count += request.count
         if staged.op == "write":
             staged.payloads.extend(request.payloads)
+        if self._staged_deadlines is None:
+            self._staged_deadlines = [staged.deadline_us]
+        self._staged_deadlines.append(request.deadline_us)
         deadlines = [d for d in (staged.deadline_us, request.deadline_us)
                      if d is not None]
         staged.deadline_us = min(deadlines) if deadlines else None
@@ -269,25 +628,33 @@ class DeviceQueue:
             return
         self._staged = None
         merged = self._staged_merged
+        member_deadlines = self._staged_deadlines
         self._staged_merged = 1
-        self._dispatch(staged, staged.submit_us, merged=merged)
+        self._staged_deadlines = None
+        self._dispatch(staged, staged.submit_us, merged=merged,
+                       member_deadlines=member_deadlines)
 
     def _dispatch(self, request: IORequest, at_us: float | None,
-                  merged: int = 1) -> IOCompletion:
-        completion = self._dispatch_inner(request, at_us, merged=merged)
-        if completion.error is not None:
-            raise completion.error
-        return completion
+                  merged: int = 1,
+                  member_deadlines: list | None = None) -> int:
+        idx = self._dispatch_inner(request, at_us, merged=merged,
+                                   member_deadlines=member_deadlines)
+        error = self._log.error_of(idx)
+        if error is not None:
+            raise error
+        return idx
 
     def _dispatch_inner(self, request: IORequest, at_us: float | None,
-                        merged: int = 1) -> IOCompletion:
+                        merged: int = 1,
+                        member_deadlines: list | None = None) -> int:
         closed_loop = at_us is None
         arrival = self._arrival(at_us)
+        log = self._log
         # NCQ backpressure: a full window blocks the host until the
         # oldest in-flight completion frees a slot.
         while len(self._inflight) >= self.depth:
             oldest = self._inflight.popleft()
-            arrival = max(arrival, oldest.end_us)
+            arrival = max(arrival, log.end_us(oldest))
             self._done.append(oldest)
         server = min(range(self.channels),
                      key=self._channel_free.__getitem__)
@@ -327,20 +694,17 @@ class DeviceQueue:
         # callers own time via ``at_us``; the clock only tracks the
         # latest arrival so a late stamp cannot run it backwards.
         self.clock_us = max(self.clock_us, end if closed_loop else arrival)
-        completion = IOCompletion(
-            request=request,
-            status="error" if error is not None else "ok",
-            result=result, error=error,
-            submit_us=arrival, start_us=start, end_us=end,
-            work_us=work, merged=merged)
+        idx = log.append(request, result, error, arrival, start, end,
+                         work, merged)
         if ctx is not None:
             request.trace = None  # consumed; records outlive contexts
-            rt.finish(ctx, completion, self.device_kind,
+            rt.finish(ctx, log.materialise(idx), self.device_kind,
                       busy_before + work)
-        self._record(completion)
-        self._inflight.append(completion)
+        self._record(request, error, arrival, start, end, work,
+                     member_deadlines)
+        self._inflight.append(idx)
         self._set_inflight_gauge()
-        return completion
+        return idx
 
     def _call_device(self, request: IORequest) -> list[bytes] | None:
         device = self.device
@@ -388,32 +752,44 @@ class DeviceQueue:
             return None
         raise ConfigError(f"unhandled op {op!r}")  # pragma: no cover
 
-    def _record(self, completion: IOCompletion) -> None:
+    def _record(self, request: IORequest, error: Exception | None,
+                submit: float, start: float, end: float, work: float,
+                member_deadlines: list | None = None) -> None:
         stats = self.stats
         stats.dispatched += 1
-        stats.total_latency_us += completion.latency_us
-        stats.total_wait_us += completion.wait_us
-        stats.total_service_us += completion.service_us
-        stats.total_work_us += completion.work_us
+        latency = end - submit
+        wait = start - submit
+        stats.total_latency_us += latency
+        stats.total_wait_us += wait
+        stats.total_service_us += end - start
+        stats.total_work_us += work
         if self.keep_latencies:
-            stats.latencies_us.append(completion.latency_us)
-        op = completion.request.op
-        self._latency_child(op).observe(completion.latency_us)
-        self._wait_child(op).observe(completion.wait_us)
+            stats.latencies_us.append(latency)
+        op = request.op
+        self._latency_child(op).observe(latency)
+        self._wait_child(op).observe(wait)
         self._request_child(op).inc()
-        if completion.error is not None:
+        if error is not None:
             stats.errors += 1
             self._instr.errors.inc()
-        if completion.deadline_missed:
-            stats.deadline_misses += 1
-            self._instr.deadline_misses.inc()
+        # Deadline accounting is per *member*: a coalesced dispatch
+        # that finishes late counts one miss per absorbed request whose
+        # own deadline it blew, not one per dispatch.
+        if member_deadlines is None:
+            member_deadlines = (request.deadline_us,)
+        misses = 0
+        for deadline in member_deadlines:
+            if deadline is not None and end > deadline:
+                misses += 1
+        if misses:
+            stats.deadline_misses += misses
+            self._instr.deadline_misses.inc(misses)
         if self._slo is not None:
             self._slo.observe(
-                end_us=completion.end_us,
-                latency_us=completion.latency_us,
-                op=op, stream=completion.request.stream,
+                end_us=end, latency_us=latency,
+                op=op, stream=request.stream,
                 device_kind=self.device_kind,
-                deadline_missed=completion.deadline_missed)
+                deadline_missed=misses > 0)
 
     def _latency_child(self, op: str):
         child = self._latency_children.get(op)

@@ -1,0 +1,283 @@
+"""``IOVector`` — a struct-of-arrays batch of IO requests.
+
+One :class:`~repro.io.request.IORequest` per Python object is fine at
+thousands of ops; the traffic targets in ROADMAP items 1–2 need millions,
+and at that scale the object churn (allocation, ``__post_init__``,
+attribute walks) dominates the simulated device time. ``IOVector`` keeps
+the same six request fields as parallel numpy columns:
+
+========== ========== =====================================================
+column     dtype      meaning
+========== ========== =====================================================
+``op``     int8       op code (:data:`OP_READ` … :data:`OP_FLUSH`)
+``lba``    int64      first logical oPage address
+``count``  int32      LBAs covered
+``at_us``  float64    open-loop arrival time (0 = closed loop)
+``stream`` int32      multi-stream lifetime hint
+``deadline_us`` f64   host deadline; ``nan`` = none
+========== ========== =====================================================
+
+plus two object columns that cannot be arrays — ``payloads`` (per-write
+list of bytes) and ``mdisk_id`` (int64, ``-1`` = flat device).
+
+Slicing returns a **view**: the numpy columns alias the parent's memory
+(mutations propagate), only the payload list is shallow-copied. The
+scalar bridge (:meth:`IOVector.request` / :meth:`IOVector.from_requests`)
+round-trips losslessly to :class:`IORequest`, so every consumer of the
+vector path can fall back to the scalar path — and the equivalence tests
+pin that both produce bit-identical device state.
+
+Validation is vectorized (:meth:`IOVector.validate`) and enforces the
+same rules as ``IORequest.__post_init__``; builders that append through
+:meth:`IOVector.append` get the checks per call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.io.request import IOCompletion, IORequest
+
+#: Op codes, in the order of :data:`OP_NAMES`.
+OP_READ = 0
+OP_READ_RANGE = 1
+OP_WRITE = 2
+OP_TRIM = 3
+OP_TRIM_RANGE = 4
+OP_FLUSH = 5
+
+OP_NAMES = ("read", "read_range", "write", "trim", "trim_range", "flush")
+OP_CODES = {name: code for code, name in enumerate(OP_NAMES)}
+
+_GROWTH = 2
+
+
+class IOVector:
+    """A batch of IO requests as parallel columns (see module doc)."""
+
+    __slots__ = ("op", "lba", "count", "at_us", "stream", "deadline_us",
+                 "mdisk_id", "payloads", "_n")
+
+    def __init__(self, capacity: int = 8):
+        capacity = max(int(capacity), 1)
+        self.op = np.zeros(capacity, dtype=np.int8)
+        self.lba = np.zeros(capacity, dtype=np.int64)
+        self.count = np.ones(capacity, dtype=np.int32)
+        self.at_us = np.zeros(capacity, dtype=np.float64)
+        self.stream = np.zeros(capacity, dtype=np.int32)
+        self.deadline_us = np.full(capacity, np.nan, dtype=np.float64)
+        self.mdisk_id = np.full(capacity, -1, dtype=np.int64)
+        self.payloads: list[list[bytes] | None] = [None] * capacity
+        self._n = 0
+
+    # -- construction --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self) -> None:
+        new_cap = len(self.op) * _GROWTH
+        for name in ("op", "lba", "count", "at_us", "stream",
+                     "deadline_us", "mdisk_id"):
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[:len(old)] = old
+            setattr(self, name, grown)
+        self.payloads.extend([None] * (new_cap - len(self.payloads)))
+
+    def append(self, op: int | str, lba: int = 0, count: int = 1,
+               payloads: list[bytes] | None = None,
+               mdisk_id: int | None = None,
+               deadline_us: float | None = None,
+               stream: int = 0, at_us: float = 0.0) -> int:
+        """Append one request; returns its index.
+
+        Enforces the same invariants as ``IORequest.__post_init__``.
+        """
+        code = OP_CODES[op] if isinstance(op, str) else int(op)
+        if not 0 <= code < len(OP_NAMES):
+            raise ConfigError(f"unknown op code {code!r}")
+        if code == OP_WRITE:
+            if not payloads:
+                raise ConfigError("write requests need payloads")
+            count = len(payloads)
+        elif payloads is not None:
+            raise ConfigError(
+                f"{OP_NAMES[code]} requests carry no payloads")
+        if code == OP_READ and count != 1:
+            raise ConfigError(
+                f"read is single-LBA (count=1); use read_range for "
+                f"{count} LBAs")
+        if code != OP_FLUSH and count <= 0:
+            raise ConfigError(f"count must be positive, got {count!r}")
+        if lba < 0:
+            raise ConfigError(f"lba must be non-negative, got {lba!r}")
+        i = self._n
+        if i == len(self.op):
+            self._grow()
+        self.op[i] = code
+        self.lba[i] = lba
+        self.count[i] = count
+        self.at_us[i] = at_us
+        self.stream[i] = stream
+        self.deadline_us[i] = np.nan if deadline_us is None else deadline_us
+        self.mdisk_id[i] = -1 if mdisk_id is None else mdisk_id
+        self.payloads[i] = payloads
+        self._n = i + 1
+        return i
+
+    # -- views and bridges ---------------------------------------------------
+
+    def __getitem__(self, key: slice) -> "IOVector":
+        """Slice view: numpy columns alias this vector's memory."""
+        if not isinstance(key, slice):
+            raise TypeError("IOVector indexing takes a slice; use "
+                            ".request(i) for a scalar bridge")
+        start, stop, step = key.indices(self._n)
+        if step != 1:
+            raise ValueError("IOVector slices must be contiguous (step 1)")
+        view = IOVector.__new__(IOVector)
+        for name in ("op", "lba", "count", "at_us", "stream",
+                     "deadline_us", "mdisk_id"):
+            setattr(view, name, getattr(self, name)[start:stop])
+        view.payloads = self.payloads[start:stop]
+        view._n = max(stop - start, 0)
+        return view
+
+    def request(self, i: int) -> IORequest:
+        """Materialise member ``i`` as a scalar :class:`IORequest`."""
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        deadline = float(self.deadline_us[i])
+        mdisk = int(self.mdisk_id[i])
+        return IORequest(
+            op=OP_NAMES[self.op[i]],
+            lba=int(self.lba[i]),
+            count=int(self.count[i]),
+            payloads=self.payloads[i],
+            mdisk_id=None if mdisk < 0 else mdisk,
+            deadline_us=None if deadline != deadline else deadline,
+            stream=int(self.stream[i]),
+        )
+
+    def to_requests(self) -> list[IORequest]:
+        return [self.request(i) for i in range(self._n)]
+
+    @classmethod
+    def from_requests(cls, requests) -> "IOVector":
+        requests = list(requests)
+        vec = cls(capacity=max(len(requests), 1))
+        for req in requests:
+            vec.append(req.op, lba=req.lba, count=req.count,
+                       payloads=req.payloads, mdisk_id=req.mdisk_id,
+                       deadline_us=req.deadline_us, stream=req.stream,
+                       at_us=req.submit_us)
+        return vec
+
+    # -- vectorized validation ----------------------------------------------
+
+    def validate(self) -> None:
+        """Re-check every member against the ``IORequest`` invariants.
+
+        Builders that bypass :meth:`append` (filling columns directly)
+        call this once per batch instead of paying a check per member.
+        """
+        n = self._n
+        op = self.op[:n]
+        count = self.count[:n]
+        if n == 0:
+            return
+        if (op < 0).any() or (op >= len(OP_NAMES)).any():
+            raise ConfigError("IOVector has out-of-range op codes")
+        if (self.lba[:n] < 0).any():
+            raise ConfigError("lba must be non-negative")
+        bad = (count <= 0) & (op != OP_FLUSH)
+        if bad.any():
+            raise ConfigError("count must be positive")
+        if ((op == OP_READ) & (count != 1)).any():
+            raise ConfigError("read is single-LBA (count=1); "
+                              "use read_range for multi-LBA members")
+        for i in np.nonzero(op == OP_WRITE)[0]:
+            payloads = self.payloads[i]
+            if not payloads:
+                raise ConfigError("write requests need payloads")
+            if len(payloads) != count[i]:
+                raise ConfigError("write count must match payload count")
+        for i in np.nonzero(op != OP_WRITE)[0]:
+            if self.payloads[i] is not None:
+                raise ConfigError(
+                    f"{OP_NAMES[self.op[i]]} requests carry no payloads")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IOVector(n={self._n})"
+
+
+class CompletionVector:
+    """Measured outcomes of one executed :class:`IOVector`, as columns.
+
+    The columnar sibling of :class:`~repro.io.request.IOCompletion`:
+    ``submit_us``/``start_us``/``end_us``/``work_us`` are float64 arrays
+    aligned with the source vector's members; ``results`` and ``errors``
+    are parallel object lists (``None`` where not applicable). Derived
+    timings (:attr:`wait_us`, :attr:`service_us`, :attr:`latency_us`)
+    are vectorised, and :meth:`completion` bridges any member back to a
+    scalar ``IOCompletion`` — the equivalence tests pin that bridge
+    against the scalar queue path field by field.
+    """
+
+    __slots__ = ("vector", "tag0", "submit_us", "start_us", "end_us",
+                 "work_us", "results", "errors")
+
+    def __init__(self, vector: IOVector, tag0: int, submit_us, start_us,
+                 end_us, work_us, results: list, errors: list):
+        self.vector = vector
+        #: Queue tag of member 0 (member ``i`` holds ``tag0 + i``).
+        self.tag0 = tag0
+        self.submit_us = np.asarray(submit_us, dtype=np.float64)
+        self.start_us = np.asarray(start_us, dtype=np.float64)
+        self.end_us = np.asarray(end_us, dtype=np.float64)
+        self.work_us = np.asarray(work_us, dtype=np.float64)
+        self.results = results
+        self.errors = errors
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def wait_us(self) -> np.ndarray:
+        return self.start_us - self.submit_us
+
+    @property
+    def service_us(self) -> np.ndarray:
+        return self.end_us - self.start_us
+
+    @property
+    def latency_us(self) -> np.ndarray:
+        return self.end_us - self.submit_us
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for error in self.errors if error is not None)
+
+    def completion(self, i: int) -> IOCompletion:
+        """Materialise member ``i`` as a scalar :class:`IOCompletion`."""
+        request = self.vector.request(i)
+        request.tag = self.tag0 + i
+        request.submit_us = float(self.submit_us[i])
+        error = self.errors[i]
+        return IOCompletion(
+            request=request,
+            status="error" if error is not None else "ok",
+            result=self.results[i], error=error,
+            submit_us=float(self.submit_us[i]),
+            start_us=float(self.start_us[i]),
+            end_us=float(self.end_us[i]),
+            work_us=float(self.work_us[i]))
+
+    def to_completions(self) -> list[IOCompletion]:
+        return [self.completion(i) for i in range(len(self))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CompletionVector(n={len(self)}, "
+                f"errors={self.error_count})")

@@ -583,7 +583,8 @@ class SalamanderSSD(PageMappedFTL):
                 level=plan.level, size_lbas=mdisk.size_lbas))
 
     def _grow_flat_space(self, extra_lbas: int) -> None:
-        self._l2p.extend([UNMAPPED] * extra_lbas)
+        self._l2p = np.concatenate(
+            [self._l2p, np.full(extra_lbas, UNMAPPED, dtype=np.int64)])
         self.n_lbas += extra_lbas
 
     def _exhaust(self) -> None:
@@ -605,9 +606,10 @@ class SalamanderSSD(PageMappedFTL):
         """Live LBAs per active mDisk (mapped plus buffered-unmapped)."""
         counts: dict[int, int] = {}
         msize = self.msize_lbas
-        for flat, slot in enumerate(self._l2p):
-            if slot >= 0:
-                counts[flat // msize] = counts.get(flat // msize, 0) + 1
+        mapped = np.flatnonzero(self._l2p >= 0)
+        for mdisk_id, live in zip(*np.unique(mapped // msize,
+                                             return_counts=True)):
+            counts[int(mdisk_id)] = int(live)
         for key in self.buffer.keys():
             if self._l2p[key] < 0:
                 counts[key // msize] = counts.get(key // msize, 0) + 1

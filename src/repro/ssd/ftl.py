@@ -53,6 +53,11 @@ from repro.ssd.write_buffer import WriteBuffer
 UNMAPPED = -1
 LOST = -2
 
+#: Item count from which ``_program_fpage`` switches its mapping update
+#: to the vectorised kernel — below this, numpy call overhead loses to
+#: the plain loop (default geometry programs 4 oPages per fPage).
+_PROGRAM_VECTOR_MIN = 16
+
 _GC_POLICIES = {"greedy": GreedyGC, "cost-benefit": CostBenefitGC}
 
 
@@ -196,15 +201,18 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         # oPage capacity per tiredness level, resolved once (P - L).
         self._data_opages = tuple(
             self.policy.data_opages(level) for level in self.policy.levels)
-        # L2P/P2L are plain Python lists: the FTL only ever touches
-        # single elements on the hot path, and list indexing is several
-        # times cheaper than numpy scalar extraction (docs/PERFORMANCE.md).
-        self._l2p: list[int] = [UNMAPPED] * n_lbas
-        self._p2l: list[int] = [UNMAPPED] * self.geometry.total_opage_slots
-        # Valid-oPage count per block: a Python list (hot single-element
-        # updates in _map/_unmap); the ``_valid_per_block`` property gives
-        # the vector view GC and tests consume.
-        self._valid_counts: list[int] = [0] * self.geometry.blocks
+        # L2P/P2L live on numpy so the batched kernels
+        # (``translate_batch``/``invalidate_batch`` and the vectorised
+        # ``_program_fpage`` mapping update) fancy-index them directly;
+        # scalar touch points pay a slightly dearer element extraction
+        # than a Python list would, which the batch paths repay many
+        # times over (docs/PERFORMANCE.md).
+        self._l2p = np.full(n_lbas, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(self.geometry.total_opage_slots, UNMAPPED,
+                            dtype=np.int64)
+        # Valid-oPage count per block: GC victim scoring and the dead
+        # sweep fancy-index this array; _map/_unmap update single cells.
+        self._valid_counts = np.zeros(self.geometry.blocks, dtype=np.int64)
         self._erase_counts = np.zeros(self.geometry.blocks, dtype=np.int64)
         self._close_seq = np.zeros(self.geometry.blocks, dtype=np.int64)
         self._seq = 0
@@ -231,6 +239,10 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         self._mapped_lbas = 0
         self._scrub_cursor = 0
         self._writes_since_scrub = 0
+        # Per-open-block wear-required levels, computed once per tenure
+        # (vectorised) instead of per allocated fPage. Valid while read
+        # disturb is unmodelled; keyed by stream, guarded by block.
+        self._open_required: dict[str, tuple[int, list[int]] | None] = {}
 
     # -- host interface ------------------------------------------------------
 
@@ -363,7 +375,7 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         buffered = self.buffer.get(lba)
         if buffered is not None:
             return buffered.ljust(self.geometry.opage_bytes, b"\0")
-        slot = self._l2p[lba]
+        slot = int(self._l2p[lba])
         if slot == UNMAPPED:
             return bytes(self.geometry.opage_bytes)
         if slot == LOST:
@@ -407,7 +419,7 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
                 results[offset] = buffered.ljust(
                     self.geometry.opage_bytes, b"\0")
                 continue
-            slot = self._l2p[target]
+            slot = int(self._l2p[target])
             if slot == UNMAPPED:
                 results[offset] = bytes(self.geometry.opage_bytes)
                 continue
@@ -434,6 +446,156 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
             self.stats.read_latency.add(total_latency)
         return [r for r in results if r is not None]
 
+    @property
+    def timed_batch_reads(self) -> bool:
+        """Whether ``read_batch``'s per-member ``service_out`` equals the
+        channel service a queued scalar :meth:`read` would measure.
+
+        True unless autoscrub is armed: a scrub pass triggered inside a
+        read relocates pages across channels, so its busy time is not a
+        single-channel service. Queue layers use this to decide whether
+        the batched read path preserves timing bit-identity.
+        """
+        return not self.config.scrub_interval_writes
+
+    def read_batch(self, lbas, service_out: list | None = None,
+                   work_out: list | None = None) -> list:
+        """Point-read many LBAs; the batched twin of :meth:`read`.
+
+        Element ``i`` of the result is the data bytes, or the
+        :class:`UncorrectableError` the scalar :meth:`read` would have
+        raised for that LBA. Side effects are bit-identical to calling
+        :meth:`read` once per LBA in order — the same stats, the same
+        latency-reservoir sequence, the same loss bookkeeping, and the
+        same chip RNG draws (duplicate LBAs split the chip batch at the
+        repeat, so a loss observed by an earlier member is seen by later
+        duplicates exactly as the scalar loop would). An out-of-range
+        LBA raises after the members before it completed, like the
+        scalar loop. Falls back to that loop when autoscrub is armed
+        (reads advance its operation counter member by member).
+
+        ``service_out`` / ``work_out``, when given, must be zero-filled
+        lists of ``len(lbas)`` floats; entry ``i`` receives the
+        channel-accumulator and busy-accumulator delta member ``i``
+        added (0 for buffer hits, unmapped and lost LBAs), rounded
+        exactly as a caller snapshotting the chip's running totals
+        around a scalar :meth:`read` would measure them — see
+        :meth:`FlashChip.read_batch` and :attr:`timed_batch_reads`.
+        """
+        n = len(lbas)
+        out: list = [None] * n
+        if n == 0:
+            return out
+        track = service_out is not None or work_out is not None
+        if self.config.scrub_interval_writes:
+            self._read_batch_fallback(lbas, out, service_out, work_out,
+                                      track)
+            return out
+        arr = np.asarray(lbas, dtype=np.int64)
+        if bool((arr < 0).any()) or bool((arr >= self.n_lbas).any()):
+            # Raises at the bad member, like the scalar loop.
+            self._read_batch_fallback(lbas, out, service_out, work_out,
+                                      track)
+            return out
+        self.stats.host_reads += n
+        self._instr.host_reads.inc(n)
+        buffer_get = self.buffer.get
+        opage_bytes = self.geometry.opage_bytes
+        slots = self._l2p[arr].tolist()
+        lba_list = arr.tolist()
+        spf = self._slots_per_fpage_max
+        add_latency = self.stats.read_latency.add
+        lost_now: set[int] = set()
+        seen: set[int] = set()
+        pend_member: list[int] = []
+        pend_fpage: list[int] = []
+        pend_slot: list[int] = []
+
+        def flush() -> None:
+            if track:
+                svc_sub = [0.0] * len(pend_member)
+                wrk_sub = [0.0] * len(pend_member)
+                results = self.chip.read_batch(
+                    pend_fpage, pend_slot, service_out=svc_sub,
+                    work_out=wrk_sub)
+            else:
+                svc_sub = wrk_sub = None
+                results = self.chip.read_batch(pend_fpage, pend_slot)
+            for j, member in enumerate(pend_member):
+                res = results[j]
+                if isinstance(res, UncorrectableError):
+                    lba = lba_list[member]
+                    self._lose_lba(lba, slots[member])
+                    lost_now.add(lba)
+                    out[member] = res
+                else:
+                    add_latency(res[1])
+                    out[member] = res[0]
+                if track:
+                    if service_out is not None:
+                        service_out[member] = svc_sub[j]
+                    if work_out is not None:
+                        work_out[member] = wrk_sub[j]
+            pend_member.clear()
+            pend_fpage.clear()
+            pend_slot.clear()
+            seen.clear()
+
+        for i in range(n):
+            target = lba_list[i]
+            buffered = buffer_get(target)
+            if buffered is not None:
+                out[i] = buffered.ljust(opage_bytes, b"\0")
+                continue
+            if target in seen:
+                # A duplicate's outcome may depend on the pending read
+                # of the same LBA (it could be lost); resolve in order.
+                flush()
+            if target in lost_now:
+                out[i] = UncorrectableError(
+                    f"LBA {target}: data lost to an earlier media error",
+                    bit_errors=-1, correctable=-1)
+                continue
+            slot = slots[i]
+            if slot == UNMAPPED:
+                out[i] = bytes(opage_bytes)
+                continue
+            if slot == LOST:
+                out[i] = UncorrectableError(
+                    f"LBA {target}: data lost to an earlier media error",
+                    bit_errors=-1, correctable=-1)
+                continue
+            seen.add(target)
+            pend_member.append(i)
+            pend_fpage.append(slot // spf)
+            pend_slot.append(slot % spf)
+        if pend_member:
+            flush()
+        return out
+
+    def _read_batch_fallback(self, lbas, out: list,
+                             service_out: list | None,
+                             work_out: list | None,
+                             track: bool) -> None:
+        """Member-by-member loop for :meth:`read_batch`, with the same
+        per-member accumulator-delta timing a queued scalar read sees."""
+        chip_stats = self.chip.stats
+        chan = self.chip.channel_busy_us
+        for i, lba in enumerate(lbas):
+            busy_before = chip_stats.busy_us
+            chan_before = list(chan) if track else None
+            try:
+                out[i] = self.read(int(lba))
+            except UncorrectableError as error:
+                out[i] = error
+            if track:
+                if work_out is not None:
+                    work_out[i] = chip_stats.busy_us - busy_before
+                if service_out is not None:
+                    service_out[i] = max(
+                        (chan[c] - chan_before[c]
+                         for c in range(len(chan_before))), default=0.0)
+
     def trim(self, lba: int) -> None:
         """Discard ``lba``'s data; subsequent reads return zeros."""
         self._check_lba(lba)
@@ -454,11 +616,11 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         self._check_lba(lba)
         self._check_lba(lba + count - 1)
         self._instr.trims.inc(count)
+        self.stats.trims += count
         for target in range(lba, lba + count):
-            self.stats.trims += 1
             self.buffer.discard(target)
             self._note_unbuffered(target)
-            self._unmap(target)
+        self.invalidate_batch(np.arange(lba, lba + count, dtype=np.int64))
 
     def write_range(self, lba: int, payloads: list[bytes]) -> None:
         """Write consecutive LBAs in one call.
@@ -473,6 +635,49 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         self._check_lba(lba + len(payloads) - 1)
         for offset, payload in enumerate(payloads):
             self.write(lba + offset, payload)
+
+    def write_batch(self, lbas, payloads, stream: int = 0) -> None:
+        """Buffer many writes; the batched twin of :meth:`write`.
+
+        Bit-identical to calling ``write(lba, data, stream)`` per pair
+        in order — same drains at the same points, same stats and
+        latency samples — with the per-call argument checks hoisted out
+        of the loop. Falls back to the scalar loop when fault injection
+        is installed (its crash sites must fire once per write, in
+        order) or when a member would fail validation (so the error
+        surfaces after exactly the writes that precede it).
+        """
+        n = len(lbas)
+        if n == 0:
+            return
+        opage_bytes = self.geometry.opage_bytes
+        arr = np.asarray(lbas, dtype=np.int64)
+        if (self._faults is not None
+                or not 0 <= stream < self.config.host_streams
+                or bool((arr < 0).any())
+                or bool((arr >= self.n_lbas).any())
+                or any(len(data) > opage_bytes for data in payloads)):
+            write = self.write
+            for lba, data in zip(lbas, payloads):
+                write(int(lba), data, stream)
+            return
+        buffer = self.buffer
+        chip_stats = self.chip.stats
+        stats = self.stats
+        add_latency = stats.write_latency.add
+        note_buffered = self._note_buffered
+        drain = self._drain_one_fpage
+        lba_list = arr.tolist()
+        for i in range(n):
+            target = lba_list[i]
+            busy_before = chip_stats.busy_us
+            if target not in buffer and buffer.is_full:
+                drain()
+            buffer.put(target, bytes(payloads[i]))
+            note_buffered(target, stream)
+            stats.host_writes += 1
+            add_latency(chip_stats.busy_us - busy_before)
+        self._instr.host_writes.inc(n)
 
     def flush(self) -> None:
         """Drain the write buffer completely (fPages may be padded)."""
@@ -514,9 +719,9 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         """
         base = fpage * self._slots_per_fpage_max
         level = self.chip.level(fpage)
-        # List slices copy, so ``_lose_lba`` mutating ``_p2l`` mid-loop
-        # cannot corrupt the snapshot we iterate over.
-        lbas = self._p2l[base:base + self._data_opages[level]]
+        # Numpy slices are views, so snapshot explicitly: ``_lose_lba``
+        # mutating ``_p2l`` mid-loop must not corrupt what we iterate.
+        lbas = self._p2l[base:base + self._data_opages[level]].tolist()
         slot_list = [slot for slot, lba in enumerate(lbas) if lba >= 0]
         if not slot_list:
             return []
@@ -609,8 +814,15 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         for slot, lba in enumerate(self._p2l):
             if lba >= 0:
                 valid[slot // self._slots_per_block] += 1
-        assert valid.tolist() == self._valid_counts, (
+        assert valid.tolist() == self._valid_counts.tolist(), (
             "valid-per-block accounting diverged from p2l scan")
+        l2p = self._l2p
+        mapped_lbas = np.flatnonzero(l2p >= 0)
+        slots_of_mapped = l2p[mapped_lbas]
+        assert len(set(slots_of_mapped.tolist())) == slots_of_mapped.size, (
+            "l2p maps two LBAs to one physical slot")
+        assert (self._p2l[slots_of_mapped] == mapped_lbas).all(), (
+            "l2p/p2l bijection broken for mapped LBAs")
 
     # -- internals: mapping ----------------------------------------------------
 
@@ -622,7 +834,7 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
     @property
     def _valid_per_block(self) -> np.ndarray:
         """Vector view of per-block valid-oPage counts (copy)."""
-        return np.asarray(self._valid_counts, dtype=np.int64)
+        return self._valid_counts.copy()
 
     def _unmap(self, lba: int) -> None:
         slot = self._l2p[lba]
@@ -643,6 +855,38 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         self._p2l[slot] = lba
         self._valid_counts[slot // self._slots_per_block] += 1
         self._mapped_lbas += 1
+
+    # -- batched mapping kernels (the repro.io.vector data path) ---------------
+
+    def translate_batch(self, lbas) -> np.ndarray:
+        """L2P lookup for many LBAs at once (sentinels preserved).
+
+        Returns the physical slot per LBA; ``UNMAPPED``/``LOST`` pass
+        through so callers can classify members without re-touching the
+        map. Pure lookup — no bounds check, no side effects.
+        """
+        return self._l2p[np.asarray(lbas, dtype=np.int64)]
+
+    def invalidate_batch(self, lbas) -> None:
+        """Vectorised ``_unmap`` over many *distinct* LBAs.
+
+        Bit-identical to unmapping each LBA in turn provided no LBA
+        repeats in the batch (a repeat would double-count its slot;
+        callers pass ranges or deduplicated sets — ``trim_range`` is the
+        canonical consumer).
+        """
+        arr = np.asarray(lbas, dtype=np.int64)
+        if arr.size == 0:
+            return
+        slots = self._l2p[arr]
+        mapped = slots >= 0
+        if mapped.any():
+            hot = slots[mapped]
+            self._p2l[hot] = UNMAPPED
+            np.subtract.at(self._valid_counts,
+                           hot // self._slots_per_block, 1)
+            self._mapped_lbas -= int(np.count_nonzero(mapped))
+        self._l2p[arr] = UNMAPPED
 
     # -- internals: incremental buffer/stream accounting -----------------------
 
@@ -745,25 +989,43 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         oob_lbas = tuple([lba for lba, _payload in items] + [None] * pad)
         self.chip.program(fpage, payloads, oob=(oob_lbas, self._write_seq))
         # Mapping inlined from _map: every new slot lands in one block,
-        # so the per-block valid count bumps once, not per oPage.
+        # so the per-block valid count bumps once, not per oPage. LBAs
+        # within one programmed batch are distinct (buffer keys / one
+        # survivor per slot), which both branches rely on.
         base = fpage * self._slots_per_fpage_max
         l2p = self._l2p
         p2l = self._p2l
         counts = self._valid_counts
         spb = self._slots_per_block
-        delta = 0
-        slot = base
-        for lba, _payload in items:
-            prev = l2p[lba]
-            if prev >= 0:
-                p2l[prev] = UNMAPPED
-                counts[prev // spb] -= 1
-                delta -= 1
-            l2p[lba] = slot
-            p2l[slot] = lba
-            slot += 1
-        counts[base // spb] += len(items)
-        self._mapped_lbas += delta + len(items)
+        n_items = len(items)
+        if n_items >= _PROGRAM_VECTOR_MIN:
+            lba_arr = np.fromiter((lba for lba, _payload in items),
+                                  dtype=np.int64, count=n_items)
+            prev = l2p[lba_arr]
+            mapped = prev >= 0
+            delta = 0
+            if mapped.any():
+                hot = prev[mapped]
+                p2l[hot] = UNMAPPED
+                np.subtract.at(counts, hot // spb, 1)
+                delta = -int(np.count_nonzero(mapped))
+            slot_arr = np.arange(base, base + n_items, dtype=np.int64)
+            l2p[lba_arr] = slot_arr
+            p2l[slot_arr] = lba_arr
+        else:
+            delta = 0
+            slot = base
+            for lba, _payload in items:
+                prev = l2p[lba]
+                if prev >= 0:
+                    p2l[prev] = UNMAPPED
+                    counts[prev // spb] -= 1
+                    delta -= 1
+                l2p[lba] = slot
+                p2l[slot] = lba
+                slot += 1
+        counts[base // spb] += n_items
+        self._mapped_lbas += delta + n_items
         self.stats.flash_writes += len(items)
         self._instr.flash_writes.inc(len(items))
         if relocation:
@@ -826,6 +1088,12 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
                 self._open_new_block(key)
             block, cursor = self._open[key]
             start = block * fpages_per_block
+            # Wear-required levels for the whole tenure, vectorised once
+            # at block open (PEC cannot change while the block is open;
+            # None when read disturb makes per-page RBER time-varying).
+            cached = self._open_required.get(key)
+            req_arr = (cached[1] if cached is not None
+                       and cached[0] == block else None)
             while cursor < fpages_per_block:
                 fpage = start + cursor
                 cursor += 1
@@ -833,7 +1101,8 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
                     continue
                 if not self._page_allocatable(fpage):
                     continue
-                required = chip.required_level(fpage)
+                required = (req_arr[fpage - start] if req_arr is not None
+                            else chip.required_level(fpage))
                 if required > chip.level(fpage):
                     # Detected lazily at allocation; hand to policy. The page
                     # may come back usable (promoted, or tolerated by CVSS).
@@ -862,6 +1131,9 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         block = select_min_wear_block(usable, self._erase_counts)
         self._free_blocks.discard(block)
         self._open[key] = (block, 0)
+        self._open_required[key] = (
+            (block, self.chip.required_levels_of_block(block).tolist())
+            if self.chip.read_disturb_rber == 0 else None)
 
     def _usable_free_blocks(self) -> np.ndarray:
         """Ascending usable free blocks, served from the cached index."""
@@ -876,6 +1148,7 @@ class PageMappedFTL(ScrubMixin, RemountMixin):
         self._close_seq[block] = self._seq
         self._closed_blocks.add(block)
         self._open[key] = None
+        self._open_required.pop(key, None)
 
     # -- internals: garbage collection ------------------------------------------
 

@@ -87,9 +87,24 @@ class GCPolicy(ABC):
 
 
 class GreedyGC(GCPolicy):
-    """Minimum-valid-count victim selection."""
+    """Minimum-valid-count victim selection.
+
+    Scoring over large candidate sets goes through ``argpartition`` (no
+    full sort) and then resolves the *first* position holding the
+    minimum, so the pick is identical to a plain ``argmin`` — position
+    tie-breaking is part of the determinism contract.
+    """
+
+    #: Candidate count above which argpartition shortlisting kicks in.
+    SHORTLIST = 64
 
     def choose_victim(self, candidate_blocks, valid_counts, capacities, ages):
+        if len(valid_counts) > self.SHORTLIST:
+            short = np.argpartition(valid_counts, self.SHORTLIST - 1)[
+                :self.SHORTLIST]
+            floor = valid_counts[short].min()
+            return int(candidate_blocks[
+                int(np.argmax(valid_counts == floor))])
         return int(candidate_blocks[int(np.argmin(valid_counts))])
 
 

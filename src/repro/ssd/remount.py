@@ -100,17 +100,23 @@ class RemountMixin:
         self._open = {
             **{f"host{i}": None for i in range(self.config.host_streams)},
             "gc": None}
+        self._open_required = {}
+        per_block = states.reshape(self.geometry.blocks,
+                                   self.geometry.fpages_per_block)
+        all_retired = (per_block == 2).all(axis=1)
+        any_written = (per_block == 1).any(axis=1)
+        self._erase_counts[:] = self.chip.pec_array()[
+            ::self.geometry.fpages_per_block]
+        free: list[int] = []
         for block in range(self.geometry.blocks):
-            pages = np.asarray(self.geometry.fpage_range_of_block(block))
-            block_states = states[pages]
-            self._erase_counts[block] = int(self.chip.pec(int(pages[0])))
-            if (block_states == 2).all():
+            if all_retired[block]:
                 self._dead_blocks.add(block)
-            elif (block_states == 1).any():
+            elif any_written[block]:
                 self._closed_blocks.add(block)
                 self._seq += 1
                 self._close_seq[block] = self._seq
             elif self._block_usable(block):
-                self._free_blocks.add(block)
+                free.append(block)
             else:
                 self._dead_blocks.add(block)
+        self._free_blocks.add_many(free)

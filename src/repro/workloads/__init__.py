@@ -14,6 +14,7 @@ from repro.workloads.generators import (
     SequentialGenerator,
     UniformGenerator,
     ZipfianGenerator,
+    ops_vector,
 )
 from repro.workloads.dwpd import DWPDSchedule
 from repro.workloads.traces import (
@@ -30,6 +31,7 @@ __all__ = [
     "ZipfianGenerator",
     "SequentialGenerator",
     "MixedGenerator",
+    "ops_vector",
     "DWPDSchedule",
     "Trace",
     "synthesize_trace",

@@ -48,7 +48,36 @@ def stamp_payload(lba: int, sequence: int) -> bytes:
     return f"lba={lba} seq={sequence}".encode()
 
 
-class UniformGenerator:
+def ops_vector(generator, count: int):
+    """Materialise ``generator.ops(count)`` as one batched IOVector.
+
+    Consumes the generator's own scalar stream, so the RNG draw order —
+    and therefore every address, mix decision, and payload stamp — is
+    bit-identical to iterating :meth:`ops` directly. Batching changes the
+    representation handed to :meth:`repro.io.queue.DeviceQueue.
+    execute_vector`, never the traffic.
+    """
+    from repro.io.vector import IOVector
+
+    vector = IOVector(capacity=count)
+    for operation in generator.ops(count):
+        if operation.op is OpType.WRITE:
+            vector.append("write", lba=operation.lba,
+                          payloads=[operation.payload])
+        else:
+            vector.append(operation.op.value, lba=operation.lba)
+    return vector
+
+
+class _BatchedOpsMixin:
+    """Adds the IOVector emission surface shared by every generator."""
+
+    def ops_vector(self, count: int):
+        """Batched form of :meth:`ops`; see :func:`ops_vector`."""
+        return ops_vector(self, count)
+
+
+class UniformGenerator(_BatchedOpsMixin):
     """Uniformly random writes over ``[0, n_lbas)``."""
 
     def __init__(self, n_lbas: int,
@@ -67,7 +96,7 @@ class UniformGenerator:
                             stamp_payload(int(lba), self._sequence))
 
 
-class ZipfianGenerator:
+class ZipfianGenerator(_BatchedOpsMixin):
     """Zipf-skewed writes: a hot set absorbs most traffic.
 
     Args:
@@ -101,7 +130,7 @@ class ZipfianGenerator:
                             stamp_payload(lba, self._sequence))
 
 
-class SequentialGenerator:
+class SequentialGenerator(_BatchedOpsMixin):
     """Wrap-around sequential writes (log-style ingest)."""
 
     def __init__(self, n_lbas: int, start: int = 0) -> None:
@@ -123,7 +152,7 @@ class SequentialGenerator:
                             stamp_payload(lba, self._sequence))
 
 
-class MixedGenerator:
+class MixedGenerator(_BatchedOpsMixin):
     """Read/write/trim mix over a base write generator's address range.
 
     Reads and trims target previously written LBAs, so replay on a fresh

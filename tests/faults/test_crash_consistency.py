@@ -30,6 +30,7 @@ from .walk import (
     SALAMANDER_CRASH_SITES,
     replay_reference,
     run_episode,
+    run_episode_batched,
     verify_invariants,
 )
 
@@ -97,6 +98,30 @@ def test_fuzz_episode(flavour, seed, make_chip, ftl_config, make_baseline,
     _TALLY["episodes"] += result.crashes
     _TALLY["runs"] += 1
     _TALLY["sites"].update(result.crash_sites)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:8])
+@pytest.mark.parametrize("flavour", ("ftl", "baseline"))
+def test_fuzz_episode_batched(flavour, seed, make_chip, ftl_config,
+                              make_baseline, make_salamander):
+    """Crash fuzz through ``execute_vector``: power losses surfacing as
+    per-member batch errors must leave the same acked-durability and
+    trim guarantees as the scalar submission path."""
+    plan = episode_plan(flavour, seed)
+    with faults.installed(plan):
+        device = build_device(flavour, make_chip, ftl_config,
+                              make_baseline, make_salamander, seed)
+        try:
+            result = run_episode_batched(device, plan, seed)
+            verify_invariants(result)
+        except AssertionError as failure:
+            raise AssertionError(
+                f"{failure}\n--- reproducer: flavour={flavour} "
+                f"walk_seed={seed} batched plan ---\n"
+                f"{plan.to_json()}") from failure
+    assert result.crashes >= 3, (
+        f"anchor crashes did not fire (got {result.crashes}); "
+        f"sites seen: {result.crash_sites}")
 
 
 def test_crash_episode_floor():

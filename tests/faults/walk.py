@@ -173,6 +173,117 @@ def run_episode(device, plan: FaultPlan, seed: int,
     return result
 
 
+def run_episode_batched(device, plan: FaultPlan, seed: int,
+                        n_ops: int = 520, batch: int = 8) -> WalkResult:
+    """The batched-submission twin of :func:`run_episode`.
+
+    Host writes and trims are staged into :class:`IOVector` batches and
+    dispatched through ``DeviceQueue.execute_vector`` — the cluster's
+    batched hot path. ``execute_vector`` records per-member errors
+    instead of raising, so crashes surface *inside* a batch; the walk
+    follows the host retry protocol a real initiator uses after a
+    device reset: members before the crash are acked, the crash member
+    and everything after it are re-driven against the remounted device
+    (their first execution is void — the crashed object is discarded,
+    though any flash it programmed stays durable, which is exactly the
+    ambiguity the trim-resurrection rules already allow for).
+
+    Flat-LBA devices only (plain FTL / baseline): Salamander keys need
+    per-member minidisk liveness tracking that the scalar walk handles
+    by racing decommissions, which has no batched analogue yet.
+    """
+    from repro.io import DeviceQueue
+    from repro.io.vector import IOVector
+
+    rng = fork_rng(make_rng(seed), "fuzz-ops")
+    result = WalkResult(device=device)
+    queue = DeviceQueue(device)
+    serial = 0
+    staged: list[tuple[str, int, bytes | None]] = []
+
+    def ack(op, key, payload):
+        if op == "write":
+            result.oracle[key] = payload
+            result.trimmed.pop(key, None)
+            result.history.setdefault(key, []).append(payload)
+            result.acked_ops.append(("write", key, payload))
+        else:
+            result.oracle.pop(key, None)
+            result.trimmed[key] = False
+            result.acked_ops.append(("trim", key, None))
+
+    def absorb_crash(loss: PowerLossError):
+        nonlocal queue
+        result.crashes += 1
+        result.crash_sites.append(loss.site)
+        result.device = remount_after_crash(result.device)
+        for key in result.trimmed:
+            result.trimmed[key] = True
+        queue = DeviceQueue(result.device)
+
+    def dispatch():
+        pending = staged[:]
+        staged.clear()
+        while pending:
+            vector = IOVector(capacity=len(pending))
+            for op, key, payload in pending:
+                vector.append(op, lba=key,
+                              payloads=[payload] if op == "write" else None)
+            completions = queue.execute_vector(vector)
+            crash_at = None
+            for index, (op, key, payload) in enumerate(pending):
+                error = completions.errors[index]
+                if isinstance(error, PowerLossError):
+                    crash_at = index
+                    absorb_crash(error)
+                    break
+                if error is not None:
+                    raise error  # END_OF_LIFE or a real model bug
+                ack(op, key, payload)
+            if crash_at is None:
+                return
+            pending = pending[crash_at:]  # host retry after the reset
+
+    for step in range(n_ops):
+        result.steps = step + 1
+        roll = float(rng.random())
+        device = result.device
+        try:
+            if roll < 0.62:
+                serial += 1
+                key = int(rng.integers(device.n_lbas))
+                staged.append(
+                    ("write", key, f"{key}#{serial}@{seed}".encode()))
+            elif roll < 0.74:
+                staged.append(
+                    ("trim", int(rng.integers(device.n_lbas)), None))
+            else:
+                # Maintenance ops run scalar; staged host ops must land
+                # first so flush/GC/scrub observe them.
+                dispatch()
+                if roll < 0.82:
+                    result.device.flush()
+                elif roll < 0.94:
+                    result.device.background_tick(max_collections=2)
+                else:
+                    result.device.scrub(max_fpages=4)
+                if result.oracle and roll > 0.97:
+                    keys = sorted(result.oracle)
+                    probe = keys[int(rng.integers(len(keys)))]
+                    _probe_key(result, probe)
+            if len(staged) >= batch:
+                dispatch()
+        except PowerLossError as loss:
+            absorb_crash(loss)
+        except END_OF_LIFE:
+            return result
+    try:
+        dispatch()
+    except END_OF_LIFE:
+        pass
+    return result
+
+
 def _probe_key(result: WalkResult, key) -> None:
     data = _read_key(result.device, key)
     if data is None:

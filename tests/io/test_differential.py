@@ -14,9 +14,9 @@ from repro.difs.cluster import Cluster, ClusterConfig
 
 
 def build_cluster(make_baseline, make_cvss, make_salamander,
-                  queue_depth: int) -> Cluster:
+                  queue_depth: int, **config_kwargs) -> Cluster:
     config = ClusterConfig(replication=2, chunk_lbas=4,
-                           queue_depth=queue_depth)
+                           queue_depth=queue_depth, **config_kwargs)
     cluster = Cluster(config, seed=29)
     cluster.add_node("n0")
     cluster.add_device("n0", make_baseline(seed=1))
@@ -87,6 +87,53 @@ class TestDifferential:
             assert q_dev.chip.wear_summary() == d_dev.chip.wear_summary()
             q_dev._audit_fastpath()
             d_dev._audit_fastpath()
+
+    @pytest.mark.parametrize("window", [1, 3, 64])
+    def test_batch_submission_matches_direct(
+            self, make_baseline, make_cvss, make_salamander, window):
+        """io_batch_chunks staging keeps the full bit-identity contract.
+
+        The staged path defers chunk writes into one execute_vector call
+        per queue; per-device op order is unchanged, so chunk bytes,
+        placement, chip RNG state, and wear must all match the direct
+        path for any batching window.
+        """
+        batched = build_cluster(make_baseline, make_cvss, make_salamander,
+                                queue_depth=8, io_batch_chunks=window)
+        direct = build_cluster(make_baseline, make_cvss, make_salamander,
+                               queue_depth=0)
+        batched_data = run_workload(batched)
+        direct_data = run_workload(direct)
+        assert batched_data == direct_data
+        assert (batched.rng.bit_generator.state
+                == direct.rng.bit_generator.state)
+        for chunk_id in batched.namespace:
+            assert ([(r.volume_id, r.slot, r.index)
+                     for r in batched.namespace[chunk_id].replicas]
+                    == [(r.volume_id, r.slot, r.index)
+                        for r in direct.namespace[chunk_id].replicas])
+        for b_dev, d_dev in zip(devices_of(batched), devices_of(direct)):
+            assert (b_dev.chip.rng.bit_generator.state
+                    == d_dev.chip.rng.bit_generator.state)
+            assert b_dev.chip.wear_summary() == d_dev.chip.wear_summary()
+            b_dev._audit_fastpath()
+        assert batched.io_stats()["errors"] == 0
+
+    def test_batch_submission_flushes_before_stats_and_snapshot(
+            self, make_baseline, make_cvss, make_salamander):
+        cluster = build_cluster(make_baseline, make_cvss, make_salamander,
+                                queue_depth=8, io_batch_chunks=1000)
+        cluster.create_chunk("c0", b"payload")
+        # The write is staged, not dispatched; any stats/metadata read
+        # must flush it first so nothing observable goes missing.
+        assert cluster._io_stage
+        stats = cluster.io_stats()
+        assert not cluster._io_stage
+        assert stats["dispatched"] > 0
+        cluster.create_chunk("c1", b"payload")
+        snapshot = cluster.namespace_snapshot()
+        assert not cluster._io_stage
+        assert len(snapshot["chunks"]) == 2
 
     def test_queued_path_is_default_and_measures(self, clusters):
         queued, direct = clusters

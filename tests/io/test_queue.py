@@ -215,6 +215,35 @@ class TestDeadlines:
         queue.submit(IORequest(op="write", lba=17, payloads=[b"b" * 8]))
         assert queue._staged.deadline_us is None
 
+    def test_merged_miss_counts_every_blown_member(self, device):
+        # Per-member accounting: a coalesced dispatch that finishes late
+        # counts one miss per absorbed request whose own deadline it
+        # blew — previously a merged dispatch could only ever count 1.
+        queue = DeviceQueue(device, coalesce=True)
+        for lba, deadline in ((16, -1.0), (17, -1.0), (18, -1.0)):
+            queue.submit(IORequest(op="write", lba=lba,
+                                   payloads=[bytes([lba]) * 8],
+                                   deadline_us=deadline))
+        queue.flush()
+        (completion,) = queue.poll()
+        assert completion.request.count == 3  # really one merged dispatch
+        assert completion.deadline_missed
+        assert queue.stats.deadline_misses == 3
+
+    def test_merged_miss_spares_members_with_slack(self, device):
+        # Only the members whose own deadlines were blown count: a
+        # generous deadline inside the same merge is not a miss.
+        queue = DeviceQueue(device, coalesce=True)
+        for lba, deadline in ((16, -1.0), (17, 1e9), (18, -1.0)):
+            queue.submit(IORequest(op="write", lba=lba,
+                                   payloads=[bytes([lba]) * 8],
+                                   deadline_us=deadline))
+        queue.flush()
+        (completion,) = queue.poll()
+        assert completion.request.count == 3
+        assert completion.deadline_missed
+        assert queue.stats.deadline_misses == 2
+
     def test_miss_counted_and_ratio_published(self, device):
         from repro import obs
 

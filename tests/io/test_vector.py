@@ -1,0 +1,239 @@
+"""IOVector / CompletionVector unit tests.
+
+The batched hot path rests on three contracts this file pins directly:
+the columns enforce the same invariants as ``IORequest.__post_init__``
+(whether filled through ``append`` or checked wholesale by
+``validate``), slices are *views* that alias the parent's memory, and
+the scalar bridges (``request``/``from_requests``/``completion``)
+round-trip losslessly. The behavioural equivalence against the scalar
+queue path lives in ``test_batch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.io import IORequest
+from repro.io.vector import (
+    OP_FLUSH,
+    OP_NAMES,
+    OP_READ,
+    OP_TRIM,
+    OP_WRITE,
+    CompletionVector,
+    IOVector,
+)
+
+
+class TestAppend:
+    def test_append_returns_indices_and_grows(self):
+        vector = IOVector(capacity=2)
+        indices = [vector.append("read", lba=i) for i in range(10)]
+        assert indices == list(range(10))
+        assert len(vector) == 10
+        assert vector.lba[:10].tolist() == list(range(10))
+        assert (vector.op[:10] == OP_READ).all()
+
+    def test_append_accepts_codes_and_names(self):
+        vector = IOVector()
+        vector.append(OP_TRIM, lba=3)
+        vector.append("trim", lba=4)
+        assert vector.op[:2].tolist() == [OP_TRIM, OP_TRIM]
+
+    def test_write_count_follows_payloads(self):
+        vector = IOVector()
+        vector.append("write", lba=0, payloads=[b"a", b"b", b"c"])
+        assert vector.count[0] == 3
+
+    def test_write_without_payloads_rejected(self):
+        with pytest.raises(ConfigError):
+            IOVector().append("write", lba=0)
+
+    def test_read_with_payloads_rejected(self):
+        with pytest.raises(ConfigError):
+            IOVector().append("read", lba=0, payloads=[b"x"])
+
+    def test_multi_lba_read_rejected(self):
+        with pytest.raises(ConfigError):
+            IOVector().append("read", lba=0, count=2)
+
+    def test_negative_lba_rejected(self):
+        with pytest.raises(ConfigError):
+            IOVector().append("read", lba=-1)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            IOVector().append("compare_and_swap", lba=0)
+        with pytest.raises(ConfigError):
+            IOVector().append(len(OP_NAMES), lba=0)
+
+    def test_defaults_match_request_semantics(self):
+        vector = IOVector()
+        vector.append("read", lba=7)
+        assert np.isnan(vector.deadline_us[0])  # no deadline
+        assert vector.mdisk_id[0] == -1  # flat device
+        assert vector.stream[0] == 0
+        assert vector.at_us[0] == 0.0  # closed loop
+
+
+class TestValidate:
+    def build_raw(self, n=4):
+        """Fill columns directly, bypassing append's checks."""
+        vector = IOVector(capacity=n)
+        vector.op[:n] = OP_READ
+        vector.count[:n] = 1
+        vector._n = n
+        return vector
+
+    def test_valid_batch_passes(self):
+        self.build_raw().validate()
+
+    def test_empty_batch_passes(self):
+        IOVector().validate()
+
+    def test_out_of_range_op_caught(self):
+        vector = self.build_raw()
+        vector.op[2] = len(OP_NAMES)
+        with pytest.raises(ConfigError):
+            vector.validate()
+
+    def test_negative_lba_caught(self):
+        vector = self.build_raw()
+        vector.lba[1] = -5
+        with pytest.raises(ConfigError):
+            vector.validate()
+
+    def test_zero_count_caught_except_flush(self):
+        vector = self.build_raw()
+        vector.op[3] = OP_TRIM
+        vector.count[3] = 0
+        with pytest.raises(ConfigError):
+            vector.validate()
+        vector.op[3] = OP_FLUSH  # flush has no extent: count is free
+        vector.validate()
+
+    def test_write_payload_count_mismatch_caught(self):
+        vector = self.build_raw()
+        vector.op[0] = OP_WRITE
+        vector.count[0] = 2
+        vector.payloads[0] = [b"only-one"]
+        with pytest.raises(ConfigError):
+            vector.validate()
+
+    def test_non_write_payloads_caught(self):
+        vector = self.build_raw()
+        vector.payloads[2] = [b"stray"]
+        with pytest.raises(ConfigError):
+            vector.validate()
+
+
+class TestSliceViews:
+    def build(self):
+        vector = IOVector()
+        for lba in range(8):
+            vector.append("read", lba=lba)
+        return vector
+
+    def test_slice_is_a_view_of_the_columns(self):
+        vector = self.build()
+        view = vector[2:5]
+        assert len(view) == 3
+        assert view.lba.tolist() == [2, 3, 4]
+        view.lba[0] = 99  # mutations propagate: same memory
+        assert vector.lba[2] == 99
+
+    def test_slice_clamps_to_length(self):
+        vector = self.build()
+        assert len(vector[6:100]) == 2
+        assert len(vector[8:10]) == 0
+
+    def test_non_contiguous_slice_rejected(self):
+        with pytest.raises(ValueError):
+            self.build()[0:8:2]
+
+    def test_scalar_indexing_rejected(self):
+        with pytest.raises(TypeError):
+            self.build()[3]
+
+
+class TestRequestBridge:
+    def sample_requests(self):
+        return [
+            IORequest(op="read", lba=4),
+            IORequest(op="write", lba=9, payloads=[b"a" * 8, b"b" * 8],
+                      deadline_us=125.0, stream=2),
+            IORequest(op="read_range", lba=0, count=6, mdisk_id=3),
+            IORequest(op="trim", lba=11),
+            IORequest(op="flush"),
+        ]
+
+    def test_round_trip_is_lossless(self):
+        originals = self.sample_requests()
+        vector = IOVector.from_requests(originals)
+        for original, bridged in zip(originals, vector.to_requests()):
+            for field in ("op", "lba", "count", "payloads", "mdisk_id",
+                          "deadline_us", "stream"):
+                assert getattr(bridged, field) == getattr(original, field), \
+                    field
+
+    def test_request_index_bounds(self):
+        vector = IOVector.from_requests(self.sample_requests())
+        with pytest.raises(IndexError):
+            vector.request(len(vector))
+        with pytest.raises(IndexError):
+            vector.request(-1)
+
+    def test_nan_deadline_bridges_to_none(self):
+        vector = IOVector()
+        vector.append("read", lba=0)
+        vector.append("read", lba=1, deadline_us=50.0)
+        assert vector.request(0).deadline_us is None
+        assert vector.request(1).deadline_us == 50.0
+
+
+class TestCompletionVector:
+    def build(self):
+        vector = IOVector()
+        vector.append("read", lba=0)
+        vector.append("read", lba=1)
+        vector.append("trim", lba=2)
+        error = ValueError("boom")
+        completions = CompletionVector(
+            vector, tag0=7,
+            submit_us=[0.0, 10.0, 20.0],
+            start_us=[0.0, 12.0, 20.0],
+            end_us=[5.0, 15.0, 20.0],
+            work_us=[5.0, 3.0, 0.0],
+            results=[[b"x"], None, None],
+            errors=[None, error, None])
+        return completions, error
+
+    def test_derived_timing_columns(self):
+        completions, _ = self.build()
+        assert completions.wait_us.tolist() == [0.0, 2.0, 0.0]
+        assert completions.service_us.tolist() == [5.0, 3.0, 0.0]
+        assert completions.latency_us.tolist() == [5.0, 5.0, 0.0]
+
+    def test_error_count(self):
+        completions, _ = self.build()
+        assert len(completions) == 3
+        assert completions.error_count == 1
+
+    def test_scalar_bridge_carries_tags_and_status(self):
+        completions, error = self.build()
+        ok = completions.completion(0)
+        assert ok.ok and ok.status == "ok"
+        assert ok.request.tag == 7
+        assert ok.result == [b"x"]
+        failed = completions.completion(1)
+        assert not failed.ok and failed.status == "error"
+        assert failed.error is error
+        assert failed.request.tag == 8
+        assert failed.submit_us == 10.0 and failed.end_us == 15.0
+
+    def test_to_completions_covers_all_members(self):
+        completions, _ = self.build()
+        tags = [c.request.tag for c in completions.to_completions()]
+        assert tags == [7, 8, 9]
