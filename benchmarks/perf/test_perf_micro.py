@@ -12,6 +12,8 @@ Each bench times one narrower hot path than the GC-heavy macro:
   ``execute_vector`` IOVector batches (the batched hot path);
 * ``io_roundtrip_reqtrace_micro`` — the same loop with request tracing
   installed at 1-in-64 sampling (the reqtrace overhead contract);
+* ``traffic_engine_micro`` — one multi-tenant traffic-engine cell
+  (arrival scheduling, admission control, queue dispatch, accounting);
 * ``remount_micro`` — the OOB-replay rebuild scan (mount latency);
 * ``fleet_step_micro`` — one vectorised fleet-model run (the unit the
   sweep runner parallelises over).
@@ -72,6 +74,16 @@ def test_io_roundtrip_reqtrace_micro():
     # 1-in-64 sampling actually sampled: the bench measures tracing on,
     # not a silently unbound tracer.
     assert entry["meta"]["sampled"] >= workloads.IO_MICRO_OPS // 64
+
+
+@pytest.mark.no_obs
+def test_traffic_engine_micro():
+    entry = harness.run("traffic_engine_micro",
+                        workloads.traffic_engine_micro)
+    assert entry["ops"] > 0
+    assert entry["meta"]["errors"] == 0
+    # The traffic window actually ran (the bench is not all prefill).
+    assert entry["meta"]["window_requests"] > entry["ops"] // 2
 
 
 @pytest.mark.no_obs

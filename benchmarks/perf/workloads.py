@@ -270,6 +270,37 @@ def remount_micro() -> dict:
             "meta": {"rounds": rounds, "live_lbas": recovered.live_lbas()}}
 
 
+# -- multi-tenant traffic engine (micro) -------------------------------------
+
+TRAFFIC_CONFIG = dict(tenants=32, duration_us=600_000.0, cells=1,
+                      utilisation=0.8, admission="defer",
+                      read_fraction=0.5)
+
+
+def traffic_engine_micro() -> dict:
+    """One deterministic traffic-engine cell, end to end.
+
+    Times :func:`repro.workloads.engine.run_cell` — generator draws,
+    arrival-process scheduling, admission control, DeviceQueue dispatch
+    and per-tenant accounting — for a 32-tenant open/defer mix over a
+    600 ms simulated window. Ops unit: queue-dispatched requests
+    (prefill + pilot probes + traffic window), so the floor guards the
+    per-request cost of the whole engine loop, not just the device."""
+    from repro.workloads.engine import EngineConfig, run_cell
+
+    config = EngineConfig(**TRAFFIC_CONFIG)
+    start = time.perf_counter()
+    cell = run_cell(config, 0, seed=31)
+    wall_s = time.perf_counter() - start
+    queue = cell["queue"]
+    return {"ops": queue["dispatched"], "wall_s": wall_s,
+            "meta": {"tenants": config.tenants,
+                     "window_requests": cell["window"]["requests"],
+                     "errors": queue["errors"],
+                     "mean_service_us": queue["mean_service_us"],
+                     "p99_latency_us": cell["window"]["p99_latency_us"]}}
+
+
 # -- analytic fleet step (micro) ---------------------------------------------
 
 FLEET_MICRO_CONFIG = FleetConfig(

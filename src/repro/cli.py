@@ -9,6 +9,7 @@ Usage::
     python -m repro carbon [--f-op 0.46] [--renewable]
     python -m repro tco [--f-opex 0.14]
     python -m repro replacement [--slots 100] [--age-limit 5]
+    python -m repro traffic [--tenants 1000] [--arrival mmpp] [--slo o.json]
     python -m repro report [--metrics m.json] [--timeseries ts.jsonl] [...]
     python -m repro slo --slo objectives.json (--measure | --reqtrace t.jsonl)
     python -m repro wear (report|forecast|diff) --endurance e.jsonl [...]
@@ -473,6 +474,74 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import slo as slo_mod
+    from repro.sim.parallel import resolve_jobs
+    from repro.workloads.engine import (
+        EngineConfig,
+        publish_traffic_metrics,
+        run_traffic,
+        write_engine_artifact,
+    )
+
+    registry, tracer, sampler = _setup_observability(args)
+    trace_text = None
+    if args.trace:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            raise ConfigError(f"trace file not found: {trace_path}")
+        trace_text = trace_path.read_text()
+    objectives = (slo_mod.load_slo_config(args.slo)
+                  if args.slo else None)
+    config = EngineConfig(
+        tenants=args.tenants,
+        duration_us=args.duration,
+        arrival=args.arrival,
+        utilisation=args.utilisation,
+        burstiness=args.burstiness,
+        mode=args.mode,
+        level=args.level,
+        cells=args.cells,
+        read_fraction=args.read_fraction,
+        read_span=args.read_span,
+        closed_loop_fraction=args.closed_loop,
+        think_us=args.think,
+        admission=args.admission,
+        trace_text=trace_text,
+    )
+    jobs = resolve_jobs(args.jobs)
+    document = run_traffic(config, seed=args.seed, jobs=jobs,
+                           objectives=objectives)
+    publish_traffic_metrics(document)
+    path = write_engine_artifact(document, args.out)
+    _write_observability(args, registry, tracer, sampler)
+
+    totals = document["totals"]
+    rows = [[klass, "-" if p99 is None else f"{p99:.1f}"]
+            for klass, p99 in sorted(
+                document["median_p99_by_class_us"].items())]
+    print(format_table(
+        ["tenant class", "median p99 (us)"], rows,
+        title=f"traffic: {args.tenants} tenant(s) x "
+              f"{config.cell_count} cell(s), {jobs} job(s)"))
+    print(f"offered {totals['offered']}  admitted {totals['admitted']}  "
+          f"shed {totals['shed']}  deferrals {totals['deferrals']}  "
+          f"completed {totals['completed']}  "
+          f"deadline misses {totals['deadline_misses']}")
+    print(f"traffic artifact -> {path}")
+    if objectives:
+        for cell_report in document["slo"]["cells"]:
+            if cell_report is not None:
+                print(slo_mod.format_slo_report(cell_report))
+        if not document["slo"]["ok"]:
+            print("repro traffic: one or more SLOs VIOLATED",
+                  file=sys.stderr)
+            return EXIT_CLAIM_FAILED
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -829,6 +898,80 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_flag(run)
     _add_reqtrace_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="deterministic open-loop multi-tenant traffic engine "
+             "(artifacts are byte-identical for any --jobs; exit 1 "
+             "when an attached SLO is violated)")
+    traffic.add_argument(
+        "--tenants", type=int, default=64,
+        help="tenant streams across all cells (default 64)")
+    traffic.add_argument(
+        "--duration", type=float, default=30000.0, metavar="US",
+        help="simulated arrival window per cell in device-time "
+             "microseconds (default 30000)")
+    traffic.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "mmpp"),
+        help="per-tenant arrival process (mmpp = bursty 2-state)")
+    traffic.add_argument(
+        "--utilisation", type=float, default=0.6,
+        help="target offered load per cell as a fraction of the "
+             "measured service capacity (>1 deliberately saturates)")
+    traffic.add_argument(
+        "--burstiness", type=float, default=4.0,
+        help="mmpp burst-to-quiet rate ratio (default 4)")
+    traffic.add_argument(
+        "--mode", default="flat",
+        choices=("flat", "baseline", "cvss", "shrink", "regen"),
+        help="device flavour each cell drives (default flat: a "
+             "uniform-level deterministic device; see --level)")
+    traffic.add_argument(
+        "--level", type=int, default=0, choices=(0, 1, 2, 3),
+        help="RegenS tiredness level of the flat device (default 0)")
+    traffic.add_argument(
+        "--cells", type=int, default=0,
+        help="independent device cells (0 = auto from tenant count)")
+    traffic.add_argument(
+        "--read-fraction", type=float, default=0.0,
+        help="flip this fraction of generated writes to reads")
+    traffic.add_argument(
+        "--read-span", type=int, default=1, metavar="LBAS",
+        help="LBAs per read request (4 = fPage-wide scan reads that "
+             "inherit the RegenS per-byte degradation)")
+    traffic.add_argument(
+        "--closed-loop", type=float, default=0.0, metavar="FRAC",
+        help="fraction of tenants that are closed-loop (self-clocked, "
+             "never shed)")
+    traffic.add_argument(
+        "--think", type=float, default=0.0, metavar="US",
+        help="closed-loop think time between completions")
+    traffic.add_argument(
+        "--admission", default="defer",
+        choices=("none", "shed", "defer"),
+        help="admission control for open-loop tenants when the token "
+             "bucket or backlog watermark trips (default defer)")
+    traffic.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a repro.workloads trace file cyclically instead "
+             "of synthetic generators")
+    traffic.add_argument(
+        "--slo", default=None, metavar="PATH",
+        help="attach a repro.obs.slo/v1 objectives config; per-tenant "
+             "streams feed the evaluation and a violation exits 1")
+    traffic.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="root seed; every cell and tenant derives from it "
+             "deterministically (jobs-invariant)")
+    traffic.add_argument(
+        "--jobs", type=int, default=1,
+        help="cell worker processes (0 = all cores; the artifact is "
+             "byte-identical for any value)")
+    traffic.add_argument(
+        "--out", default="results/traffic.json",
+        help="repro.workloads.engine/v1 artifact path")
+    _add_observability_flags(traffic)
+    traffic.set_defaults(func=_cmd_traffic)
 
     report = sub.add_parser(
         "report",

@@ -86,24 +86,57 @@ class ProbeConfig:
                 f"every must be >= 1, got {self.every!r}")
 
 
-def _build_device(mode: str, seed: int, config: ProbeConfig):
+#: Device flavours :func:`build_queue_device` can build — the probe
+#: modes plus ``flat``: a plain functional :class:`PageMappedFTL` over
+#: a variation-free chip programmed at one uniform tiredness level
+#: (``level``), the fixture the traffic-vs-M/D/c claim rows degrade
+#: through RegenS L = 0..3.
+BUILD_MODES = PROBE_MODES + ("flat",)
+
+
+def build_queue_device(mode: str, seed: int, *,
+                       blocks: int, fpages_per_block: int, channels: int,
+                       pec_limit: float, msize_lbas: int,
+                       headroom_fraction: float, fill_fraction: float,
+                       level: int = 0, variation_sigma: float = 0.3,
+                       host_streams: int = 1):
+    """Build a queue-ready device of the requested flavour.
+
+    Shared by the reqtrace probes and the traffic engine so both drive
+    the same device constructions; the result is a pure function of the
+    arguments (no wall clock, RNG seeded from ``seed`` only).
+    """
     from repro.flash.chip import FlashChip
     from repro.flash.geometry import FlashGeometry
     from repro.flash.tiredness import TirednessPolicy, calibrate_power_law
     from repro.salamander.device import SalamanderConfig, SalamanderSSD
     from repro.ssd.cvss import CVSSConfig, CVSSDevice
     from repro.ssd.device import BaselineSSD, SSDConfig
-    from repro.ssd.ftl import FTLConfig
+    from repro.ssd.ftl import FTLConfig, PageMappedFTL
 
-    geometry = FlashGeometry(blocks=config.blocks,
-                             fpages_per_block=config.fpages_per_block,
-                             channels=config.channels)
+    geometry = FlashGeometry(blocks=blocks,
+                             fpages_per_block=fpages_per_block,
+                             channels=channels)
+    ftl = FTLConfig(overprovision=0.25, buffer_opages=8,
+                    host_streams=host_streams)
+    if mode == "flat":
+        policy = TirednessPolicy(geometry=geometry)
+        if not 0 <= level < policy.dead_level:
+            raise ConfigError(
+                f"level must be a usable tiredness level, got {level!r}")
+        chip = FlashChip(geometry, seed=seed, variation_sigma=0.0,
+                         inject_errors=False)
+        if level:
+            for fpage in range(geometry.total_fpages):
+                chip.set_level(fpage, level)
+        n_lbas = int(chip.usable_slots_total() * fill_fraction)
+        return PageMappedFTL(chip, n_lbas, ftl)
     policy = TirednessPolicy(geometry=geometry)
-    model = calibrate_power_law(policy, pec_limit_l0=config.pec_limit)
+    model = calibrate_power_law(policy, pec_limit_l0=pec_limit)
     chip = FlashChip(geometry, rber_model=model, policy=policy,
-                     seed=seed, variation_sigma=0.3, inject_errors=False)
-    ftl = FTLConfig(overprovision=0.25, buffer_opages=8)
-    n_lbas = int(geometry.total_opage_slots * config.fill_fraction)
+                     seed=seed, variation_sigma=variation_sigma,
+                     inject_errors=False)
+    n_lbas = int(geometry.total_opage_slots * fill_fraction)
     if mode == "baseline":
         # Default brick threshold (2.5% bad blocks) is under one block
         # on a probe-sized chip — the first grown-bad block would end
@@ -115,10 +148,23 @@ def _build_device(mode: str, seed: int, config: ProbeConfig):
         return CVSSDevice(chip, CVSSConfig(ftl=ftl), n_lbas=n_lbas)
     if mode in ("shrink", "regen"):
         return SalamanderSSD(chip, SalamanderConfig(
-            mode=mode, msize_lbas=config.msize_lbas,
-            headroom_fraction=config.headroom_fraction, ftl=ftl))
+            mode=mode, msize_lbas=msize_lbas,
+            headroom_fraction=headroom_fraction, ftl=ftl))
     raise ConfigError(
-        f"mode must be one of {PROBE_MODES}, got {mode!r}")
+        f"mode must be one of {BUILD_MODES}, got {mode!r}")
+
+
+def _build_device(mode: str, seed: int, config: ProbeConfig):
+    if mode not in PROBE_MODES:
+        raise ConfigError(
+            f"mode must be one of {PROBE_MODES}, got {mode!r}")
+    return build_queue_device(
+        mode, seed, blocks=config.blocks,
+        fpages_per_block=config.fpages_per_block,
+        channels=config.channels, pec_limit=config.pec_limit,
+        msize_lbas=config.msize_lbas,
+        headroom_fraction=config.headroom_fraction,
+        fill_fraction=config.fill_fraction)
 
 
 #: Device-side failures a probe rides through: a tired probe device
@@ -327,8 +373,10 @@ def probe_config_from_args(every: int | None = None,
 
 
 __all__ = [
+    "BUILD_MODES",
     "PROBE_MODES",
     "ProbeConfig",
+    "build_queue_device",
     "merged_endurance",
     "merged_records",
     "probe_config_from_args",

@@ -82,6 +82,56 @@ def mdc_latency_us(service_us: float, iops: float, channels: int = 1) -> float:
     return wait_mmc / 2 + service_us
 
 
+def mdc_wait_quantile_us(service_us: float, iops: float,
+                         channels: int = 1,
+                         percentile: float = 99.0) -> float:
+    """Approximate waiting-time quantile of an M/D/c queue.
+
+    Uses the standard exponential-tail approximation of the M/M/c
+    waiting time, ``P(W > t) = ErlangC * exp(-(c - a) t / s)``, with
+    the conditional mean halved for deterministic service — the same
+    halving that makes :func:`mdc_latency_us` the M/D/c mean. When the
+    probability of queueing is already below the tail mass (light
+    load), the quantile is exactly zero. Deterministic service has a
+    *lighter* tail than exponential, so this overestimates somewhat at
+    high percentiles; the traffic claim rows absorb that with a wider
+    acceptance band (see ``repro.reporting.claims.TRAFFIC_TOLERANCE``).
+    """
+    if channels < 1:
+        raise ConfigError(f"channels must be >= 1, got {channels!r}")
+    if iops < 0:
+        raise ConfigError(f"iops must be non-negative, got {iops!r}")
+    if service_us <= 0:
+        raise ConfigError(f"service_us must be positive, got {service_us!r}")
+    if not 0 < percentile < 100:
+        raise ConfigError(
+            f"percentile must be in (0, 100), got {percentile!r}")
+    offered = iops / 1e6 * service_us
+    if offered >= channels:
+        return math.inf
+    queueing = _erlang_c(channels, offered)
+    tail = (100.0 - percentile) / 100.0
+    if queueing <= tail:
+        return 0.0
+    # Conditional mean wait, halved for deterministic service.
+    scale = service_us / (2.0 * (channels - offered))
+    return scale * math.log(queueing / tail)
+
+
+def mdc_latency_quantile_us(service_us: float, iops: float,
+                            channels: int = 1,
+                            percentile: float = 99.0) -> float:
+    """Latency quantile: :func:`mdc_wait_quantile_us` plus service.
+
+    The overlay the traffic engine's per-tenant p99 claim rows compare
+    against — deterministic service contributes its full value to every
+    latency quantile.
+    """
+    wait = mdc_wait_quantile_us(service_us, iops, channels=channels,
+                                percentile=percentile)
+    return wait + service_us
+
+
 def saturation_iops(service_us: float, channels: int = 1) -> float:
     """The request rate at which the device saturates."""
     if service_us <= 0:

@@ -455,6 +455,46 @@ def fault_instruments() -> FaultInstruments:
 
 
 @dataclass(frozen=True)
+class TrafficInstruments:
+    """Traffic-engine instruments (repro.workloads.engine).
+
+    ``requests`` and ``p99_latency`` are families (labelled per
+    admission outcome / tenant class at publish time); the rest are
+    plain children. Published once per run from the merged artifact —
+    not on the per-request hot path.
+    """
+
+    requests: Any      # family; labels (outcome,)
+    p99_latency: Any   # family; labels (tenant_class,)
+    max_backlog: Any
+    tenants: Any
+
+
+def traffic_instruments() -> TrafficInstruments:
+    m = obs.metrics()
+    return TrafficInstruments(
+        requests=m.counter(
+            "repro_traffic_requests_total",
+            help="Traffic-engine requests by admission outcome "
+                 "(admitted / shed / deferred)",
+            unit="requests", labelnames=("outcome",)),
+        p99_latency=m.gauge(
+            "repro_traffic_p99_latency_us",
+            help="Median per-tenant p99 latency of the run, by tenant "
+                 "class",
+            unit="us", labelnames=("tenant_class",)),
+        max_backlog=m.gauge(
+            "repro_traffic_max_backlog_us",
+            help="Worst device-time backlog any cell accumulated",
+            unit="us"),
+        tenants=m.gauge(
+            "repro_traffic_tenants",
+            help="Tenant streams the run simulated",
+            unit="tenants"),
+    )
+
+
+@dataclass(frozen=True)
 class EngineInstruments:
     """Discrete-event engine instruments."""
 

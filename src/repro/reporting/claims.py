@@ -31,7 +31,15 @@ mechanically against a run's observability artifacts:
    the analytic model predicts the mean; M/D/1 medians sit 25-35 %
    below it at moderate load. ``repro report --queue-depth/--io-batch``
    parameterise the queue under test.
-5. **Wear provenance** (the endurance trade behind §4's lifetime
+5. **Traffic p99 under degradation** (§4.2's latency-sensitivity worry
+   end to end): the multi-tenant traffic engine
+   (:mod:`repro.workloads.engine`) driving fPage-spanning reads at a
+   fixed utilisation sees per-tenant p99 latencies that agree with the
+   analytic M/D/c quantile overlay at every RegenS tiredness level
+   ``L in 0..3`` — the ``4/(4-L)`` per-byte degradation propagates
+   into tail latency exactly as the queueing model predicts.
+   Self-contained: the check runs one engine cell per level.
+6. **Wear provenance** (the endurance trade behind §4's lifetime
    claim): Salamander's lifetime extension is paid for in measured,
    cause-attributed wear — not hidden amplification. Given a
    ``repro.obs.endurance/v1`` artifact (``--endurance``, produced by
@@ -51,6 +59,8 @@ when any claim fails.
 
 from __future__ import annotations
 
+import functools
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -75,6 +85,17 @@ QUEUEING_TOLERANCE = 0.15
 #: Utilisations the queueing-latency claim samples (all below the 0.7
 #: operating point the acceptance band is specified at).
 QUEUEING_UTILISATIONS = (0.3, 0.5, 0.7)
+
+#: Relative tolerance for the traffic-engine p99 rows. Wider than the
+#: mean-latency band twice over: a p99 estimated from ~1-2.5k samples
+#: carries more sampling noise than a mean, and the analytic overlay's
+#: exponential-tail quantile is itself an approximation for
+#: deterministic service. Empirically the measured/overlay ratio stays
+#: within [0.85, 1.11] across seeds at the claim's operating point.
+TRAFFIC_TOLERANCE = 0.30
+
+#: RegenS tiredness levels the traffic p99 claim samples.
+TRAFFIC_LEVELS = (0, 1, 2, 3)
 
 
 @dataclass
@@ -397,6 +418,87 @@ def check_queueing_latency(
     return results
 
 
+@functools.lru_cache(maxsize=None)
+def _traffic_point(level: int, duration_us: float,
+                   seed: int) -> tuple[float, float, float, float, int]:
+    """One cached traffic measurement (the sim is pure in its args)."""
+    from repro.models.queueing import mdc_latency_quantile_us
+    from repro.workloads.engine import EngineConfig, run_cell
+
+    config = EngineConfig(
+        tenants=8, cells=1, duration_us=duration_us, mode="flat",
+        level=level, read_fraction=1.0, mix=(0.0, 1.0, 0.0, 0.0),
+        utilisation=0.6, admission="none", queue_depth=256,
+        channels=2, host_streams=1, read_span=4)
+    record = run_cell(config, 0, seed=seed)
+    window = record["window"]
+    iops = record["arrival_per_us"] * 1e6
+    service_us = window["mean_service_us"]
+    analytic = mdc_latency_quantile_us(service_us, iops, channels=2,
+                                       percentile=99.0)
+    return (window["p99_latency_us"], analytic, service_us, iops,
+            window["requests"])
+
+
+def measured_traffic_p99(level: int, duration_us: float = 240_000.0,
+                         seed: int = 11) -> dict[str, float]:
+    """Drive the traffic engine at RegenS level ``level``; measure p99.
+
+    Runs one engine cell of open-loop Poisson tenants issuing
+    fPage-spanning (``read_span = 4``) random reads against a
+    uniform-level flat device — the configuration where RegenS's
+    ``4/(4-L)`` per-byte degradation shows up in per-request *service
+    time*, and hence in queueing latency. Returns the pooled per-tenant
+    p99 of the traffic window together with
+    :func:`repro.models.queueing.mdc_latency_quantile_us` evaluated at
+    the window's measured mean service time and the configured arrival
+    rate, so callers compare like for like. Point reads would not do:
+    a single oPage sense costs the same at every level, so only span
+    reads tie tiredness to the latency axis.
+    """
+    if level not in (0, 1, 2, 3):
+        raise ConfigError(f"level must be in 0..3, got {level!r}")
+    measured, analytic, service_us, iops, requests = _traffic_point(
+        level, float(duration_us), int(seed))
+    return {
+        "level": float(level),
+        "service_us": service_us,
+        "iops": iops,
+        "requests": float(requests),
+        "measured_p99_latency_us": measured,
+        "analytic_p99_latency_us": analytic,
+    }
+
+
+def check_traffic_latency(
+        levels: tuple[int, ...] = TRAFFIC_LEVELS,
+        tolerance: float = TRAFFIC_TOLERANCE) -> list[ClaimResult]:
+    """Per-tenant traffic p99 within ``tolerance`` of the M/D/c overlay.
+
+    One claim row per RegenS tiredness level: the traffic engine's
+    pooled tenant p99 must agree with the analytic quantile at the
+    measured operating point, tying the engine's latency behaviour
+    under degradation to :mod:`repro.models.queueing`.
+    """
+    results = []
+    for level in levels:
+        claim = f"traffic_p99/l{level}"
+        run = measured_traffic_p99(level)
+        measured = run["measured_p99_latency_us"]
+        analytic = run["analytic_p99_latency_us"]
+        ok = (analytic > 0 and math.isfinite(analytic)
+              and abs(measured - analytic) <= tolerance * analytic)
+        results.append(ClaimResult(
+            claim, "pass" if ok else "fail", round(measured, 2),
+            f"tenant p99 within {tolerance:.0%} of M/D/c p99 "
+            f"{analytic:.1f} us at RegenS L{level}",
+            f"traffic engine, open-loop Poisson span reads: "
+            f"{run['requests']:.0f} requests, "
+            f"service {run['service_us']:.1f} us, "
+            f"{run['iops']:.0f} IOPS on 2 channels"))
+    return results
+
+
 def _peak_drop_fraction(capacities: list[float]) -> float | None:
     """Largest single-interval capacity drop / initial capacity."""
     if len(capacities) < 2 or capacities[0] <= 0:
@@ -580,6 +682,7 @@ def build_report(metrics_doc: dict | None = None,
                  endurance_records: list[dict] | None = None,
                  tolerance: float = DEFAULT_TOLERANCE,
                  throughput_levels: tuple[int, ...] = (1, 2, 3),
+                 traffic_levels: tuple[int, ...] = TRAFFIC_LEVELS,
                  queue_depth: int = 64,
                  io_batch: bool = False) -> dict:
     """Run every claim check over the supplied inputs.
@@ -621,6 +724,9 @@ def build_report(metrics_doc: dict | None = None,
     claims += check_queueing_latency(
         tolerance=max(tolerance, QUEUEING_TOLERANCE),
         queue_depth=queue_depth, io_batch=io_batch)
+    claims += check_traffic_latency(
+        levels=traffic_levels,
+        tolerance=max(tolerance, TRAFFIC_TOLERANCE))
     recovery = check_recovery_traffic(curves)
     if recovery.status != "skip":
         recovery.detail += f" (from {curve_source})"

@@ -115,13 +115,13 @@ class CVSSDevice(PageMappedFTL):
 
     # -- host interface -----------------------------------------------------------
 
-    def write(self, lba: int, data: bytes) -> None:
+    def write(self, lba: int, data: bytes, stream: int = 0) -> None:
         self._check_alive()
         if lba >= self.capacity_lbas:
             raise OutOfSpaceError(
                 f"LBA {lba} beyond shrunk capacity {self.capacity_lbas}")
         try:
-            super().write(lba, data)
+            super().write(lba, data, stream=stream)
         except OutOfSpaceError:
             self._failed = True
             raise

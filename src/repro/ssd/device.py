@@ -141,10 +141,10 @@ class BaselineSSD(PageMappedFTL):
 
     # -- host interface (liveness-gated) ---------------------------------------
 
-    def write(self, lba: int, data: bytes) -> None:
+    def write(self, lba: int, data: bytes, stream: int = 0) -> None:
         self._check_writable()
         try:
-            super().write(lba, data)
+            super().write(lba, data, stream=stream)
         except OutOfSpaceError:
             # A device that can no longer place host data is dead in practice.
             self._failed = True

@@ -4,7 +4,10 @@ The paper's analysis is wear-driven, so workloads here are primarily write
 streams: who writes, where, how much per day. Generators yield oPage-level
 operations; :mod:`repro.workloads.dwpd` converts datasheet-style
 drive-writes-per-day intensities into daily volumes; :mod:`traces` records
-streams for replay.
+streams for replay; :mod:`repro.workloads.arrivals` supplies per-tenant
+arrival-time processes; and :mod:`repro.workloads.engine` composes all of
+them into the deterministic multi-tenant traffic engine behind
+``repro traffic``.
 """
 
 from repro.workloads.generators import (
@@ -14,7 +17,15 @@ from repro.workloads.generators import (
     SequentialGenerator,
     UniformGenerator,
     ZipfianGenerator,
+    hotspot_mass,
     ops_vector,
+)
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrivals,
+    mmpp_rates,
 )
 from repro.workloads.dwpd import DWPDSchedule
 from repro.workloads.traces import (
@@ -25,12 +36,18 @@ from repro.workloads.traces import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "Operation",
     "OpType",
     "UniformGenerator",
     "ZipfianGenerator",
     "SequentialGenerator",
     "MixedGenerator",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "hotspot_mass",
+    "make_arrivals",
+    "mmpp_rates",
     "ops_vector",
     "DWPDSchedule",
     "Trace",

@@ -48,6 +48,28 @@ def stamp_payload(lba: int, sequence: int) -> bytes:
     return f"lba={lba} seq={sequence}".encode()
 
 
+def hotspot_mass(n_lbas: int, theta: float,
+                 hot_fraction: float = 0.2) -> float:
+    """Fraction of Zipf accesses landing on the hottest LBAs.
+
+    The analytic mass of the top ``hot_fraction`` of ranks under
+    :class:`ZipfianGenerator`'s weighting — no sampling involved — so
+    the statistics tests (and the traffic engine's "zipfian-hotspot
+    80/20" class) can state what skew a theta actually buys: at the
+    YCSB default theta 0.99 the hottest 20 % of a few-hundred-LBA span
+    absorbs roughly 80 % of the traffic.
+    """
+    if n_lbas <= 0:
+        raise ConfigError(f"n_lbas must be positive, got {n_lbas!r}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ConfigError(
+            f"hot_fraction must be in (0, 1], got {hot_fraction!r}")
+    ranks = np.arange(1, n_lbas + 1, dtype=float)
+    weights = ranks**-theta if theta > 0 else np.ones(n_lbas)
+    hot = max(1, int(round(hot_fraction * n_lbas)))
+    return float(weights[:hot].sum() / weights.sum())
+
+
 def ops_vector(generator, count: int):
     """Materialise ``generator.ops(count)`` as one batched IOVector.
 

@@ -40,13 +40,26 @@ class Trace:
     # -- serialisation -------------------------------------------------------
 
     def dumps(self) -> str:
-        """One op per line: ``W <lba> <payload-hex>`` / ``R <lba>`` / ``T <lba>``."""
+        """One op per line: ``W <lba> <hex>`` / ``R <lba>`` / ``T <lba>``.
+
+        Canonical form: a write with an empty (or ``None``) payload
+        serialises as ``W <lba>`` with *no* trailing separator. The
+        format predates the canonical-JSON artifact discipline and used
+        to emit ``"W <lba> "`` (trailing space) for empty payloads —
+        bytes that survived a round trip but differed from what a
+        re-serialised load produced once whitespace was normalised
+        anywhere in between. ``tests/workloads/test_traces.py`` pins
+        ``dumps(loads(dumps(t))) == dumps(t)`` and the no-trailing-
+        whitespace property.
+        """
         out = io.StringIO()
         out.write(f"# trace n_lbas={self.n_lbas}\n")
         for op in self.operations:
             if op.op is OpType.WRITE:
-                payload = (op.payload or b"").hex()
-                out.write(f"W {op.lba} {payload}\n")
+                if op.payload:
+                    out.write(f"W {op.lba} {op.payload.hex()}\n")
+                else:
+                    out.write(f"W {op.lba}\n")
             elif op.op is OpType.READ:
                 out.write(f"R {op.lba}\n")
             else:
@@ -73,6 +86,23 @@ class Trace:
             else:
                 raise ConfigError(f"unknown trace op {kind!r}")
         return trace
+
+    def save(self, path: "str | Path") -> "Path":
+        """Write the canonical serialisation to ``path`` (UTF-8)."""
+        from pathlib import Path
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Trace":
+        """Read a trace file written by :meth:`save` (or hand-edited)."""
+        from pathlib import Path
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"trace file not found: {path}")
+        return cls.loads(path.read_text(encoding="utf-8"))
 
 
 def synthesize_trace(generator, count: int) -> Trace:

@@ -7,7 +7,9 @@ import pytest
 from repro.errors import ConfigError
 from repro.models.queueing import (
     md1_wait_us,
+    mdc_latency_quantile_us,
     mdc_latency_us,
+    mdc_wait_quantile_us,
     saturation_iops,
 )
 
@@ -68,6 +70,66 @@ class TestMDC:
             mdc_latency_us(60.0, 100, channels=0)
         with pytest.raises(ConfigError):
             saturation_iops(-1)
+
+
+class TestWaitQuantile:
+    def test_light_load_quantile_is_zero(self):
+        """When the probability of queueing is below the tail mass,
+        the wait quantile is exactly zero (most requests never wait)."""
+        assert mdc_wait_quantile_us(60.0, 100.0, channels=4,
+                                    percentile=99.0) == 0.0
+        assert mdc_latency_quantile_us(60.0, 100.0, channels=4,
+                                       percentile=99.0) == 60.0
+
+    def test_quantile_above_mean_at_moderate_load(self):
+        service, iops, c = 60.0, 0.6 * 2 * 1e6 / 60.0, 2
+        p99 = mdc_latency_quantile_us(service, iops, channels=c,
+                                      percentile=99.0)
+        mean = mdc_latency_us(service, iops, channels=c)
+        assert p99 > mean > service
+
+    def test_quantile_monotone_in_percentile(self):
+        service, iops, c = 60.0, 0.7 * 1e6 / 60.0, 1
+        values = [mdc_latency_quantile_us(service, iops, channels=c,
+                                          percentile=p)
+                  for p in (50.0, 90.0, 99.0, 99.9)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] > values[0]
+
+    def test_quantile_monotone_in_load(self):
+        service, c = 60.0, 2
+        sat = saturation_iops(service, c)
+        values = [mdc_wait_quantile_us(service, rho * sat, channels=c)
+                  for rho in (0.3, 0.5, 0.7, 0.9)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_infinite_at_saturation(self):
+        sat = saturation_iops(60.0, 2)
+        assert mdc_wait_quantile_us(60.0, sat, channels=2) == math.inf
+        assert mdc_latency_quantile_us(60.0, sat, channels=2) == math.inf
+
+    def test_exponential_tail_matches_mm1_closed_form(self):
+        """For c = 1 the approximation is the textbook M/M/1 tail with
+        the deterministic-service halving: scale = s / (2 (1 - rho))."""
+        service, rho = 50.0, 0.8
+        iops = rho * 1e6 / service
+        scale = service / (2 * (1 - rho))
+        expected = scale * math.log(rho / 0.01)
+        assert mdc_wait_quantile_us(service, iops, channels=1,
+                                    percentile=99.0) == \
+            pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            mdc_wait_quantile_us(0.0, 100.0)
+        with pytest.raises(ConfigError):
+            mdc_wait_quantile_us(60.0, -1.0)
+        with pytest.raises(ConfigError):
+            mdc_wait_quantile_us(60.0, 100.0, channels=0)
+        with pytest.raises(ConfigError):
+            mdc_wait_quantile_us(60.0, 100.0, percentile=100.0)
+        with pytest.raises(ConfigError):
+            mdc_wait_quantile_us(60.0, 100.0, percentile=0.0)
 
 
 class TestEdgeCases:

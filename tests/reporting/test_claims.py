@@ -8,15 +8,18 @@ from repro.errors import ConfigError
 from repro.models.performance import throughput_factor
 from repro.reporting.claims import (
     REPORT_SCHEMA,
+    TRAFFIC_TOLERANCE,
     ClaimResult,
     build_report,
     capacity_curves_from_artifact,
     check_lifetime_extension,
     check_recovery_traffic,
     check_throughput_degradation,
+    check_traffic_latency,
     format_report,
     lifetimes_from_artifact,
     measured_throughput_factor,
+    measured_traffic_p99,
     report_failed,
 )
 
@@ -134,6 +137,48 @@ class TestQueueingLatency:
             measured_queueing_latency(1.0)
 
 
+class TestTrafficLatency:
+    """The traffic-engine p99 rows (cached: the sim runs once per
+    level per process, so these tests share the claim's own work)."""
+
+    def test_all_levels_pass_at_default_tolerance(self):
+        results = check_traffic_latency()
+        assert [r.claim for r in results] == [
+            "traffic_p99/l0", "traffic_p99/l1",
+            "traffic_p99/l2", "traffic_p99/l3"]
+        assert all(r.status == "pass" for r in results), [
+            (r.claim, r.observed, r.expected) for r in results]
+
+    def test_measured_point_is_consistent(self):
+        run = measured_traffic_p99(0)
+        assert run["requests"] > 500
+        assert run["measured_p99_latency_us"] > run["service_us"]
+        assert run["analytic_p99_latency_us"] > run["service_us"]
+        deviation = abs(run["measured_p99_latency_us"]
+                        - run["analytic_p99_latency_us"])
+        assert deviation <= TRAFFIC_TOLERANCE * \
+            run["analytic_p99_latency_us"]
+
+    def test_degradation_raises_service_and_tail(self):
+        """The RegenS 4/(4-L) per-byte cost must show up in the
+        measured service time — and through it, the analytic tail."""
+        l0 = measured_traffic_p99(0)
+        l3 = measured_traffic_p99(3)
+        assert l3["service_us"] > 1.5 * l0["service_us"]
+        assert l3["analytic_p99_latency_us"] > \
+            l0["analytic_p99_latency_us"]
+        assert l3["measured_p99_latency_us"] > \
+            l0["measured_p99_latency_us"]
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigError, match="level"):
+            measured_traffic_p99(4)
+
+    def test_zero_tolerance_fails(self):
+        results = check_traffic_latency(levels=(0,), tolerance=0.0)
+        assert results[0].status == "fail"
+
+
 class TestRecoveryTraffic:
     def test_gradual_shedding_beats_cliff(self):
         result = check_recovery_traffic({
@@ -196,7 +241,7 @@ class TestBuildReport:
         report = build_report(timeseries_doc=doc)
         assert report["schema"] == REPORT_SCHEMA
         # The four wear_provenance claims skip without --endurance input.
-        assert report["summary"] == {"pass": 10, "fail": 0, "skip": 4}
+        assert report["summary"] == {"pass": 14, "fail": 0, "skip": 4}
         skipped = [c["claim"] for c in report["claims"]
                    if c["status"] == "skip"]
         assert all(c.startswith("wear_provenance/") for c in skipped)
@@ -228,8 +273,9 @@ class TestBuildReport:
         assert report["summary"]["fail"] == 0
         # 3 artifact-fed claims + 4 wear_provenance claims skip.
         assert report["summary"]["skip"] == 7
-        # Throughput and queueing latency are re-measured on every run.
-        assert report["summary"]["pass"] == 7
+        # Throughput, queueing latency and traffic p99 are re-measured
+        # on every run.
+        assert report["summary"]["pass"] == 11
 
     def test_failed_claim_detected(self):
         doc = _timeseries_doc(

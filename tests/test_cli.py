@@ -335,6 +335,82 @@ class TestSweepCommand:
         assert "configuration error" in capsys.readouterr().err
 
 
+class TestTrafficCommand:
+    """`repro traffic`: the multi-tenant engine behind the engine/v1
+    artifact."""
+
+    FAST = ["traffic", "--tenants", "12", "--duration", "4000",
+            "--cells", "1"]
+
+    def test_writes_validated_artifact(self, capsys, tmp_path):
+        from repro.workloads.engine import load_engine_artifact
+
+        out = tmp_path / "traffic.json"
+        assert main([*self.FAST, "--out", str(out)]) == 0
+        document = load_engine_artifact(out)
+        assert document["config"]["tenants"] == 12
+        assert document["totals"]["offered"] > 0
+        printed = capsys.readouterr().out
+        assert "traffic artifact ->" in printed
+        assert "tenant class" in printed
+
+    def test_jobs_do_not_change_artifact_bytes(self, capsys, tmp_path):
+        a, b = tmp_path / "j1.json", tmp_path / "j2.json"
+        assert main([*self.FAST, "--jobs", "1", "--out", str(a)]) == 0
+        assert main([*self.FAST, "--jobs", "2", "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_slo_gates_exit_code(self, capsys, tmp_path):
+        config = TestSLOCommand.slo_config(tmp_path)
+        out = tmp_path / "ok.json"
+        assert main([*self.FAST, "--slo", str(config),
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        strict = TestSLOCommand.slo_config(tmp_path, threshold_us=0.001,
+                                           name="impossible")
+        assert main([*self.FAST, "--slo", str(strict),
+                     "--out", str(tmp_path / "bad.json")]) \
+            == EXIT_CLAIM_FAILED
+        assert "VIOLATED" in capsys.readouterr().err
+
+    def test_metrics_out_publishes_traffic_families(self, capsys,
+                                                    tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([*self.FAST, "--out", str(tmp_path / "t.json"),
+                     "--metrics-out", str(metrics_path)]) == 0
+        names = {family["name"] for family in
+                 json.loads(metrics_path.read_text())["metrics"]}
+        assert "repro_traffic_requests_total" in names
+        assert "repro_traffic_p99_latency_us" in names
+        assert "repro_traffic_tenants" in names
+
+    def test_bad_utilisation_exits_2(self, capsys, tmp_path):
+        assert main([*self.FAST, "--utilisation", "0",
+                     "--out", str(tmp_path / "t.json")]) \
+            == EXIT_CONFIG_ERROR
+
+    def test_missing_trace_exits_2(self, capsys, tmp_path):
+        assert main([*self.FAST, "--trace",
+                     str(tmp_path / "absent.trace")]) \
+            == EXIT_CONFIG_ERROR
+
+    def test_trace_replay(self, capsys, tmp_path):
+        from repro.workloads import Trace
+        from repro.workloads.generators import Operation, OpType
+
+        trace = Trace(n_lbas=8)
+        for lba in range(8):
+            trace.append(Operation(OpType.WRITE, lba, b"x" * 16))
+        trace_path = trace.save(tmp_path / "t.trace")
+        out = tmp_path / "replay.json"
+        assert main([*self.FAST, "--trace", str(trace_path),
+                     "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["config"]["trace_ops"] == 8
+        assert all(row["class"] == "trace"
+                   for row in document["tenants"])
+
+
 class TestSLOCommand:
     """`repro slo`: probe-measured and offline SLO evaluation."""
 

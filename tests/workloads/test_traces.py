@@ -31,6 +31,36 @@ class TestTrace:
         assert restored.operations[1].op is OpType.READ
         assert restored.operations[2].op is OpType.TRIM
 
+    def test_dumps_is_byte_stable(self):
+        """``dumps(loads(dumps(t))) == dumps(t)`` — no field-ordering
+        or float-format drift, and no trailing whitespace (the empty
+        write-payload case used to emit ``W <lba> ``)."""
+        trace = Trace(n_lbas=16)
+        trace.append(Operation(OpType.WRITE, 3, b"\x00\xffdata"))
+        trace.append(Operation(OpType.WRITE, 4, b""))
+        trace.append(Operation(OpType.WRITE, 5, None))
+        trace.append(Operation(OpType.READ, 3))
+        trace.append(Operation(OpType.TRIM, 3))
+        text = trace.dumps()
+        assert Trace.loads(text).dumps() == text
+        for line in text.splitlines():
+            assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace(n_lbas=8)
+        trace.append(Operation(OpType.WRITE, 1, b"payload"))
+        trace.append(Operation(OpType.READ, 1))
+        path = trace.save(tmp_path / "nested" / "t.trace")
+        restored = Trace.load(path)
+        assert restored.dumps() == trace.dumps()
+        # Byte-stability on disk: saving the restored trace is a no-op.
+        again = restored.save(tmp_path / "again.trace")
+        assert again.read_bytes() == path.read_bytes()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            Trace.load(tmp_path / "absent.trace")
+
     def test_loads_rejects_garbage(self):
         with pytest.raises(ConfigError):
             Trace.loads("not a trace")
