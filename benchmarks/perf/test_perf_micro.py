@@ -16,7 +16,10 @@ Each bench times one narrower hot path than the GC-heavy macro:
   (arrival scheduling, admission control, queue dispatch, accounting);
 * ``remount_micro`` — the OOB-replay rebuild scan (mount latency);
 * ``fleet_step_micro`` — one vectorised fleet-model run (the unit the
-  sweep runner parallelises over).
+  sweep runner parallelises over);
+* ``fleet_sharded_micro`` — the same model through the sharded runner
+  (worker fan-out, RNG replay, shard-major merge); the floor holds at
+  ``jobs=1``, the meta records the measured speedup when cores allow.
 
 All run under ``@pytest.mark.no_obs`` for timing purity; the harness
 re-publishes results through the obs registry afterwards.
@@ -96,3 +99,12 @@ def test_remount_micro():
 def test_fleet_step_micro():
     entry = harness.run("fleet_step_micro", workloads.fleet_step_micro)
     assert entry["meta"]["mean_lifetime_days"] > 0
+
+
+@pytest.mark.no_obs
+def test_fleet_sharded_micro():
+    entry = harness.run("fleet_sharded_micro",
+                        workloads.fleet_sharded_micro)
+    assert entry["meta"]["mean_lifetime_days"] > 0
+    assert entry["meta"]["shards"] == workloads.FLEET_SHARDED_CONFIG.shards
+    assert entry["meta"]["jobs"] >= 1

@@ -327,3 +327,62 @@ def fleet_step_micro() -> dict:
             "meta": {"mode": "regen",
                      "mean_lifetime_days":
                          round(result.mean_lifetime_days(), 1)}}
+
+
+# -- sharded fleet run (micro) -----------------------------------------------
+
+#: Default sharded-fleet bench shape. Big enough that per-shard work
+#: dominates pool overheads; short horizon keeps the CI single-core run
+#: in budget. ``REPRO_PERF_FLEET_DEVICES`` / ``REPRO_PERF_FLEET_JOBS``
+#: scale it up on real hardware (the 10k-device / 8-job configuration
+#: the speedup claim in docs/SHARDING.md was measured with).
+FLEET_SHARDED_CONFIG = FleetConfig(
+    devices=512,
+    geometry=FlashGeometry(blocks=64, fpages_per_block=64),
+    pec_limit_l0=3000.0,
+    variation_sigma=0.35,
+    dwpd=2.0,
+    write_amplification=2.0,
+    afr=0.01,
+    horizon_days=365,
+    step_days=5,
+    shards=8,
+)
+
+
+def fleet_sharded_micro() -> dict:
+    """One sharded fleet run; ops = device-steps advanced.
+
+    Times :func:`repro.sim.shard.simulate_fleet_sharded` end to end —
+    worker fan-out, per-shard RNG replay, device slicing, and the
+    canonical shard-major merge. Worker count defaults to all cores but
+    one (capped at the shard count), so the gate floor must hold at
+    ``jobs=1``: on a single-core runner the bench measures the sharding
+    *overhead* over the serial path, on real hardware the speedup. When
+    at least two workers run, a serial reference run is timed too and
+    the measured speedup lands in ``meta``.
+    """
+    import os
+    from dataclasses import replace as dc_replace
+
+    from repro.sim.shard import simulate_fleet_sharded
+
+    devices = int(os.environ.get("REPRO_PERF_FLEET_DEVICES", "0")) \
+        or FLEET_SHARDED_CONFIG.devices
+    config = dc_replace(FLEET_SHARDED_CONFIG, devices=devices)
+    jobs = int(os.environ.get("REPRO_PERF_FLEET_JOBS", "0")) \
+        or max(1, min(config.shards, (os.cpu_count() or 1) - 1))
+    steps = config.horizon_days // config.step_days
+    start = time.perf_counter()
+    result = simulate_fleet_sharded(config, "regen", seed=2025, jobs=jobs)
+    wall_s = time.perf_counter() - start
+    meta = {"mode": "regen", "devices": devices,
+            "shards": config.shards, "jobs": jobs,
+            "mean_lifetime_days": round(result.mean_lifetime_days(), 1)}
+    if jobs >= 2:
+        serial_start = time.perf_counter()
+        simulate_fleet(config, "regen", seed=2025)
+        serial_wall = time.perf_counter() - serial_start
+        meta["serial_wall_s"] = round(serial_wall, 4)
+        meta["speedup"] = round(serial_wall / wall_s, 2)
+    return {"ops": devices * steps, "wall_s": wall_s, "meta": meta}

@@ -246,22 +246,46 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` argparse type: an int worker count or literal 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.sim.fleet import MODES, FleetConfig, simulate_fleet
+    from repro.sim.parallel import resolve_jobs
 
     registry, tracer, sampler = _setup_observability(args)
     config = FleetConfig(
         devices=args.devices,
         geometry=FlashGeometry(blocks=args.blocks, fpages_per_block=64),
         dwpd=args.dwpd, afr=args.afr,
-        horizon_days=int(args.years * 365), step_days=args.step_days)
+        horizon_days=int(args.years * 365), step_days=args.step_days,
+        shards=args.shards if args.shards is not None else 1)
     modes = MODES if args.mode == "all" else (args.mode,)
     plan = _load_fault_plan(args)
     # Passing the *plan* (not an injector) gives every mode its own
     # fresh fault counters — the schedule applies per run, not jointly.
-    results = {mode: simulate_fleet(config, mode, seed=args.seed,
-                                    faults=plan)
-               for mode in modes}
+    if args.shards is not None:
+        # Explicit --shards selects the sharded runner (docs/SHARDING.md);
+        # --shards 1 is bit-identical to the serial path for any --jobs.
+        from repro.sim.shard import simulate_fleet_sharded
+
+        jobs = resolve_jobs(args.jobs)
+        results = {mode: simulate_fleet_sharded(config, mode,
+                                                seed=args.seed,
+                                                faults=plan, jobs=jobs)
+                   for mode in modes}
+    else:
+        results = {mode: simulate_fleet(config, mode, seed=args.seed,
+                                        faults=plan)
+                   for mode in modes}
     print(render_series(
         [Series(mode, r.days / 365.0, r.functioning, x_label="years")
          for mode, r in results.items()],
@@ -276,6 +300,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     rows = [[mode, f"{r.mean_lifetime_days():.0f}"]
             for mode, r in results.items()]
     print(format_table(["mode", "mean lifetime (days)"], rows))
+    if args.out is not None:
+        from repro.sim.parallel import sweep_document, write_sweep_artifact
+
+        document = sweep_document(
+            config, modes, [args.seed],
+            {(mode, args.seed): r for mode, r in results.items()},
+            faults=plan)
+        path = write_sweep_artifact(document, args.out)
+        print(f"fleet artifact -> {path}")
     _run_probe_sidecar(args, modes)
     _write_observability(args, registry, tracer, sampler)
     return 0
@@ -435,6 +468,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = run_fleet_grid(config, modes=modes, seeds=seeds, jobs=jobs,
                              faults=plan)
     document = sweep_document(config, modes, seeds, results, faults=plan)
+    if args.jobs == "auto":
+        # Record the *resolved* worker count, never the literal string —
+        # explicit --jobs values stay out of the document entirely, so
+        # the jobs-invariance byte-identity gates keep holding.
+        document["meta"] = {"jobs": jobs}
     path = write_sweep_artifact(document, args.out)
     rows = [[row["mode"], row["runs"],
              f"{row['mean_lifetime_days']:.0f}",
@@ -504,6 +542,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         mode=args.mode,
         level=args.level,
         cells=args.cells,
+        shards=args.shards,
         read_fraction=args.read_fraction,
         read_span=args.read_span,
         closed_loop_fraction=args.closed_loop,
@@ -514,6 +553,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
     document = run_traffic(config, seed=args.seed, jobs=jobs,
                            objectives=objectives)
+    if args.jobs == "auto":
+        # Resolved int, never the literal string (see _cmd_sweep).
+        document["meta"] = {"jobs": jobs}
     publish_traffic_metrics(document)
     path = write_engine_artifact(document, args.out)
     _write_observability(args, registry, tracer, sampler)
@@ -822,6 +864,19 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--mode", default="all",
                        choices=("all", "baseline", "cvss", "shrink", "regen"))
     fleet.add_argument("--seed", type=int, default=2025)
+    fleet.add_argument(
+        "--shards", type=int, default=None,
+        help="failure-domain shards for the process-parallel runner "
+             "(omit = serial path; 1 is bit-identical to it; see "
+             "docs/SHARDING.md)")
+    fleet.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard worker processes (0 = all cores; results are "
+             "identical for any value at a fixed --shards)")
+    fleet.add_argument(
+        "--out", default=None,
+        help="optionally write a repro.sweep/v1 artifact (byte-stable; "
+             "the determinism gates cmp it)")
     _add_observability_flags(fleet)
     _add_faults_flag(fleet)
     _add_reqtrace_flags(fleet)
@@ -881,9 +936,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "deterministically (jobs-invariant)")
     sweep.add_argument("--runs", type=int, default=4,
                        help="independent seed replicates per mode")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (0 = all cores; results are "
-                            "identical for any value)")
+    sweep.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes (0 = all cores, 'auto' = all "
+                            "cores but one; results are identical for any "
+                            "value)")
     sweep.add_argument("--out", default="results/sweep.json",
                        help="repro.sweep/v1 artifact path")
     _add_faults_flag(sweep)
@@ -933,6 +989,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cells", type=int, default=0,
         help="independent device cells (0 = auto from tenant count)")
     traffic.add_argument(
+        "--shards", type=int, default=0,
+        help="minimum failure-domain cell count for the fork pool "
+             "(0 = leave the auto tiers alone; part of the config, so "
+             "it changes the artifact — unlike --jobs)")
+    traffic.add_argument(
         "--read-fraction", type=float, default=0.0,
         help="flip this fraction of generated writes to reads")
     traffic.add_argument(
@@ -964,9 +1025,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="root seed; every cell and tenant derives from it "
              "deterministically (jobs-invariant)")
     traffic.add_argument(
-        "--jobs", type=int, default=1,
-        help="cell worker processes (0 = all cores; the artifact is "
-             "byte-identical for any value)")
+        "--jobs", type=_jobs_arg, default=1,
+        help="cell worker processes (0 = all cores, 'auto' = all cores "
+             "but one; the artifact is byte-identical for any value)")
     traffic.add_argument(
         "--out", default="results/traffic.json",
         help="repro.workloads.engine/v1 artifact path")

@@ -36,6 +36,7 @@ from repro.difs.node import StorageNode
 from repro.difs.placement import place_replicas
 from repro.difs.recovery import RecoveryManager
 from repro.difs.redundancy import make_scheme
+from repro.difs.ticker import ClusterTicker
 from repro.difs.volume import MinidiskVolume, MonolithicVolume, Volume
 from repro.rng import make_rng
 from repro.salamander.device import SalamanderSSD
@@ -83,6 +84,13 @@ class ClusterConfig:
             bit-identical to the direct path while writes succeed; a
             write that fails at flush time surfaces as a volume failure
             plus queued repair instead of a synchronous retry.
+        shards: failure-domain shards the staged-IO dispatcher
+            (:class:`repro.difs.ticker.ClusterTicker`) partitions the
+            staged device queues into. Shards group contiguous queues
+            in staging order and execute shard-major, so dispatch is
+            bit-identical for *any* shard count (see
+            docs/SHARDING.md); the knob only scopes the
+            ``repro_shard_*`` timing instruments to failure domains.
     """
 
     replication: int = 3
@@ -96,8 +104,12 @@ class ClusterConfig:
     queue_depth: int = 8
     io_batch: bool = False
     io_batch_chunks: int = 0
+    shards: int = 1
 
     def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(
+                f"shards must be >= 1, got {self.shards!r}")
         if self.replication < 1:
             raise ConfigError(
                 f"replication must be >= 1, got {self.replication!r}")
@@ -154,12 +166,10 @@ class Cluster:
         self._chunks_by_volume: dict[str, set[str]] = {}
         self._device_count = 0
         self._audit_cursor = 0
-        # Batch submission (io_batch_chunks > 0): per-queue staged chunk
-        # writes, keyed by queue identity. Each value is
-        # ``[queue, IOVector, members]`` with one ``(volume_id, slot)``
-        # member per staged request.
-        self._io_stage: dict[int, list] = {}
-        self._staged_chunks = 0
+        # Batch submission (io_batch_chunks > 0): staging and dispatch
+        # mechanics live in the ticker; recovery effects stay here.
+        self._ticker = ClusterTicker(self.config.io_batch_chunks,
+                                     shards=self.config.shards)
         self._faults = faults.injector()
         self._instr = difs_instruments()
         if obs.metrics_enabled():
@@ -582,58 +592,26 @@ class Cluster:
 
     def _stage_chunk_write(self, volume: Volume, slot: int,
                            payloads: list[bytes]) -> bool:
-        """Stage one chunk write for batched dispatch; False = write now.
-
-        Staged requests keep per-device submission order (one append-only
-        vector per queue), so the dispatched op sequence is identical to
-        the unbatched path.
-        """
-        if self.config.io_batch_chunks == 0 or volume.queue is None:
-            return False
-        from repro.io.vector import IOVector
-
-        request = volume.chunk_write_request(slot, payloads)
-        stage = self._io_stage.get(id(volume.queue))
-        if stage is None:
-            stage = [volume.queue, IOVector(), []]
-            self._io_stage[id(volume.queue)] = stage
-        _, vector, members = stage
-        vector.append(request.op, lba=request.lba, count=request.count,
-                      payloads=request.payloads, mdisk_id=request.mdisk_id,
-                      stream=request.stream)
-        members.append((volume.volume_id, slot))
-        return True
+        """Stage one chunk write for batched dispatch; False = write now."""
+        return self._ticker.stage_chunk_write(volume, slot, payloads)
 
     def _note_chunk_staged(self) -> None:
         """Close the batching window after ``io_batch_chunks`` chunks."""
-        if not self._io_stage:
-            return
-        self._staged_chunks += 1
-        if self._staged_chunks >= self.config.io_batch_chunks:
+        if self._ticker.note_chunk_staged():
             self.flush_io()
 
     def _dispatch_staged(self) -> None:
-        """One ``execute_vector`` per queue dispatches all staged writes.
+        """Dispatch staged writes; apply recovery effects for failures.
 
-        Per-member errors do not raise (the batch keeps going, exactly as
-        independent scalar submissions would); each failed write fails its
-        volume and queues repair for the replica that never reached flash —
-        the asynchronous analogue of the synchronous retry in
+        The ticker executes one ``execute_vector`` per staged queue
+        (shard-partitioned, order-preserving) and reports per-member
+        errors without raising — the batch keeps going, exactly as
+        independent scalar submissions would. Each failed write fails
+        its volume and queues repair for the replica that never reached
+        flash — the asynchronous analogue of the synchronous retry in
         :meth:`_place_and_write`.
         """
-        if not self._io_stage:
-            return
-        stages = list(self._io_stage.values())
-        self._io_stage.clear()
-        self._staged_chunks = 0
-        failed: list[tuple[str, int, Exception]] = []
-        for queue, vector, members in stages:
-            completions = queue.execute_vector(vector)
-            for index, (volume_id, slot) in enumerate(members):
-                error = completions.errors[index]
-                if error is not None:
-                    failed.append((volume_id, slot, error))
-        for volume_id, slot, _ in failed:
+        for volume_id, slot, _ in self._ticker.dispatch():
             self.recovery.volume_failed(volume_id)
             for chunk_id in sorted(self._chunks_by_volume.get(
                     volume_id, ())):

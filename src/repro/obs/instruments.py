@@ -503,6 +503,44 @@ class EngineInstruments:
     queue_depth: Any
 
 
+@dataclass(frozen=True)
+class ShardInstruments:
+    """Sharded data-path instruments (repro.sim.shard / ClusterTicker).
+
+    ``tick_duration`` and ``shard_devices`` are families labelled per
+    shard index at publish time; ``merge_duration`` is a plain child.
+    Workers never touch these — the coordinator records per-shard wall
+    times from the merged outputs, once per run (or per cluster
+    dispatch), never on the per-device hot path.
+    """
+
+    tick_duration: Any   # family; labels (shard,)
+    merge_duration: Any
+    shard_devices: Any   # family; labels (shard,)
+
+
+def shard_instruments() -> ShardInstruments:
+    m = obs.metrics()
+    return ShardInstruments(
+        tick_duration=m.histogram(
+            "repro_shard_tick_seconds",
+            help="Wall-clock cost of one shard's tick batch (a shard "
+                 "worker's whole step loop, or one ClusterTicker "
+                 "dispatch group)",
+            unit="seconds", labelnames=("shard",),
+            buckets=STEP_SECONDS_BUCKETS),
+        merge_duration=m.histogram(
+            "repro_shard_merge_seconds",
+            help="Wall-clock cost of the coordinator's canonical "
+                 "shard-major merge",
+            unit="seconds", buckets=STEP_SECONDS_BUCKETS),
+        shard_devices=m.gauge(
+            "repro_shard_devices",
+            help="Devices assigned to each failure-domain shard",
+            unit="devices", labelnames=("shard",)),
+    )
+
+
 def engine_instruments() -> EngineInstruments:
     m = obs.metrics()
     return EngineInstruments(

@@ -241,6 +241,27 @@ class TimeseriesSampler:
             return True
         return t - last >= self.cadence - _EPS
 
+    def schedule(self, times: Iterable[float]) -> list[bool]:
+        """Which of ``times`` would :meth:`maybe_sample` accept, in order?
+
+        A pure fold of the cadence gate from the sampler's *current*
+        state — no side effects, no samples taken. The sharded fleet
+        runner (:mod:`repro.sim.shard`) computes this once in the
+        coordinator and ships it to shard workers, so every worker
+        produces census material for exactly the steps the serial loop
+        would have sampled.
+        """
+        last = self._last_sample_t
+        accepted: list[bool] = []
+        for t in times:
+            t = float(t)
+            due = (last is None or t < last - _EPS
+                   or t - last >= self.cadence - _EPS)
+            accepted.append(due)
+            if due:
+                last = t
+        return accepted
+
     def maybe_sample(self, t: float) -> bool:
         """Sample iff at least ``cadence`` has elapsed since the last.
 

@@ -72,6 +72,13 @@ class FleetConfig:
             death bound (it cannot shrink below its live data).
         min_capacity_fraction: Salamander replacement floor.
         regen_max_level: RegenS page-reuse ceiling (paper recommends 1).
+        shards: failure-domain shards the sharded runner
+            (:func:`repro.sim.shard.simulate_fleet_sharded`) partitions
+            the devices into. Part of the config — and therefore of the
+            artifact — because the float merge order is a function of
+            the shard layout (see docs/SHARDING.md). ``1`` reproduces
+            the serial path bit-for-bit; the serial runner itself
+            ignores the knob.
         cvss_rule: when a CVSS block retires — ``"first-page"`` (as soon as
             its weakest page outgrows the ECC; reliability-preserving, the
             conservative reading behind the paper's "ShrinkS is at least as
@@ -97,6 +104,7 @@ class FleetConfig:
     host_utilization: float = 0.5
     min_capacity_fraction: float = 0.2
     regen_max_level: int = 1
+    shards: int = 1
     cvss_rule: str = "first-page"
 
     def __post_init__(self) -> None:
@@ -129,6 +137,9 @@ class FleetConfig:
         if self.regen_max_level < 1:
             raise ConfigError(
                 f"regen_max_level must be >= 1, got {self.regen_max_level!r}")
+        if self.shards < 1:
+            raise ConfigError(
+                f"shards must be >= 1, got {self.shards!r}")
 
 
 @dataclass
@@ -213,6 +224,260 @@ def _percentile_sorted(values: list[float], q: float) -> float:
     return values[low] * (1.0 - fraction) + values[high] * fraction
 
 
+class FleetRules:
+    """Mode- and config-dependent per-device capacity math.
+
+    One instance is a pure function table over ``(config, mode)``: it
+    owns the calibrated RBER model, the tiredness policy, and the
+    advertised-capacity rules every discipline applies per device-step.
+    Both the serial loop (:func:`simulate_fleet`) and the sharded
+    workers (:mod:`repro.sim.shard`) evaluate devices through the same
+    instance methods, so the two paths cannot drift: bit-identity
+    between them is structural, not coincidental.
+    """
+
+    def __init__(self, config: FleetConfig, mode: str,
+                 rber_model: RBERModel | None = None) -> None:
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        self.config = config
+        self.mode = mode
+        self.geometry = config.geometry
+        self.policy = TirednessPolicy(geometry=self.geometry)
+        self.model = rber_model or calibrate_power_law(
+            self.policy, pec_limit_l0=config.pec_limit_l0)
+        self.level_rber = [self.policy.max_rber(k)
+                           for k in self.policy.usable_levels]
+        self.adv0_bytes = (self.geometry.total_opage_slots
+                           * self.geometry.opage_bytes
+                           / (1.0 + config.headroom_fraction))
+        self.original_daily_bytes = config.dwpd * self.adv0_bytes
+        self.step_failure_prob = (
+            1.0 - (1.0 - config.afr)**(config.step_days / 365.0))
+        self.reuse_ceiling = (min(config.regen_max_level,
+                                  self.policy.dead_level - 1)
+                              if mode == "regen" else 0)
+        self.steps = int(np.ceil(config.horizon_days / config.step_days))
+
+    def advertised_bytes(self, dev: _DeviceState,
+                         census: list[int] | None = None) -> float:
+        """Current advertised capacity under ``mode`` at the device's wear.
+
+        When ``census`` is given (only on timeseries sample steps) its
+        slots are *overwritten* with this device's per-level alive fPage
+        counts — ``census[k]`` pages at tiredness level ``k``, the last
+        slot out-of-service — reusing the searchsorted results this
+        function computes anyway, so SMART sampling costs ~nothing
+        extra on shrink/regen and one extra page-level count on
+        baseline/cvss.
+        """
+        config = self.config
+        geometry = self.geometry
+        level_rber = self.level_rber
+        adv0_bytes = self.adv0_bytes
+        total_pages = dev.sorted_pages.size
+        rber = float(self.model.rber(dev.wear))
+        if rber <= 0:
+            if census is not None:
+                for i in range(len(census)):
+                    census[i] = 0
+                census[0] = total_pages
+            return adv0_bytes
+        per_fpage = geometry.opages_per_fpage
+        if self.mode == "baseline":
+            if census is not None:
+                live = _count_below(dev.sorted_pages, level_rber[0] / rber)
+                census[0] = live
+                census[1] = total_pages - live
+            weak = geometry.blocks - _count_below(
+                dev.sorted_block_max, level_rber[0] / rber)
+            if weak / geometry.blocks > config.brick_threshold:
+                return 0.0
+            return adv0_bytes
+        if self.mode == "cvss":
+            if census is not None:
+                live = _count_below(dev.sorted_pages, level_rber[0] / rber)
+                census[0] = live
+                census[1] = total_pages - live
+            block_factors = (dev.sorted_block_max
+                             if config.cvss_rule == "first-page"
+                             else dev.sorted_block_mean)
+            live_blocks = _count_below(block_factors, level_rber[0] / rber)
+            slots = live_blocks * geometry.fpages_per_block * per_fpage
+            return slots * geometry.opage_bytes \
+                / (1.0 + config.headroom_fraction)
+        if self.mode == "shrink":
+            live_pages = _count_below(dev.sorted_pages, level_rber[0] / rber)
+            if census is not None:
+                census[0] = live_pages
+                census[1] = total_pages - live_pages
+            return (live_pages * per_fpage * geometry.opage_bytes
+                    / (1.0 + config.headroom_fraction))
+        # regen: pages at level k contribute (P - k) oPage slots.
+        slots = 0
+        alive_below = 0
+        for k in range(min(config.regen_max_level,
+                           self.policy.dead_level - 1) + 1):
+            alive_k = _count_below(dev.sorted_pages, level_rber[k] / rber)
+            if census is not None:
+                census[k] = alive_k - alive_below
+            slots += (per_fpage - k) * (alive_k - alive_below)
+            alive_below = alive_k
+        if census is not None:
+            census[-1] = total_pages - alive_below
+        return slots * geometry.opage_bytes \
+            / (1.0 + config.headroom_fraction)
+
+    def in_service_raw_bytes(self, adv: float) -> float:
+        return adv * (1.0 + self.config.headroom_fraction)
+
+    def floor_bytes(self) -> float:
+        if self.mode == "baseline":
+            return 0.0  # baseline fails by bricking, not by the floor
+        if self.mode == "cvss":
+            return self.config.host_utilization * self.adv0_bytes
+        return self.config.min_capacity_fraction * self.adv0_bytes
+
+    def build_devices(self, hardware_rng: np.random.Generator,
+                      start: int = 0, stop: int | None = None,
+                      ) -> list[_DeviceState]:
+        """Walk the canonical hardware fork and build ``[start, stop)``.
+
+        The fork walk *must* cover every device index — each
+        :func:`~repro.rng.fork_rng` call advances ``hardware_rng`` — so
+        a shard worker replays the full walk (one cheap parent draw per
+        device) but only pays the expensive variation draws for its own
+        slice. ``build_devices(rng)`` with defaults is exactly the
+        serial construction.
+        """
+        stop = self.config.devices if stop is None else stop
+        devices: list[_DeviceState] = []
+        for i in range(self.config.devices):
+            child = fork_rng(hardware_rng, i)
+            if start <= i < stop:
+                devices.append(_DeviceState(child, self.geometry,
+                                            self.config.variation_sigma))
+        return devices
+
+    def load_factors(self, load_rng: np.random.Generator) -> np.ndarray:
+        """Per-device DWPD multipliers (the full-fleet draw, always)."""
+        if self.config.dwpd_cv > 0:
+            sigma = np.sqrt(np.log1p(self.config.dwpd_cv**2))
+            return load_rng.lognormal(-sigma**2 / 2, sigma,
+                                      size=self.config.devices)
+        return np.ones(self.config.devices)
+
+
+def _register_fleet_probes(sampler, mode: str, reuse_ceiling: int,
+                           ) -> tuple[dict[str, float], list]:
+    """Attach the fleet SMART probes; returns ``(smart_state, handles)``.
+
+    ``smart_state`` is the dict the step loop fills on sampled steps
+    (the probes close over it). Shared by the serial and sharded
+    runners so both export an identical series catalog.
+    """
+    mode_labels = {"mode": mode}
+    smart_state: dict[str, float] = {
+        "functioning": 0.0, "capacity": 0.0, "lost": 0.0,
+        "p50": 0.0, "p95": 0.0, "rber": 0.0, "retired": 0.0}
+    for k in range(reuse_ceiling + 1):
+        smart_state[f"level_{k}"] = 0.0
+    handles: list = []
+
+    def _state_probe(key: str):
+        return lambda: smart_state[key]
+
+    handles.append(sampler.add_probe(
+        "repro_fleet_devices_functioning",
+        _state_probe("functioning"),
+        labels=mode_labels, unit="devices"))
+    handles.append(sampler.add_probe(
+        "repro_fleet_capacity_bytes", _state_probe("capacity"),
+        labels=mode_labels, unit="bytes"))
+    handles.append(sampler.add_probe(
+        "repro_fleet_capacity_lost_step_bytes", _state_probe("lost"),
+        labels=mode_labels, unit="bytes"))
+    wear_field = smart_field("repro_smart_wear_percentile")
+    for q in ("50", "95"):
+        handles.append(sampler.add_probe(
+            wear_field.name, _state_probe(f"p{q}"),
+            labels={**mode_labels, "q": q}, unit=wear_field.unit))
+    rber_field = smart_field("repro_smart_rber")
+    handles.append(sampler.add_probe(
+        rber_field.name, _state_probe("rber"),
+        labels=mode_labels, unit=rber_field.unit))
+    level_field = smart_field("repro_smart_level_fpages")
+    for k in range(reuse_ceiling + 1):
+        handles.append(sampler.add_probe(
+            level_field.name, _state_probe(f"level_{k}"),
+            labels={**mode_labels, "level": str(k)},
+            unit=level_field.unit))
+    retired_field = smart_field("repro_smart_retired_fpages")
+    handles.append(sampler.add_probe(
+        retired_field.name, _state_probe("retired"),
+        labels=mode_labels, unit=retired_field.unit))
+    # Wear-provenance fields (catalog version 2): the analytic
+    # fleet's WAF is its configured amplification, the burn rate is
+    # the mean per-step wear increment across alive devices, and
+    # the ETA projects the median device to the L0 P/E limit.
+    for key, field_name in (("waf", "repro_smart_waf"),
+                            ("burn_rate",
+                             "repro_smart_wear_burn_rate"),
+                            ("eta_days",
+                             "repro_smart_lifetime_eta_days")):
+        smart_state[key] = 0.0
+        field = smart_field(field_name)
+        handles.append(sampler.add_probe(
+            field.name, _state_probe(key),
+            labels=mode_labels, unit=field.unit))
+    return smart_state, handles
+
+
+def _fill_smart_sample(smart_state: dict[str, float], rules: FleetRules,
+                       alive_count: int, total_capacity: float,
+                       lost: float, census: list[int],
+                       wears: list[float], burn_total: float) -> None:
+    """Commit one sampled step's census/wear material to ``smart_state``.
+
+    ``wears`` must already be sorted ascending (the serial loop sorts
+    its device-order list; the sharded merge sorts the shard-major
+    concatenation — same multiset, same sorted sequence).
+    """
+    config = rules.config
+    smart_state["functioning"] = float(alive_count)
+    smart_state["capacity"] = float(total_capacity)
+    smart_state["lost"] = float(lost)
+    smart_state["p50"] = _percentile_sorted(wears, 0.50)
+    smart_state["p95"] = _percentile_sorted(wears, 0.95)
+    smart_state["rber"] = (
+        float(rules.model.rber(smart_state["p50"])) if wears else 0.0)
+    for k in range(rules.reuse_ceiling + 1):
+        smart_state[f"level_{k}"] = float(census[k])
+    smart_state["retired"] = float(census[-1])
+    smart_state["waf"] = float(config.write_amplification)
+    rate = (burn_total / alive_count / config.step_days
+            if alive_count else 0.0)
+    smart_state["burn_rate"] = rate
+    smart_state["eta_days"] = (
+        max(0.0, config.pec_limit_l0 - smart_state["p50"])
+        / rate if rate > 0.0 else 0.0)
+
+
+def _record_fleet_summary(sampler, result: "FleetResult") -> None:
+    """Stamp the scalar claim-checker series at the horizon."""
+    end_day = float(result.days[-1]) if result.days.size else 0.0
+    sampler.record("repro_fleet_mean_lifetime_days", end_day,
+                   result.mean_lifetime_days(),
+                   labels={"mode": result.mode}, unit="days")
+    sampler.record("repro_fleet_recovery_bytes_total", end_day,
+                   result.total_recovery_bytes(),
+                   labels={"mode": result.mode}, unit="bytes",
+                   kind="counter")
+    sampler.record("repro_fleet_initial_capacity_bytes", end_day,
+                   result.initial_capacity_bytes,
+                   labels={"mode": result.mode}, unit="bytes")
+
+
 def simulate_fleet(config: FleetConfig, mode: str,
                    seed: int | np.random.Generator | None = None,
                    rber_model: RBERModel | None = None,
@@ -250,106 +515,21 @@ def simulate_fleet(config: FleetConfig, mode: str,
         # with the simulated day rather than wall clock.
         tracer.set_clock(lambda: day_now[0])
     rng = make_rng(seed)
-    geometry = config.geometry
-    policy = TirednessPolicy(geometry=geometry)
-    model = rber_model or calibrate_power_law(
-        policy, pec_limit_l0=config.pec_limit_l0)
-    level_rber = [policy.max_rber(k) for k in policy.usable_levels]
+    rules = FleetRules(config, mode, rber_model)
 
     hardware_rng = fork_rng(rng, "hardware")
     afr_rng = fork_rng(rng, "afr", mode)
     load_rng = fork_rng(rng, "load")
-    devices = [_DeviceState(fork_rng(hardware_rng, i), geometry,
-                            config.variation_sigma)
-               for i in range(config.devices)]
-    if config.dwpd_cv > 0:
-        sigma = np.sqrt(np.log1p(config.dwpd_cv**2))
-        load_factors = load_rng.lognormal(-sigma**2 / 2, sigma,
-                                          size=config.devices)
-    else:
-        load_factors = np.ones(config.devices)
+    devices = rules.build_devices(hardware_rng)
+    load_factors = rules.load_factors(load_rng)
 
-    slots_per_device = geometry.total_opage_slots
-    opage_bytes = geometry.opage_bytes
-    adv0_bytes = (slots_per_device * opage_bytes
-                  / (1.0 + config.headroom_fraction))
-    original_daily_bytes = config.dwpd * adv0_bytes
-    step_failure_prob = 1.0 - (1.0 - config.afr)**(config.step_days / 365.0)
+    adv0_bytes = rules.adv0_bytes
+    original_daily_bytes = rules.original_daily_bytes
+    step_failure_prob = rules.step_failure_prob
+    advertised_bytes = rules.advertised_bytes
+    floor = rules.floor_bytes()
 
-    def advertised_bytes(dev: _DeviceState,
-                         census: list[int] | None = None) -> float:
-        """Current advertised capacity under ``mode`` at the device's wear.
-
-        When ``census`` is given (only on timeseries sample steps) its
-        slots are *overwritten* with this device's per-level alive fPage
-        counts — ``census[k]`` pages at tiredness level ``k``, the last
-        slot out-of-service — reusing the searchsorted results this
-        function computes anyway, so SMART sampling costs ~nothing extra
-        on shrink/regen and one extra page-level count on
-        baseline/cvss.
-        """
-        total_pages = dev.sorted_pages.size
-        rber = float(model.rber(dev.wear))
-        if rber <= 0:
-            if census is not None:
-                for i in range(len(census)):
-                    census[i] = 0
-                census[0] = total_pages
-            return adv0_bytes
-        per_fpage = geometry.opages_per_fpage
-        if mode == "baseline":
-            if census is not None:
-                live = _count_below(dev.sorted_pages, level_rber[0] / rber)
-                census[0] = live
-                census[1] = total_pages - live
-            weak = geometry.blocks - _count_below(
-                dev.sorted_block_max, level_rber[0] / rber)
-            if weak / geometry.blocks > config.brick_threshold:
-                return 0.0
-            return adv0_bytes
-        if mode == "cvss":
-            if census is not None:
-                live = _count_below(dev.sorted_pages, level_rber[0] / rber)
-                census[0] = live
-                census[1] = total_pages - live
-            block_factors = (dev.sorted_block_max
-                             if config.cvss_rule == "first-page"
-                             else dev.sorted_block_mean)
-            live_blocks = _count_below(block_factors, level_rber[0] / rber)
-            slots = live_blocks * geometry.fpages_per_block * per_fpage
-            return slots * opage_bytes / (1.0 + config.headroom_fraction)
-        if mode == "shrink":
-            live_pages = _count_below(dev.sorted_pages, level_rber[0] / rber)
-            if census is not None:
-                census[0] = live_pages
-                census[1] = total_pages - live_pages
-            return (live_pages * per_fpage * opage_bytes
-                    / (1.0 + config.headroom_fraction))
-        # regen: pages at level k contribute (P - k) oPage slots.
-        slots = 0
-        alive_below = 0
-        for k in range(min(config.regen_max_level,
-                           policy.dead_level - 1) + 1):
-            alive_k = _count_below(dev.sorted_pages, level_rber[k] / rber)
-            if census is not None:
-                census[k] = alive_k - alive_below
-            slots += (per_fpage - k) * (alive_k - alive_below)
-            alive_below = alive_k
-        if census is not None:
-            census[-1] = total_pages - alive_below
-        return slots * opage_bytes / (1.0 + config.headroom_fraction)
-
-    def in_service_raw_bytes(adv: float) -> float:
-        return adv * (1.0 + config.headroom_fraction)
-
-    def floor_bytes() -> float:
-        if mode == "baseline":
-            return 0.0  # baseline fails by bricking, not by the floor
-        if mode == "cvss":
-            return config.host_utilization * adv0_bytes
-        return config.min_capacity_fraction * adv0_bytes
-
-    steps = int(np.ceil(config.horizon_days / config.step_days))
+    steps = rules.steps
     days = np.zeros(steps)
     functioning = np.zeros(steps, dtype=np.int64)
     capacity = np.zeros(steps)
@@ -365,62 +545,11 @@ def simulate_fleet(config: FleetConfig, mode: str,
     # default cadence costs a few percent, and non-sample steps pay one
     # ``due()`` call.
     probe_handles: list = []
-    reuse_ceiling = (min(config.regen_max_level, policy.dead_level - 1)
-                     if mode == "regen" else 0)
+    reuse_ceiling = rules.reuse_ceiling
     smart_state: dict[str, float] = {}
     if sampler is not None:
-        mode_labels = {"mode": mode}
-        smart_state = {"functioning": 0.0, "capacity": 0.0, "lost": 0.0,
-                       "p50": 0.0, "p95": 0.0, "rber": 0.0, "retired": 0.0}
-        for k in range(reuse_ceiling + 1):
-            smart_state[f"level_{k}"] = 0.0
-
-        def _state_probe(key: str):
-            return lambda: smart_state[key]
-
-        probe_handles.append(sampler.add_probe(
-            "repro_fleet_devices_functioning",
-            _state_probe("functioning"),
-            labels=mode_labels, unit="devices"))
-        probe_handles.append(sampler.add_probe(
-            "repro_fleet_capacity_bytes", _state_probe("capacity"),
-            labels=mode_labels, unit="bytes"))
-        probe_handles.append(sampler.add_probe(
-            "repro_fleet_capacity_lost_step_bytes", _state_probe("lost"),
-            labels=mode_labels, unit="bytes"))
-        wear_field = smart_field("repro_smart_wear_percentile")
-        for q in ("50", "95"):
-            probe_handles.append(sampler.add_probe(
-                wear_field.name, _state_probe(f"p{q}"),
-                labels={**mode_labels, "q": q}, unit=wear_field.unit))
-        rber_field = smart_field("repro_smart_rber")
-        probe_handles.append(sampler.add_probe(
-            rber_field.name, _state_probe("rber"),
-            labels=mode_labels, unit=rber_field.unit))
-        level_field = smart_field("repro_smart_level_fpages")
-        for k in range(reuse_ceiling + 1):
-            probe_handles.append(sampler.add_probe(
-                level_field.name, _state_probe(f"level_{k}"),
-                labels={**mode_labels, "level": str(k)},
-                unit=level_field.unit))
-        retired_field = smart_field("repro_smart_retired_fpages")
-        probe_handles.append(sampler.add_probe(
-            retired_field.name, _state_probe("retired"),
-            labels=mode_labels, unit=retired_field.unit))
-        # Wear-provenance fields (catalog version 2): the analytic
-        # fleet's WAF is its configured amplification, the burn rate is
-        # the mean per-step wear increment across alive devices, and
-        # the ETA projects the median device to the L0 P/E limit.
-        for key, field_name in (("waf", "repro_smart_waf"),
-                                ("burn_rate",
-                                 "repro_smart_wear_burn_rate"),
-                                ("eta_days",
-                                 "repro_smart_lifetime_eta_days")):
-            smart_state[key] = 0.0
-            field = smart_field(field_name)
-            probe_handles.append(sampler.add_probe(
-                field.name, _state_probe(key),
-                labels=mode_labels, unit=field.unit))
+        smart_state, probe_handles = _register_fleet_probes(
+            sampler, mode, reuse_ceiling)
 
     census_scratch = [0] * (reuse_ceiling + 2)
     n_census = reuse_ceiling + 2
@@ -480,7 +609,7 @@ def simulate_fleet(config: FleetConfig, mode: str,
                     continue
                 adv = advertised_bytes(
                     dev, census_scratch if pending else None)
-                if adv <= floor_bytes() or adv <= 0.0:
+                if adv <= floor or adv <= 0.0:
                     dev.alive = False
                     dev.death_day = day
                     if instr is not None:
@@ -498,7 +627,7 @@ def simulate_fleet(config: FleetConfig, mode: str,
                     wears.append(dev.wear)
                 # Advance wear through this step at the current live
                 # capacity.
-                raw = in_service_raw_bytes(adv)
+                raw = rules.in_service_raw_bytes(adv)
                 written = (config.step_days * original_daily_bytes
                            * load_factors[index])
                 burn = written * config.write_amplification / raw
@@ -519,23 +648,9 @@ def simulate_fleet(config: FleetConfig, mode: str,
                 instr.capacity_lost_bytes.inc(float(lost[step]))
             if pending:
                 wears.sort()
-                smart_state["functioning"] = float(alive_count)
-                smart_state["capacity"] = float(total_capacity)
-                smart_state["lost"] = float(lost[step])
-                smart_state["p50"] = _percentile_sorted(wears, 0.50)
-                smart_state["p95"] = _percentile_sorted(wears, 0.95)
-                smart_state["rber"] = (
-                    float(model.rber(smart_state["p50"])) if wears else 0.0)
-                for k in range(reuse_ceiling + 1):
-                    smart_state[f"level_{k}"] = float(census[k])
-                smart_state["retired"] = float(census[-1])
-                smart_state["waf"] = float(config.write_amplification)
-                rate = (burn_total / alive_count / config.step_days
-                        if alive_count else 0.0)
-                smart_state["burn_rate"] = rate
-                smart_state["eta_days"] = (
-                    max(0.0, config.pec_limit_l0 - smart_state["p50"])
-                    / rate if rate > 0.0 else 0.0)
+                _fill_smart_sample(smart_state, rules, alive_count,
+                                   total_capacity, float(lost[step]),
+                                   census, wears, burn_total)
                 sampler.maybe_sample(day_f)
     finally:
         # The probes close over this run's device list; detach them so a
@@ -555,14 +670,5 @@ def simulate_fleet(config: FleetConfig, mode: str,
     if sampler is not None:
         # Scalar outcomes the claim checker reads directly (stamped at
         # the horizon so the series stays monotone in time).
-        end_day = float(days[-1]) if steps else 0.0
-        sampler.record("repro_fleet_mean_lifetime_days", end_day,
-                       result.mean_lifetime_days(),
-                       labels={"mode": mode}, unit="days")
-        sampler.record("repro_fleet_recovery_bytes_total", end_day,
-                       result.total_recovery_bytes(),
-                       labels={"mode": mode}, unit="bytes", kind="counter")
-        sampler.record("repro_fleet_initial_capacity_bytes", end_day,
-                       result.initial_capacity_bytes,
-                       labels={"mode": mode}, unit="bytes")
+        _record_fleet_summary(sampler, result)
     return result

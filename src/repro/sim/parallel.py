@@ -26,6 +26,7 @@ import json
 import math
 import multiprocessing
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Sequence, TypeVar
@@ -58,13 +59,38 @@ def derive_seeds(root_seed: int, count: int) -> list[int]:
     return [int(fork_rng(rng, i).integers(0, 2**31)) for i in range(count)]
 
 
-def resolve_jobs(jobs: int) -> int:
-    """Normalise a ``--jobs`` value: 0 means "all cores", floor 1."""
+def resolve_jobs(jobs: int | str) -> int:
+    """Normalise a ``--jobs`` value to a worker count.
+
+    ``0`` means "all cores"; the string ``"auto"`` means "all cores
+    but one" (floor 1) — leave a core for the coordinator and the rest
+    of the machine. Anything else must be a positive int.
+    """
+    if jobs == "auto":
+        return max(1, (os.cpu_count() or 1) - 1)
+    if not isinstance(jobs, int) or isinstance(jobs, bool):
+        raise ConfigError(
+            f"jobs must be an int or 'auto', got {jobs!r}")
     if jobs < 0:
         raise ConfigError(f"jobs must be non-negative, got {jobs!r}")
     if jobs == 0:
         return max(1, os.cpu_count() or 1)
     return jobs
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None when unavailable.
+
+    A seam for tests (and exotic platforms): :func:`parallel_map`
+    treats None as "no safe process parallelism here" and degrades to
+    the serial path rather than silently switching to ``spawn``, whose
+    re-import semantics break the fork-pool discipline (workers must
+    inherit the parent's module state, not rebuild it).
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
 
 
 def parallel_map(fn: Callable[[_T], _R], tasks: Sequence[_T],
@@ -74,14 +100,22 @@ def parallel_map(fn: Callable[[_T], _R], tasks: Sequence[_T],
     ``jobs <= 1`` runs sequentially in-process (no pool, no pickling) —
     the reference execution the parallel path must match. ``fn`` and every
     task must be picklable module-level objects when ``jobs > 1``.
+
+    On platforms without the ``fork`` start method the call falls back
+    to the serial path with a :class:`RuntimeWarning` — results are
+    identical by the determinism contract, only slower.
     """
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
+    context = _fork_context()
+    if context is None:
+        warnings.warn(
+            "the 'fork' start method is unavailable on this platform; "
+            f"running {len(tasks)} task(s) serially instead of on "
+            f"{jobs} workers (results are identical)",
+            RuntimeWarning, stacklevel=2)
+        return [fn(task) for task in tasks]
     # Chunked fan-out: a few chunks per worker balances load without
     # drowning in per-task IPC.
     chunk_size = max(1, math.ceil(len(tasks) / (jobs * 4)))

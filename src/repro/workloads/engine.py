@@ -128,6 +128,12 @@ class EngineConfig:
     mode: str = "flat"
     level: int = 0
     cells: int = 0
+    #: Minimum failure-domain shard count: the resolved cell count is
+    #: raised to at least this many cells (still capped at ``tenants``),
+    #: so a sharded run gets that many independent units of work for
+    #: the fork pool. 0 leaves the auto-by-population tiers alone.
+    #: Like ``cells``, part of the config/artifact — never ``--jobs``.
+    shards: int = 0
     mix: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25)
     read_fraction: float = 0.0
     mixed_read_fraction: float = 0.5
@@ -191,6 +197,9 @@ class EngineConfig:
         if self.cells < 0:
             raise ConfigError(
                 f"cells must be non-negative, got {self.cells!r}")
+        if self.shards < 0:
+            raise ConfigError(
+                f"shards must be non-negative, got {self.shards!r}")
         if len(self.mix) != len(TENANT_CLASSES):
             raise ConfigError(
                 f"mix needs {len(TENANT_CLASSES)} fractions, "
@@ -233,16 +242,23 @@ class EngineConfig:
 
         Depends only on the config — never on ``--jobs`` — which is
         what keeps the artifact byte-identical across worker counts.
+        ``shards`` raises the resolved count to at least that many
+        failure domains (capped at the tenant population: a cell with
+        no tenants would be a pure-overhead device build).
         """
         if self.cells:
-            return min(self.cells, self.tenants)
-        if self.tenants < 32:
-            return 1
-        if self.tenants < 256:
-            return 2
-        if self.tenants < 1024:
-            return 4
-        return 8
+            base = min(self.cells, self.tenants)
+        elif self.tenants < 32:
+            base = 1
+        elif self.tenants < 256:
+            base = 2
+        elif self.tenants < 1024:
+            base = 4
+        else:
+            base = 8
+        if self.shards:
+            return min(max(base, self.shards), self.tenants)
+        return base
 
 
 def tenant_class(config: EngineConfig, tenant: int) -> str:

@@ -126,13 +126,13 @@ class TestDifferential:
         cluster.create_chunk("c0", b"payload")
         # The write is staged, not dispatched; any stats/metadata read
         # must flush it first so nothing observable goes missing.
-        assert cluster._io_stage
+        assert cluster._ticker.staged
         stats = cluster.io_stats()
-        assert not cluster._io_stage
+        assert not cluster._ticker.staged
         assert stats["dispatched"] > 0
         cluster.create_chunk("c1", b"payload")
         snapshot = cluster.namespace_snapshot()
-        assert not cluster._io_stage
+        assert not cluster._ticker.staged
         assert len(snapshot["chunks"]) == 2
 
     def test_queued_path_is_default_and_measures(self, clusters):

@@ -138,6 +138,26 @@ class TestSampler:
         with pytest.raises(ConfigError):
             TimeseriesSampler(cadence=-1.0)
 
+    def test_schedule_matches_sequential_maybe_sample(self):
+        # The pure fold the sharded fleet coordinator ships to workers
+        # must predict maybe_sample() decision-for-decision — including
+        # a backwards-time reset mid-sequence.
+        times = [0.0, 4.0, 10.0, 11.0, 25.0, 3.0, 9.0, 13.0]
+        oracle = TimeseriesSampler(cadence=10.0)
+        schedule = TimeseriesSampler(cadence=10.0).schedule(times)
+        assert schedule == [oracle.maybe_sample(t) for t in times]
+
+    def test_schedule_is_pure(self):
+        sampler = TimeseriesSampler(cadence=10.0)
+        assert sampler.maybe_sample(0.0)
+        first = sampler.schedule([5.0, 10.0, 30.0])
+        # No side effects: same answer twice, and the gate state is
+        # untouched (t=10 is still the next accepted offer).
+        assert sampler.schedule([5.0, 10.0, 30.0]) == first == \
+            [False, True, True]
+        assert not sampler.maybe_sample(5.0)
+        assert sampler.maybe_sample(10.0)
+
 
 class TestRoundTrip:
     def _sampler(self):

@@ -9,11 +9,13 @@ validation) is a supporting lemma of that contract.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
 from repro.errors import ConfigError
 from repro.flash.geometry import FlashGeometry
+from repro.sim import parallel
 from repro.sim.fleet import MODES, FleetConfig
 from repro.sim.parallel import (
     derive_seeds,
@@ -78,6 +80,36 @@ class TestParallelMap:
         assert resolve_jobs(0) >= 1
         with pytest.raises(ConfigError):
             resolve_jobs(-1)
+
+    def test_resolve_jobs_auto(self, monkeypatch):
+        # 'auto' = all cores but one, floor 1; always a resolved int.
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        assert resolve_jobs("auto") == 7
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        assert resolve_jobs("auto") == 1
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+        assert resolve_jobs("auto") == 1
+
+    def test_resolve_jobs_rejects_other_strings_and_bools(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs("fast")
+        with pytest.raises(ConfigError):
+            resolve_jobs(True)
+
+    def test_fork_unavailable_falls_back_serially(self, monkeypatch):
+        # Platforms without the fork start method degrade to the serial
+        # path with a warning — results identical, never a spawn pool.
+        monkeypatch.setattr(parallel, "_fork_context", lambda: None)
+        with pytest.warns(RuntimeWarning, match="fork"):
+            results = parallel_map(_square, list(range(7)), jobs=4)
+        assert results == [x * x for x in range(7)]
+
+    def test_fork_unavailable_single_task_stays_quiet(self, monkeypatch):
+        # One task never needs a pool, so no fallback warning either.
+        monkeypatch.setattr(parallel, "_fork_context", lambda: None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(_square, [5], jobs=2) == [25]
 
 
 class TestTaskEnumeration:

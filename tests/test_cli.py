@@ -334,6 +334,62 @@ class TestSweepCommand:
                      "--out", str(tmp_path / "x.json")]) == EXIT_CONFIG_ERROR
         assert "configuration error" in capsys.readouterr().err
 
+    def test_jobs_auto_records_resolved_int(self, capsys, tmp_path):
+        # 'auto' resolves in the parent; the artifact records the
+        # resolved worker count, never the literal string.
+        path = tmp_path / "auto.json"
+        assert main([*self.ARGS, "--jobs", "auto",
+                     "--out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert isinstance(document["meta"]["jobs"], int)
+        assert document["meta"]["jobs"] >= 1
+
+    def test_explicit_jobs_leave_no_meta(self, capsys, tmp_path):
+        # Explicit worker counts stay out of the document, so the
+        # jobs-invariance byte-identity gates keep holding.
+        path = tmp_path / "j2.json"
+        assert main([*self.ARGS, "--jobs", "2", "--out", str(path)]) == 0
+        assert "meta" not in json.loads(path.read_text())
+
+    def test_jobs_gibberish_rejected_by_parser(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([*self.ARGS, "--jobs", "fast",
+                  "--out", str(tmp_path / "x.json")])
+
+
+class TestFleetShards:
+    """`repro fleet --shards`: the sharded runner through the CLI."""
+
+    ARGS = ["fleet", "--devices", "6", "--blocks", "16", "--years", "2",
+            "--step-days", "20"]
+
+    def test_single_shard_matches_serial_bytes(self, capsys, tmp_path):
+        serial, sharded = tmp_path / "serial.json", tmp_path / "s1.json"
+        assert main([*self.ARGS, "--out", str(serial)]) == 0
+        assert main([*self.ARGS, "--shards", "1", "--jobs", "2",
+                     "--out", str(sharded)]) == 0
+        assert serial.read_bytes() == sharded.read_bytes()
+
+    def test_jobs_do_not_change_artifact_bytes(self, capsys, tmp_path):
+        j1, j4 = tmp_path / "j1.json", tmp_path / "j4.json"
+        assert main([*self.ARGS, "--shards", "4", "--jobs", "1",
+                     "--out", str(j1)]) == 0
+        assert main([*self.ARGS, "--shards", "4", "--jobs", "4",
+                     "--out", str(j4)]) == 0
+        assert j1.read_bytes() == j4.read_bytes()
+
+    def test_shards_recorded_in_config(self, capsys, tmp_path):
+        path = tmp_path / "s2.json"
+        assert main([*self.ARGS, "--shards", "2",
+                     "--out", str(path)]) == 0
+        assert json.loads(path.read_text())["config"]["shards"] == 2
+
+    def test_bad_shards_maps_to_exit_2(self, capsys, tmp_path):
+        assert main([*self.ARGS, "--shards", "0",
+                     "--out", str(tmp_path / "x.json")]) \
+            == EXIT_CONFIG_ERROR
+        assert "configuration error" in capsys.readouterr().err
+
 
 class TestTrafficCommand:
     """`repro traffic`: the multi-tenant engine behind the engine/v1
@@ -359,6 +415,29 @@ class TestTrafficCommand:
         assert main([*self.FAST, "--jobs", "1", "--out", str(a)]) == 0
         assert main([*self.FAST, "--jobs", "2", "--out", str(b)]) == 0
         assert a.read_bytes() == b.read_bytes()
+
+    def test_jobs_auto_records_resolved_int(self, capsys, tmp_path):
+        path = tmp_path / "auto.json"
+        assert main([*self.FAST, "--jobs", "auto",
+                     "--out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert isinstance(document["meta"]["jobs"], int)
+        assert document["meta"]["jobs"] >= 1
+        # Explicit jobs leave the document meta-free.
+        plain = tmp_path / "j1b.json"
+        assert main([*self.FAST, "--jobs", "1", "--out", str(plain)]) == 0
+        assert "meta" not in json.loads(plain.read_text())
+
+    def test_shards_raise_resolved_cells(self, capsys, tmp_path):
+        # --shards guarantees at least that many failure-domain cells
+        # (capped at the tenant count) and lands in the artifact config.
+        path = tmp_path / "s4.json"
+        assert main(["traffic", "--tenants", "12", "--duration", "4000",
+                     "--shards", "4", "--jobs", "2",
+                     "--out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert document["config"]["shards"] == 4
+        assert document["config"]["resolved_cells"] == 4
 
     def test_slo_gates_exit_code(self, capsys, tmp_path):
         config = TestSLOCommand.slo_config(tmp_path)
